@@ -1,0 +1,48 @@
+// A3 (ablation) — the rmw escape hatch: the Theorem 1/2 lower bounds bind
+// only atomic read/write registers. A single test-and-set bit gives a mutex
+// with contention-free step complexity 2 and register complexity 1 for any
+// n — below the register-model lower bound once n is large. This bench
+// prints the separation as n grows.
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/bounds.h"
+#include "mutex/lamport_tree.h"
+#include "mutex/tas_lock.h"
+
+int main() {
+  using namespace cfc;
+  cfc::bench::Verifier verify;
+
+  TextTable t({"n", "thm1 lb (l=1)", "tas-lock cf step",
+               "tree(l=1) cf step", "tas cf reg", "tree(l=1) cf reg"});
+  for (const int n : {4, 16, 64, 256, 1024, 4096}) {
+    const MutexCfResult tas = measure_mutex_contention_free(
+        TasLock::factory(), n, AccessPolicy::Unrestricted, /*max_pids=*/3);
+    const MutexCfResult tree = measure_mutex_contention_free(
+        theorem3_factory(1), n, AccessPolicy::RegistersOnly, /*max_pids=*/3);
+    const double lb = bounds::thm1_cf_step_lower(n, 1);
+    char lb_s[32];
+    std::snprintf(lb_s, sizeof(lb_s), "%.2f", lb);
+    t.add_row({std::to_string(n), lb_s, std::to_string(tas.session.steps),
+               std::to_string(tree.session.steps),
+               std::to_string(tas.session.registers),
+               std::to_string(tree.session.registers)});
+    verify.check(tas.session.steps == 2,
+                 "tas constant at n=" + std::to_string(n));
+    verify.check(static_cast<double>(tree.session.steps) > lb,
+                 "register algorithm obeys Theorem 1 at n=" +
+                     std::to_string(n));
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "The register-model tree grows as Theorem 3 predicts while the rmw\n"
+      "lock stays at 2 steps / 1 register: the contention-free measures\n"
+      "separate the primitives' computational power (the paper's thesis).\n");
+
+  return verify.finish("ablation_rmw");
+}

@@ -1,0 +1,80 @@
+// A2 (ablation) — the tree-node choice in the Theorem 3 construction:
+// Peterson vs Kessels two-process nodes (atomicity 1) vs Lamport fast-mutex
+// nodes at higher atomicity, plus the two arity policies. Per-level
+// contention-free constants:
+//
+//   node        cf steps/level  cf regs/level  atomicity
+//   peterson    4               3              1
+//   kessels     5               4              1
+//   lamport     7               3              l (arity 2^l - 1)
+//
+// The trade: wider nodes mean fewer levels (7 * ceil(log n / l) total), so
+// past a modest l the Lamport tree wins on steps despite the larger
+// per-level constant; bit-only trees win at l = 1.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/bounds.h"
+#include "mutex/lamport_tree.h"
+#include "mutex/tournament.h"
+
+int main() {
+  using namespace cfc;
+  cfc::bench::Verifier verify;
+
+  struct Case {
+    std::string label;
+    MutexFactory factory;
+  };
+  TextTable t({"tree", "n", "cf step", "cf reg", "atomicity", "depth-eq"});
+  for (const int n : {16, 64, 256, 1024}) {
+    const std::vector<Case> cases = {
+        {"peterson-tree (l=1)", TournamentMutex::peterson_tree()},
+        {"kessels-tree (l=1)", TournamentMutex::kessels_tree()},
+        {"lamport-tree l=2", LamportTree::factory(2)},
+        {"lamport-tree l=3", LamportTree::factory(3)},
+        {"lamport-tree l=4", LamportTree::factory(4)},
+        {"lamport-tree l=3 paper", LamportTree::factory(
+                                       3, TreeArity::PaperLiteral)},
+    };
+    for (const Case& c : cases) {
+      const MutexCfResult r = measure_mutex_contention_free(
+          c.factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/6);
+      // Per-level cost: steps divided by the implied depth.
+      t.add_row({c.label, std::to_string(n), std::to_string(r.session.steps),
+                 std::to_string(r.session.registers),
+                 std::to_string(r.measured_atomicity),
+                 std::to_string(r.session.registers / 3)});
+      verify.check(r.session.steps > 0, "measured " + c.label);
+    }
+
+    // Shape check: at n = 1024, the l=4 Lamport tree beats the bit trees on
+    // steps (7*ceil(10/4)=21 < 4*10=40) — wider atomicity buys time.
+    if (n == 1024) {
+      const MutexCfResult bit_tree = measure_mutex_contention_free(
+          TournamentMutex::peterson_tree(), n, AccessPolicy::RegistersOnly,
+          /*max_pids=*/4);
+      const MutexCfResult wide_tree = measure_mutex_contention_free(
+          LamportTree::factory(4), n, AccessPolicy::RegistersOnly,
+          /*max_pids=*/4);
+      verify.check(wide_tree.session.steps < bit_tree.session.steps,
+                   "l=4 Lamport tree beats bit tournament on cf steps at "
+                   "n=1024");
+      std::printf("crossover at n=1024: bit tournament %d steps vs "
+                  "l=4 Lamport tree %d steps\n\n",
+                  bit_tree.session.steps, wide_tree.session.steps);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "Per-level constants (from any row: steps = const * levels):\n"
+      "  peterson 4/3, kessels 5/4, lamport 7/3 — matching [PF77], [Kes82],\n"
+      "  [Lam87] respectively.\n");
+
+  return verify.finish("ablation_tree_nodes");
+}

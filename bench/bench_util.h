@@ -1,0 +1,39 @@
+#ifndef CFC_BENCH_BENCH_UTIL_H
+#define CFC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace cfc::bench {
+
+/// Tiny check-reporting helper shared by the table/figure regenerators:
+/// every bench binary verifies the paper's claims against measured values
+/// and exits nonzero if any check fails, so the bench run doubles as an
+/// end-to-end validation pass.
+class Verifier {
+ public:
+  void check(bool ok, const std::string& what) {
+    total_ += 1;
+    if (!ok) {
+      failed_ += 1;
+      std::printf("  [FAIL] %s\n", what.c_str());
+    }
+  }
+
+  /// Prints the summary line and returns the process exit code.
+  int finish(const char* bench_name) {
+    std::printf("\n%s: %d/%d checks passed\n", bench_name, total_ - failed_,
+                total_);
+    return failed_ == 0 ? 0 : 1;
+  }
+
+  [[nodiscard]] int failed() const { return failed_; }
+
+ private:
+  int total_ = 0;
+  int failed_ = 0;
+};
+
+}  // namespace cfc::bench
+
+#endif  // CFC_BENCH_BENCH_UTIL_H

@@ -1,0 +1,106 @@
+// A6 (extension) — the paper's "exercise for the reader": bounds for ALL
+// 2^8 bit-operation models, not just the five table columns. Classifies
+// every model for deterministic-naming solvability (solvable iff it has a
+// value-returning modifier: test-and-set, test-and-reset, or
+// test-and-flip), measures the four complexity measures for each solvable
+// model with the best applicable algorithm (originals + duals), and prints
+// the census grouped by outcome.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/model_census.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/bounds.h"
+
+int main() {
+  using namespace cfc;
+  cfc::bench::Verifier verify;
+
+  const int n = 16;
+  const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
+  std::printf("census of all 256 models at n = %d (log n = %d)\n\n", n,
+              log_n);
+
+  const auto census = run_model_census(n, {1, 2, 3, 4});
+
+  // Group models by their measured cell signature.
+  struct Group {
+    std::vector<int> masks;
+  };
+  std::map<std::string, Group> groups;
+  int unsolvable = 0;
+  for (const ModelCensusEntry& e : census) {
+    if (!e.solvable) {
+      unsolvable += 1;
+      continue;
+    }
+    const Table2Cell& c = *e.cells;
+    char key[64];
+    std::snprintf(key, sizeof(key), "cf(%d,%d) wc(%d,%d)", c.cf_step,
+                  c.cf_register, c.wc_step, c.wc_register);
+    groups[key].masks.push_back(e.model.mask());
+  }
+
+  std::printf("unsolvable models (no tas/tar/taf): %d\n\n", unsolvable);
+  verify.check(unsolvable == 32, "exactly 2^5 unsolvable models");
+
+  TextTable t({"cells (cf step,reg / wc step,reg)", "#models", "example"});
+  for (const auto& [key, group] : groups) {
+    const Model example =
+        Model::from_mask(static_cast<std::uint8_t>(group.masks.front()));
+    t.add_row({key, std::to_string(group.masks.size()),
+               example.to_string()});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const CensusSummary s = summarize(census, n);
+  std::printf(
+      "summary: %d models, %d solvable, %d fully log-n, %d fully (n-1)\n\n",
+      s.total, s.solvable, s.all_log_n, s.all_n_minus_1);
+  verify.check(s.solvable == 224, "224 solvable models");
+  verify.check(s.all_log_n >= 128,
+               "every taf-containing model is fully log n");
+
+  // Duality: the census must be symmetric under the dual map.
+  bool dual_symmetric = true;
+  for (const ModelCensusEntry& e : census) {
+    const ModelCensusEntry& de = census[e.model.dual_model().mask()];
+    if (e.solvable != de.solvable) {
+      dual_symmetric = false;
+    }
+    if (e.cells.has_value() && de.cells.has_value()) {
+      if (e.cells->cf_step != de.cells->cf_step ||
+          e.cells->wc_register != de.cells->wc_register) {
+        dual_symmetric = false;
+      }
+    }
+  }
+  verify.check(dual_symmetric, "census symmetric under duality");
+
+  // Spot-check the five paper columns inside the census.
+  const auto cell = [&](Model m) { return *census[m.mask()].cells; };
+  verify.check(cell(Model::test_and_set()).wc_step == n - 1,
+               "paper col 1 embeds");
+  verify.check(cell(Model::read_test_and_set()).cf_step <= log_n + 1,
+               "paper col 2 embeds");
+  verify.check(cell(Model::read_tas_tar()).wc_register == log_n,
+               "paper col 3 embeds");
+  verify.check(cell(Model::test_and_flip()).wc_step == log_n,
+               "paper col 4 embeds");
+  verify.check(cell(Model::rmw()).cf_step == log_n, "paper col 5 embeds");
+
+  // New facts beyond the paper's table, verified by measurement:
+  //  * {tas, tar} without read already achieves wc register = log n;
+  //  * a lone {tar} model is the exact mirror of lone {tas}: all n-1.
+  verify.check(
+      cell(Model{BitOp::TestAndSet, BitOp::TestAndReset}).wc_register ==
+          log_n,
+      "{tas,tar} (no read) already gets wc register = log n");
+  verify.check(cell(Model{BitOp::TestAndReset}).cf_register == n - 1,
+               "{tar} mirrors {tas}: cf register n-1");
+
+  return verify.finish("census_naming_models");
+}

@@ -1,0 +1,78 @@
+// F1 (derived figure) — the shape behind Table 1: lower- and upper-bound
+// curves for contention-free step and register complexity as n grows, for
+// several atomicities l. The paper states these only as formulas; this
+// bench prints the series (CSV-style) so the gap between Theorem 1/2 lower
+// bounds and the Theorem 3 upper bound is visible, including:
+//   * the constant upper bound at l = log n (Lamport's regime),
+//   * the sqrt-vs-linear separation of register vs step lower bounds,
+//   * the l + c - 1 bit-access floor (Section 2.4 corollary).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/bounds.h"
+
+int main() {
+  using namespace cfc;
+  cfc::bench::Verifier verify;
+
+  const std::vector<int> ls = {1, 2, 4, 8, 16};
+
+  std::printf("# contention-free STEP bounds\n");
+  std::printf("# n");
+  for (const int l : ls) {
+    std::printf(", lb(l=%d), ub(l=%d)", l, l);
+  }
+  std::printf(", ub(l=log n)\n");
+  for (int e = 2; e <= 20; ++e) {
+    const std::uint64_t n = 1ull << e;
+    std::printf("%llu", static_cast<unsigned long long>(n));
+    for (const int l : ls) {
+      const double lb = bounds::thm1_cf_step_lower(static_cast<double>(n), l);
+      const int ub =
+          l <= e ? bounds::thm3_cf_step_upper(n, l) : 7;  // l capped at log n
+      std::printf(", %.2f, %d", lb, ub);
+      verify.check(static_cast<double>(ub) > lb,
+                   "step ub dominates lb");
+    }
+    std::printf(", %d\n", bounds::thm3_cf_step_upper(n, e));
+  }
+
+  std::printf("\n# contention-free REGISTER bounds\n");
+  std::printf("# n");
+  for (const int l : ls) {
+    std::printf(", lb(l=%d), ub(l=%d)", l, l);
+  }
+  std::printf("\n");
+  for (int e = 2; e <= 20; ++e) {
+    const std::uint64_t n = 1ull << e;
+    std::printf("%llu", static_cast<unsigned long long>(n));
+    for (const int l : ls) {
+      const double lb =
+          bounds::thm2_cf_register_lower(static_cast<double>(n), l);
+      const int ub =
+          l <= e ? bounds::thm3_cf_register_upper(n, l) : 3;
+      std::printf(", %.2f, %d", lb, ub);
+      verify.check(static_cast<double>(ub) >= lb, "register ub dominates lb");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\n# Section 2.4 corollary: minimum shared-BIT accesses l + c - 1\n");
+  std::printf("# (even at high atomicity, bit traffic cannot be constant)\n");
+  std::printf("# n, l=1, l=4, l=16, l=log n\n");
+  for (int e = 4; e <= 20; e += 4) {
+    const std::uint64_t n = 1ull << e;
+    auto floor_at = [&](int l) {
+      const int c = bounds::thm1_min_cf_steps(n, l);
+      return bounds::min_contention_free_bit_accesses(l, c);
+    };
+    std::printf("%llu, %d, %d, %d, %d\n",
+                static_cast<unsigned long long>(n), floor_at(1), floor_at(4),
+                floor_at(16), floor_at(e));
+    verify.check(floor_at(e) >= e, "bit-access floor >= log n");
+  }
+
+  return verify.finish("fig_bound_curves");
+}

@@ -1,0 +1,96 @@
+// A4 — google-benchmark microbenchmarks of the simulation substrate:
+// events/second through the scheduler, solo mutex sessions, full detection
+// runs, and trace measurement. These put a number on the harness itself so
+// sweep costs in the table benches are predictable.
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment.h"
+#include "core/contention_detection.h"
+#include "core/measures.h"
+#include "mutex/lamport_fast.h"
+#include "mutex/lamport_tree.h"
+#include "sched/sched.h"
+
+namespace {
+
+using namespace cfc;
+
+void BM_SimReadWriteSteps(benchmark::State& state) {
+  const auto iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Sim sim;
+    const RegId r = sim.memory().add_register("r", 8);
+    const Pid p = sim.spawn("p", [r, iters](ProcessContext& ctx) -> Task<void> {
+      for (int i = 0; i < iters; ++i) {
+        const Value v = co_await ctx.read(r);
+        co_await ctx.write(r, (v + 1) & 0xff);
+      }
+    });
+    while (sim.runnable(p)) {
+      sim.step(p);
+    }
+    benchmark::DoNotOptimize(sim.trace().size());
+  }
+  state.SetItemsProcessed(state.iterations() * iters * 2);
+}
+BENCHMARK(BM_SimReadWriteSteps)->Arg(64)->Arg(1024);
+
+void BM_SoloLamportSession(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Sim sim;
+    auto alg = setup_mutex(sim, LamportFast::factory(), n, 1);
+    SoloScheduler solo(0);
+    drive(sim, solo);
+    benchmark::DoNotOptimize(sim.trace().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoloLamportSession)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TreeMutexSoloSession(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Sim sim;
+    auto alg = setup_mutex(sim, theorem3_factory(2), n, 1);
+    SoloScheduler solo(0);
+    drive(sim, solo);
+    benchmark::DoNotOptimize(sim.trace().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeMutexSoloSession)->Arg(64)->Arg(512);
+
+void BM_DetectionFullRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Sim sim;
+    auto det = setup_detection(sim, SplitterTree::factory(2), n);
+    RandomScheduler rnd(seed++);
+    drive(sim, rnd);
+    benchmark::DoNotOptimize(count_winners(sim));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DetectionFullRun)->Arg(16)->Arg(64);
+
+void BM_TraceMeasurement(benchmark::State& state) {
+  Sim sim;
+  auto alg = setup_mutex(sim, LamportFast::factory(), 8, 50);
+  RoundRobinScheduler rr;
+  drive(sim, rr);
+  for (auto _ : state) {
+    ComplexityReport total;
+    for (Pid p = 0; p < 8; ++p) {
+      total = total.max_with(max_over_windows(
+          sim.trace(), p, contention_free_sessions(sim.trace(), p, 8)));
+    }
+    benchmark::DoNotOptimize(total.steps);
+  }
+}
+BENCHMARK(BM_TraceMeasurement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

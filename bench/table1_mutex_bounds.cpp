@@ -1,0 +1,212 @@
+// T1 — regenerates the paper's Section 2.6 table "Bounds for mutual
+// exclusion" and validates every cell against values *measured* by the
+// instrumented simulator:
+//
+//                        | lower bound                         | upper bound
+//   contention-free reg  | sqrt(log n / (l + log log n))       | 3 ceil(log n / l)   (Thm 2 / Thm 3)
+//   contention-free step | log n / (l - 2 + 3 log log n)       | 7 ceil(log n / l)   (Thm 1 / Thm 3)
+//   worst-case register  | sqrt(log n / (l + log log n))       | O(log n)            (Thm 2 / [Kes82])
+//   worst-case step      | infinity                            | —                   ([AT92])
+//
+// The bench sweeps n and l, runs the Theorem 3 tree (paper-literal arity,
+// whose measured contention-free complexities equal the formulas exactly),
+// the exact-atomicity variant, Lamport's fast algorithm (l = log n), and
+// the Kessels tournament (the worst-case register row), and prints measured
+// vs. formula side by side.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/bounds.h"
+#include "mutex/kessels.h"
+#include "mutex/lamport_fast.h"
+#include "mutex/lamport_tree.h"
+#include "mutex/tournament.h"
+#include "sched/sched.h"
+
+namespace {
+
+using namespace cfc;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+void print_paper_table() {
+  std::printf("Paper table (Section 2.6), deadlock-free mutual exclusion,\n");
+  std::printf("n processes at atomicity l:\n\n");
+  TextTable t({"measure", "lower bound", "upper bound"});
+  t.add_row({"contention-free register", "sqrt(log n/(l+loglog n))",
+             "3*ceil(log n/l)"});
+  t.add_row({"contention-free step", "log n/(l-2+3*loglog n)",
+             "7*ceil(log n/l)"});
+  t.add_row({"worst-case register", "sqrt(log n/(l+loglog n))",
+             "O(log n) [Kes82]"});
+  t.add_row({"worst-case step", "infinity [AT92]", "-"});
+  std::printf("%s\n", t.render().c_str());
+}
+
+/// The [AT92] row: drive the scripted adversary from the test suite and
+/// report how the winner's clean-window entry steps scale with the spin
+/// budget (unbounded worst case, witnessed).
+int unbounded_witness(int spins) {
+  Sim sim;
+  auto alg = setup_mutex(sim, LamportFast::factory(), 3, 1);
+  const Pid a = 0;
+  const Pid c = 2;
+  step_n(sim, a, 4);
+  step_n(sim, c, 2);
+  step_n(sim, a, 4);
+  for (int i = 0; i < spins; ++i) {
+    sim.step(a);
+  }
+  step_n(sim, c, 2);
+  step_n(sim, a, 2);
+  const auto windows = clean_entry_windows(sim.trace(), a, 3);
+  return windows.empty() ? 0 : measure(sim.trace(), a, windows[0]).steps;
+}
+
+}  // namespace
+
+int main() {
+  cfc::bench::Verifier verify;
+  print_paper_table();
+
+  const std::vector<int> ns = {4, 16, 64, 256, 1024, 4096};
+  const std::vector<int> ls = {1, 2, 3, 4, 6, 8};
+
+  std::printf(
+      "Measured contention-free complexity of the Theorem 3 algorithm\n"
+      "(paper-literal arity 2^l; measured == formula is checked per row):\n\n");
+  TextTable sweep({"n", "l", "thm1 lb", "cf step", "7ceil(logn/l)",
+                   "thm2 lb", "cf reg", "3ceil(logn/l)", "atom"});
+  for (const int n : ns) {
+    for (const int l : ls) {
+      if (l > bounds::ceil_log2(static_cast<std::uint64_t>(n))) {
+        continue;  // the theorem covers 1 <= l <= log n
+      }
+      const MutexCfResult r = measure_mutex_contention_free(
+          theorem3_factory(l, TreeArity::PaperLiteral), n,
+          AccessPolicy::RegistersOnly, /*max_pids=*/8);
+      const auto un = static_cast<std::uint64_t>(n);
+      const double lb_step = bounds::thm1_cf_step_lower(n, l);
+      const double lb_reg = bounds::thm2_cf_register_lower(n, l);
+      const int ub_step = bounds::thm3_cf_step_upper(un, l);
+      const int ub_reg = bounds::thm3_cf_register_upper(un, l);
+      sweep.add_row({std::to_string(n), std::to_string(l), fmt(lb_step),
+                     std::to_string(r.session.steps), std::to_string(ub_step),
+                     fmt(lb_reg), std::to_string(r.session.registers),
+                     std::to_string(ub_reg),
+                     std::to_string(r.measured_atomicity)});
+      verify.check(r.session.steps == ub_step,
+                   "cf step == 7*ceil(log n/l) at n=" + std::to_string(n) +
+                       " l=" + std::to_string(l));
+      verify.check(r.session.registers == ub_reg,
+                   "cf reg == 3*ceil(log n/l) at n=" + std::to_string(n) +
+                       " l=" + std::to_string(l));
+      verify.check(static_cast<double>(r.session.steps) > lb_step,
+                   "Theorem 1 lower bound at n=" + std::to_string(n));
+      verify.check(static_cast<double>(r.session.registers) >= lb_reg,
+                   "Theorem 2 lower bound at n=" + std::to_string(n));
+      // Lemma 3 / Lemma 6 inequalities on the measured profile.
+      verify.check(bounds::lemma3_satisfied(un, r.measured_atomicity,
+                                            r.session.write_steps,
+                                            r.session.read_registers),
+                   "Lemma 3 at n=" + std::to_string(n));
+      verify.check(bounds::lemma6_satisfied(un, r.measured_atomicity,
+                                            r.session.registers,
+                                            r.session.write_registers),
+                   "Lemma 6 at n=" + std::to_string(n));
+    }
+  }
+  std::printf("%s\n", sweep.render().c_str());
+
+  std::printf(
+      "Exact-atomicity variant (arity 2^l - 1: atomicity is exactly l,\n"
+      "constants within one extra level of the formula):\n\n");
+  TextTable exact({"n", "l", "cf step", "7ceil(logn/l)", "cf reg",
+                   "3ceil(logn/l)", "atom"});
+  for (const int n : {64, 256, 1024}) {
+    for (const int l : {2, 3, 4}) {
+      const MutexCfResult r = measure_mutex_contention_free(
+          theorem3_factory(l, TreeArity::ExactAtomicity), n,
+          AccessPolicy::RegistersOnly, /*max_pids=*/8);
+      const auto un = static_cast<std::uint64_t>(n);
+      exact.add_row({std::to_string(n), std::to_string(l),
+                     std::to_string(r.session.steps),
+                     std::to_string(bounds::thm3_cf_step_upper(un, l)),
+                     std::to_string(r.session.registers),
+                     std::to_string(bounds::thm3_cf_register_upper(un, l)),
+                     std::to_string(r.measured_atomicity)});
+      verify.check(r.measured_atomicity <= l,
+                   "exact variant atomicity == l at n=" + std::to_string(n));
+      verify.check(
+          r.session.steps <= bounds::thm3_cf_step_upper(un, l) + 14,
+          "exact variant within one level of formula at n=" +
+              std::to_string(n));
+    }
+  }
+  std::printf("%s\n", exact.render().c_str());
+
+  std::printf(
+      "Lamport's fast algorithm [Lam87] (atomicity log n): constant\n"
+      "contention-free complexity — the l = log n endpoint of the table:\n\n");
+  TextTable lamport({"n", "cf step", "cf reg", "entry", "exit", "atom"});
+  for (const int n : {4, 64, 1024, 100000}) {
+    const MutexCfResult r = measure_mutex_contention_free(
+        LamportFast::factory(), n, AccessPolicy::RegistersOnly,
+        /*max_pids=*/4);
+    lamport.add_row({std::to_string(n), std::to_string(r.session.steps),
+                     std::to_string(r.session.registers),
+                     std::to_string(r.entry.steps),
+                     std::to_string(r.exit.steps),
+                     std::to_string(r.measured_atomicity)});
+    verify.check(r.session.steps == 7 && r.session.registers == 3,
+                 "Lamport constant 7/3 at n=" + std::to_string(n));
+  }
+  std::printf("%s\n", lamport.render().c_str());
+
+  std::printf(
+      "Worst-case register row [Kes82]: Kessels tournament (atomicity 1),\n"
+      "register complexity along any run is O(log n) — measured as the max\n"
+      "over random schedules:\n\n");
+  // Per the paper, worst-case complexity is the *sum* of the entry-code and
+  // exit-code maxima. A Kessels node costs at most 4 entry registers plus 1
+  // exit register per level (the own-intent bit counts in both windows).
+  TextTable kes({"n", "wc reg found", "5*log2(n)", "wc entry steps found"});
+  for (const int n : {4, 8, 16, 32}) {
+    const MutexWcSearchResult wc = search_mutex_worst_case(
+        TournamentMutex::kessels_tree(), n, /*sessions=*/2,
+        {1, 2, 3, 4, 5, 6, 7, 8});
+    const int depth = bounds::ceil_log2(static_cast<std::uint64_t>(n));
+    kes.add_row({std::to_string(n),
+                 std::to_string(wc.entry.registers + wc.exit.registers),
+                 std::to_string(5 * depth), std::to_string(wc.entry.steps)});
+    verify.check(wc.entry.registers + wc.exit.registers <= 5 * depth,
+                 "Kessels wc register <= 5 log n at n=" + std::to_string(n));
+  }
+  std::printf("%s\n", kes.render().c_str());
+
+  std::printf(
+      "Worst-case step row [AT92]: unbounded — the scripted 3-process\n"
+      "adversary pushes the winner's clean-window entry steps past any\n"
+      "bound (one extra step per adversary spin):\n\n");
+  TextTable at92({"adversary spins", "winner entry steps"});
+  int prev = 0;
+  for (const int spins : {10, 100, 1000, 10000}) {
+    const int steps = unbounded_witness(spins);
+    at92.add_row({std::to_string(spins), std::to_string(steps)});
+    verify.check(steps > prev, "witness grows at spins=" +
+                                   std::to_string(spins));
+    prev = steps;
+  }
+  std::printf("%s\n", at92.render().c_str());
+
+  return verify.finish("table1_mutex_bounds");
+}

@@ -1,0 +1,122 @@
+// T2 — regenerates the paper's Section 3.3 table "Tight bounds for naming"
+// and validates each cell against measured values:
+//
+//                 test-and-  read+      read+tas+   test-and-   rmw
+//                 set        tas        tar         flip        (all)
+//   c-f register  n-1        log n      log n       log n       log n
+//   c-f step      n-1        log n      log n       log n       log n
+//   w-c register  n-1        n-1        log n       log n       log n
+//   w-c step      n-1        n-1        n-1         log n       log n
+//
+// Per cell, the *problem* complexity is the best implemented algorithm
+// legal in the column's model: tas-scan (Thm 4.3), tas-read-search
+// (Thm 4.4), tas-tar-tree (Thm 4.2), taf-tree (Thm 4.1). The worst case is
+// searched over the sequential schedule, round-robin, the Theorem 6
+// lockstep adversary, and seeded random schedules.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/naming_complexity.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/bounds.h"
+
+namespace {
+
+using namespace cfc;
+
+std::string cell_str(int v, int n, int log_n) {
+  if (v == n - 1) {
+    return std::to_string(v) + " (n-1)";
+  }
+  if (v == log_n) {
+    return std::to_string(v) + " (log n)";
+  }
+  return std::to_string(v);
+}
+
+}  // namespace
+
+int main() {
+  cfc::bench::Verifier verify;
+
+  std::printf("Paper table (Section 3.3), tight bounds for naming:\n\n");
+  {
+    TextTable t({"measure", "tas", "read+tas", "read+tas+tar", "taf", "rmw"});
+    t.add_row({"c-f register", "n-1", "log n", "log n", "log n", "log n"});
+    t.add_row({"c-f step", "n-1", "log n", "log n", "log n", "log n"});
+    t.add_row({"w-c register", "n-1", "n-1", "log n", "log n", "log n"});
+    t.add_row({"w-c step", "n-1", "n-1", "n-1", "log n", "log n"});
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (const int n : {8, 16, 32, 64}) {
+    const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
+    std::printf("Measured, n = %d (log n = %d):\n\n", n, log_n);
+    const std::vector<Table2Column> table = measure_table2(n, seeds);
+
+    TextTable t({"measure", "tas", "read+tas", "read+tas+tar", "taf", "rmw"});
+    std::vector<Table2Cell> cells;
+    cells.reserve(table.size());
+    for (const Table2Column& col : table) {
+      cells.push_back(col.best());
+    }
+    auto row = [&](const char* label, auto proj) {
+      std::vector<std::string> cs = {label};
+      for (const Table2Cell& c : cells) {
+        cs.push_back(cell_str(proj(c), n, log_n));
+      }
+      t.add_row(cs);
+    };
+    row("c-f register", [](const Table2Cell& c) { return c.cf_register; });
+    row("c-f step", [](const Table2Cell& c) { return c.cf_step; });
+    row("w-c register", [](const Table2Cell& c) { return c.wc_register; });
+    row("w-c step", [](const Table2Cell& c) { return c.wc_step; });
+    std::printf("%s\n", t.render().c_str());
+
+    const std::string at = " at n=" + std::to_string(n);
+    // Column 1: test-and-set — n-1 across all four measures.
+    verify.check(cells[0].cf_register == n - 1, "tas c-f register = n-1" + at);
+    verify.check(cells[0].cf_step == n - 1, "tas c-f step = n-1" + at);
+    verify.check(cells[0].wc_register == n - 1, "tas w-c register = n-1" + at);
+    verify.check(cells[0].wc_step == n - 1, "tas w-c step = n-1" + at);
+    // Column 2: read+tas — contention-free collapses to ~log n (the +1 is
+    // the final test-and-set after the binary search), worst case n-1.
+    verify.check(cells[1].cf_step <= log_n + 1 && cells[1].cf_step >= log_n,
+                 "read+tas c-f step ~ log n" + at);
+    verify.check(cells[1].cf_register <= log_n + 1,
+                 "read+tas c-f register ~ log n" + at);
+    verify.check(cells[1].wc_step == n - 1, "read+tas w-c step = n-1" + at);
+    verify.check(cells[1].wc_register == n - 1,
+                 "read+tas w-c register = n-1" + at);
+    // Column 3: +tas+tar — worst-case register drops to log n.
+    verify.check(cells[2].wc_register == log_n,
+                 "read+tas+tar w-c register = log n" + at);
+    verify.check(cells[2].wc_step == n - 1,
+                 "read+tas+tar w-c step = n-1" + at);
+    verify.check(cells[2].cf_register <= log_n,
+                 "read+tas+tar c-f register <= log n" + at);
+    verify.check(cells[2].cf_step <= log_n + 1,
+                 "read+tas+tar c-f step ~ log n" + at);
+    // Column 4: test-and-flip — log n everywhere, exactly.
+    verify.check(cells[3].cf_register == log_n && cells[3].cf_step == log_n &&
+                     cells[3].wc_register == log_n &&
+                     cells[3].wc_step == log_n,
+                 "taf all four = log n" + at);
+    // Column 5: rmw — inherits the best: log n everywhere.
+    verify.check(cells[4].cf_register == log_n && cells[4].cf_step == log_n &&
+                     cells[4].wc_register == log_n &&
+                     cells[4].wc_step == log_n,
+                 "rmw all four = log n" + at);
+  }
+
+  std::printf(
+      "Lower-bound demonstrations (Theorems 5-7) are exercised by the test\n"
+      "suite (naming_bounds_test); the w-c step values above are found by\n"
+      "the Theorem 6 lockstep adversary, and the tas column's n-1\n"
+      "contention-free register complexity is the Theorem 7 sequential run.\n");
+
+  return verify.finish("table2_naming_bounds");
+}

@@ -1,0 +1,48 @@
+// Scenario: the Section 4 claim on real hardware. "Contention for a
+// critical section is rare in a well designed system" [Lam87] — so a lock
+// should be judged by its contention-free cost, and backoff keeps the
+// contended cost close to it.
+//
+// Runs Lamport's fast lock and a test-and-set lock over std::atomic with
+// real threads, with and without exponential backoff.
+#include <cstdio>
+#include <thread>
+
+#include "rt/contention_study.h"
+
+int main() {
+  using namespace cfc::rt;
+
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("lock          threads backoff   accesses/acq   ns/acq\n");
+  std::printf("----------------------------------------------------------\n");
+  for (const int threads : {1, 2, 4}) {
+    for (const bool backoff : {false, true}) {
+      ContentionStudyConfig config;
+      config.threads = threads;
+      config.acquisitions_per_thread = 3000;
+      config.backoff = backoff;
+
+      const ContentionStudyResult lam = run_lamport_study(config);
+      std::printf("lamport-fast  %7d %7s   %12.1f %8.0f\n", threads,
+                  backoff ? "yes" : "no", lam.mean_accesses, lam.mean_ns);
+      if (lam.violations != 0) {
+        std::printf("  MUTUAL EXCLUSION VIOLATION on hardware!\n");
+        return 1;
+      }
+
+      const ContentionStudyResult tas = run_tas_study(config);
+      std::printf("tas-lock      %7d %7s   %12.1f %8.0f\n", threads,
+                  backoff ? "yes" : "no", tas.mean_accesses, tas.mean_ns);
+      if (tas.violations != 0) {
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "\nthe paper's point: the 1-thread rows (7 accesses for Lamport) are\n"
+      "what a well-designed system pays almost always; backoff keeps the\n"
+      "contended rows close to them.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scenario: picking a lock for a machine whose word granularity you choose.
+//
+// The paper's Theorem 3 trades atomicity l (bits per atomic access) against
+// contention-free cost 7*ceil(log n / l). This example builds the tree
+// algorithm for a range of atomicities, verifies mutual exclusion under
+// heavy simulated contention, and prints the cost curve so the trade-off is
+// concrete — the engineering question behind multi-grain memory access
+// ([MS93] packs several small registers into one word for exactly this
+// reason).
+#include <cstdio>
+
+#include "analysis/experiment.h"
+#include "core/bounds.h"
+#include "mutex/lamport_tree.h"
+#include "mutex/tournament.h"
+#include "sched/sched.h"
+
+int main() {
+  using namespace cfc;
+  const int n = 256;
+
+  std::printf("mutual exclusion for n = %d processes\n\n", n);
+  std::printf("l (bits) | cf steps | cf registers | 7ceil(logn/l) | algorithm\n");
+  std::printf("---------+----------+--------------+---------------+----------\n");
+  for (const int l : {1, 2, 3, 4, 8}) {
+    const MutexFactory factory = theorem3_factory(l);
+    const MutexCfResult cf = measure_mutex_contention_free(
+        factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4);
+    Sim sim;
+    auto alg = setup_mutex(sim, factory, n, 1);
+    std::printf("%8d | %8d | %12d | %13d | %s\n", l, cf.session.steps,
+                cf.session.registers,
+                bounds::thm3_cf_step_upper(n, l),
+                alg->algorithm_name().c_str());
+  }
+
+  // Contended correctness: 16 processes, 3 critical sections each, random
+  // schedules. The simulator throws if two processes ever share the CS.
+  std::printf("\ncontention check (16 processes x 3 sessions, 20 seeds): ");
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Sim sim;
+    auto alg = setup_mutex(sim, theorem3_factory(3), 16, 3);
+    RandomScheduler rnd(seed);
+    if (drive(sim, rnd, RunLimits{500'000}) != RunOutcome::AllDone) {
+      std::printf("run did not finish (seed %llu)\n",
+                  static_cast<unsigned long long>(seed));
+      return 1;
+    }
+  }
+  std::printf("mutual exclusion + deadlock freedom held\n");
+
+  // The practical summary the paper's introduction gestures at:
+  std::printf(
+      "\nreading the table: with single bits (l=1) a lock costs ~%d\n"
+      "uncontended accesses; with a byte of atomicity (l=8) it costs %d.\n"
+      "Lamport's algorithm at l = log n = %d is the constant-7 endpoint.\n",
+      bounds::thm3_cf_step_upper(n, 1), bounds::thm3_cf_step_upper(n, 8),
+      bounds::ceil_log2(n));
+  return 0;
+}

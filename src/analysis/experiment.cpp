@@ -1,0 +1,103 @@
+#include "analysis/experiment.h"
+
+#include <stdexcept>
+
+#include "sched/sched.h"
+
+namespace cfc {
+
+MutexCfResult measure_mutex_contention_free(const MutexFactory& make, int n,
+                                            AccessPolicy policy,
+                                            int max_pids) {
+  MutexCfResult res;
+  const int pid_limit = (max_pids > 0 && max_pids < n) ? max_pids : n;
+  for (Pid pid = 0; pid < pid_limit; ++pid) {
+    Sim sim;
+    sim.set_access_policy(policy);
+    auto alg = setup_mutex(sim, make, n, /*sessions=*/1);
+    SoloScheduler solo(pid);
+    const RunOutcome out = drive(sim, solo);
+    if (out == RunOutcome::BudgetExhausted) {
+      throw std::logic_error(
+          "solo mutex session did not terminate (weak deadlock freedom "
+          "violated)");
+    }
+    const auto sessions = contention_free_sessions(sim.trace(), pid, n);
+    if (sessions.size() != 1) {
+      throw std::logic_error("expected exactly one contention-free session");
+    }
+    res.session = res.session.max_with(measure(sim.trace(), pid, sessions[0]));
+    res.entry = res.entry.max_with(max_over_windows(
+        sim.trace(), pid, clean_entry_windows(sim.trace(), pid, n)));
+    res.exit = res.exit.max_with(
+        max_over_windows(sim.trace(), pid, exit_windows(sim.trace(), pid)));
+    res.measured_atomicity =
+        std::max(res.measured_atomicity, sim.trace().max_width_accessed(pid));
+  }
+  return res;
+}
+
+MutexWcSearchResult search_mutex_worst_case(
+    const MutexFactory& make, int n, int sessions,
+    const std::vector<std::uint64_t>& seeds, std::uint64_t budget_per_run) {
+  MutexWcSearchResult res;
+  for (const std::uint64_t seed : seeds) {
+    Sim sim;
+    auto alg = setup_mutex(sim, make, n, sessions);
+    RandomScheduler rnd(seed);
+    drive(sim, rnd, RunLimits{budget_per_run});
+    for (Pid pid = 0; pid < n; ++pid) {
+      res.entry = res.entry.max_with(max_over_windows(
+          sim.trace(), pid, clean_entry_windows(sim.trace(), pid, n)));
+      res.exit = res.exit.max_with(
+          max_over_windows(sim.trace(), pid, exit_windows(sim.trace(), pid)));
+    }
+    res.schedules_tried += 1;
+  }
+  return res;
+}
+
+ComplexityReport measure_detector_contention_free(const DetectorFactory& make,
+                                                  int n) {
+  ComplexityReport best;
+  for (Pid pid = 0; pid < n; ++pid) {
+    Sim sim;
+    auto det = setup_detection(sim, make, n);
+    SoloScheduler solo(pid);
+    drive(sim, solo);
+    if (sim.output(pid) != 1) {
+      throw std::logic_error(
+          "solo detector process did not output 1 (broken detector)");
+    }
+    best = best.max_with(measure_all(sim.trace(), pid));
+  }
+  return best;
+}
+
+ComplexityReport search_detector_worst_case(
+    const DetectorFactory& make, int n,
+    const std::vector<std::uint64_t>& seeds) {
+  ComplexityReport best;
+  auto account = [&](const Sim& sim) {
+    for (Pid pid = 0; pid < n; ++pid) {
+      best = best.max_with(measure_all(sim.trace(), pid));
+    }
+  };
+  {
+    Sim sim;
+    auto det = setup_detection(sim, make, n);
+    RoundRobinScheduler rr;
+    drive(sim, rr);
+    account(sim);
+  }
+  for (const std::uint64_t seed : seeds) {
+    Sim sim;
+    auto det = setup_detection(sim, make, n);
+    RandomScheduler rnd(seed);
+    drive(sim, rnd);
+    account(sim);
+  }
+  return best;
+}
+
+}  // namespace cfc

@@ -1,0 +1,62 @@
+#ifndef CFC_ANALYSIS_EXPERIMENT_H
+#define CFC_ANALYSIS_EXPERIMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contention_detection.h"
+#include "core/measures.h"
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Contention-free complexity of a mutual exclusion algorithm, measured per
+/// the paper's Section 2.2 definition: for every process, run it alone
+/// through one entry/exit session (all other processes stay in their
+/// remainder regions) and take the maximum over processes.
+struct MutexCfResult {
+  ComplexityReport session;  ///< entry + exit (the paper's c-f complexity)
+  ComplexityReport entry;    ///< entry code only
+  ComplexityReport exit;     ///< exit code only
+  int measured_atomicity = 0;
+};
+
+/// `max_pids` bounds how many processes get their own solo run (0 = all n).
+/// The measurement is otherwise O(n^2): one fresh n-process simulation per
+/// measured pid. Tree algorithms have uniform per-process cost, so sampling
+/// loses nothing there; pass 0 when exactness over every pid matters.
+[[nodiscard]] MutexCfResult measure_mutex_contention_free(
+    const MutexFactory& make, int n,
+    AccessPolicy policy = AccessPolicy::Unrestricted, int max_pids = 0);
+
+/// Worst-case entry estimate: maximum step/register complexity over the
+/// paper's *clean* entry windows (no process in CS or exit anywhere in the
+/// window), searched over seeded random schedules. A lower bound on the
+/// true worst case; for waiting algorithms it grows with the search budget
+/// (the worst case is unbounded, [AT92]).
+struct MutexWcSearchResult {
+  ComplexityReport entry;  ///< max over clean entry windows found
+  ComplexityReport exit;   ///< max over exit windows found
+  std::uint64_t schedules_tried = 0;
+};
+
+[[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
+    const MutexFactory& make, int n, int sessions,
+    const std::vector<std::uint64_t>& seeds,
+    std::uint64_t budget_per_run = 200'000);
+
+/// Contention-free complexity of a contention detector: solo run per
+/// process, maximum over processes. Also verifies the solo process outputs
+/// 1 (throws std::logic_error otherwise — a broken detector).
+[[nodiscard]] ComplexityReport measure_detector_contention_free(
+    const DetectorFactory& make, int n);
+
+/// Worst-case step/register complexity of a detector over seeded random
+/// schedules plus the round-robin schedule (max over processes and runs).
+[[nodiscard]] ComplexityReport search_detector_worst_case(
+    const DetectorFactory& make, int n,
+    const std::vector<std::uint64_t>& seeds);
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_EXPERIMENT_H

@@ -1,0 +1,92 @@
+#include "analysis/model_census.h"
+
+#include <limits>
+
+#include "core/bounds.h"
+#include "naming/dual_scan.h"
+#include "naming/tas_read_search.h"
+#include "naming/tas_scan.h"
+#include "naming/tas_tar_tree.h"
+#include "naming/taf_tree.h"
+
+namespace cfc {
+
+bool naming_solvable(Model m) {
+  return m.supports(BitOp::TestAndSet) || m.supports(BitOp::TestAndReset) ||
+         m.supports(BitOp::TestAndFlip);
+}
+
+std::vector<ModelCensusEntry> run_model_census(
+    int n, const std::vector<std::uint64_t>& seeds) {
+  struct Candidate {
+    NamingFactory factory;
+    Model requires_model;
+  };
+  const std::vector<Candidate> candidates = {
+      {TasScan::factory(), Model::test_and_set()},
+      {TarScan::factory(), Model{BitOp::TestAndReset}},
+      {TasReadSearch::factory(), Model::read_test_and_set()},
+      {TarReadSearch::factory(), Model{BitOp::Read, BitOp::TestAndReset}},
+      {TasTarTree::factory(), Model{BitOp::TestAndSet, BitOp::TestAndReset}},
+      {TafTree::factory(), Model::test_and_flip()},
+  };
+
+  // Measure each candidate once; model cells reuse the measurements.
+  std::vector<NamingAlgMeasurement> measured;
+  measured.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    measured.push_back(measure_naming(c.factory, n, seeds));
+  }
+
+  std::vector<ModelCensusEntry> out;
+  out.reserve(256);
+  for (int mask = 0; mask < 256; ++mask) {
+    ModelCensusEntry entry;
+    entry.model = Model::from_mask(static_cast<std::uint8_t>(mask));
+    entry.solvable = naming_solvable(entry.model);
+    if (entry.solvable) {
+      Table2Column col;
+      col.model = entry.model;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (entry.model.includes(candidates[i].requires_model)) {
+          col.algorithms.push_back(measured[i]);
+          entry.algorithms_used.push_back(measured[i].name);
+        }
+      }
+      // Every solvable model admits at least one single-op candidate
+      // (tas-scan, tar-scan, or taf-tree).
+      entry.cells = col.best();
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+CensusSummary summarize(const std::vector<ModelCensusEntry>& census, int n) {
+  CensusSummary s;
+  const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
+  for (const ModelCensusEntry& e : census) {
+    s.total += 1;
+    if (!e.solvable) {
+      continue;
+    }
+    s.solvable += 1;
+    if (!e.cells.has_value()) {
+      continue;
+    }
+    const Table2Cell& c = *e.cells;
+    // "~log n": allow the +1 constant of the search algorithms.
+    const auto is_log = [log_n](int v) { return v <= log_n + 1; };
+    if (is_log(c.cf_register) && is_log(c.cf_step) && is_log(c.wc_register) &&
+        is_log(c.wc_step)) {
+      s.all_log_n += 1;
+    }
+    if (c.cf_register == n - 1 && c.cf_step == n - 1 &&
+        c.wc_register == n - 1 && c.wc_step == n - 1) {
+      s.all_n_minus_1 += 1;
+    }
+  }
+  return s;
+}
+
+}  // namespace cfc

@@ -1,0 +1,60 @@
+#ifndef CFC_ANALYSIS_MODEL_CENSUS_H
+#define CFC_ANALYSIS_MODEL_CENSUS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/naming_complexity.h"
+#include "memory/model.h"
+
+namespace cfc {
+
+/// The paper covers five of the 2^8 models and "leaves it as an exercise
+/// for the reader to come up with bounds for the other models". This module
+/// does the exercise: it classifies every model for deterministic naming
+/// solvability and, for solvable models, measures the four complexity
+/// measures with the best applicable algorithm (including the duals).
+///
+/// Solvability (deterministic, wait-free naming of identical processes):
+/// a model can break symmetry iff it has an operation that both *returns*
+/// the old value and *modifies* the bit — test-and-set, test-and-reset, or
+/// test-and-flip. Ops that return nothing keep identical processes
+/// identical; `read` returns the same value to every member of an identical
+/// lockstep group (reads do not change the bit between them). The lockstep
+/// adversary then keeps the group intact forever, so no member can safely
+/// decide. The test suite validates both directions of this claim.
+[[nodiscard]] bool naming_solvable(Model m);
+
+/// Classification of one model.
+struct ModelCensusEntry {
+  Model model;
+  bool solvable = false;
+  /// For solvable models: the measured cells (best algorithm per measure)
+  /// and the algorithms that achieved them.
+  std::optional<Table2Cell> cells;
+  std::vector<std::string> algorithms_used;
+};
+
+/// Classifies all 256 models at a given n (power of two >= 2 so the tree
+/// algorithms apply). The candidate pool covers every solvable model:
+/// tas-scan / tar-scan (single rmw-op models), tas/tar-read-search (+read),
+/// tas-tar-tree ({tas,tar}), taf-tree ({taf}).
+[[nodiscard]] std::vector<ModelCensusEntry> run_model_census(
+    int n, const std::vector<std::uint64_t>& seeds);
+
+/// Summary counts over a census.
+struct CensusSummary {
+  int total = 0;
+  int solvable = 0;
+  int all_log_n = 0;    ///< models where all four measures are ~log n
+  int all_n_minus_1 = 0;  ///< models stuck at n-1 in all four measures
+};
+
+[[nodiscard]] CensusSummary summarize(
+    const std::vector<ModelCensusEntry>& census, int n);
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_MODEL_CENSUS_H

@@ -1,0 +1,151 @@
+#include "analysis/naming_complexity.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/adversary.h"
+#include "naming/checkers.h"
+#include "naming/tas_read_search.h"
+#include "naming/tas_scan.h"
+#include "naming/tas_tar_tree.h"
+#include "naming/taf_tree.h"
+#include "sched/sched.h"
+
+namespace cfc {
+
+namespace {
+
+ComplexityReport max_over_processes(const Sim& sim) {
+  ComplexityReport best;
+  for (Pid p = 0; p < sim.process_count(); ++p) {
+    best = best.max_with(measure_all(sim.trace(), p));
+  }
+  return best;
+}
+
+void require_ok(const NamingRunCheck& check, const std::string& who) {
+  if (!check.ok()) {
+    throw std::logic_error("naming run failed validation: " + who);
+  }
+}
+
+}  // namespace
+
+NamingAlgMeasurement measure_naming(const NamingFactory& make, int n,
+                                    const std::vector<std::uint64_t>& seeds) {
+  NamingAlgMeasurement out;
+
+  // Contention-free: the sequential schedule.
+  {
+    Sim sim;
+    auto alg = setup_naming(sim, make, n);
+    out.name = alg->algorithm_name();
+    if (!run_sequentially(sim)) {
+      throw std::logic_error("sequential naming run did not finish: " +
+                             out.name);
+    }
+    require_ok(check_naming_run(sim, alg->name_space()), out.name);
+    out.cf = max_over_processes(sim);
+    out.wc = out.wc.max_with(out.cf);
+  }
+
+  // Worst-case search: round-robin.
+  {
+    Sim sim;
+    auto alg = setup_naming(sim, make, n);
+    RoundRobinScheduler rr;
+    if (drive(sim, rr) != RunOutcome::AllDone) {
+      throw std::logic_error("round-robin naming run did not finish: " +
+                             out.name);
+    }
+    require_ok(check_naming_run(sim, alg->name_space()), out.name);
+    out.wc = out.wc.max_with(max_over_processes(sim));
+  }
+
+  // Worst-case search: the Theorem 6 lockstep symmetry adversary, finished
+  // off fairly so stragglers complete and count.
+  {
+    Sim sim;
+    auto alg = setup_naming(sim, make, n);
+    std::vector<Pid> group;
+    for (Pid p = 0; p < n; ++p) {
+      group.push_back(p);
+    }
+    const LockstepResult res = lockstep_symmetry_adversary(sim, group);
+    if (res.identical_group_terminated) {
+      throw std::logic_error("identical processes terminated together: " +
+                             out.name);
+    }
+    RoundRobinScheduler rr;
+    drive(sim, rr);
+    require_ok(check_naming_run(sim, alg->name_space()), out.name);
+    out.wc = out.wc.max_with(max_over_processes(sim));
+  }
+
+  // Worst-case search: seeded random schedules.
+  for (const std::uint64_t seed : seeds) {
+    Sim sim;
+    auto alg = setup_naming(sim, make, n);
+    RandomScheduler rnd(seed);
+    if (drive(sim, rnd) != RunOutcome::AllDone) {
+      throw std::logic_error("random naming run did not finish: " + out.name);
+    }
+    require_ok(check_naming_run(sim, alg->name_space()), out.name);
+    out.wc = out.wc.max_with(max_over_processes(sim));
+  }
+
+  return out;
+}
+
+Table2Cell Table2Column::best() const {
+  Table2Cell cell;
+  cell.cf_register = std::numeric_limits<int>::max();
+  cell.cf_step = std::numeric_limits<int>::max();
+  cell.wc_register = std::numeric_limits<int>::max();
+  cell.wc_step = std::numeric_limits<int>::max();
+  for (const NamingAlgMeasurement& m : algorithms) {
+    cell.cf_register = std::min(cell.cf_register, m.cf.registers);
+    cell.cf_step = std::min(cell.cf_step, m.cf.steps);
+    cell.wc_register = std::min(cell.wc_register, m.wc.registers);
+    cell.wc_step = std::min(cell.wc_step, m.wc.steps);
+  }
+  return cell;
+}
+
+std::vector<Table2Column> measure_table2(
+    int n, const std::vector<std::uint64_t>& seeds) {
+  struct Candidate {
+    NamingFactory factory;
+    Model requires_model;
+  };
+  const std::vector<Candidate> candidates = {
+      {TasScan::factory(), Model::test_and_set()},
+      {TasReadSearch::factory(), Model::read_test_and_set()},
+      {TasTarTree::factory(), Model{BitOp::TestAndSet, BitOp::TestAndReset}},
+      {TafTree::factory(), Model::test_and_flip()},
+  };
+
+  const std::vector<std::pair<std::string, Model>> columns = {
+      {"test-and-set", Model::test_and_set()},
+      {"read+test-and-set", Model::read_test_and_set()},
+      {"read+tas+tar", Model::read_tas_tar()},
+      {"test-and-flip", Model::test_and_flip()},
+      {"rmw (all)", Model::rmw()},
+  };
+
+  std::vector<Table2Column> out;
+  for (const auto& [label, model] : columns) {
+    Table2Column col;
+    col.model_label = label;
+    col.model = model;
+    for (const Candidate& c : candidates) {
+      if (model.includes(c.requires_model)) {
+        col.algorithms.push_back(measure_naming(c.factory, n, seeds));
+      }
+    }
+    out.push_back(std::move(col));
+  }
+  return out;
+}
+
+}  // namespace cfc

@@ -1,0 +1,58 @@
+#ifndef CFC_ANALYSIS_NAMING_COMPLEXITY_H
+#define CFC_ANALYSIS_NAMING_COMPLEXITY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/measures.h"
+#include "naming/naming_algorithm.h"
+
+namespace cfc {
+
+/// Measured complexity of one naming algorithm at one n.
+///
+///  * cf — contention-free: max over processes in the paper's sequential
+///    schedule (each process runs to completion before the next starts);
+///  * wc — worst case *found*: max over processes across the sequential
+///    schedule, round-robin, the Theorem 6 lockstep adversary, and seeded
+///    random schedules. A lower bound on the true worst case; exact for
+///    the fixed-length algorithms (taf-tree) and for tas-scan (where the
+///    lockstep adversary achieves the n-1 bound).
+struct NamingAlgMeasurement {
+  std::string name;
+  ComplexityReport cf;
+  ComplexityReport wc;
+};
+
+[[nodiscard]] NamingAlgMeasurement measure_naming(
+    const NamingFactory& make, int n, const std::vector<std::uint64_t>& seeds);
+
+/// One column of the paper's Section 3.3 table: a model plus the measured
+/// complexities of every implemented algorithm legal in that model. The
+/// *problem* complexity per measure is the min over algorithms (each cell
+/// of the paper's table is achieved by the best algorithm for that cell,
+/// not necessarily the same one).
+struct Table2Cell {
+  int cf_register = 0;
+  int cf_step = 0;
+  int wc_register = 0;
+  int wc_step = 0;
+};
+
+struct Table2Column {
+  std::string model_label;
+  Model model;
+  std::vector<NamingAlgMeasurement> algorithms;
+
+  [[nodiscard]] Table2Cell best() const;
+};
+
+/// Measures all five columns of the paper's naming table for n processes
+/// (n must be a power of two >= 2 for the tree algorithms).
+[[nodiscard]] std::vector<Table2Column> measure_table2(
+    int n, const std::vector<std::uint64_t>& seeds);
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_NAMING_COMPLEXITY_H

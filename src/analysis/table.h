@@ -1,0 +1,28 @@
+#ifndef CFC_ANALYSIS_TABLE_H
+#define CFC_ANALYSIS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cfc {
+
+/// Minimal fixed-width ASCII table renderer used by the benchmark harness
+/// to print the paper's two summary tables next to measured values.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column alignment (left for the first
+  /// column, right for the rest).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_TABLE_H

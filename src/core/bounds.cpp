@@ -1,0 +1,177 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cfc::bounds {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double log2_checked(double x) {
+  if (x <= 0) {
+    throw std::invalid_argument("log2 of non-positive value");
+  }
+  return std::log2(x);
+}
+
+/// log2(w!) computed via lgamma, stable for large w.
+double log2_factorial(double w) {
+  if (w < 0) {
+    throw std::invalid_argument("factorial of negative value");
+  }
+  return std::lgamma(w + 1.0) / std::log(2.0);
+}
+
+}  // namespace
+
+int ceil_log2(std::uint64_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("ceil_log2(0)");
+  }
+  int bits = 0;
+  std::uint64_t v = n - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int floor_log2(std::uint64_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("floor_log2(0)");
+  }
+  int bits = -1;
+  while (n > 0) {
+    n >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int ceil_div(int a, int b) {
+  if (b <= 0) {
+    throw std::invalid_argument("ceil_div by non-positive");
+  }
+  return (a + b - 1) / b;
+}
+
+double thm1_cf_step_lower(double n, double l) {
+  if (n < 2) {
+    return 0.0;
+  }
+  const double log_n = log2_checked(n);
+  if (log_n <= 1.0) {
+    return 0.0;  // log log n undefined/non-positive; bound vacuous
+  }
+  const double denom = l - 2.0 + 3.0 * log2_checked(log_n);
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return log_n / denom;
+}
+
+int thm1_min_cf_steps(std::uint64_t n, int l) {
+  const double rhs = thm1_cf_step_lower(static_cast<double>(n),
+                                        static_cast<double>(l));
+  // strict inequality: smallest integer c with c > rhs
+  return static_cast<int>(std::floor(rhs + kEps)) + 1;
+}
+
+double thm2_cf_register_lower(double n, double l) {
+  if (n < 2) {
+    return 0.0;
+  }
+  const double log_n = log2_checked(n);
+  if (log_n <= 1.0) {
+    return 0.0;
+  }
+  const double denom = l + log2_checked(log_n);
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return std::sqrt(log_n / denom);
+}
+
+int thm2_min_cf_registers(std::uint64_t n, int l) {
+  const double rhs = thm2_cf_register_lower(static_cast<double>(n),
+                                            static_cast<double>(l));
+  // derivation gives (c+1)^2 > log n/(l + log log n), i.e. c > sqrt(rhs) - 1
+  const double c_min = rhs - 1.0;
+  if (c_min < 0.0) {
+    return 1;  // a process must access at least one register
+  }
+  return static_cast<int>(std::floor(c_min + kEps)) + 1;
+}
+
+int thm3_cf_step_upper(std::uint64_t n, int l) {
+  if (l < 1) {
+    throw std::invalid_argument("atomicity must be >= 1");
+  }
+  if (n <= 1) {
+    return 0;
+  }
+  return 7 * ceil_div(ceil_log2(n), l);
+}
+
+int thm3_cf_register_upper(std::uint64_t n, int l) {
+  if (l < 1) {
+    throw std::invalid_argument("atomicity must be >= 1");
+  }
+  if (n <= 1) {
+    return 0;
+  }
+  return 3 * ceil_div(ceil_log2(n), l);
+}
+
+bool lemma3_satisfied(std::uint64_t n, int l, int w, int r) {
+  if (w <= 0 || r <= 0) {
+    // Lemma 4's inequality (2): every solo run reads and writes at least
+    // once before terminating; a measured w or r of zero means the window
+    // was empty and the inequality is inapplicable.
+    return n <= 1;
+  }
+  const double wd = w;
+  const double rd = r;
+  const double lhs =
+      wd * static_cast<double>(l) +
+      wd * std::log2(wd * wd * rd + wd * rd * rd);
+  return lhs + kEps >= std::log2(static_cast<double>(n));
+}
+
+bool lemma6_satisfied(std::uint64_t n, int l, int c, int w) {
+  if (c <= 0 || w <= 0) {
+    return n <= 1;
+  }
+  const double cd = c;
+  const double wd = w;
+  const double lf = log2_factorial(wd);
+  // log2 rhs = 1 + log2(w!) + c*(log2(4c) + log2(w!)) + w*(log2 w + l*w)
+  const double log_rhs = 1.0 + lf + cd * (std::log2(4.0 * cd) + lf) +
+                         wd * (std::log2(wd) + static_cast<double>(l) * wd);
+  return std::log2(static_cast<double>(n)) < log_rhs + kEps;
+}
+
+int min_contention_free_bit_accesses(int l, int c) { return l + c - 1; }
+
+int thm4_taf_wc_step(std::uint64_t n) { return ceil_log2(n); }
+
+int thm4_tastar_wc_register(std::uint64_t n) { return ceil_log2(n); }
+
+std::uint64_t thm4_tas_wc_step(std::uint64_t n) { return n == 0 ? 0 : n - 1; }
+
+int thm4_tasread_cf_step(std::uint64_t n) { return ceil_log2(n); }
+
+int thm5_cf_register_lower(std::uint64_t n) { return ceil_log2(n); }
+
+std::uint64_t thm6_wc_step_lower(std::uint64_t n) {
+  return n == 0 ? 0 : n - 1;
+}
+
+std::uint64_t thm7_tas_cf_register_lower(std::uint64_t n) {
+  return n == 0 ? 0 : n - 1;
+}
+
+}  // namespace cfc::bounds

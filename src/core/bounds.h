@@ -1,0 +1,95 @@
+#ifndef CFC_CORE_BOUNDS_H
+#define CFC_CORE_BOUNDS_H
+
+#include <cstdint>
+
+namespace cfc::bounds {
+
+/// All logarithms are base 2, matching the paper's conventions.
+
+/// ceil(log2(n)) for n >= 1.
+[[nodiscard]] int ceil_log2(std::uint64_t n);
+
+/// floor(log2(n)) for n >= 1.
+[[nodiscard]] int floor_log2(std::uint64_t n);
+
+/// ceil(a / b) for positive b.
+[[nodiscard]] int ceil_div(int a, int b);
+
+/// --- Mutual exclusion / contention detection (Section 2). ---
+
+/// Theorem 1 (and Lemma 4): every algorithm for contention detection — and
+/// hence every (weak) deadlock-free mutual exclusion algorithm — for n
+/// processes with atomicity l has contention-free step complexity
+///     c > log n / (l - 2 + 3 * log log n).
+/// Returns the right-hand side; 0 when the denominator is non-positive (the
+/// bound is vacuous for tiny n / large l).
+[[nodiscard]] double thm1_cf_step_lower(double n, double l);
+
+/// Smallest integer c consistent with Theorem 1 (strict inequality).
+[[nodiscard]] int thm1_min_cf_steps(std::uint64_t n, int l);
+
+/// Theorem 2: contention-free register complexity satisfies
+///     c >= sqrt( log n / (l + log log n) ).
+/// Returns the right-hand side (0 when vacuous).
+[[nodiscard]] double thm2_cf_register_lower(double n, double l);
+
+/// Smallest integer c consistent with Theorem 2's derivation
+/// (c+1)^2 > log n / (l + log log n), i.e. c > sqrt(rhs) - 1.
+[[nodiscard]] int thm2_min_cf_registers(std::uint64_t n, int l);
+
+/// Theorem 3 upper bounds: the 2^l-ary tree of Lamport fast-mutex instances
+/// has contention-free step complexity 7*ceil(log n / l) and contention-free
+/// register complexity 3*ceil(log n / l).
+[[nodiscard]] int thm3_cf_step_upper(std::uint64_t n, int l);
+[[nodiscard]] int thm3_cf_register_upper(std::uint64_t n, int l);
+
+/// Lemma 3 inequality: for every contention-detection algorithm with n
+/// processes, atomicity l, contention-free write-step complexity w and
+/// contention-free read-register complexity r,
+///     w*l + w*log(w^2*r + w*r^2) >= log n.
+/// Returns true iff the measured (w, r) satisfy the inequality — which every
+/// *correct* algorithm must.
+[[nodiscard]] bool lemma3_satisfied(std::uint64_t n, int l, int w, int r);
+
+/// Lemma 6 inequality: for every contention-detection algorithm with n
+/// processes, atomicity l, contention-free register complexity c and
+/// contention-free write-register complexity w,
+///     n < 2*w! * (4c*w!)^c * (w*2^{l*w})^w.
+/// Returns true iff the measured (c, w) satisfy the inequality (evaluated in
+/// log-space to avoid overflow).
+[[nodiscard]] bool lemma6_satisfied(std::uint64_t n, int l, int c, int w);
+
+/// Section 2.4 corollary: with atomicity l and contention-free step
+/// complexity c, some process must access shared *bits* at least l + c - 1
+/// times in the absence of contention.
+[[nodiscard]] int min_contention_free_bit_accesses(int l, int c);
+
+/// --- Naming (Section 3). ---
+
+/// Theorem 4.1: with test-and-flip, worst-case step complexity log n.
+[[nodiscard]] int thm4_taf_wc_step(std::uint64_t n);
+/// Theorem 4.2: with test-and-set + test-and-reset, worst-case register
+/// complexity log n.
+[[nodiscard]] int thm4_tastar_wc_register(std::uint64_t n);
+/// Theorem 4.3: with test-and-set, worst-case step complexity n - 1.
+[[nodiscard]] std::uint64_t thm4_tas_wc_step(std::uint64_t n);
+/// Theorem 4.4: with test-and-set + read, contention-free step complexity
+/// log n.
+[[nodiscard]] int thm4_tasread_cf_step(std::uint64_t n);
+
+/// Theorem 5: in *every* model, contention-free register complexity of
+/// naming is at least log n.
+[[nodiscard]] int thm5_cf_register_lower(std::uint64_t n);
+
+/// Theorem 6: in every model without test-and-flip, worst-case step
+/// complexity of naming is at least n - 1.
+[[nodiscard]] std::uint64_t thm6_wc_step_lower(std::uint64_t n);
+
+/// Theorem 7: in the {test-and-set} model, contention-free register
+/// complexity of naming is at least n - 1.
+[[nodiscard]] std::uint64_t thm7_tas_cf_register_lower(std::uint64_t n);
+
+}  // namespace cfc::bounds
+
+#endif  // CFC_CORE_BOUNDS_H

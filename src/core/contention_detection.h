@@ -1,0 +1,145 @@
+#ifndef CFC_CORE_CONTENTION_DETECTION_H
+#define CFC_CORE_CONTENTION_DETECTION_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "memory/register_file.h"
+#include "sched/sim.h"
+#include "sched/task.h"
+
+namespace cfc {
+
+/// The contention detection problem (Section 2.3): every activated process
+/// terminates with an output in {0, 1} such that
+///   * in every run, at most one process outputs 1, and
+///   * in a run where only one process is activated, it outputs 1.
+///
+/// It is a single-shot mutual exclusion problem with weak deadlock freedom,
+/// and carries all the paper's lower bounds (Lemma 1): any lower bound on a
+/// time complexity of contention detection is a lower bound on the same
+/// complexity of mutual exclusion.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Protocol body for the process occupying `slot` (0-based). Must finish
+  /// by calling `ctx.set_output(0)` or `ctx.set_output(1)`.
+  virtual Task<void> detect(ProcessContext& ctx, int slot) = 0;
+
+  /// Maximum number of processes supported.
+  [[nodiscard]] virtual int capacity() const = 0;
+
+  /// Declared atomicity l (widest register accessed in one step).
+  [[nodiscard]] virtual int atomicity() const = 0;
+
+  [[nodiscard]] virtual std::string algorithm_name() const = 0;
+};
+
+/// Factory: allocates the detector's registers in `mem` for n processes.
+using DetectorFactory =
+    std::function<std::unique_ptr<Detector>(RegisterFile& mem, int n)>;
+
+/// Standard driver: wraps Detector::detect with Working/Done bookkeeping.
+/// Use as the body passed to Sim::spawn.
+Task<void> detector_driver(ProcessContext& ctx, Detector& d, int slot);
+
+/// Spawns n detector processes into `sim` (which must be empty) and returns
+/// the detector instance. The usual setup step for detection experiments.
+std::unique_ptr<Detector> setup_detection(Sim& sim, const DetectorFactory& make,
+                                          int n);
+
+/// Validates the safety condition over the outputs present in `sim`:
+/// at most one process has output 1, and no terminated process lacks an
+/// output. Returns the number of processes that output 1.
+[[nodiscard]] int count_winners(const Sim& sim);
+
+/// The splitter tree: a contention detector for n processes with atomicity
+/// l (Section 2.6 remark that detection needs only O(ceil(log n / l))
+/// worst-case steps, in contrast to mutual exclusion whose worst-case step
+/// complexity is unbounded).
+///
+/// The construction is a trie of arity 2^l over the l-bit chunks of the
+/// process id. Each trie node holds a one-shot *splitter* (the fast path of
+/// Lamport's algorithm [Lam87]): an l-bit register x and a bit y; a visitor
+/// writes its node-local value to x, loses if y is set, sets y, and wins the
+/// node iff it reads its own value back from x. A process climbs from its
+/// deepest node (full id prefix) to the root and outputs 1 iff it wins every
+/// node on the way.
+///
+/// Why per-node values stay pairwise distinct (the splitter's safety
+/// precondition): at the deepest level the contenders of a node share all id
+/// chunks but the last, so their node-local values (the last chunk) differ;
+/// at inner levels the contenders are winners of distinct children, and the
+/// node-local value is the child index. A naive "write all id chunks into d
+/// shared registers and read them back" detector is *unsound* for n > 2^l —
+/// a third process can restore a chunk value that a second had overwritten —
+/// which the adversarial tests demonstrate; the trie avoids that by never
+/// letting two contenders of the same node carry the same value.
+///
+/// Worst-case step complexity: 4d, where d = ceil(max(1, log n) / l) levels.
+/// Contention-free register complexity: 2d. Atomicity: l.
+class SplitterTree final : public Detector {
+ public:
+  /// Allocates registers for up to n processes with atomicity l >= 1.
+  SplitterTree(RegisterFile& mem, int n, int l);
+
+  Task<void> detect(ProcessContext& ctx, int slot) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int atomicity() const override { return l_; }
+  [[nodiscard]] std::string algorithm_name() const override;
+
+  /// Number of trie levels d = ceil(max(1, ceil_log2(n)) / l).
+  [[nodiscard]] int depth() const { return d_; }
+
+  [[nodiscard]] static DetectorFactory factory(int l);
+  /// Single-level tree: Lamport's fast path at atomicity ceil(log2(n)).
+  [[nodiscard]] static DetectorFactory factory_full_width();
+
+ private:
+  struct Node {
+    RegId x = -1;
+    RegId y = -1;
+  };
+
+  /// Node-local value of `id` at `level` (0 = root): the chunk just below
+  /// the level's prefix.
+  [[nodiscard]] Value chunk_at(Value id, int level) const;
+  /// Trie prefix of `id` above `level` (node address at that level).
+  [[nodiscard]] Value prefix_at(Value id, int level) const;
+
+  int n_;
+  int l_;
+  int d_;
+  std::map<std::pair<int, Value>, Node> nodes_;  // (level, prefix) -> regs
+};
+
+/// A deliberately *incorrect* detector used to demonstrate the Lemma 2
+/// merge adversary: each process writes and reads only its own register, so
+/// for every pair of processes the condition of Lemma 2 fails, and the
+/// merge construction produces a run where two processes output 1.
+class SelfishDetector final : public Detector {
+ public:
+  SelfishDetector(RegisterFile& mem, int n);
+
+  Task<void> detect(ProcessContext& ctx, int slot) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int atomicity() const override { return 1; }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "selfish(broken)";
+  }
+
+  [[nodiscard]] static DetectorFactory factory();
+
+ private:
+  int n_;
+  std::vector<RegId> own_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_CORE_CONTENTION_DETECTION_H

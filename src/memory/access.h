@@ -1,0 +1,65 @@
+#ifndef CFC_MEMORY_ACCESS_H
+#define CFC_MEMORY_ACCESS_H
+
+#include <optional>
+
+#include "memory/bitops.h"
+#include "memory/types.h"
+
+namespace cfc {
+
+/// Kind of a shared-memory access event.
+///
+/// Mutual exclusion (Section 2) runs in the atomic-register model: a process
+/// either Reads or Writes one register per step. Naming (Section 3) runs in
+/// bit-operation models: a process applies one of the eight BitOps to one
+/// shared bit per step.
+enum class AccessKind : std::uint8_t {
+  Read,   ///< read an l-bit register, returns its value
+  Write,  ///< write an l-bit register with a given value
+  Bit,    ///< apply a BitOp to a 1-bit register
+};
+
+/// One access event e_i of a run: which process touched which register, how,
+/// and what it observed. This is the unit counted by *step complexity*; the
+/// set of distinct `reg` values per process is *register complexity*.
+struct Access {
+  Seq seq = 0;             ///< global event sequence number
+  Pid pid = -1;            ///< acting process
+  RegId reg = -1;          ///< register accessed
+  AccessKind kind = AccessKind::Read;
+  BitOp bit_op = BitOp::Skip;     ///< valid iff kind == Bit
+  Value written = 0;              ///< valid iff kind == Write
+  std::optional<Value> returned;  ///< value observed (Read / returning BitOp)
+  Value before = 0;               ///< register value before the access
+  Value after = 0;                ///< register value after the access
+  int width = 1;                  ///< register width (atomicity bookkeeping)
+
+  /// True iff the access is a read in the read/write-step refinement used by
+  /// Lemma 3 (read-step vs write-step complexity). For bit ops, only
+  /// BitOp::Read counts as a read; every other non-skip op is a write.
+  [[nodiscard]] bool is_read() const {
+    if (kind == AccessKind::Read) {
+      return true;
+    }
+    if (kind == AccessKind::Bit) {
+      return bit_op == BitOp::Read;
+    }
+    return false;
+  }
+
+  /// True iff the access can modify the register (write-step refinement).
+  [[nodiscard]] bool is_write() const {
+    if (kind == AccessKind::Write) {
+      return true;
+    }
+    if (kind == AccessKind::Bit) {
+      return can_modify(bit_op);
+    }
+    return false;
+  }
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MEMORY_ACCESS_H

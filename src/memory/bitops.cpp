@@ -1,0 +1,36 @@
+#include "memory/bitops.h"
+
+namespace cfc {
+
+std::string_view name(BitOp op) {
+  switch (op) {
+    case BitOp::Skip:
+      return "skip";
+    case BitOp::Read:
+      return "read";
+    case BitOp::Write0:
+      return "write-0";
+    case BitOp::TestAndReset:
+      return "test-and-reset";
+    case BitOp::Write1:
+      return "write-1";
+    case BitOp::TestAndSet:
+      return "test-and-set";
+    case BitOp::Flip:
+      return "flip";
+    case BitOp::TestAndFlip:
+      return "test-and-flip";
+  }
+  return "unknown";
+}
+
+std::optional<BitOp> parse_bit_op(std::string_view s) {
+  for (BitOp op : kAllBitOps) {
+    if (name(op) == s) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cfc

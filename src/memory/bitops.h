@@ -1,0 +1,101 @@
+#ifndef CFC_MEMORY_BITOPS_H
+#define CFC_MEMORY_BITOPS_H
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace cfc {
+
+/// The eight single-bit operations of Section 3.1 of the paper. Each is
+/// defined by how it affects the bit and whether it returns the old value.
+///
+/// The enumerator values are chosen so that op and its dual are computable
+/// (see `dual`): write-0/write-1, test-and-reset/test-and-set are dual pairs;
+/// skip, read, flip and test-and-flip are self-dual.
+enum class BitOp : std::uint8_t {
+  Skip = 0,          ///< no effect, no return value
+  Read = 1,          ///< no effect, returns current value
+  Write0 = 2,        ///< sets bit to 0, no return value
+  TestAndReset = 3,  ///< sets bit to 0, returns old value
+  Write1 = 4,        ///< sets bit to 1, no return value
+  TestAndSet = 5,    ///< sets bit to 1, returns old value
+  Flip = 6,          ///< complements bit, no return value
+  TestAndFlip = 7,   ///< complements bit, returns old value
+};
+
+/// Number of distinct single-bit operations.
+inline constexpr int kBitOpCount = 8;
+
+/// All eight operations, in enumerator order.
+inline constexpr std::array<BitOp, kBitOpCount> kAllBitOps = {
+    BitOp::Skip,   BitOp::Read,       BitOp::Write0, BitOp::TestAndReset,
+    BitOp::Write1, BitOp::TestAndSet, BitOp::Flip,   BitOp::TestAndFlip};
+
+/// Result of applying a bit operation.
+struct BitOpResult {
+  bool new_value = false;             ///< value of the bit after the op
+  std::optional<bool> returned;       ///< old value, if the op returns one
+};
+
+/// Applies `op` to a bit currently holding `old_value`.
+[[nodiscard]] constexpr BitOpResult apply(BitOp op, bool old_value) {
+  switch (op) {
+    case BitOp::Skip:
+      return {old_value, std::nullopt};
+    case BitOp::Read:
+      return {old_value, old_value};
+    case BitOp::Write0:
+      return {false, std::nullopt};
+    case BitOp::TestAndReset:
+      return {false, old_value};
+    case BitOp::Write1:
+      return {true, std::nullopt};
+    case BitOp::TestAndSet:
+      return {true, old_value};
+    case BitOp::Flip:
+      return {!old_value, std::nullopt};
+    case BitOp::TestAndFlip:
+      return {!old_value, old_value};
+  }
+  return {old_value, std::nullopt};  // unreachable
+}
+
+/// True iff the operation returns the old value of the bit.
+[[nodiscard]] constexpr bool returns_value(BitOp op) {
+  return op == BitOp::Read || op == BitOp::TestAndReset ||
+         op == BitOp::TestAndSet || op == BitOp::TestAndFlip;
+}
+
+/// True iff the operation can modify the bit (for some old value).
+[[nodiscard]] constexpr bool can_modify(BitOp op) {
+  return op != BitOp::Skip && op != BitOp::Read;
+}
+
+/// The dual operation (Section 3.2): write-0 <-> write-1, test-and-reset <->
+/// test-and-set; skip, read, flip, and test-and-flip are their own duals.
+/// Bounds proved for a model transfer to its dual model.
+[[nodiscard]] constexpr BitOp dual(BitOp op) {
+  switch (op) {
+    case BitOp::Write0:
+      return BitOp::Write1;
+    case BitOp::Write1:
+      return BitOp::Write0;
+    case BitOp::TestAndReset:
+      return BitOp::TestAndSet;
+    case BitOp::TestAndSet:
+      return BitOp::TestAndReset;
+    default:
+      return op;
+  }
+}
+
+/// Stable lower-case name, e.g. "test-and-set".
+[[nodiscard]] std::string_view name(BitOp op);
+
+/// Parses a name produced by `name`. Returns nullopt for unknown strings.
+[[nodiscard]] std::optional<BitOp> parse_bit_op(std::string_view s);
+
+}  // namespace cfc
+
+#endif  // CFC_MEMORY_BITOPS_H

@@ -1,0 +1,44 @@
+#include "memory/model.h"
+
+namespace cfc {
+
+std::vector<BitOp> Model::operations() const {
+  std::vector<BitOp> ops;
+  for (BitOp op : kAllBitOps) {
+    if (supports(op)) {
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+std::string Model::to_string() const {
+  if (*this == Model::rmw()) {
+    return "rmw";
+  }
+  if (*this == Model::test_and_set()) {
+    return "test-and-set";
+  }
+  if (*this == Model::read_test_and_set()) {
+    return "read+test-and-set";
+  }
+  if (*this == Model::read_tas_tar()) {
+    return "read+test-and-set+test-and-reset";
+  }
+  if (*this == Model::test_and_flip()) {
+    return "test-and-flip";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (BitOp op : operations()) {
+    if (!first) {
+      out += ", ";
+    }
+    out += name(op);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cfc

@@ -1,0 +1,141 @@
+#ifndef CFC_MEMORY_MODEL_H
+#define CFC_MEMORY_MODEL_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "memory/bitops.h"
+
+namespace cfc {
+
+/// A *model* (Section 3.1) is a subset of the eight single-bit operations: it
+/// defines which operations a process may apply to a shared bit in one atomic
+/// step. There are 2^8 models; the paper's naming table (Section 3.3) uses
+/// five of them, exposed below as named factories.
+///
+/// Model is a small value type (a bitmask over BitOp).
+class Model {
+ public:
+  /// The empty model (no operation allowed; useless but well-defined).
+  constexpr Model() = default;
+
+  constexpr Model(std::initializer_list<BitOp> ops) {
+    for (BitOp op : ops) {
+      mask_ |= bit(op);
+    }
+  }
+
+  /// ---- The five models of the paper's naming table, left to right. ----
+
+  /// {test-and-set}: n-1 is tight for all four measures (Thms 4.3, 6, 7).
+  [[nodiscard]] static constexpr Model test_and_set() {
+    return Model{BitOp::TestAndSet};
+  }
+  /// {read, test-and-set}: contention-free measures drop to log n (Thm 4.4).
+  [[nodiscard]] static constexpr Model read_test_and_set() {
+    return Model{BitOp::Read, BitOp::TestAndSet};
+  }
+  /// {read, test-and-set, test-and-reset}: worst-case register complexity
+  /// drops to log n as well (Thm 4.2).
+  [[nodiscard]] static constexpr Model read_tas_tar() {
+    return Model{BitOp::Read, BitOp::TestAndSet, BitOp::TestAndReset};
+  }
+  /// {test-and-flip}: log n is tight for all four measures (Thms 4.1, 5).
+  [[nodiscard]] static constexpr Model test_and_flip() {
+    return Model{BitOp::TestAndFlip};
+  }
+  /// All eight operations: the read/modify/write model.
+  [[nodiscard]] static constexpr Model rmw() {
+    Model m;
+    for (BitOp op : kAllBitOps) {
+      m.mask_ |= bit(op);
+    }
+    return m;
+  }
+
+  /// The atomic-register model on bits: read and both writes, no
+  /// read-modify-write. (Naming is unsolvable deterministically here, which
+  /// the test suite demonstrates via the symmetry adversary.)
+  [[nodiscard]] static constexpr Model read_write() {
+    return Model{BitOp::Read, BitOp::Write0, BitOp::Write1};
+  }
+
+  [[nodiscard]] constexpr bool supports(BitOp op) const {
+    return (mask_ & bit(op)) != 0;
+  }
+
+  [[nodiscard]] constexpr Model with(BitOp op) const {
+    Model m = *this;
+    m.mask_ |= bit(op);
+    return m;
+  }
+
+  [[nodiscard]] constexpr Model without(BitOp op) const {
+    Model m = *this;
+    m.mask_ &= static_cast<std::uint8_t>(~bit(op));
+    return m;
+  }
+
+  /// True iff every operation of `other` is also in this model: an algorithm
+  /// written for `other` runs unmodified here.
+  [[nodiscard]] constexpr bool includes(Model other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+
+  /// The dual model (Section 3.2): each operation replaced by its dual.
+  /// Every complexity bound that holds for M holds for dual(M).
+  [[nodiscard]] constexpr Model dual_model() const {
+    Model m;
+    for (BitOp op : kAllBitOps) {
+      if (supports(op)) {
+        m.mask_ |= bit(dual(op));
+      }
+    }
+    return m;
+  }
+
+  [[nodiscard]] constexpr bool is_self_dual() const {
+    return dual_model().mask_ == mask_;
+  }
+
+  [[nodiscard]] constexpr int size() const {
+    int k = 0;
+    for (BitOp op : kAllBitOps) {
+      k += supports(op) ? 1 : 0;
+    }
+    return k;
+  }
+
+  [[nodiscard]] std::vector<BitOp> operations() const;
+
+  /// Human-readable name: "{read, test-and-set}" or a canonical short name
+  /// for the five table models ("rmw", "test-and-set", ...).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr friend bool operator==(Model a, Model b) {
+    return a.mask_ == b.mask_;
+  }
+
+  /// Raw mask, for hashing / enumeration of all 2^8 models.
+  [[nodiscard]] constexpr std::uint8_t mask() const { return mask_; }
+
+  /// Builds a model from a raw mask (inverse of `mask`).
+  [[nodiscard]] static constexpr Model from_mask(std::uint8_t mask) {
+    Model m;
+    m.mask_ = mask;
+    return m;
+  }
+
+ private:
+  static constexpr std::uint8_t bit(BitOp op) {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(op));
+  }
+
+  std::uint8_t mask_ = 0;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MEMORY_MODEL_H

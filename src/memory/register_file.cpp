@@ -1,0 +1,67 @@
+#include "memory/register_file.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cfc {
+
+RegId RegisterFile::add_register(std::string reg_name, int width_bits,
+                                 Value initial) {
+  if (width_bits < 1 || width_bits > kMaxWidth) {
+    throw std::invalid_argument("register width must be in [1, 64]: " +
+                                std::move(reg_name));
+  }
+  Slot s;
+  s.name = std::move(reg_name);
+  s.width = width_bits;
+  if (width_bits < kMaxWidth && initial > ((Value{1} << width_bits) - 1)) {
+    throw std::invalid_argument("initial value does not fit register " +
+                                s.name);
+  }
+  s.initial = initial;
+  s.value = initial;
+  slots_.push_back(std::move(s));
+  return static_cast<RegId>(slots_.size()) - 1;
+}
+
+RegId RegisterFile::add_bit(std::string reg_name, bool initial) {
+  return add_register(std::move(reg_name), 1, initial ? 1 : 0);
+}
+
+void RegisterFile::poke(RegId r, Value v) {
+  Slot& s = slot(r);
+  if (!fits(r, v)) {
+    throw std::invalid_argument("poke value does not fit register " + s.name);
+  }
+  s.value = v;
+}
+
+void RegisterFile::reset() {
+  for (Slot& s : slots_) {
+    s.value = s.initial;
+  }
+}
+
+Value RegisterFile::max_value(RegId r) const {
+  const int w = slot(r).width;
+  if (w >= kMaxWidth) {
+    return ~Value{0};
+  }
+  return (Value{1} << w) - 1;
+}
+
+const RegisterFile::Slot& RegisterFile::slot(RegId r) const {
+  if (r < 0 || r >= size()) {
+    throw std::out_of_range("bad register id");
+  }
+  return slots_[static_cast<std::size_t>(r)];
+}
+
+RegisterFile::Slot& RegisterFile::slot(RegId r) {
+  if (r < 0 || r >= size()) {
+    throw std::out_of_range("bad register id");
+  }
+  return slots_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace cfc

@@ -1,0 +1,25 @@
+#ifndef CFC_MEMORY_TYPES_H
+#define CFC_MEMORY_TYPES_H
+
+#include <cstdint>
+
+namespace cfc {
+
+/// Process identifier. Processes are numbered 0..n-1 inside the simulator;
+/// algorithms that require ids from {1,...,n} (as in the paper) add 1.
+using Pid = int;
+
+/// Index of a shared register within a RegisterFile.
+using RegId = int;
+
+/// Value stored in a shared register. Registers are 1..64 bits wide; the
+/// register file range-checks stores against the declared width.
+using Value = std::uint64_t;
+
+/// Global event sequence number within a run (the index of the event e_i in
+/// the paper's run sigma = s0 -e0-> s1 -e1-> ...).
+using Seq = std::uint64_t;
+
+}  // namespace cfc
+
+#endif  // CFC_MEMORY_TYPES_H

@@ -1,0 +1,29 @@
+#include "mutex/detector_adapter.h"
+
+namespace cfc {
+
+DetectorFromMutex::DetectorFromMutex(RegisterFile& mem, int n,
+                                     const MutexFactory& make_mutex) {
+  mutex_ = make_mutex(mem, n);
+  won_ = mem.add_bit("lemma1.won");
+}
+
+Task<void> DetectorFromMutex::detect(ProcessContext& ctx, int slot) {
+  const Value entered = co_await mutex_->try_enter(ctx, slot, won_);
+  if (entered == 0) {
+    ctx.set_output(0);
+    co_return;
+  }
+  // Single-shot: the winner keeps the critical section forever, so the exit
+  // code is never run and `won` stays set.
+  co_await ctx.write(won_, 1);
+  ctx.set_output(1);
+}
+
+DetectorFactory DetectorFromMutex::factory(MutexFactory make_mutex) {
+  return [make_mutex](RegisterFile& mem, int n) {
+    return std::make_unique<DetectorFromMutex>(mem, n, make_mutex);
+  };
+}
+
+}  // namespace cfc

@@ -1,0 +1,42 @@
+#ifndef CFC_MUTEX_DETECTOR_ADAPTER_H
+#define CFC_MUTEX_DETECTOR_ADAPTER_H
+
+#include <memory>
+#include <string>
+
+#include "core/contention_detection.h"
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Lemma 1's reduction, made executable: any mutual exclusion algorithm
+/// solves contention detection. A process runs the (abortable) entry code;
+/// on entering the critical section it sets a shared `won` bit and outputs
+/// 1; a process that observes `won` set while waiting aborts and outputs 0.
+///
+/// The reduction preserves contention-free complexity up to a constant: the
+/// solo winner pays the algorithm's contention-free entry complexity plus
+/// one write of `won`. (The paper uses the reduction in the other direction
+/// — lower bounds proved for detection transfer to mutual exclusion; this
+/// adapter lets the test suite check the two sides against each other.)
+class DetectorFromMutex final : public Detector {
+ public:
+  DetectorFromMutex(RegisterFile& mem, int n, const MutexFactory& make_mutex);
+
+  Task<void> detect(ProcessContext& ctx, int slot) override;
+  [[nodiscard]] int capacity() const override { return mutex_->capacity(); }
+  [[nodiscard]] int atomicity() const override { return mutex_->atomicity(); }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "lemma1(" + mutex_->algorithm_name() + ")";
+  }
+
+  [[nodiscard]] static DetectorFactory factory(MutexFactory make_mutex);
+
+ private:
+  std::unique_ptr<MutexAlgorithm> mutex_;
+  RegId won_ = -1;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_DETECTOR_ADAPTER_H

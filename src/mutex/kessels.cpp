@@ -1,0 +1,70 @@
+#include "mutex/kessels.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+namespace {
+constexpr RegId kNoAbort = -1;
+}  // namespace
+
+Kessels::Kessels(RegisterFile& mem, const std::string& tag) {
+  b_[0] = mem.add_bit(tag + ".b0");
+  b_[1] = mem.add_bit(tag + ".b1");
+  t_[0] = mem.add_bit(tag + ".t0");
+  t_[1] = mem.add_bit(tag + ".t1");
+}
+
+Task<void> Kessels::enter(ProcessContext& ctx, int slot) {
+  co_await try_enter(ctx, slot, kNoAbort);
+}
+
+Task<Value> Kessels::try_enter(ProcessContext& ctx, int slot,
+                               RegId abort_bit) {
+  if (slot < 0 || slot > 1) {
+    throw std::invalid_argument("Kessels slot must be 0 or 1");
+  }
+  const int me = slot;
+  const int other = 1 - slot;
+  co_await ctx.write(b_[me], 1);
+  const Value v = co_await ctx.read(t_[other]);
+  // Process 0 makes t0 = t1 (logical turn -> P1); process 1 makes
+  // t1 = 1 - t0 (logical turn -> P0). Each writes only its own bit.
+  const Value mine = (me == 0) ? v : (1 - v);
+  co_await ctx.write(t_[me], mine);
+  while (true) {
+    const Value other_busy = co_await ctx.read(b_[other]);
+    if (other_busy == 0) {
+      break;
+    }
+    const Value theirs = co_await ctx.read(t_[other]);
+    // P0 proceeds when t0 != t1; P1 proceeds when t0 == t1.
+    const bool my_turn = (me == 0) ? (theirs != mine) : (theirs == mine);
+    if (my_turn) {
+      break;
+    }
+    if (abort_bit != kNoAbort) {
+      const Value stop = co_await ctx.read(abort_bit);
+      if (stop != 0) {
+        co_await ctx.write(b_[me], 0);
+        co_return 0;
+      }
+    }
+  }
+  co_return 1;
+}
+
+Task<void> Kessels::exit(ProcessContext& ctx, int slot) {
+  co_await ctx.write(b_[slot], 0);
+}
+
+MutexFactory Kessels::factory() {
+  return [](RegisterFile& mem, int n) {
+    if (n > 2) {
+      throw std::invalid_argument("Kessels supports at most 2 processes");
+    }
+    return std::make_unique<Kessels>(mem);
+  };
+}
+
+}  // namespace cfc

@@ -1,0 +1,51 @@
+#ifndef CFC_MUTEX_KESSELS_H
+#define CFC_MUTEX_KESSELS_H
+
+#include <string>
+
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Kessels' two-process arbiter [Kes82]: mutual exclusion without common
+/// modifiable variables — every shared bit has a single writer. The paper
+/// cites the tournament of these arbiters as the O(log n) worst-case
+/// register complexity algorithm at atomicity 1.
+///
+/// Shared bits: b0, b1 (intent flags) and t0, t1 (a "turn" split across the
+/// two processes; the logical turn is t0 XOR t1).
+///
+/// Entry (process 0):                 Entry (process 1):
+///   b0 := 1                            b1 := 1
+///   local v := t1                      local v := t0
+///   t0 := v        (turn := P1)        t1 := 1 - v     (turn := P0)
+///   await (b1 = 0 or t1 != t0)         await (b0 = 0 or t0 = t1)
+///
+/// Exit (process i): bi := 0.
+///
+/// Contention-free: 4 entry accesses + 1 exit access, 4 distinct registers.
+class Kessels final : public MutexAlgorithm {
+ public:
+  explicit Kessels(RegisterFile& mem, const std::string& tag = "kessels");
+
+  Task<void> enter(ProcessContext& ctx, int slot) override;
+  Task<void> exit(ProcessContext& ctx, int slot) override;
+  Task<Value> try_enter(ProcessContext& ctx, int slot,
+                        RegId abort_bit) override;
+
+  [[nodiscard]] int capacity() const override { return 2; }
+  [[nodiscard]] int atomicity() const override { return 1; }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "kessels-2p";
+  }
+
+  [[nodiscard]] static MutexFactory factory();
+
+ private:
+  RegId b_[2] = {-1, -1};
+  RegId t_[2] = {-1, -1};
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_KESSELS_H

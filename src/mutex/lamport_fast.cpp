@@ -1,0 +1,115 @@
+#include "mutex/lamport_fast.h"
+
+#include <stdexcept>
+
+#include "core/bounds.h"
+
+namespace cfc {
+
+namespace {
+/// Sentinel: no abort bit, never give up (plain enter()).
+constexpr RegId kNoAbort = -1;
+}  // namespace
+
+LamportFast::LamportFast(RegisterFile& mem, int n, const std::string& tag)
+    : n_(n) {
+  if (n < 1) {
+    throw std::invalid_argument("LamportFast needs n >= 1");
+  }
+  // x and y hold ids 1..n; y additionally holds 0 = empty.
+  width_ = bounds::ceil_log2(static_cast<std::uint64_t>(n) + 1);
+  x_ = mem.add_register(tag + ".x", width_);
+  y_ = mem.add_register(tag + ".y", width_, 0);
+  b_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    b_.push_back(mem.add_bit(tag + ".b" + std::to_string(i)));
+  }
+}
+
+Task<void> LamportFast::enter(ProcessContext& ctx, int slot) {
+  co_await try_enter(ctx, slot, kNoAbort);
+}
+
+Task<Value> LamportFast::try_enter(ProcessContext& ctx, int slot,
+                                   RegId abort_bit) {
+  // NOTE: busy-wait loops hoist the co_await out of the loop condition
+  // (`for(;;) { v = co_await ...; if (...) break; }`) — GCC 12 miscompiles
+  // `while (co_await ...)`; see the ToolchainGuard test.
+  const auto id = static_cast<Value>(slot + 1);
+  const RegId mine = b_[static_cast<std::size_t>(slot)];
+  while (true) {
+    co_await ctx.write(mine, 1);
+    co_await ctx.write(x_, id);
+    const Value y_seen = co_await ctx.read(y_);
+    if (y_seen != 0) {
+      co_await ctx.write(mine, 0);
+      for (;;) {  // await y = 0
+        const Value y_now = co_await ctx.read(y_);
+        if (y_now == 0) {
+          break;
+        }
+        if (abort_bit != kNoAbort) {
+          const Value stop = co_await ctx.read(abort_bit);
+          if (stop != 0) {
+            co_return 0;
+          }
+        }
+      }
+      continue;  // goto start
+    }
+    co_await ctx.write(y_, id);
+    const Value x_seen = co_await ctx.read(x_);
+    if (x_seen != id) {
+      co_await ctx.write(mine, 0);
+      // The slow path: wait for every b[j] to clear, then check ownership.
+      for (int j = 0; j < n_; ++j) {
+        for (;;) {
+          const Value bj = co_await ctx.read(b_[static_cast<std::size_t>(j)]);
+          if (bj == 0) {
+            break;
+          }
+          if (abort_bit != kNoAbort) {
+            const Value stop = co_await ctx.read(abort_bit);
+            if (stop != 0) {
+              co_return 0;
+            }
+          }
+        }
+      }
+      const Value y_owner = co_await ctx.read(y_);
+      if (y_owner != id) {
+        for (;;) {  // await y = 0
+          const Value y_now = co_await ctx.read(y_);
+          if (y_now == 0) {
+            break;
+          }
+          if (abort_bit != kNoAbort) {
+            const Value stop = co_await ctx.read(abort_bit);
+            if (stop != 0) {
+              co_return 0;
+            }
+          }
+        }
+        continue;  // goto start
+      }
+    }
+    co_return 1;  // critical section
+  }
+}
+
+Task<void> LamportFast::exit(ProcessContext& ctx, int slot) {
+  co_await ctx.write(y_, 0);
+  co_await ctx.write(b_[static_cast<std::size_t>(slot)], 0);
+}
+
+std::string LamportFast::algorithm_name() const {
+  return "lamport-fast(n=" + std::to_string(n_) + ")";
+}
+
+MutexFactory LamportFast::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<LamportFast>(mem, n);
+  };
+}
+
+}  // namespace cfc

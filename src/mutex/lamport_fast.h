@@ -1,0 +1,62 @@
+#ifndef CFC_MUTEX_LAMPORT_FAST_H
+#define CFC_MUTEX_LAMPORT_FAST_H
+
+#include <string>
+#include <vector>
+
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Lamport's fast mutual exclusion algorithm [Lam87], the paper's reference
+/// point for contention-free complexity: in the absence of contention a
+/// process performs exactly 5 entry accesses and 2 exit accesses, over 3
+/// distinct registers (b[i], x, y).
+///
+/// Registers: x and y of width ceil(log2(n+1)) holding process ids 1..n
+/// (0 = "empty" in y), plus one boolean b[i] per process. Atomicity is
+/// therefore ceil(log2(n+1)).
+///
+/// Entry (process i):                  Exit (process i):
+///   start: b[i] := true                 y := 0
+///     x := i                            b[i] := false
+///     if y != 0 { b[i] := false;
+///       await y = 0; goto start }
+///     y := i
+///     if x != i {
+///       b[i] := false
+///       for j in 1..n: await !b[j]
+///       if y != i { await y = 0; goto start } }
+///   (critical section)
+///
+/// The worst-case step complexity is unbounded ([AT92]; see the scripted
+/// adversary in the tests, which drives the eventual winner through
+/// arbitrarily many steps while no process is in its critical section).
+class LamportFast final : public MutexAlgorithm {
+ public:
+  /// Allocates registers for up to n >= 1 processes. `tag` prefixes register
+  /// names (tree algorithms instantiate many copies).
+  LamportFast(RegisterFile& mem, int n, const std::string& tag = "lamport");
+
+  Task<void> enter(ProcessContext& ctx, int slot) override;
+  Task<void> exit(ProcessContext& ctx, int slot) override;
+  Task<Value> try_enter(ProcessContext& ctx, int slot,
+                        RegId abort_bit) override;
+
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int atomicity() const override { return width_; }
+  [[nodiscard]] std::string algorithm_name() const override;
+
+  [[nodiscard]] static MutexFactory factory();
+
+ private:
+  int n_;
+  int width_;
+  RegId x_ = -1;
+  RegId y_ = -1;
+  std::vector<RegId> b_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_LAMPORT_FAST_H

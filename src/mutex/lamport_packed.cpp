@@ -1,0 +1,124 @@
+#include "mutex/lamport_packed.h"
+
+#include <stdexcept>
+
+#include "core/bounds.h"
+
+namespace cfc {
+
+namespace {
+constexpr RegId kNoAbort = -1;
+}  // namespace
+
+LamportPacked::LamportPacked(RegisterFile& mem, int n, const std::string& tag)
+    : n_(n) {
+  if (n < 1) {
+    throw std::invalid_argument("LamportPacked needs n >= 1");
+  }
+  half_width_ = bounds::ceil_log2(static_cast<std::uint64_t>(n) + 1);
+  if (2 * half_width_ > RegisterFile::kMaxWidth) {
+    throw std::invalid_argument("LamportPacked word exceeds 64 bits");
+  }
+  w_ = mem.add_register(tag + ".xy", 2 * half_width_, 0);
+  b_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    b_.push_back(mem.add_bit(tag + ".b" + std::to_string(i)));
+  }
+}
+
+Value LamportPacked::x_of(Value word) const {
+  return word & ((Value{1} << half_width_) - 1);
+}
+
+Value LamportPacked::y_of(Value word) const {
+  return word >> half_width_;
+}
+
+Task<void> LamportPacked::enter(ProcessContext& ctx, int slot) {
+  co_await try_enter(ctx, slot, kNoAbort);
+}
+
+Task<Value> LamportPacked::try_enter(ProcessContext& ctx, int slot,
+                                     RegId abort_bit) {
+  const auto id = static_cast<Value>(slot + 1);
+  const RegId mine = b_[static_cast<std::size_t>(slot)];
+  while (true) {
+    co_await ctx.write(mine, 1);
+    co_await ctx.write_field(w_, 0, half_width_, id);  // x := id
+    {
+      const Value word = co_await ctx.read(w_);
+      if (y_of(word) != 0) {
+        co_await ctx.write(mine, 0);
+        for (;;) {  // await y = 0
+          const Value now = co_await ctx.read(w_);
+          if (y_of(now) == 0) {
+            break;
+          }
+          if (abort_bit != kNoAbort) {
+            const Value stop = co_await ctx.read(abort_bit);
+            if (stop != 0) {
+              co_return 0;
+            }
+          }
+        }
+        continue;  // goto start
+      }
+    }
+    co_await ctx.write_field(w_, half_width_, half_width_, id);  // y := id
+    {
+      const Value word = co_await ctx.read(w_);
+      if (x_of(word) != id) {
+        co_await ctx.write(mine, 0);
+        for (int j = 0; j < n_; ++j) {
+          for (;;) {
+            const Value bj =
+                co_await ctx.read(b_[static_cast<std::size_t>(j)]);
+            if (bj == 0) {
+              break;
+            }
+            if (abort_bit != kNoAbort) {
+              const Value stop = co_await ctx.read(abort_bit);
+              if (stop != 0) {
+                co_return 0;
+              }
+            }
+          }
+        }
+        const Value again = co_await ctx.read(w_);
+        if (y_of(again) != id) {
+          for (;;) {  // await y = 0
+            const Value now = co_await ctx.read(w_);
+            if (y_of(now) == 0) {
+              break;
+            }
+            if (abort_bit != kNoAbort) {
+              const Value stop = co_await ctx.read(abort_bit);
+              if (stop != 0) {
+                co_return 0;
+              }
+            }
+          }
+          continue;  // goto start
+        }
+      }
+    }
+    co_return 1;  // critical section
+  }
+}
+
+Task<void> LamportPacked::exit(ProcessContext& ctx, int slot) {
+  co_await ctx.write_field(w_, half_width_, half_width_, 0);  // y := 0
+  co_await ctx.write(b_[static_cast<std::size_t>(slot)], 0);
+}
+
+std::string LamportPacked::algorithm_name() const {
+  return "lamport-packed(n=" + std::to_string(n_) + ")";
+}
+
+MutexFactory LamportPacked::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<LamportPacked>(mem, n);
+  };
+}
+
+}  // namespace cfc

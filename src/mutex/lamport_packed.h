@@ -1,0 +1,55 @@
+#ifndef CFC_MUTEX_LAMPORT_PACKED_H
+#define CFC_MUTEX_LAMPORT_PACKED_H
+
+#include <string>
+#include <vector>
+
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Lamport's fast algorithm with x and y packed into one word, written at
+/// sub-word granularity — the [MS93] optimization the paper's Section 1.3
+/// describes ("several registers of smaller size can be packed into one
+/// word of memory, enabling reads or writes to all or a subset of them in
+/// one atomic step").
+///
+/// Register layout: one word W of width 2*ceil(log2(n+1)) holding
+/// (y << w) | x, plus the per-process bits b[i]. Writes to x or y are
+/// multi-grain field stores; a single read of W returns both halves
+/// atomically.
+///
+/// Contention-free complexity: still 7 steps (5 entry + 2 exit), but only
+/// **2 distinct registers** (b[i] and W) instead of 3 — on a
+/// register-complexity (remote-access) architecture the packed variant is
+/// strictly better, at the price of doubling the atomicity. The framework
+/// measures exactly this trade (see bench/ablation_multigrain).
+class LamportPacked final : public MutexAlgorithm {
+ public:
+  LamportPacked(RegisterFile& mem, int n,
+                const std::string& tag = "lampacked");
+
+  Task<void> enter(ProcessContext& ctx, int slot) override;
+  Task<void> exit(ProcessContext& ctx, int slot) override;
+  Task<Value> try_enter(ProcessContext& ctx, int slot,
+                        RegId abort_bit) override;
+
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int atomicity() const override { return 2 * half_width_; }
+  [[nodiscard]] std::string algorithm_name() const override;
+
+  [[nodiscard]] static MutexFactory factory();
+
+ private:
+  [[nodiscard]] Value x_of(Value word) const;
+  [[nodiscard]] Value y_of(Value word) const;
+
+  int n_;
+  int half_width_;
+  RegId w_ = -1;  // packed (y << half_width_) | x
+  std::vector<RegId> b_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_LAMPORT_PACKED_H

@@ -1,0 +1,73 @@
+#ifndef CFC_MUTEX_MUTEX_ALGORITHM_H
+#define CFC_MUTEX_MUTEX_ALGORITHM_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "memory/register_file.h"
+#include "sched/sim.h"
+#include "sched/task.h"
+
+namespace cfc {
+
+/// A mutual exclusion algorithm in the atomic-register model (Section 2.1):
+/// entry code and exit code per process. The framework driver wraps these
+/// with the Remainder/Entry/Critical/Exit section bookkeeping the complexity
+/// measures are defined over. Algorithms allocate their registers in the
+/// constructor and must only Read/Write them (one register per atomic step);
+/// tests enforce this with AccessPolicy::RegistersOnly. (TasLock is the
+/// deliberate exception — it exists to show the paper's lower bounds are
+/// specific to atomic registers and fall to stronger primitives.)
+class MutexAlgorithm {
+ public:
+  virtual ~MutexAlgorithm() = default;
+
+  /// Entry code for the process occupying `slot` (0-based, < capacity()).
+  /// Completes exactly when the process may enter its critical section.
+  virtual Task<void> enter(ProcessContext& ctx, int slot) = 0;
+
+  /// Exit code; completes when the process is back in its remainder region.
+  virtual Task<void> exit(ProcessContext& ctx, int slot) = 0;
+
+  /// Abortable entry code (used by the Lemma 1 detector adapter): behaves
+  /// like `enter`, except that whenever the algorithm would busy-wait it
+  /// also reads `abort_bit` and gives up (restoring its registers to
+  /// non-blocking values) if the bit is set. Returns 1 on success (the
+  /// caller is in its critical section) and 0 on abort.
+  ///
+  /// A contention-free (solo) invocation never waits, so it never reads
+  /// `abort_bit`: aborts cost nothing in the contention-free measures.
+  virtual Task<Value> try_enter(ProcessContext& ctx, int slot,
+                                RegId abort_bit) = 0;
+
+  /// Maximum number of processes supported.
+  [[nodiscard]] virtual int capacity() const = 0;
+
+  /// Declared atomicity l: width of the widest register the algorithm
+  /// accesses (verified against the trace in tests).
+  [[nodiscard]] virtual int atomicity() const = 0;
+
+  [[nodiscard]] virtual std::string algorithm_name() const = 0;
+};
+
+/// Factory: allocates the algorithm's registers in `mem` for n processes.
+using MutexFactory =
+    std::function<std::unique_ptr<MutexAlgorithm>(RegisterFile& mem, int n)>;
+
+/// Standard per-process driver: `sessions` rounds of
+/// remainder -> entry -> critical -> exit -> remainder.
+/// Matching the paper's formal model, the process performs no shared-memory
+/// steps inside its critical section.
+Task<void> mutex_driver(ProcessContext& ctx, MutexAlgorithm& alg, int slot,
+                        int sessions);
+
+/// Spawns n driver processes into an empty sim and returns the algorithm
+/// instance (which owns the registers' layout; keep it alive while running).
+/// Enables the simulator's mutual-exclusion invariant check.
+std::unique_ptr<MutexAlgorithm> setup_mutex(Sim& sim, const MutexFactory& make,
+                                            int n, int sessions);
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_MUTEX_ALGORITHM_H

@@ -1,0 +1,63 @@
+#include "mutex/peterson.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+namespace {
+constexpr RegId kNoAbort = -1;
+}  // namespace
+
+Peterson::Peterson(RegisterFile& mem, const std::string& tag) {
+  flag_[0] = mem.add_bit(tag + ".flag0");
+  flag_[1] = mem.add_bit(tag + ".flag1");
+  turn_ = mem.add_bit(tag + ".turn");
+}
+
+Task<void> Peterson::enter(ProcessContext& ctx, int slot) {
+  co_await try_enter(ctx, slot, kNoAbort);
+}
+
+Task<Value> Peterson::try_enter(ProcessContext& ctx, int slot,
+                                RegId abort_bit) {
+  if (slot < 0 || slot > 1) {
+    throw std::invalid_argument("Peterson slot must be 0 or 1");
+  }
+  const int me = slot;
+  const int other = 1 - slot;
+  co_await ctx.write(flag_[me], 1);
+  co_await ctx.write(turn_, static_cast<Value>(other));
+  while (true) {
+    const Value other_flag = co_await ctx.read(flag_[other]);
+    if (other_flag == 0) {
+      break;
+    }
+    const Value turn_now = co_await ctx.read(turn_);
+    if (turn_now == static_cast<Value>(me)) {
+      break;
+    }
+    if (abort_bit != kNoAbort) {
+      const Value stop = co_await ctx.read(abort_bit);
+      if (stop != 0) {
+        co_await ctx.write(flag_[me], 0);
+        co_return 0;
+      }
+    }
+  }
+  co_return 1;
+}
+
+Task<void> Peterson::exit(ProcessContext& ctx, int slot) {
+  co_await ctx.write(flag_[slot], 0);
+}
+
+MutexFactory Peterson::factory() {
+  return [](RegisterFile& mem, int n) {
+    if (n > 2) {
+      throw std::invalid_argument("Peterson supports at most 2 processes");
+    }
+    return std::make_unique<Peterson>(mem);
+  };
+}
+
+}  // namespace cfc

@@ -1,0 +1,46 @@
+#ifndef CFC_MUTEX_PETERSON_H
+#define CFC_MUTEX_PETERSON_H
+
+#include <string>
+
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Peterson's two-process mutual exclusion algorithm over three shared bits
+/// (flag[0], flag[1], turn) — atomicity 1. In the absence of contention a
+/// process performs 3 entry accesses and 1 exit access over 3 registers.
+///
+/// Entry (process i, j = 1-i):        Exit (process i):
+///   flag[i] := 1                       flag[i] := 0
+///   turn := j
+///   await (flag[j] = 0 or turn = i)
+///
+/// `turn` is a multi-writer bit; contrast with Kessels' algorithm, which
+/// achieves the same interface with single-writer bits only.
+class Peterson final : public MutexAlgorithm {
+ public:
+  explicit Peterson(RegisterFile& mem, const std::string& tag = "peterson");
+
+  Task<void> enter(ProcessContext& ctx, int slot) override;
+  Task<void> exit(ProcessContext& ctx, int slot) override;
+  Task<Value> try_enter(ProcessContext& ctx, int slot,
+                        RegId abort_bit) override;
+
+  [[nodiscard]] int capacity() const override { return 2; }
+  [[nodiscard]] int atomicity() const override { return 1; }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "peterson-2p";
+  }
+
+  /// For use as a tournament-tree node.
+  [[nodiscard]] static MutexFactory factory();
+
+ private:
+  RegId flag_[2] = {-1, -1};
+  RegId turn_ = -1;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_PETERSON_H

@@ -1,0 +1,43 @@
+#include "mutex/tas_lock.h"
+
+namespace cfc {
+
+namespace {
+constexpr RegId kNoAbort = -1;
+}  // namespace
+
+TasLock::TasLock(RegisterFile& mem, const std::string& tag) {
+  bit_ = mem.add_bit(tag + ".lock");
+}
+
+Task<void> TasLock::enter(ProcessContext& ctx, int slot) {
+  co_await try_enter(ctx, slot, kNoAbort);
+}
+
+Task<Value> TasLock::try_enter(ProcessContext& ctx, int /*slot*/,
+                               RegId abort_bit) {
+  for (;;) {
+    const Value held = co_await ctx.test_and_set(bit_);
+    if (held == 0) {
+      co_return 1;
+    }
+    if (abort_bit != kNoAbort) {
+      const Value stop = co_await ctx.read(abort_bit);
+      if (stop != 0) {
+        co_return 0;
+      }
+    }
+  }
+}
+
+Task<void> TasLock::exit(ProcessContext& ctx, int /*slot*/) {
+  co_await ctx.op(BitOp::Write0, bit_);
+}
+
+MutexFactory TasLock::factory() {
+  return [](RegisterFile& mem, int /*n*/) {
+    return std::make_unique<TasLock>(mem);
+  };
+}
+
+}  // namespace cfc

@@ -1,0 +1,42 @@
+#ifndef CFC_MUTEX_TAS_LOCK_H
+#define CFC_MUTEX_TAS_LOCK_H
+
+#include <string>
+
+#include "mutex/mutex_algorithm.h"
+
+namespace cfc {
+
+/// Test-and-set spinlock: a one-bit read-modify-write lock.
+///
+/// This is *not* an atomic-register algorithm — it exists as the contrast
+/// case: Theorems 1 and 2 lower-bound contention-free complexity only for
+/// algorithms restricted to atomic read/write registers. With a single rmw
+/// bit the contention-free step complexity is 2 (one test-and-set to enter,
+/// one write to exit) and the register complexity is 1, for any n —
+/// demonstrating that the bounds separate the computational power of the
+/// primitives rather than the problem alone.
+class TasLock final : public MutexAlgorithm {
+ public:
+  explicit TasLock(RegisterFile& mem, const std::string& tag = "taslock");
+
+  Task<void> enter(ProcessContext& ctx, int slot) override;
+  Task<void> exit(ProcessContext& ctx, int slot) override;
+  Task<Value> try_enter(ProcessContext& ctx, int slot,
+                        RegId abort_bit) override;
+
+  [[nodiscard]] int capacity() const override { return 1 << 30; }
+  [[nodiscard]] int atomicity() const override { return 1; }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "tas-lock";
+  }
+
+  [[nodiscard]] static MutexFactory factory();
+
+ private:
+  RegId bit_ = -1;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_MUTEX_TAS_LOCK_H

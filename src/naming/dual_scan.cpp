@@ -1,0 +1,75 @@
+#include "naming/dual_scan.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+TarScan::TarScan(RegisterFile& mem, int n) : n_(n) {
+  if (n < 1) {
+    throw std::invalid_argument("TarScan needs n >= 1");
+  }
+  bits_.reserve(static_cast<std::size_t>(n - 1));
+  for (int j = 1; j < n; ++j) {
+    bits_.push_back(mem.add_bit("tarscan.b" + std::to_string(j), true));
+  }
+}
+
+Task<Value> TarScan::claim(ProcessContext& ctx) {
+  for (std::size_t j = 0; j < bits_.size(); ++j) {
+    const Value old = co_await ctx.test_and_reset(bits_[j]);
+    if (old == 1) {  // dual of "old == 0"
+      co_return static_cast<Value>(j + 1);
+    }
+  }
+  co_return static_cast<Value>(n_);
+}
+
+NamingFactory TarScan::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<TarScan>(mem, n);
+  };
+}
+
+TarReadSearch::TarReadSearch(RegisterFile& mem, int n) : n_(n) {
+  if (n < 1) {
+    throw std::invalid_argument("TarReadSearch needs n >= 1");
+  }
+  bits_.reserve(static_cast<std::size_t>(n - 1));
+  for (int j = 1; j < n; ++j) {
+    bits_.push_back(mem.add_bit("tarsearch.b" + std::to_string(j), true));
+  }
+}
+
+Task<Value> TarReadSearch::claim(ProcessContext& ctx) {
+  if (bits_.empty()) {
+    co_return 1;
+  }
+  // Binary search for the least index still reading 1 (claimed bits read 0
+  // here — everything is the complement of TasReadSearch).
+  std::size_t lo = 0;
+  std::size_t hi = bits_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Value v = co_await ctx.op(BitOp::Read, bits_[mid]);
+    if (v == 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (std::size_t j = lo; j < bits_.size(); ++j) {
+    const Value old = co_await ctx.test_and_reset(bits_[j]);
+    if (old == 1) {
+      co_return static_cast<Value>(j + 1);
+    }
+  }
+  co_return static_cast<Value>(n_);
+}
+
+NamingFactory TarReadSearch::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<TarReadSearch>(mem, n);
+  };
+}
+
+}  // namespace cfc

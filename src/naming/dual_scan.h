@@ -1,0 +1,62 @@
+#ifndef CFC_NAMING_DUAL_SCAN_H
+#define CFC_NAMING_DUAL_SCAN_H
+
+#include <vector>
+
+#include "naming/naming_algorithm.h"
+
+namespace cfc {
+
+/// Dual of TasScan under the Section 3.2 duality: bits start at 1 and are
+/// claimed with test-and-reset (old value 1 wins). Every bound for the
+/// {test-and-set} model transfers to {test-and-reset} through this
+/// algorithm — the executable witness of the duality argument, and a
+/// building block for the all-models census.
+class TarScan final : public NamingAlgorithm {
+ public:
+  TarScan(RegisterFile& mem, int n);
+
+  Task<Value> claim(ProcessContext& ctx) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int name_space() const override { return n_; }
+  [[nodiscard]] Model model() const override {
+    return Model{BitOp::TestAndReset};
+  }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "tar-scan";
+  }
+
+  [[nodiscard]] static NamingFactory factory();
+
+ private:
+  int n_;
+  std::vector<RegId> bits_;
+};
+
+/// Dual of TasReadSearch: bits start at 1; binary search (by reads) for the
+/// least bit still reading 1, then test-and-reset probes. Contention-free
+/// step complexity ~ log n in the {read, test-and-reset} model.
+class TarReadSearch final : public NamingAlgorithm {
+ public:
+  TarReadSearch(RegisterFile& mem, int n);
+
+  Task<Value> claim(ProcessContext& ctx) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int name_space() const override { return n_; }
+  [[nodiscard]] Model model() const override {
+    return Model{BitOp::Read, BitOp::TestAndReset};
+  }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "tar-read-search";
+  }
+
+  [[nodiscard]] static NamingFactory factory();
+
+ private:
+  int n_;
+  std::vector<RegId> bits_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_NAMING_DUAL_SCAN_H

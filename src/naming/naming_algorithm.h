@@ -1,0 +1,60 @@
+#ifndef CFC_NAMING_NAMING_ALGORITHM_H
+#define CFC_NAMING_NAMING_ALGORITHM_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "memory/model.h"
+#include "memory/register_file.h"
+#include "sched/sim.h"
+#include "sched/task.h"
+
+namespace cfc {
+
+/// The naming problem (Section 3): n initially *identical* processes must
+/// each obtain a unique name from {1, ..., name_space()}, wait-free (every
+/// participating process terminates in a bounded number of its own steps
+/// regardless of crashes elsewhere), over shared bits accessed with the
+/// operations of a declared Model.
+///
+/// Symmetry is structural: `claim` receives no process identifier — a
+/// process can branch only on values returned by earlier operations. The
+/// simulator additionally enforces the bit-model discipline (every access
+/// is one BitOp of the declared model applied to one shared bit).
+class NamingAlgorithm {
+ public:
+  virtual ~NamingAlgorithm() = default;
+
+  /// The protocol: runs until a name is claimed and returns it.
+  virtual Task<Value> claim(ProcessContext& ctx) = 0;
+
+  /// Maximum number of participating processes.
+  [[nodiscard]] virtual int capacity() const = 0;
+
+  /// Size of the name space (n for all algorithms here — optimal).
+  [[nodiscard]] virtual int name_space() const = 0;
+
+  /// The weakest model the algorithm needs.
+  [[nodiscard]] virtual Model model() const = 0;
+
+  [[nodiscard]] virtual std::string algorithm_name() const = 0;
+};
+
+using NamingFactory =
+    std::function<std::unique_ptr<NamingAlgorithm>(RegisterFile& mem, int n)>;
+
+/// Standard driver: Working/Done bookkeeping, records the claimed name as
+/// the process output.
+Task<void> naming_driver(ProcessContext& ctx, NamingAlgorithm& alg);
+
+/// Spawns n naming processes into an empty sim, declares the algorithm's
+/// model on the simulator (enforcing the bit discipline), and returns the
+/// algorithm instance.
+std::unique_ptr<NamingAlgorithm> setup_naming(Sim& sim,
+                                              const NamingFactory& make,
+                                              int n);
+
+}  // namespace cfc
+
+#endif  // CFC_NAMING_NAMING_ALGORITHM_H

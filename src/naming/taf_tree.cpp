@@ -1,0 +1,42 @@
+#include "naming/taf_tree.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+namespace {
+
+bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+TafTree::TafTree(RegisterFile& mem, int n) : n_(n) {
+  if (n < 2 || !is_power_of_two(n)) {
+    throw std::invalid_argument("TafTree needs a power-of-two n >= 2");
+  }
+  bits_.resize(static_cast<std::size_t>(n));  // index 0 unused
+  for (int v = 1; v < n; ++v) {
+    bits_[static_cast<std::size_t>(v)] =
+        mem.add_bit("taf.t" + std::to_string(v));
+  }
+}
+
+Task<Value> TafTree::claim(ProcessContext& ctx) {
+  // Walk the heap-shaped tree: node v's children are 2v and 2v+1. After
+  // log2(n) flips, v lands in [n, 2n); names are 1-based slots.
+  int v = 1;
+  while (v < n_) {
+    const Value r =
+        co_await ctx.test_and_flip(bits_[static_cast<std::size_t>(v)]);
+    v = 2 * v + static_cast<int>(r);
+  }
+  co_return static_cast<Value>(v - n_ + 1);
+}
+
+NamingFactory TafTree::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<TafTree>(mem, n);
+  };
+}
+
+}  // namespace cfc

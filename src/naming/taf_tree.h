@@ -1,0 +1,44 @@
+#ifndef CFC_NAMING_TAF_TREE_H
+#define CFC_NAMING_TAF_TREE_H
+
+#include <vector>
+
+#include "naming/naming_algorithm.h"
+
+namespace cfc {
+
+/// Theorem 4.1: naming with test-and-flip, worst-case step complexity
+/// exactly log n (tight by Theorem 5).
+///
+/// n - 1 shared bits arranged as a complete binary tree (n a power of two).
+/// Each process walks root-to-leaf applying test-and-flip at every node:
+/// returned 0 goes left, 1 goes right. Because test-and-flip alternates the
+/// returned values 0,1,0,1,... among the processes completing an operation
+/// at a node, at most ceil(k/2) of k visitors descend to either side, so at
+/// most one process arrives at each of the 2n virtual slots below the
+/// leaves — its unique name.
+class TafTree final : public NamingAlgorithm {
+ public:
+  /// n must be a power of two, >= 2.
+  TafTree(RegisterFile& mem, int n);
+
+  Task<Value> claim(ProcessContext& ctx) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int name_space() const override { return n_; }
+  [[nodiscard]] Model model() const override {
+    return Model::test_and_flip();
+  }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "taf-tree";
+  }
+
+  [[nodiscard]] static NamingFactory factory();
+
+ private:
+  int n_;
+  std::vector<RegId> bits_;  // heap layout, index 1..n-1
+};
+
+}  // namespace cfc
+
+#endif  // CFC_NAMING_TAF_TREE_H

@@ -1,0 +1,51 @@
+#include "naming/tas_read_search.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+TasReadSearch::TasReadSearch(RegisterFile& mem, int n) : n_(n) {
+  if (n < 1) {
+    throw std::invalid_argument("TasReadSearch needs n >= 1");
+  }
+  bits_.reserve(static_cast<std::size_t>(n - 1));
+  for (int j = 1; j < n; ++j) {
+    bits_.push_back(mem.add_bit("tassearch.b" + std::to_string(j)));
+  }
+}
+
+Task<Value> TasReadSearch::claim(ProcessContext& ctx) {
+  if (bits_.empty()) {
+    co_return 1;  // single process, single name
+  }
+  // Binary search with reads for the least index whose bit reads 0. In a
+  // contention-free run the 1-bits form a prefix, so this is exact.
+  std::size_t lo = 0;
+  std::size_t hi = bits_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Value v = co_await ctx.op(BitOp::Read, bits_[mid]);
+    if (v != 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Probe from the candidate onward (degenerates to the linear scan only
+  // under contention).
+  for (std::size_t j = lo; j < bits_.size(); ++j) {
+    const Value old = co_await ctx.test_and_set(bits_[j]);
+    if (old == 0) {
+      co_return static_cast<Value>(j + 1);
+    }
+  }
+  co_return static_cast<Value>(n_);
+}
+
+NamingFactory TasReadSearch::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<TasReadSearch>(mem, n);
+  };
+}
+
+}  // namespace cfc

@@ -1,0 +1,33 @@
+#include "naming/tas_scan.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+TasScan::TasScan(RegisterFile& mem, int n) : n_(n) {
+  if (n < 1) {
+    throw std::invalid_argument("TasScan needs n >= 1");
+  }
+  bits_.reserve(static_cast<std::size_t>(n - 1));
+  for (int j = 1; j < n; ++j) {
+    bits_.push_back(mem.add_bit("tasscan.b" + std::to_string(j)));
+  }
+}
+
+Task<Value> TasScan::claim(ProcessContext& ctx) {
+  for (std::size_t j = 0; j < bits_.size(); ++j) {
+    const Value old = co_await ctx.test_and_set(bits_[j]);
+    if (old == 0) {
+      co_return static_cast<Value>(j + 1);
+    }
+  }
+  co_return static_cast<Value>(n_);  // all n-1 probes returned 1
+}
+
+NamingFactory TasScan::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<TasScan>(mem, n);
+  };
+}
+
+}  // namespace cfc

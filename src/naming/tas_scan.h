@@ -1,0 +1,41 @@
+#ifndef CFC_NAMING_TAS_SCAN_H
+#define CFC_NAMING_TAS_SCAN_H
+
+#include <vector>
+
+#include "naming/naming_algorithm.h"
+
+namespace cfc {
+
+/// Theorem 4.3: naming with test-and-set only — worst-case step complexity
+/// n - 1, which is optimal in this model: Theorem 6 gives the matching n-1
+/// worst-case lower bound (no test-and-flip), and Theorem 7 shows even the
+/// contention-free register complexity is n - 1 here.
+///
+/// n - 1 bits, initially 0, numbered 1..n-1. A process scans them in order
+/// applying test-and-set; it takes as its name the first bit whose old
+/// value was 0, or n if every probe returned 1.
+class TasScan final : public NamingAlgorithm {
+ public:
+  TasScan(RegisterFile& mem, int n);
+
+  Task<Value> claim(ProcessContext& ctx) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int name_space() const override { return n_; }
+  [[nodiscard]] Model model() const override {
+    return Model::test_and_set();
+  }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "tas-scan";
+  }
+
+  [[nodiscard]] static NamingFactory factory();
+
+ private:
+  int n_;
+  std::vector<RegId> bits_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_NAMING_TAS_SCAN_H

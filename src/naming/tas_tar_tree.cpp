@@ -1,0 +1,51 @@
+#include "naming/tas_tar_tree.h"
+
+#include <stdexcept>
+
+namespace cfc {
+
+namespace {
+
+bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+TasTarTree::TasTarTree(RegisterFile& mem, int n) : n_(n) {
+  if (n < 2 || !is_power_of_two(n)) {
+    throw std::invalid_argument("TasTarTree needs a power-of-two n >= 2");
+  }
+  bits_.resize(static_cast<std::size_t>(n));
+  for (int v = 1; v < n; ++v) {
+    bits_[static_cast<std::size_t>(v)] =
+        mem.add_bit("tastar.t" + std::to_string(v));
+  }
+}
+
+Task<Value> TasTarTree::claim(ProcessContext& ctx) {
+  int v = 1;
+  while (v < n_) {
+    const RegId bit = bits_[static_cast<std::size_t>(v)];
+    int direction = -1;
+    while (direction < 0) {
+      const Value s = co_await ctx.test_and_set(bit);
+      if (s == 0) {
+        direction = 0;  // this process performed the 0 -> 1 transition
+        break;
+      }
+      const Value r = co_await ctx.test_and_reset(bit);
+      if (r == 1) {
+        direction = 1;  // this process performed the 1 -> 0 transition
+      }
+    }
+    v = 2 * v + direction;
+  }
+  co_return static_cast<Value>(v - n_ + 1);
+}
+
+NamingFactory TasTarTree::factory() {
+  return [](RegisterFile& mem, int n) {
+    return std::make_unique<TasTarTree>(mem, n);
+  };
+}
+
+}  // namespace cfc

@@ -1,0 +1,45 @@
+#ifndef CFC_NAMING_TAS_TAR_TREE_H
+#define CFC_NAMING_TAS_TAR_TREE_H
+
+#include <vector>
+
+#include "naming/naming_algorithm.h"
+
+namespace cfc {
+
+/// Theorem 4.2: naming with test-and-set + test-and-reset, worst-case
+/// *register* complexity log n (the process revisits the same node bit, so
+/// its step count can exceed log n, but it never touches more than log n
+/// distinct bits).
+///
+/// Same tree as TafTree; at each node, since test-and-flip is unavailable,
+/// the process alternately applies test-and-set and test-and-reset until a
+/// test-and-set returns 0 (descend left) or a test-and-reset returns 1
+/// (descend right). Value-changing successes alternate 0->1 (tas) and
+/// 1->0 (tar), so completers split left/right exactly as with
+/// test-and-flip; failed probes change nothing and only cost steps.
+class TasTarTree final : public NamingAlgorithm {
+ public:
+  /// n must be a power of two, >= 2.
+  TasTarTree(RegisterFile& mem, int n);
+
+  Task<Value> claim(ProcessContext& ctx) override;
+  [[nodiscard]] int capacity() const override { return n_; }
+  [[nodiscard]] int name_space() const override { return n_; }
+  [[nodiscard]] Model model() const override {
+    return Model{BitOp::TestAndSet, BitOp::TestAndReset};
+  }
+  [[nodiscard]] std::string algorithm_name() const override {
+    return "tas-tar-tree";
+  }
+
+  [[nodiscard]] static NamingFactory factory();
+
+ private:
+  int n_;
+  std::vector<RegId> bits_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_NAMING_TAS_TAR_TREE_H

@@ -1,0 +1,90 @@
+#ifndef CFC_RT_ATOMIC_MEMORY_H
+#define CFC_RT_ATOMIC_MEMORY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cfc::rt {
+
+/// Real shared memory for the wall-clock experiments (the F2 backoff study
+/// and the rmw contrast): a fixed array of cache-line-padded
+/// std::atomic<uint64_t> registers. Unlike the discrete-event simulator this
+/// backend runs under std::thread with genuine hardware contention; it backs
+/// the Section 4 discussion (MS93: with backoff, time-to-enter under load
+/// approaches the contention-free time).
+///
+/// Sequential consistency is used throughout: the paper's model is atomic
+/// registers with interleaving semantics, and seq_cst is the faithful (if
+/// conservative) mapping.
+/// Physical placement of the registers (the [MS93] packing dimension):
+/// Padded gives every register its own cache line (no false sharing,
+/// maximum footprint); Packed lays them out densely (one line may hold 8
+/// registers — fewer lines to move, more invalidation coupling).
+enum class MemoryLayout : std::uint8_t { Padded, Packed };
+
+class AtomicMemory {
+ public:
+  explicit AtomicMemory(int registers,
+                        MemoryLayout layout = MemoryLayout::Padded)
+      : layout_(layout) {
+    if (layout_ == MemoryLayout::Padded) {
+      padded_ = std::vector<PaddedSlot>(static_cast<std::size_t>(registers));
+    } else {
+      packed_ = std::vector<std::atomic<std::uint64_t>>(
+          static_cast<std::size_t>(registers));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t read(int r) const {
+    return slot(r).load(std::memory_order_seq_cst);
+  }
+
+  void write(int r, std::uint64_t v) {
+    slot(r).store(v, std::memory_order_seq_cst);
+  }
+
+  /// test-and-set on a register used as a bit; returns the old value.
+  [[nodiscard]] std::uint64_t test_and_set(int r) {
+    return slot(r).exchange(1, std::memory_order_seq_cst);
+  }
+
+  void reset() {
+    for (int r = 0; r < size(); ++r) {
+      slot(r).store(0, std::memory_order_seq_cst);
+    }
+  }
+
+  [[nodiscard]] int size() const {
+    return layout_ == MemoryLayout::Padded
+               ? static_cast<int>(padded_.size())
+               : static_cast<int>(packed_.size());
+  }
+
+  [[nodiscard]] MemoryLayout layout() const { return layout_; }
+
+ private:
+  struct alignas(64) PaddedSlot {  // one cache line per register
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  [[nodiscard]] std::atomic<std::uint64_t>& slot(int r) {
+    return layout_ == MemoryLayout::Padded
+               ? padded_[static_cast<std::size_t>(r)].value
+               : packed_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>& slot(int r) const {
+    return layout_ == MemoryLayout::Padded
+               ? padded_[static_cast<std::size_t>(r)].value
+               : packed_[static_cast<std::size_t>(r)];
+  }
+
+  MemoryLayout layout_;
+  std::vector<PaddedSlot> padded_;
+  std::vector<std::atomic<std::uint64_t>> packed_;
+};
+
+}  // namespace cfc::rt
+
+#endif  // CFC_RT_ATOMIC_MEMORY_H

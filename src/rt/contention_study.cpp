@@ -1,0 +1,93 @@
+#include "rt/contention_study.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace cfc::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <class LockFn, class UnlockFn>
+ContentionStudyResult run_study(const ContentionStudyConfig& config,
+                                LockFn&& lock, UnlockFn&& unlock) {
+  if (config.threads < 1) {
+    throw std::invalid_argument("contention study needs >= 1 thread");
+  }
+  std::atomic<std::uint64_t> total_accesses{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> go{false};
+
+  auto worker = [&](int id) {
+    std::uint64_t my_accesses = 0;
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < config.acquisitions_per_thread; ++i) {
+      my_accesses += lock(id);
+      if (in_cs.fetch_add(1, std::memory_order_seq_cst) != 0) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      in_cs.fetch_sub(1, std::memory_order_seq_cst);
+      my_accesses += unlock(id);
+    }
+    total_accesses.fetch_add(my_accesses, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    pool.emplace_back(worker, t + 1);
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  const auto stop = Clock::now();
+
+  ContentionStudyResult res;
+  res.threads = config.threads;
+  res.backoff = config.backoff;
+  res.total_acquisitions =
+      static_cast<std::uint64_t>(config.threads) *
+      static_cast<std::uint64_t>(config.acquisitions_per_thread);
+  res.mean_accesses = static_cast<double>(total_accesses.load()) /
+                      static_cast<double>(res.total_acquisitions);
+  res.mean_ns = static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        stop - start)
+                        .count()) /
+                static_cast<double>(res.total_acquisitions);
+  res.violations = violations.load();
+  return res;
+}
+
+}  // namespace
+
+ContentionStudyResult run_lamport_study(const ContentionStudyConfig& config) {
+  AtomicMemory mem(LamportFastRt::registers_needed(config.threads),
+                   config.layout);
+  BackoffPolicy policy;
+  policy.enabled = config.backoff;
+  LamportFastRt lock(mem, config.threads, policy);
+  return run_study(
+      config, [&lock](int id) { return lock.lock(id); },
+      [&lock](int id) { return lock.unlock(id); });
+}
+
+ContentionStudyResult run_tas_study(const ContentionStudyConfig& config) {
+  AtomicMemory mem(1);
+  BackoffPolicy policy;
+  policy.enabled = config.backoff;
+  TasLockRt lock(mem, 0, policy);
+  return run_study(
+      config, [&lock](int) { return lock.lock(); },
+      [&lock](int) { return lock.unlock(); });
+}
+
+}  // namespace cfc::rt

@@ -1,0 +1,50 @@
+#ifndef CFC_RT_CONTENTION_STUDY_H
+#define CFC_RT_CONTENTION_STUDY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/lamport_fast_rt.h"
+
+namespace cfc::rt {
+
+/// The Section 4 / MS93 experiment: with k threads hammering the lock,
+/// measure per-acquisition figures for the winning thread and compare
+/// against the contention-free (k = 1) baseline. The paper's claim: with
+/// backoff, "the time it takes the winning process to enter its critical
+/// section since the last time a critical section was released is very
+/// close to the time it takes in absence of contention".
+struct ContentionStudyConfig {
+  int threads = 4;
+  int acquisitions_per_thread = 2'000;
+  bool backoff = false;
+  /// Physical register placement (the [MS93] packing dimension).
+  MemoryLayout layout = MemoryLayout::Padded;
+  std::uint64_t seed = 1;  ///< reserved for workload jitter
+};
+
+struct ContentionStudyResult {
+  int threads = 0;
+  bool backoff = false;
+  std::uint64_t total_acquisitions = 0;
+  /// Shared-memory accesses per acquisition (entry+exit), averaged over all
+  /// acquisitions — the step-complexity analogue on hardware.
+  double mean_accesses = 0.0;
+  /// Wall-clock nanoseconds per acquisition, aggregated throughput view.
+  double mean_ns = 0.0;
+  /// Mutual exclusion check: number of times two threads were observed in
+  /// the critical section (must be 0).
+  std::uint64_t violations = 0;
+};
+
+/// Runs the study with Lamport's fast lock.
+[[nodiscard]] ContentionStudyResult run_lamport_study(
+    const ContentionStudyConfig& config);
+
+/// Runs the study with the test-and-set lock (rmw baseline).
+[[nodiscard]] ContentionStudyResult run_tas_study(
+    const ContentionStudyConfig& config);
+
+}  // namespace cfc::rt
+
+#endif  // CFC_RT_CONTENTION_STUDY_H

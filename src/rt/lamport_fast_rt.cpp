@@ -1,0 +1,119 @@
+#include "rt/lamport_fast_rt.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace cfc::rt {
+
+namespace {
+constexpr int kX = 0;
+constexpr int kY = 1;
+constexpr int kB0 = 2;
+}  // namespace
+
+LamportFastRt::LamportFastRt(AtomicMemory& mem, int n, BackoffPolicy backoff)
+    : mem_(mem), n_(n), backoff_(backoff) {
+  if (mem.size() < registers_needed(n)) {
+    throw std::invalid_argument("AtomicMemory too small for LamportFastRt");
+  }
+}
+
+void LamportFastRt::backoff_wait(std::uint32_t& spins) const {
+  for (std::uint32_t i = 0; i < spins; ++i) {
+    std::this_thread::yield();
+  }
+  if (spins < backoff_.max_spins) {
+    spins *= 2;
+  }
+}
+
+std::uint64_t LamportFastRt::lock(int id) {
+  const auto uid = static_cast<std::uint64_t>(id);
+  std::uint64_t accesses = 0;
+  std::uint32_t spins = backoff_.min_spins;
+  for (;;) {
+    mem_.write(kB0 + id - 1, 1);
+    ++accesses;
+    mem_.write(kX, uid);
+    ++accesses;
+    ++accesses;
+    if (mem_.read(kY) != 0) {
+      mem_.write(kB0 + id - 1, 0);
+      ++accesses;
+      for (;;) {
+        if (backoff_.enabled) {
+          backoff_wait(spins);
+        }
+        ++accesses;
+        if (mem_.read(kY) == 0) {
+          break;
+        }
+      }
+      continue;
+    }
+    mem_.write(kY, uid);
+    ++accesses;
+    ++accesses;
+    if (mem_.read(kX) != uid) {
+      mem_.write(kB0 + id - 1, 0);
+      ++accesses;
+      for (int j = 0; j < n_; ++j) {
+        for (;;) {
+          ++accesses;
+          if (mem_.read(kB0 + j) == 0) {
+            break;
+          }
+          if (backoff_.enabled) {
+            backoff_wait(spins);
+          }
+        }
+      }
+      ++accesses;
+      if (mem_.read(kY) != uid) {
+        for (;;) {
+          if (backoff_.enabled) {
+            backoff_wait(spins);
+          }
+          ++accesses;
+          if (mem_.read(kY) == 0) {
+            break;
+          }
+        }
+        continue;
+      }
+    }
+    return accesses;
+  }
+}
+
+std::uint64_t LamportFastRt::unlock(int id) {
+  mem_.write(kY, 0);
+  mem_.write(kB0 + id - 1, 0);
+  return 2;
+}
+
+std::uint64_t TasLockRt::lock() {
+  std::uint64_t accesses = 0;
+  std::uint32_t spins = backoff_.min_spins;
+  for (;;) {
+    ++accesses;
+    if (mem_.test_and_set(bit_) == 0) {
+      return accesses;
+    }
+    if (backoff_.enabled) {
+      for (std::uint32_t i = 0; i < spins; ++i) {
+        std::this_thread::yield();
+      }
+      if (spins < backoff_.max_spins) {
+        spins *= 2;
+      }
+    }
+  }
+}
+
+std::uint64_t TasLockRt::unlock() {
+  mem_.write(bit_, 0);
+  return 1;
+}
+
+}  // namespace cfc::rt

@@ -1,0 +1,66 @@
+#ifndef CFC_RT_LAMPORT_FAST_RT_H
+#define CFC_RT_LAMPORT_FAST_RT_H
+
+#include <cstdint>
+
+#include "rt/atomic_memory.h"
+
+namespace cfc::rt {
+
+/// Exponential backoff policy (Section 4's discussion): on noticing
+/// contention a process delays itself before retrying, so the winner's path
+/// from lock release to the next critical-section entry stays close to the
+/// contention-free path (the MS93 observation).
+struct BackoffPolicy {
+  bool enabled = false;
+  std::uint32_t min_spins = 1 << 4;
+  std::uint32_t max_spins = 1 << 14;
+};
+
+/// Lamport's fast mutual exclusion algorithm [Lam87] over real atomics, for
+/// wall-clock experiments. Register layout inside an AtomicMemory:
+///   [0] x, [1] y (0 = empty, ids are 1..n), [2 + i] b[i].
+///
+/// The simulator twin (mutex/lamport_fast.h) is the measured, instrumented
+/// version; this one exists to run the paper's Section 4 story on hardware.
+class LamportFastRt {
+ public:
+  /// `mem` must have at least 2 + n registers.
+  LamportFastRt(AtomicMemory& mem, int n, BackoffPolicy backoff = {});
+
+  /// Entry code for process id 1..n. Returns the number of shared accesses
+  /// performed (7 total with exit, in the absence of contention).
+  std::uint64_t lock(int id);
+
+  /// Exit code. Returns the number of shared accesses performed (2).
+  std::uint64_t unlock(int id);
+
+  [[nodiscard]] static int registers_needed(int n) { return 2 + n; }
+
+ private:
+  void backoff_wait(std::uint32_t& spins) const;
+
+  AtomicMemory& mem_;
+  int n_;
+  BackoffPolicy backoff_;
+};
+
+/// One-bit test-and-set spinlock over real atomics (the rmw baseline).
+class TasLockRt {
+ public:
+  explicit TasLockRt(AtomicMemory& mem, int bit = 0,
+                     BackoffPolicy backoff = {})
+      : mem_(mem), bit_(bit), backoff_(backoff) {}
+
+  std::uint64_t lock();
+  std::uint64_t unlock();
+
+ private:
+  AtomicMemory& mem_;
+  int bit_;
+  BackoffPolicy backoff_;
+};
+
+}  // namespace cfc::rt
+
+#endif  // CFC_RT_LAMPORT_FAST_RT_H

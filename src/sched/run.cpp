@@ -1,0 +1,72 @@
+#include "sched/run.h"
+
+#include <algorithm>
+
+namespace cfc {
+
+std::string_view name(Section s) {
+  switch (s) {
+    case Section::Remainder:
+      return "remainder";
+    case Section::Entry:
+      return "entry";
+    case Section::Critical:
+      return "critical";
+    case Section::Exit:
+      return "exit";
+    case Section::Working:
+      return "working";
+    case Section::Done:
+      return "done";
+  }
+  return "unknown";
+}
+
+std::vector<Access> Trace::accesses_of(Pid pid) const {
+  std::vector<Access> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == TraceEvent::Kind::Access && ev.pid == pid) {
+      out.push_back(ev.access);
+    }
+  }
+  return out;
+}
+
+std::vector<Access> Trace::accesses() const {
+  std::vector<Access> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == TraceEvent::Kind::Access) {
+      out.push_back(ev.access);
+    }
+  }
+  return out;
+}
+
+std::size_t Trace::access_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [](const TraceEvent& ev) {
+        return ev.kind == TraceEvent::Kind::Access;
+      }));
+}
+
+int Trace::max_width_accessed(Pid pid) const {
+  int w = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == TraceEvent::Kind::Access && ev.pid == pid) {
+      w = std::max(w, ev.access.width);
+    }
+  }
+  return w;
+}
+
+int Trace::max_width_accessed() const {
+  int w = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == TraceEvent::Kind::Access) {
+      w = std::max(w, ev.access.width);
+    }
+  }
+  return w;
+}
+
+}  // namespace cfc

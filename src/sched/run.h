@@ -1,0 +1,87 @@
+#ifndef CFC_SCHED_RUN_H
+#define CFC_SCHED_RUN_H
+
+#include <string_view>
+#include <vector>
+
+#include "memory/access.h"
+#include "memory/types.h"
+
+namespace cfc {
+
+/// Protocol section a process is in. For mutual exclusion the paper's
+/// regions are Remainder / Entry / Critical / Exit; one-shot tasks (naming,
+/// contention detection) use Working / Done. A process that has not started
+/// is treated as being in its remainder region by the contention-free
+/// measurement windows.
+enum class Section : std::uint8_t {
+  Remainder,
+  Entry,
+  Critical,
+  Exit,
+  Working,
+  Done,
+};
+
+[[nodiscard]] std::string_view name(Section s);
+
+/// One entry in a run's trace. Shared-memory accesses are the paper's
+/// counted events; section changes and terminal events are zero-cost
+/// bookkeeping that lets the measurement code reconstruct, for every event
+/// index, which section every process is in (the "state" s_i of the run).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    Access,         ///< a counted shared-memory access
+    SectionChange,  ///< process moved between protocol sections
+    Crash,          ///< process crashed (stopping failure, Section 3)
+    Finish,         ///< process terminated normally
+  };
+
+  Seq seq = 0;
+  Pid pid = -1;
+  Kind kind = Kind::Access;
+  Access access;              ///< valid iff kind == Access
+  Section from = Section::Remainder;  ///< valid iff kind == SectionChange
+  Section to = Section::Remainder;    ///< valid iff kind == SectionChange
+};
+
+/// The recorded run sigma = s0 -e0-> s1 -e1-> ... . States are implicit:
+/// the measurement code replays section changes to recover them.
+class Trace {
+ public:
+  void push(TraceEvent ev) { events_.push_back(ev); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Next sequence number to assign.
+  [[nodiscard]] Seq next_seq() const { return static_cast<Seq>(events_.size()); }
+
+  /// All counted accesses of one process, in order.
+  [[nodiscard]] std::vector<Access> accesses_of(Pid pid) const;
+
+  /// All counted accesses (any process), in order.
+  [[nodiscard]] std::vector<Access> accesses() const;
+
+  /// Total number of counted accesses.
+  [[nodiscard]] std::size_t access_count() const;
+
+  /// Widest register touched by `pid` (the algorithm's measured atomicity
+  /// from this process's point of view); 0 if it made no access.
+  [[nodiscard]] int max_width_accessed(Pid pid) const;
+
+  /// Widest register touched by any process.
+  [[nodiscard]] int max_width_accessed() const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_SCHED_RUN_H

@@ -1,0 +1,257 @@
+#include "sched/sim.h"
+
+#include <utility>
+
+namespace cfc {
+
+void ProcessContext::post(const PendingAccess& req, std::coroutine_handle<> h) {
+  Sim::Proc& pr = sim_->proc(pid_);
+  pr.pending = req;
+  pr.resume_point = h;
+}
+
+Value ProcessContext::last_result() const noexcept {
+  return sim_->proc(pid_).last_result;
+}
+
+void ProcessContext::set_section(Section s) { sim_->on_section_change(pid_, s); }
+
+void ProcessContext::set_output(int value) { sim_->on_output(pid_, value); }
+
+int ProcessContext::process_count() const noexcept {
+  return sim_->process_count();
+}
+
+Pid Sim::spawn(std::string proc_name, BodyFactory factory) {
+  const Pid pid = static_cast<Pid>(procs_.size());
+  procs_.emplace_back(*this, pid, std::move(proc_name), std::move(factory));
+  return pid;
+}
+
+const Sim::Proc& Sim::proc(Pid pid) const {
+  if (pid < 0 || pid >= process_count()) {
+    throw std::out_of_range("bad pid");
+  }
+  return procs_[static_cast<std::size_t>(pid)];
+}
+
+Sim::Proc& Sim::proc(Pid pid) {
+  if (pid < 0 || pid >= process_count()) {
+    throw std::out_of_range("bad pid");
+  }
+  return procs_[static_cast<std::size_t>(pid)];
+}
+
+bool Sim::runnable(Pid pid) const {
+  const ProcStatus st = proc(pid).status;
+  return st == ProcStatus::NotStarted || st == ProcStatus::Runnable;
+}
+
+bool Sim::any_runnable() const {
+  for (Pid p = 0; p < process_count(); ++p) {
+    if (runnable(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Sim::all_done() const {
+  for (Pid p = 0; p < process_count(); ++p) {
+    if (proc(p).status != ProcStatus::Done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Sim::count_in_section(Section s) const {
+  int k = 0;
+  for (const Proc& pr : procs_) {
+    k += (pr.section == s) ? 1 : 0;
+  }
+  return k;
+}
+
+void Sim::ensure_started(Pid pid) {
+  Proc& pr = proc(pid);
+  if (pr.status != ProcStatus::NotStarted) {
+    return;
+  }
+  pr.status = ProcStatus::Runnable;
+  pr.root = pr.factory(pr.ctx);
+  if (!pr.root.valid()) {
+    throw std::logic_error("process body factory returned an invalid task");
+  }
+  pr.resume_point = pr.root.handle();
+  pr.resume_point.resume();  // run to first access request or completion
+  if (pr.root.done()) {
+    pr.root.rethrow_if_exception();
+    pr.status = ProcStatus::Done;
+    record_terminal(pid, TraceEvent::Kind::Finish);
+    return;
+  }
+  if (!pr.pending.has_value()) {
+    throw std::logic_error("live process is not suspended at an access");
+  }
+}
+
+Sim::StepResult Sim::step(Pid pid) {
+  Proc& pr = proc(pid);
+  if (pr.status == ProcStatus::Done || pr.status == ProcStatus::Crashed) {
+    return StepResult::NotRunnable;
+  }
+
+  if (pr.status == ProcStatus::NotStarted) {
+    ensure_started(pid);
+    if (pr.status == ProcStatus::Done) {
+      return StepResult::Finished;
+    }
+  }
+
+  // Crash injection fires when the process attempts one access too many.
+  if (pr.crash_after.has_value() && pr.naccesses >= *pr.crash_after) {
+    pr.status = ProcStatus::Crashed;
+    record_terminal(pid, TraceEvent::Kind::Crash);
+    return StepResult::CrashedNow;
+  }
+
+  if (!pr.pending.has_value()) {
+    throw std::logic_error("live process is not suspended at an access");
+  }
+
+  // The linearization point: perform the access atomically, then let the
+  // process run (for free) up to its next access request or to completion.
+  const PendingAccess req = *pr.pending;
+  pr.pending.reset();
+  pr.last_result = req.local_yield ? 0 : execute(pid, req);
+  const std::coroutine_handle<> h = pr.resume_point;
+  h.resume();
+  if (pr.root.done()) {
+    pr.root.rethrow_if_exception();
+    pr.status = ProcStatus::Done;
+    record_terminal(pid, TraceEvent::Kind::Finish);
+  } else if (!pr.pending.has_value()) {
+    throw std::logic_error("live process is not suspended at an access");
+  }
+  return req.local_yield ? StepResult::LocalStep : StepResult::Access;
+}
+
+Value Sim::execute(Pid pid, const PendingAccess& req) {
+  Proc& pr = proc(pid);
+  const int w = mem_.width(req.reg);
+
+  Access a;
+  a.seq = trace_.next_seq();
+  a.pid = pid;
+  a.reg = req.reg;
+  a.kind = req.kind;
+  a.width = w;
+  a.before = mem_.peek(req.reg);
+
+  switch (req.kind) {
+    case AccessKind::Read: {
+      if (policy_ == AccessPolicy::BitModel) {
+        throw AccessPolicyViolation(
+            "register read in a bit-operation model; use BitOp::Read");
+      }
+      a.returned = a.before;
+      a.after = a.before;
+      break;
+    }
+    case AccessKind::Write: {
+      if (policy_ == AccessPolicy::BitModel) {
+        throw AccessPolicyViolation(
+            "register write in a bit-operation model; use write-0/write-1");
+      }
+      if (req.field_width > 0) {
+        // Multi-grain sub-word store.
+        if (req.field_shift < 0 || req.field_width < 1 ||
+            req.field_shift + req.field_width > w) {
+          throw std::invalid_argument("field store outside register bounds");
+        }
+        const Value mask =
+            (req.field_width >= 64)
+                ? ~Value{0}
+                : ((Value{1} << req.field_width) - 1);
+        if (req.to_write > mask) {
+          throw std::invalid_argument("field value does not fit field width");
+        }
+        const auto shift = static_cast<unsigned>(req.field_shift);
+        a.after = (a.before & ~(mask << shift)) | (req.to_write << shift);
+        a.written = a.after;
+        break;
+      }
+      if (!mem_.fits(req.reg, req.to_write)) {
+        throw std::invalid_argument("written value does not fit register");
+      }
+      a.written = req.to_write;
+      a.after = req.to_write;
+      break;
+    }
+    case AccessKind::Bit: {
+      if (policy_ == AccessPolicy::RegistersOnly) {
+        throw AccessPolicyViolation(
+            "bit operation in the atomic-register model");
+      }
+      if (w != 1) {
+        throw AccessPolicyViolation("bit operation on a multi-bit register");
+      }
+      if (model_.has_value() && !model_->supports(req.bit_op)) {
+        throw AccessPolicyViolation(std::string("operation ") +
+                                    std::string(name(req.bit_op)) +
+                                    " not in model " + model_->to_string());
+      }
+      a.bit_op = req.bit_op;
+      const BitOpResult r = apply(req.bit_op, a.before != 0);
+      a.after = r.new_value ? 1 : 0;
+      if (r.returned.has_value()) {
+        a.returned = *r.returned ? 1 : 0;
+      }
+      break;
+    }
+  }
+
+  mem_.poke(req.reg, a.after);
+  pr.naccesses += 1;
+  TraceEvent ev;
+  ev.seq = a.seq;
+  ev.pid = pid;
+  ev.kind = TraceEvent::Kind::Access;
+  ev.access = a;
+  trace_.push(ev);
+  return a.returned.value_or(0);
+}
+
+void Sim::on_section_change(Pid pid, Section s) {
+  Proc& pr = proc(pid);
+  if (check_mutex_ && s == Section::Critical) {
+    for (Pid q = 0; q < process_count(); ++q) {
+      if (q != pid && proc(q).section == Section::Critical) {
+        throw MutualExclusionViolation(
+            "two processes in the critical section: " + pr.name + " and " +
+            proc(q).name);
+      }
+    }
+  }
+  TraceEvent ev;
+  ev.seq = trace_.next_seq();
+  ev.pid = pid;
+  ev.kind = TraceEvent::Kind::SectionChange;
+  ev.from = pr.section;
+  ev.to = s;
+  trace_.push(ev);
+  pr.section = s;
+}
+
+void Sim::on_output(Pid pid, int value) { proc(pid).output = value; }
+
+void Sim::record_terminal(Pid pid, TraceEvent::Kind kind) {
+  TraceEvent ev;
+  ev.seq = trace_.next_seq();
+  ev.pid = pid;
+  ev.kind = kind;
+  trace_.push(ev);
+}
+
+}  // namespace cfc

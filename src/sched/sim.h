@@ -1,0 +1,310 @@
+#ifndef CFC_SCHED_SIM_H
+#define CFC_SCHED_SIM_H
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "memory/access.h"
+#include "memory/model.h"
+#include "memory/register_file.h"
+#include "memory/types.h"
+#include "sched/run.h"
+#include "sched/task.h"
+
+namespace cfc {
+
+class Sim;
+
+/// Thrown when two processes are simultaneously in their critical sections
+/// and the mutual-exclusion invariant check is enabled.
+struct MutualExclusionViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an access violates the simulation's access policy (e.g. a
+/// bit operation outside the declared model, or a multi-bit read in a
+/// bits-only naming simulation).
+struct AccessPolicyViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What kinds of accesses a simulation permits.
+enum class AccessPolicy : std::uint8_t {
+  /// Anything goes (default).
+  Unrestricted,
+  /// Atomic-register model of Section 2: one Read or one Write of a single
+  /// register per step; no read-modify-write bit operations.
+  RegistersOnly,
+  /// Bit-operation model of Section 3: every access is one BitOp applied to
+  /// one shared bit, and the BitOp must belong to the declared Model.
+  BitModel,
+};
+
+/// The access a process has decided to perform next. A live process is
+/// always suspended at exactly one pending access; the simulator performs it
+/// atomically when a scheduler picks the process. A pending access with
+/// `local_yield` set performs no shared-memory operation: it is the paper's
+/// "update of the internal state" event — it occupies a scheduling slot (so
+/// other processes can observe the state in between) but is not counted by
+/// any complexity measure.
+struct PendingAccess {
+  AccessKind kind = AccessKind::Read;
+  BitOp bit_op = BitOp::Skip;
+  RegId reg = -1;
+  Value to_write = 0;
+  bool local_yield = false;
+  /// Multi-grain store (Section 1.3, after [MS93]): when `field_width` > 0
+  /// the write atomically replaces only bits [field_shift,
+  /// field_shift+field_width) of the register — several logical registers
+  /// packed into one word, written at sub-word granularity.
+  int field_shift = 0;
+  int field_width = 0;
+};
+
+/// Per-process door to shared memory. Handed to algorithm coroutines; every
+/// method returning an awaiter suspends the coroutine until the simulator
+/// executes the access. Section changes and outputs are zero-cost local
+/// events (they do not count as steps).
+class ProcessContext {
+ public:
+  class AccessAwaiter {
+   public:
+    AccessAwaiter(ProcessContext& ctx, PendingAccess req)
+        : ctx_(&ctx), req_(req) {}
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      ctx_->post(req_, h);
+    }
+    [[nodiscard]] Value await_resume() const noexcept {
+      return ctx_->last_result();
+    }
+
+   private:
+    ProcessContext* ctx_;
+    PendingAccess req_;
+  };
+
+  /// --- Atomic-register operations (mutual exclusion, Section 2). ---
+  [[nodiscard]] AccessAwaiter read(RegId r) {
+    return {*this, PendingAccess{AccessKind::Read, BitOp::Skip, r, 0}};
+  }
+  [[nodiscard]] AccessAwaiter write(RegId r, Value v) {
+    return {*this, PendingAccess{AccessKind::Write, BitOp::Skip, r, v}};
+  }
+
+  /// --- Single-bit operations (naming, Section 3). ---
+  [[nodiscard]] AccessAwaiter op(BitOp o, RegId r) {
+    return {*this, PendingAccess{AccessKind::Bit, o, r, 0}};
+  }
+  [[nodiscard]] AccessAwaiter read_bit(RegId r) { return op(BitOp::Read, r); }
+  [[nodiscard]] AccessAwaiter test_and_set(RegId r) {
+    return op(BitOp::TestAndSet, r);
+  }
+  [[nodiscard]] AccessAwaiter test_and_reset(RegId r) {
+    return op(BitOp::TestAndReset, r);
+  }
+  [[nodiscard]] AccessAwaiter test_and_flip(RegId r) {
+    return op(BitOp::TestAndFlip, r);
+  }
+  [[nodiscard]] AccessAwaiter flip(RegId r) { return op(BitOp::Flip, r); }
+  [[nodiscard]] AccessAwaiter write_bit(RegId r, bool v) {
+    return op(v ? BitOp::Write1 : BitOp::Write0, r);
+  }
+
+  /// Multi-grain sub-word store: atomically writes `v` into bits
+  /// [shift, shift+width) of register r, leaving the rest of the word
+  /// intact. One counted step, like any store; the enabling hardware is
+  /// the multi-granularity memory access of Section 1.3 / [MS93].
+  [[nodiscard]] AccessAwaiter write_field(RegId r, int shift, int width,
+                                          Value v) {
+    PendingAccess pa;
+    pa.kind = AccessKind::Write;
+    pa.reg = r;
+    pa.to_write = v;
+    pa.field_shift = shift;
+    pa.field_width = width;
+    return {*this, pa};
+  }
+
+  /// A local (internal) step: suspends until the scheduler picks this
+  /// process again, without touching shared memory or any complexity
+  /// counter. The mutex driver yields once inside the critical section so
+  /// that CS occupancy spans at least one state of the run.
+  [[nodiscard]] AccessAwaiter yield() {
+    PendingAccess pa;
+    pa.local_yield = true;
+    return {*this, pa};
+  }
+
+  /// Moves this process to a protocol section (free local event).
+  void set_section(Section s);
+
+  /// Records the process's decision value (naming: the claimed name;
+  /// contention detection: 0 or 1). Free local event.
+  void set_output(int value);
+
+  [[nodiscard]] Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] int process_count() const noexcept;
+
+ private:
+  friend class Sim;
+
+  ProcessContext(Sim& sim, Pid pid) : sim_(&sim), pid_(pid) {}
+  void post(const PendingAccess& req, std::coroutine_handle<> h);
+  [[nodiscard]] Value last_result() const noexcept;
+
+  Sim* sim_;
+  Pid pid_;
+};
+
+/// Lifecycle state of a simulated process.
+enum class ProcStatus : std::uint8_t {
+  NotStarted,  ///< spawned, body not yet running (counts as remainder/idle)
+  Runnable,    ///< suspended at a pending access
+  Done,        ///< body ran to completion
+  Crashed,     ///< stopping failure injected; takes no further steps
+};
+
+/// Discrete-event simulator implementing the paper's interleaving semantics
+/// (Section 2.2): a run is an alternating sequence of states and events,
+/// where each event is one process's atomic access to one shared register.
+///
+/// Schedulers drive the run by calling `step(pid)`, which executes exactly
+/// one shared-memory access of that process (local computation between
+/// accesses is free, matching the step-complexity measure). The full run is
+/// recorded in `trace()` for the measurement code in core/measures.h.
+class Sim {
+ public:
+  using BodyFactory = std::function<Task<void>(ProcessContext&)>;
+
+  Sim() = default;
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+  Sim(Sim&&) = delete;
+  Sim& operator=(Sim&&) = delete;
+
+  [[nodiscard]] RegisterFile& memory() { return mem_; }
+  [[nodiscard]] const RegisterFile& memory() const { return mem_; }
+
+  /// Registers a process. The body coroutine is created lazily on its first
+  /// step, so spawning alone leaves the process "not started" (idle), which
+  /// the contention-free windows treat as being in the remainder region.
+  Pid spawn(std::string proc_name, BodyFactory factory);
+
+  [[nodiscard]] int process_count() const {
+    return static_cast<int>(procs_.size());
+  }
+
+  /// Outcome of one scheduler pick.
+  enum class StepResult : std::uint8_t {
+    Access,       ///< performed one shared-memory access
+    LocalStep,    ///< performed an internal (yield) step, not counted
+    Finished,     ///< body completed without needing another access
+    CrashedNow,   ///< crash injection fired instead of the access
+    NotRunnable,  ///< process is done/crashed; nothing happened
+  };
+
+  /// Runs `pid` forward through exactly one shared-memory access (starting
+  /// the body first if needed, and letting it run past the access through
+  /// any local computation up to its next access request or completion).
+  StepResult step(Pid pid);
+
+  /// Starts the body coroutine (running its local computation up to its
+  /// first shared-memory access request) without performing any access.
+  /// Afterwards `pending(pid)` reveals the process's next access — used by
+  /// the adversary constructions that schedule on "about to write".
+  void ensure_started(Pid pid);
+
+  /// True iff step(pid) can still make progress.
+  [[nodiscard]] bool runnable(Pid pid) const;
+  [[nodiscard]] bool any_runnable() const;
+  [[nodiscard]] bool all_done() const;
+
+  [[nodiscard]] ProcStatus status(Pid pid) const { return proc(pid).status; }
+  [[nodiscard]] Section section(Pid pid) const { return proc(pid).section; }
+  [[nodiscard]] const std::string& proc_name(Pid pid) const {
+    return proc(pid).name;
+  }
+  [[nodiscard]] std::optional<int> output(Pid pid) const {
+    return proc(pid).output;
+  }
+  [[nodiscard]] std::uint64_t access_count(Pid pid) const {
+    return proc(pid).naccesses;
+  }
+
+  /// The pending access a runnable process will perform next, if started.
+  [[nodiscard]] std::optional<PendingAccess> pending(Pid pid) const {
+    return proc(pid).pending;
+  }
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  /// --- Configuration (set before stepping). ---
+
+  void set_access_policy(AccessPolicy p) { policy_ = p; }
+  void set_model(Model m) {
+    model_ = m;
+    policy_ = AccessPolicy::BitModel;
+  }
+  [[nodiscard]] std::optional<Model> model() const { return model_; }
+
+  /// Injects a stopping failure: the process crashes when it attempts its
+  /// (`accesses`+1)-th shared-memory access.
+  void crash_after(Pid pid, std::uint64_t accesses) {
+    proc(pid).crash_after = accesses;
+  }
+
+  /// When enabled, throws MutualExclusionViolation if two processes are in
+  /// Section::Critical simultaneously.
+  void check_mutual_exclusion(bool enabled) { check_mutex_ = enabled; }
+
+  /// Number of processes currently in a given section.
+  [[nodiscard]] int count_in_section(Section s) const;
+
+ private:
+  friend class ProcessContext;
+
+  struct Proc {
+    std::string name;
+    BodyFactory factory;
+    ProcessContext ctx;
+    Task<void> root;
+    std::coroutine_handle<> resume_point;
+    std::optional<PendingAccess> pending;
+    Value last_result = 0;
+    ProcStatus status = ProcStatus::NotStarted;
+    Section section = Section::Remainder;
+    std::optional<int> output;
+    std::uint64_t naccesses = 0;
+    std::optional<std::uint64_t> crash_after;
+
+    Proc(Sim& sim, Pid pid, std::string n, BodyFactory f)
+        : name(std::move(n)), factory(std::move(f)), ctx(sim, pid) {}
+  };
+
+  [[nodiscard]] const Proc& proc(Pid pid) const;
+  [[nodiscard]] Proc& proc(Pid pid);
+
+  /// Performs the access atomically against the register file, enforcing the
+  /// access policy, and appends the event to the trace.
+  Value execute(Pid pid, const PendingAccess& req);
+
+  void on_section_change(Pid pid, Section s);
+  void on_output(Pid pid, int value);
+  void record_terminal(Pid pid, TraceEvent::Kind kind);
+
+  RegisterFile mem_;
+  std::deque<Proc> procs_;  // deque: stable addresses for ProcessContext
+  Trace trace_;
+  AccessPolicy policy_ = AccessPolicy::Unrestricted;
+  std::optional<Model> model_;
+  bool check_mutex_ = false;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_SCHED_SIM_H

@@ -1,0 +1,134 @@
+// Analysis-layer internals: the ASCII table renderer the benches print
+// with, and the error paths of the experiment drivers.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/naming_complexity.h"
+#include "analysis/table.h"
+#include "naming/tas_scan.h"
+
+namespace cfc {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("|-------|-------|"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos) << out;
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  // Renders without throwing and keeps three columns.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TextTable, FirstColumnLeftRestRightAligned) {
+  TextTable t({"label", "num"});
+  t.add_row({"x", "9"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x     |"), std::string::npos) << out;  // left pad
+  EXPECT_NE(out.find("|   9 |"), std::string::npos) << out;    // right pad
+}
+
+// A "mutex" that never terminates its solo session must be reported as a
+// weak-deadlock-freedom violation, not measured.
+TEST(ExperimentDriver, NonTerminatingSoloSessionThrows) {
+  class Stuck final : public MutexAlgorithm {
+   public:
+    explicit Stuck(RegisterFile& mem) { r_ = mem.add_bit("stuck.r"); }
+    Task<void> enter(ProcessContext& ctx, int) override {
+      for (;;) {
+        const Value v = co_await ctx.read(r_);
+        if (v != 0) {
+          break;  // never: nobody sets it
+        }
+      }
+    }
+    Task<void> exit(ProcessContext& ctx, int) override {
+      co_await ctx.read(r_);
+    }
+    Task<Value> try_enter(ProcessContext& ctx, int slot, RegId) override {
+      co_await enter(ctx, slot);
+      co_return 1;
+    }
+    [[nodiscard]] int capacity() const override { return 4; }
+    [[nodiscard]] int atomicity() const override { return 1; }
+    [[nodiscard]] std::string algorithm_name() const override {
+      return "stuck";
+    }
+
+   private:
+    RegId r_;
+  };
+  const MutexFactory factory = [](RegisterFile& mem, int) {
+    return std::make_unique<Stuck>(mem);
+  };
+  EXPECT_THROW((void)measure_mutex_contention_free(factory, 2),
+               std::logic_error);
+}
+
+// A detector whose solo process outputs 0 is broken and must be reported.
+TEST(ExperimentDriver, SoloLoserDetectorThrows) {
+  class Defeatist final : public Detector {
+   public:
+    explicit Defeatist(RegisterFile& mem) { r_ = mem.add_bit("d.r"); }
+    Task<void> detect(ProcessContext& ctx, int) override {
+      co_await ctx.read(r_);
+      ctx.set_output(0);  // always gives up: violates solo-win
+    }
+    [[nodiscard]] int capacity() const override { return 8; }
+    [[nodiscard]] int atomicity() const override { return 1; }
+    [[nodiscard]] std::string algorithm_name() const override {
+      return "defeatist";
+    }
+
+   private:
+    RegId r_;
+  };
+  const DetectorFactory factory = [](RegisterFile& mem, int) {
+    return std::make_unique<Defeatist>(mem);
+  };
+  EXPECT_THROW((void)measure_detector_contention_free(factory, 2),
+               std::logic_error);
+}
+
+TEST(ExperimentDriver, MeasureNamingRejectsOverCapacity) {
+  // TasScan capacity equals its construction n; naming measurement at a
+  // larger n must be rejected by setup_naming.
+  const NamingFactory tiny = [](RegisterFile& mem, int) {
+    return std::make_unique<TasScan>(mem, 2);
+  };
+  EXPECT_THROW((void)measure_naming(tiny, 4, {1}), std::invalid_argument);
+}
+
+TEST(Table2Column, BestTakesMinPerMeasureAcrossAlgorithms) {
+  Table2Column col;
+  NamingAlgMeasurement a;
+  a.cf.steps = 10;
+  a.cf.registers = 3;
+  a.wc.steps = 50;
+  a.wc.registers = 20;
+  NamingAlgMeasurement b;
+  b.cf.steps = 4;
+  b.cf.registers = 8;
+  b.wc.steps = 60;
+  b.wc.registers = 5;
+  col.algorithms = {a, b};
+  const Table2Cell best = col.best();
+  EXPECT_EQ(best.cf_step, 4);       // from b
+  EXPECT_EQ(best.cf_register, 3);   // from a
+  EXPECT_EQ(best.wc_step, 50);      // from a
+  EXPECT_EQ(best.wc_register, 5);   // from b
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,142 @@
+#include "memory/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace cfc {
+namespace {
+
+TEST(BitOps, SkipLeavesValueAndReturnsNothing) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::Skip, v);
+    EXPECT_EQ(r.new_value, v);
+    EXPECT_FALSE(r.returned.has_value());
+  }
+}
+
+TEST(BitOps, ReadLeavesValueAndReturnsIt) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::Read, v);
+    EXPECT_EQ(r.new_value, v);
+    ASSERT_TRUE(r.returned.has_value());
+    EXPECT_EQ(*r.returned, v);
+  }
+}
+
+TEST(BitOps, Write0SetsZeroNoReturn) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::Write0, v);
+    EXPECT_FALSE(r.new_value);
+    EXPECT_FALSE(r.returned.has_value());
+  }
+}
+
+TEST(BitOps, Write1SetsOneNoReturn) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::Write1, v);
+    EXPECT_TRUE(r.new_value);
+    EXPECT_FALSE(r.returned.has_value());
+  }
+}
+
+TEST(BitOps, TestAndSetSetsOneReturnsOld) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::TestAndSet, v);
+    EXPECT_TRUE(r.new_value);
+    ASSERT_TRUE(r.returned.has_value());
+    EXPECT_EQ(*r.returned, v);
+  }
+}
+
+TEST(BitOps, TestAndResetSetsZeroReturnsOld) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::TestAndReset, v);
+    EXPECT_FALSE(r.new_value);
+    ASSERT_TRUE(r.returned.has_value());
+    EXPECT_EQ(*r.returned, v);
+  }
+}
+
+TEST(BitOps, FlipComplementsNoReturn) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::Flip, v);
+    EXPECT_EQ(r.new_value, !v);
+    EXPECT_FALSE(r.returned.has_value());
+  }
+}
+
+TEST(BitOps, TestAndFlipComplementsReturnsOld) {
+  for (bool v : {false, true}) {
+    const BitOpResult r = apply(BitOp::TestAndFlip, v);
+    EXPECT_EQ(r.new_value, !v);
+    ASSERT_TRUE(r.returned.has_value());
+    EXPECT_EQ(*r.returned, v);
+  }
+}
+
+TEST(BitOps, ReturnsValueClassification) {
+  EXPECT_FALSE(returns_value(BitOp::Skip));
+  EXPECT_TRUE(returns_value(BitOp::Read));
+  EXPECT_FALSE(returns_value(BitOp::Write0));
+  EXPECT_TRUE(returns_value(BitOp::TestAndReset));
+  EXPECT_FALSE(returns_value(BitOp::Write1));
+  EXPECT_TRUE(returns_value(BitOp::TestAndSet));
+  EXPECT_FALSE(returns_value(BitOp::Flip));
+  EXPECT_TRUE(returns_value(BitOp::TestAndFlip));
+}
+
+TEST(BitOps, CanModifyClassification) {
+  EXPECT_FALSE(can_modify(BitOp::Skip));
+  EXPECT_FALSE(can_modify(BitOp::Read));
+  for (BitOp op : {BitOp::Write0, BitOp::Write1, BitOp::TestAndSet,
+                   BitOp::TestAndReset, BitOp::Flip, BitOp::TestAndFlip}) {
+    EXPECT_TRUE(can_modify(op)) << name(op);
+  }
+}
+
+// Section 3.2: duality. write-0/write-1 and test-and-reset/test-and-set are
+// dual pairs; skip, read, flip, test-and-flip are self-dual.
+TEST(BitOps, DualPairsMatchPaper) {
+  EXPECT_EQ(dual(BitOp::Write0), BitOp::Write1);
+  EXPECT_EQ(dual(BitOp::Write1), BitOp::Write0);
+  EXPECT_EQ(dual(BitOp::TestAndReset), BitOp::TestAndSet);
+  EXPECT_EQ(dual(BitOp::TestAndSet), BitOp::TestAndReset);
+  EXPECT_EQ(dual(BitOp::Skip), BitOp::Skip);
+  EXPECT_EQ(dual(BitOp::Read), BitOp::Read);
+  EXPECT_EQ(dual(BitOp::Flip), BitOp::Flip);
+  EXPECT_EQ(dual(BitOp::TestAndFlip), BitOp::TestAndFlip);
+}
+
+TEST(BitOps, DualIsAnInvolution) {
+  for (BitOp op : kAllBitOps) {
+    EXPECT_EQ(dual(dual(op)), op) << name(op);
+  }
+}
+
+// The semantic content of duality: applying the dual op to the complemented
+// bit complements the result and returns the complemented old value.
+TEST(BitOps, DualSemanticallyComplements) {
+  for (BitOp op : kAllBitOps) {
+    for (bool v : {false, true}) {
+      const BitOpResult direct = apply(op, v);
+      const BitOpResult mirrored = apply(dual(op), !v);
+      EXPECT_EQ(mirrored.new_value, !direct.new_value) << name(op);
+      ASSERT_EQ(mirrored.returned.has_value(), direct.returned.has_value())
+          << name(op);
+      if (direct.returned.has_value()) {
+        EXPECT_EQ(*mirrored.returned, !*direct.returned) << name(op);
+      }
+    }
+  }
+}
+
+TEST(BitOps, NamesRoundTrip) {
+  for (BitOp op : kAllBitOps) {
+    const auto parsed = parse_bit_op(name(op));
+    ASSERT_TRUE(parsed.has_value()) << name(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(parse_bit_op("no-such-op").has_value());
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,192 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cfc::bounds {
+namespace {
+
+TEST(Bounds, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW((void)ceil_log2(0), std::invalid_argument);
+}
+
+TEST(Bounds, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_THROW((void)floor_log2(0), std::invalid_argument);
+}
+
+TEST(Bounds, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_THROW((void)ceil_div(1, 0), std::invalid_argument);
+}
+
+// Theorem 1: c > log n / (l - 2 + 3 log log n).
+TEST(Bounds, Thm1MatchesFormula) {
+  const double n = 1 << 16;  // log n = 16, log log n = 4
+  const double expect_l1 = 16.0 / (1.0 - 2.0 + 12.0);
+  EXPECT_NEAR(thm1_cf_step_lower(n, 1), expect_l1, 1e-9);
+  const double expect_l8 = 16.0 / (8.0 - 2.0 + 12.0);
+  EXPECT_NEAR(thm1_cf_step_lower(n, 8), expect_l8, 1e-9);
+}
+
+TEST(Bounds, Thm1VacuousForTinyN) {
+  EXPECT_EQ(thm1_cf_step_lower(2, 1), 0.0);
+  EXPECT_EQ(thm1_cf_step_lower(1, 1), 0.0);
+}
+
+TEST(Bounds, Thm1GrowsWithN) {
+  double prev = 0;
+  for (std::uint64_t n = 16; n <= (1ull << 40); n <<= 4) {
+    const double cur = thm1_cf_step_lower(static_cast<double>(n), 1);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Bounds, Thm1ShrinksWithL) {
+  const double n = 1 << 20;
+  EXPECT_GT(thm1_cf_step_lower(n, 1), thm1_cf_step_lower(n, 8));
+  EXPECT_GT(thm1_cf_step_lower(n, 8), thm1_cf_step_lower(n, 20));
+}
+
+TEST(Bounds, Thm1MinIntegerStrict) {
+  // rhs = 16/12 ~ 1.33 at n=2^16, l=2 -> min integer c with c > rhs is 2.
+  EXPECT_EQ(thm1_min_cf_steps(1 << 16, 2), 2);
+  // vacuous bound -> c must exceed 0, i.e. at least 1
+  EXPECT_EQ(thm1_min_cf_steps(2, 8), 1);
+}
+
+// Theorem 2: c >= sqrt(log n / (l + log log n)).
+TEST(Bounds, Thm2MatchesFormula) {
+  const double n = 1 << 16;
+  EXPECT_NEAR(thm2_cf_register_lower(n, 1), std::sqrt(16.0 / 5.0), 1e-9);
+  EXPECT_NEAR(thm2_cf_register_lower(n, 4), std::sqrt(16.0 / 8.0), 1e-9);
+}
+
+TEST(Bounds, Thm2MinRegistersAtLeastOne) {
+  EXPECT_GE(thm2_min_cf_registers(2, 1), 1);
+  EXPECT_GE(thm2_min_cf_registers(1 << 20, 1), 1);
+}
+
+TEST(Bounds, Thm2MinRegistersGrowsUnboundedly) {
+  // Register complexity cannot be a constant number of bits (Section 2.5):
+  // the minimum consistent c crosses any fixed threshold as n grows.
+  const int at_small = thm2_min_cf_registers(1 << 4, 1);
+  const int at_huge = thm2_min_cf_registers(1ull << 60, 1);
+  EXPECT_GT(at_huge, at_small);
+  EXPECT_GE(at_huge, 2);  // sqrt(60 / (1 + log2 60)) - 1 ~ 1.95 -> c >= 2
+}
+
+// Theorem 3: 7*ceil(log n / l) steps, 3*ceil(log n / l) registers.
+TEST(Bounds, Thm3UpperBounds) {
+  EXPECT_EQ(thm3_cf_step_upper(1024, 1), 70);
+  EXPECT_EQ(thm3_cf_step_upper(1024, 2), 35);
+  EXPECT_EQ(thm3_cf_step_upper(1024, 5), 14);
+  EXPECT_EQ(thm3_cf_step_upper(1024, 10), 7);
+  EXPECT_EQ(thm3_cf_register_upper(1024, 1), 30);
+  EXPECT_EQ(thm3_cf_register_upper(1024, 2), 15);
+  EXPECT_EQ(thm3_cf_register_upper(1024, 10), 3);
+  EXPECT_EQ(thm3_cf_step_upper(1, 3), 0);
+  EXPECT_THROW((void)thm3_cf_step_upper(8, 0), std::invalid_argument);
+}
+
+// Lamport's fast algorithm: l = log n, constant contention-free complexity.
+TEST(Bounds, Thm3AtFullAtomicityIsConstant) {
+  for (std::uint64_t n : {4ull, 64ull, 1024ull, 1ull << 20}) {
+    const int l = ceil_log2(n);
+    EXPECT_EQ(thm3_cf_step_upper(n, l), 7) << n;
+    EXPECT_EQ(thm3_cf_register_upper(n, l), 3) << n;
+  }
+}
+
+// Consistency: the Theorem 3 upper bound always dominates the Theorem 1/2
+// lower bounds (otherwise the paper would be inconsistent).
+TEST(Bounds, UpperBoundsDominateLowerBounds) {
+  for (std::uint64_t n = 4; n <= (1ull << 30); n <<= 1) {
+    for (int l = 1; l <= 16; ++l) {
+      EXPECT_GE(thm3_cf_step_upper(n, l) + 1e-9,
+                thm1_cf_step_lower(static_cast<double>(n), l))
+          << "n=" << n << " l=" << l;
+      EXPECT_GE(thm3_cf_register_upper(n, l) + 1e-9,
+                thm2_cf_register_lower(static_cast<double>(n), l))
+          << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+// Lemma 3: w*l + w*log(w^2 r + w r^2) >= log n.
+TEST(Bounds, Lemma3AcceptsFeasiblePoints) {
+  // Lamport-like: at atomicity log n, one write to each of 2 registers and
+  // 2 reads suffice: w=3, r=2, l=10, n=1024 -> lhs >= 30 > 10.
+  EXPECT_TRUE(lemma3_satisfied(1024, 10, 3, 2));
+  // Tree algorithm at l=1: w,r ~ log n.
+  EXPECT_TRUE(lemma3_satisfied(1024, 1, 20, 30));
+}
+
+TEST(Bounds, Lemma3RejectsTooFastAlgorithms) {
+  // Constant steps over bits for huge n would contradict the lemma.
+  EXPECT_FALSE(lemma3_satisfied(1ull << 40, 1, 2, 2));
+  EXPECT_FALSE(lemma3_satisfied(1ull << 60, 1, 3, 3));
+}
+
+TEST(Bounds, Lemma3EdgeCases) {
+  EXPECT_TRUE(lemma3_satisfied(1, 1, 0, 0));   // single process: vacuous
+  EXPECT_FALSE(lemma3_satisfied(4, 1, 0, 1));  // no writes but n > 1
+}
+
+// Lemma 6: n < 2 w! (4c w!)^c (w 2^{lw})^w.
+TEST(Bounds, Lemma6AcceptsFeasiblePoints) {
+  EXPECT_TRUE(lemma6_satisfied(1024, 10, 3, 2));  // Lamport-like
+  EXPECT_TRUE(lemma6_satisfied(1024, 1, 30, 20));
+}
+
+TEST(Bounds, Lemma6RejectsConstantRegisterAlgorithms) {
+  // c = w = 2 at l = 1 cannot detect contention among 2^40 processes.
+  EXPECT_FALSE(lemma6_satisfied(1ull << 40, 1, 2, 2));
+}
+
+TEST(Bounds, MinBitAccessesCorollary) {
+  EXPECT_EQ(min_contention_free_bit_accesses(10, 7), 16);
+  EXPECT_EQ(min_contention_free_bit_accesses(1, 5), 5);
+}
+
+// Naming bounds (Theorems 4-7).
+TEST(Bounds, NamingBounds) {
+  EXPECT_EQ(thm4_taf_wc_step(64), 6);
+  EXPECT_EQ(thm4_tastar_wc_register(64), 6);
+  EXPECT_EQ(thm4_tas_wc_step(64), 63u);
+  EXPECT_EQ(thm4_tasread_cf_step(64), 6);
+  EXPECT_EQ(thm5_cf_register_lower(64), 6);
+  EXPECT_EQ(thm6_wc_step_lower(64), 63u);
+  EXPECT_EQ(thm7_tas_cf_register_lower(64), 63u);
+}
+
+// The naming table's internal consistency: contention-free <= worst-case,
+// register <= step, for every column the paper lists.
+TEST(Bounds, NamingTableConsistent) {
+  for (std::uint64_t n : {2ull, 8ull, 64ull, 1024ull}) {
+    EXPECT_LE(thm5_cf_register_lower(n),
+              static_cast<int>(thm6_wc_step_lower(n)));
+    EXPECT_LE(thm4_taf_wc_step(n), static_cast<int>(thm4_tas_wc_step(n)));
+  }
+}
+
+}  // namespace
+}  // namespace cfc::bounds

@@ -1,0 +1,188 @@
+#include "core/contention_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/measures.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+struct SplitterParam {
+  int n;
+  int l;
+};
+
+class SplitterTreeTest : public ::testing::TestWithParam<SplitterParam> {};
+
+// Safety requirement 2: in a run where only one process is activated, it
+// terminates with output 1.
+TEST_P(SplitterTreeTest, SoloProcessWins) {
+  const auto [n, l] = GetParam();
+  for (Pid p = 0; p < n; ++p) {
+    Sim sim;
+    auto det = setup_detection(sim, SplitterTree::factory(l), n);
+    SoloScheduler solo(p);
+    drive(sim, solo);
+    ASSERT_EQ(sim.status(p), ProcStatus::Done);
+    EXPECT_EQ(sim.output(p), 1) << "pid " << p;
+  }
+}
+
+// Safety requirement 1: at most one process outputs 1, under many random
+// schedules.
+TEST_P(SplitterTreeTest, AtMostOneWinnerUnderRandomSchedules) {
+  const auto [n, l] = GetParam();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Sim sim;
+    auto det = setup_detection(sim, SplitterTree::factory(l), n);
+    RandomScheduler rnd(seed);
+    ASSERT_EQ(drive(sim, rnd), RunOutcome::AllDone);
+    EXPECT_LE(count_winners(sim), 1) << "seed " << seed;
+  }
+}
+
+// Everyone terminates regardless of schedule (the splitter is wait-free).
+TEST_P(SplitterTreeTest, WaitFreeUnderRoundRobin) {
+  const auto [n, l] = GetParam();
+  Sim sim;
+  auto det = setup_detection(sim, SplitterTree::factory(l), n);
+  RoundRobinScheduler rr;
+  EXPECT_EQ(drive(sim, rr), RunOutcome::AllDone);
+  for (Pid p = 0; p < n; ++p) {
+    EXPECT_TRUE(sim.output(p).has_value());
+  }
+}
+
+// Worst-case step complexity is 4d where d = ceil(bits(n)/l) trie levels;
+// register complexity 2d; atomicity at most l.
+TEST_P(SplitterTreeTest, ComplexityMatchesFormula) {
+  const auto [n, l] = GetParam();
+  Sim sim;
+  auto det = setup_detection(sim, SplitterTree::factory(l), n);
+  const auto* splitter = dynamic_cast<SplitterTree*>(det.get());
+  ASSERT_NE(splitter, nullptr);
+  const int d = splitter->depth();
+  const int id_bits =
+      std::max(1, bounds::ceil_log2(static_cast<std::uint64_t>(n)));
+  EXPECT_EQ(d, bounds::ceil_div(id_bits, l));
+
+  // Solo winner wins every node on its path: 4 accesses (w x, r y, w y,
+  // r x) over 2 registers per node.
+  SoloScheduler solo(0);
+  drive(sim, solo);
+  const ComplexityReport rep = measure_all(sim.trace(), 0);
+  EXPECT_EQ(rep.steps, 4 * d);
+  EXPECT_EQ(rep.registers, 2 * d);
+  EXPECT_LE(rep.atomicity, l);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitterTreeTest,
+    ::testing::Values(SplitterParam{1, 1}, SplitterParam{2, 1},
+                      SplitterParam{3, 2}, SplitterParam{4, 1},
+                      SplitterParam{4, 3}, SplitterParam{8, 1},
+                      SplitterParam{8, 4}, SplitterParam{16, 2},
+                      SplitterParam{16, 5}, SplitterParam{31, 5},
+                      SplitterParam{32, 3}, SplitterParam{64, 7}),
+    [](const ::testing::TestParamInfo<SplitterParam>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_l" +
+             std::to_string(pinfo.param.l);
+    });
+
+TEST(SplitterTree, FullWidthFactoryUsesOneLevel) {
+  Sim sim;
+  auto det = setup_detection(sim, SplitterTree::factory_full_width(), 100);
+  const auto* splitter = dynamic_cast<SplitterTree*>(det.get());
+  ASSERT_NE(splitter, nullptr);
+  EXPECT_EQ(splitter->depth(), 1);
+  EXPECT_EQ(splitter->atomicity(), 7);  // ids 0..99 need 7 bits
+
+  SoloScheduler solo(3);
+  drive(sim, solo);
+  const ComplexityReport rep = measure_all(sim.trace(), 3);
+  EXPECT_EQ(rep.steps, 4);      // Lamport's fast path: w x, r y, w y, r x
+  EXPECT_EQ(rep.registers, 2);  // x and y
+}
+
+// Two processes racing through the splitter: whoever writes x last and
+// reads its own chunks wins; the other must lose on y or the read-back.
+TEST(SplitterTree, PairwiseRaceNeverDoubleWins) {
+  const int n = 4;
+  for (int l = 1; l <= 3; ++l) {
+    for (Pid a = 0; a < n; ++a) {
+      for (Pid b = 0; b < n; ++b) {
+        if (a == b) {
+          continue;
+        }
+        for (std::uint64_t seed = 0; seed < 20; ++seed) {
+          Sim sim;
+          auto det = setup_detection(sim, SplitterTree::factory(l), n);
+          // Random interleaving of just a and b.
+          std::mt19937_64 rng(seed);
+          while (sim.runnable(a) || sim.runnable(b)) {
+            const Pid pick = (rng() % 2 == 0) ? a : b;
+            if (sim.runnable(pick)) {
+              sim.step(pick);
+            } else {
+              sim.step(sim.runnable(a) ? a : b);
+            }
+          }
+          EXPECT_LE(count_winners(sim), 1)
+              << "l=" << l << " a=" << a << " b=" << b << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+// The broken detector double-wins even under a plain sequential-ish race:
+// it exists to prove the Lemma 2 adversary has teeth (see adversary_test).
+TEST(SelfishDetector, SoloWins) {
+  Sim sim;
+  auto det = setup_detection(sim, SelfishDetector::factory(), 3);
+  SoloScheduler solo(1);
+  drive(sim, solo);
+  EXPECT_EQ(sim.output(1), 1);
+}
+
+TEST(SelfishDetector, ConcurrentRunDoubleWins) {
+  Sim sim;
+  auto det = setup_detection(sim, SelfishDetector::factory(), 2);
+  RoundRobinScheduler rr;
+  drive(sim, rr);
+  EXPECT_EQ(count_winners(sim), 2);  // the safety violation
+}
+
+TEST(Detection, CountWinnersThrowsOnMissingOutput) {
+  Sim sim;
+  sim.memory().add_bit("r");
+  const Pid p = sim.spawn("no-output", [](ProcessContext& ctx) -> Task<void> {
+    ctx.set_section(Section::Working);
+    co_await ctx.read_bit(0);
+    ctx.set_section(Section::Done);
+  });
+  run_to_completion(sim, p);
+  EXPECT_THROW((void)count_winners(sim), std::logic_error);
+}
+
+// Lemma 1 sanity: the splitter solves single-shot mutex-with-weak-deadlock-
+// freedom semantics; its contention-free step complexity obeys Theorem 1.
+TEST(Detection, SplitterObeysTheorem1LowerBound) {
+  for (int n : {4, 16, 64, 256}) {
+    for (int l : {1, 2, 4}) {
+      Sim sim;
+      auto det = setup_detection(sim, SplitterTree::factory(l), n);
+      SoloScheduler solo(0);
+      drive(sim, solo);
+      const ComplexityReport rep = measure_all(sim.trace(), 0);
+      const double lower =
+          bounds::thm1_cf_step_lower(static_cast<double>(n), l);
+      EXPECT_GT(rep.steps, lower) << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfc

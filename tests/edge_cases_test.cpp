@@ -1,0 +1,215 @@
+// Boundary conditions across the whole library: single-process systems,
+// minimal register widths, crash at every possible position, empty windows,
+// and measurement of processes that never ran.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "core/adversary.h"
+#include "core/measures.h"
+#include "mutex/lamport_fast.h"
+#include "mutex/tas_lock.h"
+#include "naming/checkers.h"
+#include "naming/tas_read_search.h"
+#include "naming/tas_scan.h"
+#include "naming/taf_tree.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+// --- n = 1: every problem is trivial but must still work. ---
+
+TEST(SingleProcess, LamportMutexAlone) {
+  const MutexCfResult r =
+      measure_mutex_contention_free(LamportFast::factory(), 1);
+  EXPECT_EQ(r.session.steps, 7);  // the algorithm doesn't shortcut n=1
+  EXPECT_EQ(r.session.registers, 3);
+}
+
+TEST(SingleProcess, NamingAlone) {
+  const NamingRunCheck scan = run_naming_sequential(TasScan::factory(), 1);
+  EXPECT_TRUE(scan.ok());
+  EXPECT_EQ(scan.names, std::vector<int>{1});
+  // tas-scan for n=1 has zero shared bits and zero steps.
+  EXPECT_EQ(scan.per_process[0].steps, 0);
+
+  const NamingRunCheck search =
+      run_naming_sequential(TasReadSearch::factory(), 1);
+  EXPECT_TRUE(search.ok());
+  EXPECT_EQ(search.names, std::vector<int>{1});
+}
+
+TEST(SingleProcess, DetectionAlone) {
+  Sim sim;
+  auto det = setup_detection(sim, SplitterTree::factory(1), 1);
+  SoloScheduler solo(0);
+  drive(sim, solo);
+  EXPECT_EQ(sim.output(0), 1);
+}
+
+// --- Crash at every position (exhaustive failure injection). ---
+
+TEST(CrashSweep, TafTreeEveryCrashPointKeepsUniqueness) {
+  const int n = 8;
+  const int max_steps = 3;  // log2(8) = 3 accesses per process
+  for (Pid victim = 0; victim < n; ++victim) {
+    for (std::uint64_t point = 0; point <= static_cast<std::uint64_t>(max_steps); ++point) {
+      const NamingRunCheck check = run_naming_random(
+          TafTree::factory(), n, /*seed=*/static_cast<std::uint64_t>(victim) * 17 + point,
+          {{victim, point}});
+      EXPECT_TRUE(check.all_terminated)
+          << "victim " << victim << " point " << point;
+      EXPECT_TRUE(check.names_unique)
+          << "victim " << victim << " point " << point;
+    }
+  }
+}
+
+TEST(CrashSweep, TasScanMultipleSimultaneousCrashes) {
+  const int n = 9;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    // Crash every second process at a staggered position.
+    std::vector<CrashPlanEntry> crashes;
+    for (Pid p = 0; p < n; p += 2) {
+      crashes.push_back({p, static_cast<std::uint64_t>(p) / 2});
+    }
+    const NamingRunCheck check =
+        run_naming_random(TasScan::factory(), n, seed, crashes);
+    EXPECT_TRUE(check.all_terminated) << "seed " << seed;
+    EXPECT_TRUE(check.names_unique) << "seed " << seed;
+    // A crash plan fires only if the victim *attempts* one access too many;
+    // a process that claims its name first terminates normally. So at
+    // least the 4 unplanned processes finish, possibly more.
+    EXPECT_GE(check.names.size(), 4u);
+    EXPECT_LE(check.names.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(CrashSweep, AllButOneCrashImmediately) {
+  const int n = 6;
+  std::vector<CrashPlanEntry> crashes;
+  for (Pid p = 0; p + 1 < n; ++p) {
+    crashes.push_back({p, 0});
+  }
+  const NamingRunCheck check =
+      run_naming_random(TasScan::factory(), n, 3, crashes);
+  EXPECT_TRUE(check.ok());
+  ASSERT_EQ(check.names.size(), 1u);
+  EXPECT_EQ(check.names[0], 1);  // survivor finds the first bit free
+}
+
+// --- Measurement windows on degenerate traces. ---
+
+TEST(DegenerateWindows, ProcessThatNeverRanMeasuresZero) {
+  Sim sim;
+  auto alg = setup_mutex(sim, LamportFast::factory(), 3, 1);
+  SoloScheduler solo(0);
+  drive(sim, solo);
+  const ComplexityReport rep = measure_all(sim.trace(), 2);
+  EXPECT_EQ(rep.steps, 0);
+  EXPECT_EQ(rep.registers, 0);
+  EXPECT_EQ(rep.atomicity, 0);
+  EXPECT_TRUE(contention_free_sessions(sim.trace(), 2, 3).empty());
+}
+
+TEST(DegenerateWindows, EmptyTraceYieldsNoWindows) {
+  Trace empty;
+  EXPECT_TRUE(contention_free_sessions(empty, 0, 1).empty());
+  EXPECT_TRUE(clean_entry_windows(empty, 0, 1).empty());
+  EXPECT_TRUE(exit_windows(empty, 0).empty());
+  EXPECT_EQ(max_over_windows(empty, 0, {}).steps, 0);
+}
+
+TEST(DegenerateWindows, ZeroLengthRange) {
+  Sim sim;
+  const RegId r = sim.memory().add_bit("r");
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.read(r);
+  });
+  run_to_completion(sim, p);
+  EXPECT_EQ(measure(sim.trace(), p, SeqRange{0, 0}).steps, 0);
+}
+
+// --- Width extremes. ---
+
+TEST(WidthExtremes, SixtyFourBitRegisterRoundTrips) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("wide", 64);
+  const Value big = ~Value{0};
+  const Pid p = sim.spawn("p", [r, big](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.write(r, big);
+    const Value v = co_await ctx.read(r);
+    ctx.set_output(v == big ? 1 : 0);
+  });
+  run_to_completion(sim, p);
+  EXPECT_EQ(sim.output(p), 1);
+}
+
+TEST(WidthExtremes, FieldStoreAtTopOfWord) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("wide", 64);
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.write_field(r, 60, 4, 0xF);
+  });
+  run_to_completion(sim, p);
+  EXPECT_EQ(sim.memory().peek(r), Value{0xF} << 60);
+}
+
+// --- Budget boundaries. ---
+
+TEST(Budget, DriveWithZeroBudgetDoesNothing) {
+  Sim sim;
+  auto alg = setup_mutex(sim, TasLock::factory(), 2, 1);
+  RoundRobinScheduler rr;
+  EXPECT_EQ(drive(sim, rr, RunLimits{0}), RunOutcome::BudgetExhausted);
+  EXPECT_EQ(sim.trace().access_count(), 0u);
+}
+
+TEST(Budget, StepUntilRespectsBudget) {
+  Sim sim;
+  const RegId r = sim.memory().add_bit("flag");
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    for (;;) {
+      const Value v = co_await ctx.read(r);
+      if (v != 0) {
+        break;
+      }
+    }
+  });
+  const std::uint64_t taken =
+      step_until(sim, p, [](const Sim&) { return false; }, 25);
+  EXPECT_EQ(taken, 25u);
+}
+
+// --- Solo profile of a process that crashes mid-run. ---
+
+TEST(SoloProfileEdge, CrashTruncatesProfile) {
+  SimSetup setup = [](Sim& sim) {
+    static std::vector<std::unique_ptr<Detector>> keep;
+    keep.push_back(setup_detection(sim, SplitterTree::factory(1), 4));
+    sim.crash_after(1, 2);
+  };
+  const SoloProfile prof = solo_profile(setup, 1);
+  EXPECT_EQ(prof.accesses.size(), 2u);
+  EXPECT_FALSE(prof.output.has_value());
+}
+
+// --- Model lattice edge: skip is allowed but useless. ---
+
+TEST(SkipOp, ExecutesAndCountsAsAStep) {
+  Sim sim;
+  sim.set_model(Model{BitOp::Skip, BitOp::TestAndSet});
+  const RegId r = sim.memory().add_bit("r");
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.op(BitOp::Skip, r);
+    const Value v = co_await ctx.test_and_set(r);
+    ctx.set_output(static_cast<int>(v));
+  });
+  run_to_completion(sim, p);
+  EXPECT_EQ(sim.output(p), 0);
+  EXPECT_EQ(sim.access_count(p), 2u);  // skip costs a step, returns nothing
+  EXPECT_EQ(sim.memory().peek(r), 1u);
+}
+
+}  // namespace
+}  // namespace cfc

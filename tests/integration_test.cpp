@@ -1,0 +1,201 @@
+// Cross-module integration and whole-framework property tests:
+//  * schedule recording + replay reproduces runs exactly;
+//  * the Lemma 1 reduction composes with every mutex algorithm;
+//  * the Theorem 1/2 lower bounds and Lemma 3/6 inequalities hold for the
+//    measured contention-free profile of *every* register-model mutex at
+//    *every* swept configuration (the framework-wide soundness property);
+//  * contention-free <= worst-case and register <= step, always.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "core/bounds.h"
+#include "mutex/detector_adapter.h"
+#include "mutex/kessels.h"
+#include "mutex/lamport_fast.h"
+#include "mutex/lamport_packed.h"
+#include "mutex/lamport_tree.h"
+#include "mutex/peterson.h"
+#include "mutex/tournament.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+TEST(Replay, RecordedRandomScheduleReplaysToIdenticalTrace) {
+  auto run_once = [](Scheduler& sched) {
+    Sim sim;
+    auto alg = setup_mutex(sim, LamportFast::factory(), 4, 2);
+    drive(sim, sched, RunLimits{100'000});
+    return sim.trace().accesses();
+  };
+
+  RandomScheduler rnd(1234);
+  RecordingScheduler rec(rnd);
+  const std::vector<Access> original = run_once(rec);
+  ASSERT_FALSE(original.empty());
+
+  ScriptedScheduler replay(rec.schedule());
+  const std::vector<Access> replayed = run_once(replay);
+
+  ASSERT_EQ(original.size(), replayed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].pid, replayed[i].pid) << i;
+    EXPECT_EQ(original[i].reg, replayed[i].reg) << i;
+    EXPECT_EQ(original[i].before, replayed[i].before) << i;
+    EXPECT_EQ(original[i].after, replayed[i].after) << i;
+  }
+}
+
+TEST(Replay, RecordingDoesNotPerturbTheSchedule) {
+  auto final_trace_size = [](std::uint64_t seed, bool recorded) {
+    Sim sim;
+    auto alg = setup_mutex(sim, LamportFast::factory(), 3, 2);
+    RandomScheduler rnd(seed);
+    if (recorded) {
+      RecordingScheduler rec(rnd);
+      drive(sim, rec, RunLimits{100'000});
+    } else {
+      drive(sim, rnd, RunLimits{100'000});
+    }
+    return sim.trace().size();
+  };
+  for (std::uint64_t seed : {7ull, 99ull}) {
+    EXPECT_EQ(final_trace_size(seed, true), final_trace_size(seed, false));
+  }
+}
+
+struct NamedMutex {
+  const char* name;
+  MutexFactory factory;
+  int max_n;
+  bool register_model;  // pure atomic-register algorithm
+};
+
+std::vector<NamedMutex> swept_mutexes() {
+  return {
+      {"peterson", Peterson::factory(), 2, true},
+      {"kessels", Kessels::factory(), 2, true},
+      {"lamport", LamportFast::factory(), 1 << 20, true},
+      {"lamport-packed", LamportPacked::factory(), 1 << 16, true},
+      {"peterson-tree", TournamentMutex::peterson_tree(), 1 << 20, true},
+      {"kessels-tree", TournamentMutex::kessels_tree(), 1 << 20, true},
+      {"thm3-l2", theorem3_factory(2), 1 << 20, true},
+      {"thm3-l3", theorem3_factory(3), 1 << 20, true},
+      {"thm3-l4-paper", theorem3_factory(4, TreeArity::PaperLiteral),
+       1 << 20, true},
+  };
+}
+
+class FrameworkSoundness : public ::testing::TestWithParam<int> {};
+
+// The central cross-check: for every algorithm and every n in the sweep,
+// the measured contention-free profile satisfies every lower bound the
+// paper proves. A bug in either the algorithms, the measurement windows,
+// or the bound formulas would break this.
+TEST_P(FrameworkSoundness, LowerBoundsHoldForMeasuredProfiles) {
+  const auto algs = swept_mutexes();
+  const NamedMutex& alg = algs[static_cast<std::size_t>(GetParam())];
+  for (const int n : {2, 4, 8, 16, 64, 256}) {
+    if (n > alg.max_n) {
+      continue;
+    }
+    const MutexCfResult r = measure_mutex_contention_free(
+        alg.factory, n,
+        alg.register_model ? AccessPolicy::RegistersOnly
+                           : AccessPolicy::Unrestricted,
+        /*max_pids=*/4);
+    const auto un = static_cast<std::uint64_t>(n);
+    const int l = r.measured_atomicity;
+    EXPECT_GT(static_cast<double>(r.session.steps),
+              bounds::thm1_cf_step_lower(n, l))
+        << alg.name << " n=" << n;
+    EXPECT_GE(static_cast<double>(r.session.registers) + 1e-9,
+              bounds::thm2_cf_register_lower(n, l))
+        << alg.name << " n=" << n;
+    EXPECT_TRUE(bounds::lemma3_satisfied(un, l, r.session.write_steps,
+                                         r.session.read_registers))
+        << alg.name << " n=" << n;
+    EXPECT_TRUE(bounds::lemma6_satisfied(un, l, r.session.registers,
+                                         r.session.write_registers))
+        << alg.name << " n=" << n;
+    // Internal consistency of the measures themselves.
+    EXPECT_LE(r.session.registers, r.session.steps) << alg.name;
+    EXPECT_LE(r.session.read_registers, r.session.read_steps) << alg.name;
+    EXPECT_LE(r.session.write_registers, r.session.write_steps) << alg.name;
+    EXPECT_EQ(r.session.steps, r.session.read_steps + r.session.write_steps)
+        << alg.name << " (register-model accesses are read xor write)";
+    EXPECT_EQ(r.session.steps, r.entry.steps + r.exit.steps) << alg.name;
+  }
+}
+
+// Lemma 1 composes with every mutex: the derived detector is correct and
+// its contention-free cost is the mutex's entry cost plus one access.
+TEST_P(FrameworkSoundness, Lemma1ComposesWithEveryMutex) {
+  const auto algs = swept_mutexes();
+  const NamedMutex& alg = algs[static_cast<std::size_t>(GetParam())];
+  const int n = std::min(alg.max_n, 8);
+
+  const MutexCfResult mutex_cf = measure_mutex_contention_free(
+      alg.factory, n, AccessPolicy::Unrestricted, /*max_pids=*/4);
+  const ComplexityReport det_cf = measure_detector_contention_free(
+      DetectorFromMutex::factory(alg.factory), n);
+  EXPECT_EQ(det_cf.steps, mutex_cf.entry.steps + 1) << alg.name;
+  EXPECT_EQ(det_cf.registers, mutex_cf.entry.registers + 1) << alg.name;
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Sim sim;
+    auto det =
+        setup_detection(sim, DetectorFromMutex::factory(alg.factory), n);
+    RandomScheduler rnd(seed);
+    ASSERT_EQ(drive(sim, rnd, RunLimits{500'000}), RunOutcome::AllDone)
+        << alg.name << " seed " << seed;
+    EXPECT_LE(count_winners(sim), 1) << alg.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMutexes, FrameworkSoundness,
+                         ::testing::Range(0, 9),
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           static const auto algs = swept_mutexes();
+                           std::string name =
+                               algs[static_cast<std::size_t>(pinfo.param)]
+                                   .name;
+                           for (char& ch : name) {
+                             if (ch == '-') {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Contention-free complexity never exceeds what the worst-case search
+// finds when both measure the same windows (cf sessions are particular
+// runs, so any wc estimate from a superset of schedules dominates).
+TEST(MeasureOrdering, ContentionFreeAtMostWorstCase) {
+  for (const int n : {2, 4, 8}) {
+    const MutexCfResult cf = measure_mutex_contention_free(
+        LamportFast::factory(), n, AccessPolicy::RegistersOnly);
+    const MutexWcSearchResult wc = search_mutex_worst_case(
+        LamportFast::factory(), n, /*sessions=*/2, {1, 2, 3, 4});
+    EXPECT_LE(cf.entry.steps, wc.entry.steps) << n;
+    EXPECT_LE(cf.exit.steps, wc.exit.steps) << n;
+  }
+}
+
+// The paper's register-vs-space distinction: the Theorem 3 tree uses O(n)
+// shared registers (space) while a process touches only O(log n / l) of
+// them (register complexity); [BL93]'s n-register space bound is respected
+// by every implemented deadlock-free mutex.
+TEST(SpaceVsRegisterComplexity, TreeUsesManyRegistersTouchesFew) {
+  const int n = 64;
+  Sim sim;
+  auto alg = setup_mutex(sim, theorem3_factory(2), n, 1);
+  const int space = sim.memory().size();
+  const MutexCfResult cf = measure_mutex_contention_free(
+      theorem3_factory(2), n, AccessPolicy::RegistersOnly, /*max_pids=*/2);
+  EXPECT_GE(space, n);  // [BL93] lower bound on space
+  EXPECT_LT(cf.session.registers, space / 4);
+}
+
+}  // namespace
+}  // namespace cfc

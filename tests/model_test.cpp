@@ -1,0 +1,104 @@
+#include "memory/model.h"
+
+#include <gtest/gtest.h>
+
+namespace cfc {
+namespace {
+
+TEST(Model, EmptyModelSupportsNothing) {
+  const Model m;
+  for (BitOp op : kAllBitOps) {
+    EXPECT_FALSE(m.supports(op)) << name(op);
+  }
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(Model, RmwSupportsEverything) {
+  const Model m = Model::rmw();
+  for (BitOp op : kAllBitOps) {
+    EXPECT_TRUE(m.supports(op)) << name(op);
+  }
+  EXPECT_EQ(m.size(), kBitOpCount);
+}
+
+TEST(Model, TableModelsContainExpectedOps) {
+  EXPECT_TRUE(Model::test_and_set().supports(BitOp::TestAndSet));
+  EXPECT_EQ(Model::test_and_set().size(), 1);
+
+  EXPECT_TRUE(Model::read_test_and_set().supports(BitOp::Read));
+  EXPECT_TRUE(Model::read_test_and_set().supports(BitOp::TestAndSet));
+  EXPECT_EQ(Model::read_test_and_set().size(), 2);
+
+  EXPECT_TRUE(Model::read_tas_tar().supports(BitOp::TestAndReset));
+  EXPECT_EQ(Model::read_tas_tar().size(), 3);
+
+  EXPECT_TRUE(Model::test_and_flip().supports(BitOp::TestAndFlip));
+  EXPECT_EQ(Model::test_and_flip().size(), 1);
+}
+
+TEST(Model, IncludesIsSubsetOrder) {
+  EXPECT_TRUE(Model::rmw().includes(Model::test_and_set()));
+  EXPECT_TRUE(Model::rmw().includes(Model::read_tas_tar()));
+  EXPECT_TRUE(Model::read_tas_tar().includes(Model::read_test_and_set()));
+  EXPECT_TRUE(Model::read_test_and_set().includes(Model::test_and_set()));
+  EXPECT_FALSE(Model::test_and_set().includes(Model::read_test_and_set()));
+  EXPECT_FALSE(Model::test_and_flip().includes(Model::test_and_set()));
+}
+
+TEST(Model, WithWithoutRoundTrip) {
+  const Model m = Model::test_and_set().with(BitOp::Read);
+  EXPECT_EQ(m, Model::read_test_and_set());
+  EXPECT_EQ(m.without(BitOp::Read), Model::test_and_set());
+}
+
+// Section 3.2: if M is the dual of M', bounds for M hold for M'.
+TEST(Model, DualModelSwapsDualOps) {
+  const Model m{BitOp::TestAndSet, BitOp::Write0};
+  const Model d = m.dual_model();
+  EXPECT_TRUE(d.supports(BitOp::TestAndReset));
+  EXPECT_TRUE(d.supports(BitOp::Write1));
+  EXPECT_FALSE(d.supports(BitOp::TestAndSet));
+  EXPECT_FALSE(d.supports(BitOp::Write0));
+}
+
+TEST(Model, DualIsInvolutionOnAllModels) {
+  for (int mask = 0; mask < 256; ++mask) {
+    const Model m = Model::from_mask(static_cast<std::uint8_t>(mask));
+    EXPECT_EQ(m.dual_model().dual_model(), m) << mask;
+  }
+}
+
+TEST(Model, SelfDualModels) {
+  EXPECT_TRUE(Model::rmw().is_self_dual());
+  EXPECT_TRUE(Model::test_and_flip().is_self_dual());
+  EXPECT_TRUE(Model::read_tas_tar().dual_model() ==
+              (Model{BitOp::Read, BitOp::TestAndReset, BitOp::TestAndSet}));
+  EXPECT_TRUE(Model::read_tas_tar().is_self_dual());
+  EXPECT_FALSE(Model::test_and_set().is_self_dual());
+  EXPECT_FALSE(Model::read_test_and_set().is_self_dual());
+}
+
+TEST(Model, DualPreservesSize) {
+  for (int mask = 0; mask < 256; ++mask) {
+    const Model m = Model::from_mask(static_cast<std::uint8_t>(mask));
+    EXPECT_EQ(m.dual_model().size(), m.size()) << mask;
+  }
+}
+
+TEST(Model, NamesAreStable) {
+  EXPECT_EQ(Model::rmw().to_string(), "rmw");
+  EXPECT_EQ(Model::test_and_set().to_string(), "test-and-set");
+  EXPECT_EQ(Model::read_test_and_set().to_string(), "read+test-and-set");
+  EXPECT_EQ(Model::test_and_flip().to_string(), "test-and-flip");
+  EXPECT_EQ((Model{BitOp::Read}).to_string(), "{read}");
+}
+
+TEST(Model, MaskRoundTrip) {
+  for (int mask = 0; mask < 256; ++mask) {
+    const Model m = Model::from_mask(static_cast<std::uint8_t>(mask));
+    EXPECT_EQ(m.mask(), static_cast<std::uint8_t>(mask));
+  }
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,173 @@
+// Adversarial schedules for mutual exclusion:
+//  * the [AT92] fact that worst-case step complexity is unbounded, witnessed
+//    by a scripted 3-process schedule that forces the eventual winner
+//    through arbitrarily many steps while no process is in its critical
+//    section (so the steps land in the paper's *clean* worst-case window);
+//  * the Lemma 1 reduction (mutex -> contention detection) preserving
+//    contention-free complexity up to one extra access.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "core/adversary.h"
+#include "core/bounds.h"
+#include "mutex/detector_adapter.h"
+#include "mutex/lamport_fast.h"
+#include "mutex/lamport_tree.h"
+#include "mutex/tas_lock.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+/// Drives the AT92-style witness: process a (id 1) is pushed into Lamport's
+/// slow path and made to spin on b3 for `spins` iterations while process c
+/// (id 3) sits in its entry code; then the adversary releases the knot and
+/// a wins. Returns the steps counted in a's clean entry window.
+int lamport_unbounded_witness(int spins) {
+  Sim sim;
+  auto alg = setup_mutex(sim, LamportFast::factory(), 3, /*sessions=*/1);
+  const Pid a = 0;  // algorithm id 1
+  const Pid c = 2;  // algorithm id 3
+
+  step_n(sim, a, 4);  // b1:=1, x:=1, read y(=0), y:=1
+  step_n(sim, c, 2);  // b3:=1, x:=3
+  step_n(sim, a, 4);  // read x(=3) -> slow path; b1:=0; scan reads b1, b2
+  for (int i = 0; i < spins; ++i) {
+    sim.step(a);  // spins on b3 = 1
+  }
+  EXPECT_EQ(sim.section(a), Section::Entry);
+  EXPECT_EQ(sim.count_in_section(Section::Critical), 0);
+  EXPECT_EQ(sim.count_in_section(Section::Exit), 0);
+
+  step_n(sim, c, 2);  // c: read y(=1) -> b3:=0, now awaiting y = 0
+  step_n(sim, a, 2);  // a: read b3(=0), read y(=1=own id) -> critical section
+  EXPECT_EQ(sim.section(a), Section::Critical);
+
+  const auto windows = clean_entry_windows(sim.trace(), a, 3);
+  EXPECT_EQ(windows.size(), 1u);
+  return windows.empty() ? 0 : measure(sim.trace(), a, windows[0]).steps;
+}
+
+TEST(At92Unbounded, WinnerStepsGrowWithAdversaryBudget) {
+  const int s10 = lamport_unbounded_witness(10);
+  const int s100 = lamport_unbounded_witness(100);
+  const int s1000 = lamport_unbounded_witness(1000);
+  EXPECT_GE(s10, 10 + 10);
+  EXPECT_EQ(s100 - s10, 90);    // exactly one step per extra spin
+  EXPECT_EQ(s1000 - s100, 900);
+}
+
+TEST(At92Unbounded, ContrastContentionFreeStaysConstant) {
+  // The same algorithm whose worst case just grew without bound has
+  // contention-free step complexity exactly 7.
+  const MutexCfResult cf =
+      measure_mutex_contention_free(LamportFast::factory(), 3);
+  EXPECT_EQ(cf.session.steps, 7);
+}
+
+// --- Lemma 1 adapter. ---
+
+TEST(Lemma1Adapter, SoloWinnerCostsEntryPlusOne) {
+  for (int n : {2, 4, 16, 64}) {
+    const ComplexityReport rep = measure_detector_contention_free(
+        DetectorFromMutex::factory(LamportFast::factory()), n);
+    EXPECT_EQ(rep.steps, 5 + 1) << "n=" << n;  // entry 5 + write won
+    EXPECT_EQ(rep.registers, 3 + 1) << "n=" << n;
+  }
+}
+
+TEST(Lemma1Adapter, AtMostOneWinnerEveryoneTerminates) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Sim sim;
+    auto det = setup_detection(
+        sim, DetectorFromMutex::factory(LamportFast::factory()), 4);
+    RandomScheduler rnd(seed);
+    ASSERT_EQ(drive(sim, rnd, RunLimits{500'000}), RunOutcome::AllDone)
+        << "seed " << seed;
+    EXPECT_LE(count_winners(sim), 1) << "seed " << seed;
+  }
+}
+
+TEST(Lemma1Adapter, ExactlyOneWinnerWhenAllRun) {
+  // With the Lamport adapter, under a fair schedule someone always enters
+  // the critical section and wins.
+  for (std::uint64_t seed = 50; seed < 70; ++seed) {
+    Sim sim;
+    auto det = setup_detection(
+        sim, DetectorFromMutex::factory(LamportFast::factory()), 3);
+    RandomScheduler rnd(seed);
+    ASSERT_EQ(drive(sim, rnd, RunLimits{500'000}), RunOutcome::AllDone);
+    EXPECT_EQ(count_winners(sim), 1) << "seed " << seed;
+  }
+}
+
+TEST(Lemma1Adapter, WorksOverTreeAndTasMutexes) {
+  const ComplexityReport tree = measure_detector_contention_free(
+      DetectorFromMutex::factory(theorem3_factory(2)), 16);
+  // Tree entry = 7 per level minus 2 exit accesses, plus the won write.
+  EXPECT_GT(tree.steps, 5);
+  const ComplexityReport tas = measure_detector_contention_free(
+      DetectorFromMutex::factory(TasLock::factory()), 16);
+  EXPECT_EQ(tas.steps, 2);  // tas + write won
+  EXPECT_EQ(tas.registers, 2);
+}
+
+// The adapter's solo profiles satisfy Lemma 2's condition pairwise, like
+// any correct detector.
+TEST(Lemma1Adapter, SatisfiesLemma2Condition) {
+  SimSetup setup = [](Sim& sim) {
+    auto det = setup_detection(
+        sim, DetectorFromMutex::factory(LamportFast::factory()), 4);
+    static std::vector<std::unique_ptr<Detector>> keep;
+    keep.push_back(std::move(det));
+  };
+  std::vector<SoloProfile> profs;
+  for (Pid p = 0; p < 4; ++p) {
+    profs.push_back(solo_profile(setup, p));
+  }
+  for (Pid x = 0; x < 4; ++x) {
+    for (Pid y = x + 1; y < 4; ++y) {
+      EXPECT_TRUE(lemma2_condition(profs[static_cast<std::size_t>(x)],
+                                   profs[static_cast<std::size_t>(y)]))
+          << x << "," << y;
+    }
+  }
+}
+
+// Every measured contention-free profile of every register-model detector
+// obeys the Lemma 3 and Lemma 6 inequalities.
+TEST(LowerBoundInequalities, HoldForAllRegisterDetectors) {
+  struct Case {
+    DetectorFactory factory;
+    int n;
+  };
+  std::vector<Case> cases;
+  for (int n : {4, 16, 64}) {
+    for (int l : {1, 2, 4}) {
+      cases.push_back({SplitterTree::factory(l), n});
+    }
+    cases.push_back({DetectorFromMutex::factory(LamportFast::factory()), n});
+    cases.push_back({DetectorFromMutex::factory(theorem3_factory(2)), n});
+  }
+  for (const Case& c : cases) {
+    for (Pid p = 0; p < std::min(c.n, 4); ++p) {
+      Sim sim;
+      auto det = setup_detection(sim, c.factory, c.n);
+      SoloScheduler solo(p);
+      drive(sim, solo);
+      const ComplexityReport rep = measure_all(sim.trace(), p);
+      const int l = sim.trace().max_width_accessed(p);
+      EXPECT_TRUE(bounds::lemma3_satisfied(static_cast<std::uint64_t>(c.n), l,
+                                           rep.write_steps,
+                                           rep.read_registers))
+          << "n=" << c.n;
+      EXPECT_TRUE(bounds::lemma6_satisfied(static_cast<std::uint64_t>(c.n), l,
+                                           rep.registers,
+                                           rep.write_registers))
+          << "n=" << c.n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,149 @@
+// Per-algorithm unit tests: contention-free complexity of each mutual
+// exclusion algorithm matches the paper's stated constants, measured by the
+// instrumented simulator over the Section 2.2 windows.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "core/bounds.h"
+#include "mutex/kessels.h"
+#include "mutex/lamport_fast.h"
+#include "mutex/peterson.h"
+#include "mutex/tas_lock.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+// [Lam87]: "a process needs to access the shared memory five times in order
+// to enter its critical section and twice in order to exit it — a total of
+// seven accesses. Only 3 different registers are accessed."
+TEST(LamportFast, ContentionFreeSevenStepsThreeRegisters) {
+  for (int n : {1, 2, 3, 8, 64, 1000}) {
+    const MutexCfResult r = measure_mutex_contention_free(
+        LamportFast::factory(), n, AccessPolicy::RegistersOnly,
+        /*max_pids=*/8);
+    EXPECT_EQ(r.session.steps, 7) << "n=" << n;
+    EXPECT_EQ(r.session.registers, 3) << "n=" << n;
+    EXPECT_EQ(r.entry.steps, 5) << "n=" << n;
+    EXPECT_EQ(r.exit.steps, 2) << "n=" << n;
+  }
+}
+
+TEST(LamportFast, ReadWriteSplitInSoloSession) {
+  const MutexCfResult r =
+      measure_mutex_contention_free(LamportFast::factory(), 8);
+  // Entry: w b, w x, r y, w y, r x; exit: w y, w b.
+  EXPECT_EQ(r.session.write_steps, 5);
+  EXPECT_EQ(r.session.read_steps, 2);
+  EXPECT_EQ(r.session.write_registers, 3);
+  EXPECT_EQ(r.session.read_registers, 2);
+}
+
+TEST(LamportFast, AtomicityIsCeilLog2NPlus1) {
+  for (int n : {1, 2, 3, 7, 8, 100, 1023}) {
+    const MutexCfResult r = measure_mutex_contention_free(
+        LamportFast::factory(), n, AccessPolicy::Unrestricted,
+        /*max_pids=*/4);
+    EXPECT_EQ(r.measured_atomicity,
+              bounds::ceil_log2(static_cast<std::uint64_t>(n) + 1))
+        << "n=" << n;
+  }
+}
+
+TEST(LamportFast, MeasuredComplexitySatisfiesTheorem1And2) {
+  for (int n : {4, 16, 256, 1000}) {
+    const MutexCfResult r =
+        measure_mutex_contention_free(LamportFast::factory(), n);
+    const int l = r.measured_atomicity;
+    EXPECT_GT(r.session.steps,
+              bounds::thm1_cf_step_lower(static_cast<double>(n), l));
+    EXPECT_GE(r.session.registers + 1e-9,
+              bounds::thm2_cf_register_lower(static_cast<double>(n), l));
+  }
+}
+
+TEST(LamportFast, MeasuredComplexitySatisfiesLemma3And6) {
+  for (int n : {4, 16, 256}) {
+    const MutexCfResult r =
+        measure_mutex_contention_free(LamportFast::factory(), n);
+    const int l = r.measured_atomicity;
+    EXPECT_TRUE(bounds::lemma3_satisfied(static_cast<std::uint64_t>(n), l,
+                                         r.session.write_steps,
+                                         r.session.read_registers));
+    EXPECT_TRUE(bounds::lemma6_satisfied(static_cast<std::uint64_t>(n), l,
+                                         r.session.registers,
+                                         r.session.write_registers));
+  }
+}
+
+TEST(Peterson, ContentionFreeFourStepsThreeRegisters) {
+  const MutexCfResult r = measure_mutex_contention_free(
+      Peterson::factory(), 2, AccessPolicy::RegistersOnly);
+  EXPECT_EQ(r.session.steps, 4);
+  EXPECT_EQ(r.session.registers, 3);
+  EXPECT_EQ(r.entry.steps, 3);
+  EXPECT_EQ(r.exit.steps, 1);
+  EXPECT_EQ(r.measured_atomicity, 1);
+}
+
+TEST(Kessels, ContentionFreeFiveStepsFourRegisters) {
+  const MutexCfResult r = measure_mutex_contention_free(
+      Kessels::factory(), 2, AccessPolicy::RegistersOnly);
+  EXPECT_EQ(r.session.steps, 5);
+  EXPECT_EQ(r.session.registers, 4);
+  EXPECT_EQ(r.entry.steps, 4);
+  EXPECT_EQ(r.exit.steps, 1);
+  EXPECT_EQ(r.measured_atomicity, 1);
+}
+
+// The rmw contrast case: constant complexity regardless of n, *below* the
+// Theorem 1/2 atomic-register lower bounds — the bounds are specific to the
+// read/write register model.
+TEST(TasLock, ConstantContentionFreeComplexityBeatsRegisterBounds) {
+  for (int n : {2, 16, 1024, 100000}) {
+    // TasLock treats every slot identically: sample a few pids instead of
+    // running 100000 quadratic solo measurements.
+    const MutexCfResult r = measure_mutex_contention_free(
+        TasLock::factory(), n, AccessPolicy::Unrestricted, /*max_pids=*/3);
+    EXPECT_EQ(r.session.steps, 2) << "n=" << n;
+    EXPECT_EQ(r.session.registers, 1) << "n=" << n;
+    EXPECT_EQ(r.measured_atomicity, 1) << "n=" << n;
+  }
+  // For large enough n the Theorem 1 bound exceeds TasLock's constant 2
+  // (at n = 2^63, l = 1: log n / (3 log log n - 1) ~ 3.7): the rmw
+  // primitive "violates" a bound that only binds register algorithms.
+  const double lb = bounds::thm1_cf_step_lower(9.2e18, 1.0);
+  EXPECT_GT(lb, 2.0);
+}
+
+TEST(Peterson, RejectsBadSlots) {
+  Sim sim;
+  Peterson alg(sim.memory());
+  const Pid p = sim.spawn("p", [&alg](ProcessContext& ctx) -> Task<void> {
+    co_await alg.enter(ctx, 2);
+  });
+  EXPECT_THROW(run_to_completion(sim, p), std::invalid_argument);
+}
+
+TEST(LamportFast, FactoryRespectsCapacity) {
+  Sim sim;
+  EXPECT_THROW(setup_mutex(sim, Peterson::factory(), 3, 1),
+               std::invalid_argument);
+}
+
+// Two consecutive solo sessions by the same process both count 7 steps —
+// the algorithm resets its registers properly on exit.
+TEST(LamportFast, BackToBackSoloSessionsStayFast) {
+  Sim sim;
+  auto alg = setup_mutex(sim, LamportFast::factory(), 4, /*sessions=*/3);
+  SoloScheduler solo(2);
+  drive(sim, solo);
+  const auto windows = contention_free_sessions(sim.trace(), 2, 4);
+  ASSERT_EQ(windows.size(), 3u);
+  for (const auto& w : windows) {
+    EXPECT_EQ(measure(sim.trace(), 2, w).steps, 7);
+  }
+}
+
+}  // namespace
+}  // namespace cfc

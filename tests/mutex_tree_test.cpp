@@ -1,0 +1,169 @@
+// Theorem 3 and the tournament constructions: measured contention-free
+// complexities match the 7*ceil(log n / l) / 3*ceil(log n / l) formulas.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "core/bounds.h"
+#include "mutex/lamport_tree.h"
+#include "sched/sched.h"
+#include "mutex/tournament.h"
+
+namespace cfc {
+namespace {
+
+struct TreeParam {
+  int n;
+  int l;
+};
+
+class Theorem3PaperArity : public ::testing::TestWithParam<TreeParam> {};
+
+// With the paper-literal arity 2^l, depth is exactly ceil(log2 n / l) and
+// the measured contention-free complexities equal the theorem's formulas.
+TEST_P(Theorem3PaperArity, MatchesFormulaExactly) {
+  const auto [n, l] = GetParam();
+  const MutexCfResult r = measure_mutex_contention_free(
+      theorem3_factory(l, TreeArity::PaperLiteral), n,
+      AccessPolicy::RegistersOnly);
+  EXPECT_EQ(r.session.steps,
+            bounds::thm3_cf_step_upper(static_cast<std::uint64_t>(n), l))
+      << "n=" << n << " l=" << l;
+  EXPECT_EQ(r.session.registers,
+            bounds::thm3_cf_register_upper(static_cast<std::uint64_t>(n), l))
+      << "n=" << n << " l=" << l;
+  // Paper-literal arity pays one extra bit of atomicity for the y sentinel.
+  EXPECT_EQ(r.measured_atomicity, l + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3PaperArity,
+    ::testing::Values(TreeParam{4, 1}, TreeParam{4, 2}, TreeParam{8, 1},
+                      TreeParam{8, 3}, TreeParam{16, 2}, TreeParam{16, 4},
+                      TreeParam{64, 2}, TreeParam{64, 3}, TreeParam{64, 6},
+                      TreeParam{100, 2}, TreeParam{256, 4},
+                      TreeParam{1024, 5}),
+    [](const ::testing::TestParamInfo<TreeParam>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_l" +
+             std::to_string(pinfo.param.l);
+    });
+
+class Theorem3ExactAtomicity : public ::testing::TestWithParam<TreeParam> {};
+
+// With arity 2^l - 1 the atomicity is exactly l and the complexities stay
+// within the theorem's bounds computed at the *effective* chunk size
+// (log2(2^l - 1) rounds to l only for l >= 2 and slightly deeper trees).
+TEST_P(Theorem3ExactAtomicity, AtomicityExactAndWithinConstantFactor) {
+  const auto [n, l] = GetParam();
+  const MutexCfResult r = measure_mutex_contention_free(
+      theorem3_factory(l, TreeArity::ExactAtomicity), n,
+      AccessPolicy::RegistersOnly);
+  EXPECT_LE(r.measured_atomicity, l);
+  // Depth with arity k = 2^l - 1 is at most one level deeper than
+  // ceil(log n / l) for the sweep's parameters.
+  const int paper_steps =
+      bounds::thm3_cf_step_upper(static_cast<std::uint64_t>(n), l);
+  const int paper_regs =
+      bounds::thm3_cf_register_upper(static_cast<std::uint64_t>(n), l);
+  EXPECT_GE(r.session.steps, paper_steps > 7 ? 7 : paper_steps / 7);
+  EXPECT_LE(r.session.steps, paper_steps + 2 * 7);
+  EXPECT_LE(r.session.registers, paper_regs + 2 * 3);
+  // Lower bounds still hold, of course.
+  EXPECT_GT(r.session.steps, bounds::thm1_cf_step_lower(
+                                 static_cast<double>(n), r.measured_atomicity));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3ExactAtomicity,
+    ::testing::Values(TreeParam{4, 2}, TreeParam{8, 2}, TreeParam{16, 3},
+                      TreeParam{64, 3}, TreeParam{256, 4}, TreeParam{256, 8},
+                      TreeParam{1024, 4}),
+    [](const ::testing::TestParamInfo<TreeParam>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_l" +
+             std::to_string(pinfo.param.l);
+    });
+
+// l = 1 (all registers are bits): the Peterson tournament stands in, with
+// 4/3 constants per level — within the theorem's 7/3 claim.
+TEST(Theorem3, AtomicityOneUsesBitTournament) {
+  for (int n : {2, 4, 8, 32, 128}) {
+    const MutexCfResult r = measure_mutex_contention_free(
+        theorem3_factory(1), n, AccessPolicy::RegistersOnly);
+    const int depth = bounds::ceil_log2(static_cast<std::uint64_t>(
+        n < 2 ? 2 : n));
+    EXPECT_EQ(r.measured_atomicity, 1) << "n=" << n;
+    EXPECT_EQ(r.session.steps, 4 * depth) << "n=" << n;
+    EXPECT_EQ(r.session.registers, 3 * depth) << "n=" << n;
+    EXPECT_LE(r.session.steps,
+              bounds::thm3_cf_step_upper(static_cast<std::uint64_t>(n), 1));
+    EXPECT_LE(r.session.registers, bounds::thm3_cf_register_upper(
+                                       static_cast<std::uint64_t>(n), 1));
+  }
+}
+
+// Kessels tournament: the paper's worst-case register complexity row — all
+// bits, O(log n) registers along any run.
+TEST(KesselsTree, ContentionFreePerLevelConstants) {
+  for (int n : {2, 4, 16, 64}) {
+    const MutexCfResult r = measure_mutex_contention_free(
+        TournamentMutex::kessels_tree(), n, AccessPolicy::RegistersOnly);
+    const int depth =
+        bounds::ceil_log2(static_cast<std::uint64_t>(n < 2 ? 2 : n));
+    EXPECT_EQ(r.session.steps, 5 * depth) << "n=" << n;
+    EXPECT_EQ(r.session.registers, 4 * depth) << "n=" << n;
+    EXPECT_EQ(r.measured_atomicity, 1) << "n=" << n;
+  }
+}
+
+// The tree algorithms have every process pay the same contention-free cost
+// (full-path traversal), regardless of which leaf it starts at.
+TEST(LamportTree, UniformCostAcrossProcesses) {
+  const int n = 27;
+  const int l = 2;  // arity 3
+  for (Pid pid = 0; pid < n; pid += 5) {
+    Sim sim;
+    auto alg = setup_mutex(sim, LamportTree::factory(l), n, 1);
+    SoloScheduler solo(pid);
+    drive(sim, solo);
+    const auto windows = contention_free_sessions(sim.trace(), pid, n);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(measure(sim.trace(), pid, windows[0]).steps, 7 * 3)
+        << "pid=" << pid;  // depth 3 = ceil(log_3 27)
+  }
+}
+
+TEST(LamportTree, DepthAndArityAccessors) {
+  Sim sim;
+  LamportTree tree(sim.memory(), 100, 3, TreeArity::ExactAtomicity);
+  EXPECT_EQ(tree.arity(), 7);
+  EXPECT_EQ(tree.depth(), 3);  // 7^3 = 343 >= 100 > 49
+  EXPECT_EQ(tree.atomicity(), 3);
+
+  Sim sim2;
+  LamportTree paper(sim2.memory(), 100, 3, TreeArity::PaperLiteral);
+  EXPECT_EQ(paper.arity(), 8);
+  EXPECT_EQ(paper.depth(), 3);  // 8^3 >= 100 > 64... no: 8^2=64 < 100
+  EXPECT_EQ(paper.atomicity(), 4);
+}
+
+TEST(LamportTree, RejectsAtomicityOneWithExactPolicy) {
+  Sim sim;
+  EXPECT_THROW(LamportTree(sim.memory(), 8, 1, TreeArity::ExactAtomicity),
+               std::invalid_argument);
+}
+
+// Theorem 3's depth claim for the paper arity: ceil(log2(n)/l) exactly.
+TEST(LamportTree, PaperArityDepthFormula) {
+  for (int n : {2, 4, 16, 64, 100, 1000}) {
+    for (int l : {1, 2, 3, 5}) {
+      Sim sim;
+      LamportTree tree(sim.memory(), n, l, TreeArity::PaperLiteral);
+      EXPECT_EQ(tree.depth(),
+                bounds::ceil_div(
+                    bounds::ceil_log2(static_cast<std::uint64_t>(n)), l))
+          << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,83 @@
+#include "memory/register_file.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cfc {
+namespace {
+
+TEST(RegisterFile, AddAndInspect) {
+  RegisterFile mem;
+  const RegId a = mem.add_register("a", 4, 9);
+  const RegId b = mem.add_bit("b", true);
+  EXPECT_EQ(mem.size(), 2);
+  EXPECT_EQ(mem.width(a), 4);
+  EXPECT_EQ(mem.width(b), 1);
+  EXPECT_EQ(mem.reg_name(a), "a");
+  EXPECT_EQ(mem.peek(a), 9u);
+  EXPECT_EQ(mem.peek(b), 1u);
+  EXPECT_EQ(mem.initial_value(a), 9u);
+}
+
+TEST(RegisterFile, WidthBoundsEnforced) {
+  RegisterFile mem;
+  EXPECT_THROW(mem.add_register("w0", 0), std::invalid_argument);
+  EXPECT_THROW(mem.add_register("w65", 65), std::invalid_argument);
+  EXPECT_NO_THROW(mem.add_register("w64", 64));
+  EXPECT_NO_THROW(mem.add_register("w1", 1));
+}
+
+TEST(RegisterFile, InitialValueMustFit) {
+  RegisterFile mem;
+  EXPECT_THROW(mem.add_register("r", 3, 8), std::invalid_argument);
+  EXPECT_NO_THROW(mem.add_register("r", 3, 7));
+}
+
+TEST(RegisterFile, MaxValuePerWidth) {
+  RegisterFile mem;
+  const RegId r1 = mem.add_register("r1", 1);
+  const RegId r8 = mem.add_register("r8", 8);
+  const RegId r64 = mem.add_register("r64", 64);
+  EXPECT_EQ(mem.max_value(r1), 1u);
+  EXPECT_EQ(mem.max_value(r8), 255u);
+  EXPECT_EQ(mem.max_value(r64), ~Value{0});
+}
+
+TEST(RegisterFile, PokeChecksRange) {
+  RegisterFile mem;
+  const RegId r = mem.add_register("r", 2);
+  mem.poke(r, 3);
+  EXPECT_EQ(mem.peek(r), 3u);
+  EXPECT_THROW(mem.poke(r, 4), std::invalid_argument);
+}
+
+TEST(RegisterFile, ResetRestoresInitialValues) {
+  RegisterFile mem;
+  const RegId a = mem.add_register("a", 8, 42);
+  const RegId b = mem.add_bit("b");
+  mem.poke(a, 7);
+  mem.poke(b, 1);
+  mem.reset();
+  EXPECT_EQ(mem.peek(a), 42u);
+  EXPECT_EQ(mem.peek(b), 0u);
+}
+
+TEST(RegisterFile, BadIdsThrow) {
+  RegisterFile mem;
+  EXPECT_THROW((void)mem.peek(0), std::out_of_range);
+  const RegId r = mem.add_bit("r");
+  EXPECT_NO_THROW((void)mem.peek(r));
+  EXPECT_THROW((void)mem.peek(r + 1), std::out_of_range);
+  EXPECT_THROW((void)mem.width(-1), std::out_of_range);
+}
+
+TEST(RegisterFile, FitsMatchesWidth) {
+  RegisterFile mem;
+  const RegId r = mem.add_register("r", 3);
+  EXPECT_TRUE(mem.fits(r, 7));
+  EXPECT_FALSE(mem.fits(r, 8));
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,96 @@
+// Guards against a GCC 12 coroutine miscompilation: a `co_await` expression
+// inside a *loop condition* (`while (co_await x) ...`) produces wrong code
+// (clobbered awaiter frame slot -> crashes or lost suspensions), while the
+// same await hoisted into the loop body works. See lamport_fast.cpp for the
+// canonical body-style pattern. This test (1) demonstrates the safe pattern
+// executes correctly, and (2) scans the source tree to keep the forbidden
+// pattern out.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "sched/sched.h"
+#include "sched/sim.h"
+
+#ifndef CFC_SOURCE_DIR
+#define CFC_SOURCE_DIR "."
+#endif
+
+namespace cfc {
+namespace {
+
+// The safe hoisted-await loop runs correctly for many iterations.
+Task<void> hoisted_spin(ProcessContext& ctx, RegId flag, RegId counter) {
+  for (;;) {
+    const Value v = co_await ctx.read(flag);
+    if (v != 0) {
+      break;
+    }
+  }
+  co_await ctx.write(counter, 1);
+}
+
+TEST(ToolchainGuard, HoistedAwaitLoopExecutesCorrectly) {
+  Sim sim;
+  const RegId flag = sim.memory().add_bit("flag");
+  const RegId counter = sim.memory().add_bit("counter");
+  const Pid p = sim.spawn("p", [flag, counter](ProcessContext& ctx) {
+    return hoisted_spin(ctx, flag, counter);
+  });
+  for (int i = 0; i < 1000; ++i) {
+    sim.step(p);
+  }
+  EXPECT_TRUE(sim.runnable(p));
+  sim.memory().poke(flag, 1);
+  step_n(sim, p, 2);
+  EXPECT_EQ(sim.status(p), ProcStatus::Done);
+  EXPECT_EQ(sim.memory().peek(counter), 1u);
+}
+
+// No source file may contain `while (co_await` or a co_await inside a for
+// condition — the GCC 12 footgun.
+TEST(ToolchainGuard, NoLoopConditionCoAwaitInSources) {
+  namespace fs = std::filesystem;
+  const std::regex forbidden(R"(while\s*\(\s*co_await)");
+  std::vector<std::string> offenders;
+  for (const char* root : {CFC_SOURCE_DIR "/src", CFC_SOURCE_DIR "/tests",
+                           CFC_SOURCE_DIR "/examples",
+                           CFC_SOURCE_DIR "/bench"}) {
+    if (!fs::exists(root)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const auto ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".h") {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      // Skip comment lines mentioning the pattern by requiring a match that
+      // is not preceded by '//' on its line.
+      for (std::sregex_iterator it(text.begin(), text.end(), forbidden), end;
+           it != end; ++it) {
+        const auto pos = static_cast<std::size_t>(it->position());
+        const std::size_t line_start = text.rfind('\n', pos) + 1;
+        const std::string_view line(text.data() + line_start,
+                                    pos - line_start);
+        if (line.find("//") == std::string_view::npos) {
+          offenders.push_back(entry.path().string());
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(offenders.empty())
+      << "loop-condition co_await found in: " << offenders.front();
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,132 @@
+// Trace/run bookkeeping: sequence numbering, per-process extraction,
+// section events, width tracking, and terminal events — the data the whole
+// measurement layer depends on.
+#include "sched/run.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/sched.h"
+#include "sched/sim.h"
+
+namespace cfc {
+namespace {
+
+TEST(Trace, SeqNumbersAreDense) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 4);
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    ctx.set_section(Section::Working);
+    co_await ctx.write(r, 1);
+    co_await ctx.read(r);
+    ctx.set_section(Section::Done);
+  });
+  run_to_completion(sim, p);
+  const auto& evs = sim.trace().events();
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, i);
+  }
+}
+
+TEST(Trace, AccessCountExcludesSectionAndTerminalEvents) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 4);
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    ctx.set_section(Section::Entry);
+    co_await ctx.write(r, 1);
+    ctx.set_section(Section::Critical);
+    ctx.set_section(Section::Remainder);
+  });
+  run_to_completion(sim, p);
+  EXPECT_EQ(sim.trace().access_count(), 1u);
+  EXPECT_GT(sim.trace().size(), 1u);  // section + finish events recorded
+}
+
+TEST(Trace, YieldLeavesNoAccessEvent) {
+  Sim sim;
+  sim.memory().add_bit("r");
+  const Pid p = sim.spawn("p", [](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.yield();
+    co_await ctx.yield();
+    co_await ctx.read(0);
+  });
+  run_to_completion(sim, p);
+  EXPECT_EQ(sim.trace().access_count(), 1u);
+  EXPECT_EQ(sim.access_count(p), 1u);
+}
+
+TEST(Trace, PerProcessExtraction) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 4);
+  auto body = [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.write(r, 1);
+    co_await ctx.read(r);
+  };
+  const Pid a = sim.spawn("a", body);
+  const Pid b = sim.spawn("b", body);
+  RoundRobinScheduler rr;
+  drive(sim, rr);
+  EXPECT_EQ(sim.trace().accesses_of(a).size(), 2u);
+  EXPECT_EQ(sim.trace().accesses_of(b).size(), 2u);
+  EXPECT_EQ(sim.trace().accesses().size(), 4u);
+}
+
+TEST(Trace, MaxWidthTracksWidestTouchedRegister) {
+  Sim sim;
+  const RegId narrow = sim.memory().add_bit("bit");
+  const RegId wide = sim.memory().add_register("wide", 48);
+  const Pid a = sim.spawn("a", [narrow](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.read(narrow);
+  });
+  const Pid b = sim.spawn("b", [&](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.read(narrow);
+    co_await ctx.read(wide);
+  });
+  RoundRobinScheduler rr;
+  drive(sim, rr);
+  EXPECT_EQ(sim.trace().max_width_accessed(a), 1);
+  EXPECT_EQ(sim.trace().max_width_accessed(b), 48);
+  EXPECT_EQ(sim.trace().max_width_accessed(), 48);
+}
+
+TEST(Trace, CrashEventRecorded) {
+  Sim sim;
+  const RegId r = sim.memory().add_bit("r");
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.read(r);
+    co_await ctx.read(r);
+  });
+  sim.crash_after(p, 1);
+  sim.step(p);
+  sim.step(p);
+  bool saw_crash = false;
+  for (const TraceEvent& ev : sim.trace().events()) {
+    if (ev.kind == TraceEvent::Kind::Crash) {
+      saw_crash = true;
+      EXPECT_EQ(ev.pid, p);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+}
+
+TEST(Trace, SectionNamesStable) {
+  EXPECT_EQ(name(Section::Remainder), "remainder");
+  EXPECT_EQ(name(Section::Entry), "entry");
+  EXPECT_EQ(name(Section::Critical), "critical");
+  EXPECT_EQ(name(Section::Exit), "exit");
+  EXPECT_EQ(name(Section::Working), "working");
+  EXPECT_EQ(name(Section::Done), "done");
+}
+
+TEST(Trace, ClearResets) {
+  Trace t;
+  TraceEvent ev;
+  ev.seq = 0;
+  t.push(ev);
+  EXPECT_FALSE(t.empty());
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.next_seq(), 0u);
+}
+
+}  // namespace
+}  // namespace cfc
