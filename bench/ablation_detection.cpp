@@ -3,6 +3,11 @@
 // Shows (a) the reduction preserves contention-free complexity up to one
 // extra access, and (b) detection has *bounded* worst-case step complexity
 // O(ceil(log n / l)) (Section 2.6 remark) while mutual exclusion does not.
+//
+// Both candidate pools enumerate via the AlgorithmRegistry: the direct
+// detectors are its detector catalogue; the Lemma 1 detectors wrap its
+// constant-time mutex algorithms (tags "fast" and "rmw") plus the l=2
+// Theorem 3 tree.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -10,16 +15,15 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "bench_util.h"
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "core/contention_detection.h"
 #include "mutex/detector_adapter.h"
-#include "mutex/lamport_fast.h"
-#include "mutex/lamport_tree.h"
-#include "mutex/tas_lock.h"
 
 int main() {
   using namespace cfc;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("ablation_detection");
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
 
@@ -33,17 +37,23 @@ int main() {
     DetectorFactory factory;
   };
   for (const int n : {16, 64, 256}) {
-    const std::vector<Case> cases = {
-        {"splitter-tree l=1", SplitterTree::factory(1)},
-        {"splitter-tree l=2", SplitterTree::factory(2)},
-        {"splitter-tree l=4", SplitterTree::factory(4)},
-        {"splitter-tree l=log n", SplitterTree::factory_full_width()},
-        {"lemma1(lamport-fast)",
-         DetectorFromMutex::factory(LamportFast::factory())},
-        {"lemma1(lamport-tree l=2)",
-         DetectorFromMutex::factory(theorem3_factory(2))},
-        {"lemma1(tas-lock)", DetectorFromMutex::factory(TasLock::factory())},
-    };
+    std::vector<Case> cases;
+    for (const DetectorAlgorithmEntry* entry :
+         registry.detector_algorithms()) {
+      cases.push_back({entry->info.name, entry->factory});
+    }
+    for (const MutexAlgorithmEntry* entry : registry.mutex_for_n(n, "fast")) {
+      cases.push_back({"lemma1(" + entry->info.name + ")",
+                       DetectorFromMutex::factory(entry->factory)});
+    }
+    for (const MutexAlgorithmEntry* entry : registry.mutex_for_n(n, "rmw")) {
+      cases.push_back({"lemma1(" + entry->info.name + ")",
+                       DetectorFromMutex::factory(entry->factory)});
+    }
+    cases.push_back(
+        {"lemma1(thm3-exact-l2)",
+         DetectorFromMutex::factory(registry.mutex("thm3-exact-l2").factory)});
+
     for (const Case& c : cases) {
       const ComplexityReport cf =
           measure_detector_contention_free(c.factory, n);
@@ -53,19 +63,28 @@ int main() {
                  std::to_string(cf.registers), std::to_string(wc.steps),
                  std::to_string(wc.registers),
                  std::to_string(cf.atomicity)});
+      json.row({{"section", std::string("detector")},
+                {"detector", c.label},
+                {"n", cfc::bench::jv(n)},
+                {"cf_step", cfc::bench::jv(cf.steps)},
+                {"cf_reg", cfc::bench::jv(cf.registers)},
+                {"wc_step", cfc::bench::jv(wc.steps)},
+                {"wc_reg", cfc::bench::jv(wc.registers)},
+                {"atomicity", cfc::bench::jv(cf.atomicity)}});
       verify.check(wc.steps >= cf.steps, "wc >= cf for " + c.label);
     }
 
     // The reduction overhead claim: lemma1(lamport) == lamport entry + 1.
     const ComplexityReport lam_cf = measure_detector_contention_free(
-        DetectorFromMutex::factory(LamportFast::factory()), n);
+        DetectorFromMutex::factory(registry.mutex("lamport-fast").factory),
+        n);
     verify.check(lam_cf.steps == 6,
                  "lemma1(lamport) cf = entry(5) + 1 at n=" +
                      std::to_string(n));
     // The bounded-worst-case claim for the direct detector: the splitter
     // tree's wc steps are exactly 4 * depth, independent of schedule.
-    const ComplexityReport sp_wc =
-        search_detector_worst_case(SplitterTree::factory(2), n, seeds);
+    const ComplexityReport sp_wc = search_detector_worst_case(
+        registry.detector("splitter-tree-l2").factory, n, seeds);
     const int d = bounds::ceil_div(
         bounds::ceil_log2(static_cast<std::uint64_t>(n)), 2);
     verify.check(sp_wc.steps <= 4 * d,
@@ -79,5 +98,5 @@ int main() {
       "mutual exclusion's worst case is unbounded [AT92] — see\n"
       "table1_mutex_bounds for the growth witness.\n");
 
-  return verify.finish("ablation_detection");
+  return json.finish(verify);
 }

@@ -19,23 +19,24 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "bench_util.h"
-#include "mutex/lamport_fast.h"
-#include "mutex/lamport_packed.h"
+#include "core/algorithm_registry.h"
 #include "rt/contention_study.h"
 
 int main() {
   using namespace cfc;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("ablation_multigrain");
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   std::printf("Simulator: packed vs unpacked Lamport, contention-free:\n\n");
   TextTable t({"algorithm", "n", "cf step", "cf reg", "atomicity"});
   for (const int n : {4, 16, 64, 1024}) {
     const MutexCfResult plain = measure_mutex_contention_free(
-        LamportFast::factory(), n, AccessPolicy::RegistersOnly,
-        /*max_pids=*/4);
+        registry.mutex("lamport-fast").factory, n,
+        AccessPolicy::RegistersOnly, /*max_pids=*/4);
     const MutexCfResult packed = measure_mutex_contention_free(
-        LamportPacked::factory(), n, AccessPolicy::RegistersOnly,
-        /*max_pids=*/4);
+        registry.mutex("lamport-packed").factory, n,
+        AccessPolicy::RegistersOnly, /*max_pids=*/4);
     t.add_row({"lamport-fast", std::to_string(n),
                std::to_string(plain.session.steps),
                std::to_string(plain.session.registers),
@@ -44,6 +45,15 @@ int main() {
                std::to_string(packed.session.steps),
                std::to_string(packed.session.registers),
                std::to_string(packed.measured_atomicity)});
+    for (const auto* r : {&plain, &packed}) {
+      json.row({{"section", std::string("packing")},
+                {"algorithm", std::string(r == &plain ? "lamport-fast"
+                                                      : "lamport-packed")},
+                {"n", cfc::bench::jv(n)},
+                {"cf_step", cfc::bench::jv(r->session.steps)},
+                {"cf_reg", cfc::bench::jv(r->session.registers)},
+                {"atomicity", cfc::bench::jv(r->measured_atomicity)}});
+    }
     const std::string at = " at n=" + std::to_string(n);
     verify.check(packed.session.steps == plain.session.steps,
                  "packing preserves step count" + at);
@@ -71,10 +81,18 @@ int main() {
       std::snprintf(acc, sizeof(acc), "%.1f", res.mean_accesses);
       char ns[32];
       std::snprintf(ns, sizeof(ns), "%.0f", res.mean_ns);
-      hw.add_row({layout == rt::MemoryLayout::Padded ? "padded (1 reg/line)"
-                                                     : "packed (dense)",
-                  backoff ? "yes" : "no", acc, ns,
+      const std::string layout_name =
+          layout == rt::MemoryLayout::Padded ? "padded (1 reg/line)"
+                                             : "packed (dense)";
+      hw.add_row({layout_name, backoff ? "yes" : "no", acc, ns,
                   std::to_string(res.violations)});
+      json.row({{"section", std::string("hardware")},
+                {"layout", layout_name},
+                {"backoff", cfc::bench::jv(backoff ? 1 : 0)},
+                {"accesses_per_acq", cfc::bench::jv(res.mean_accesses)},
+                {"ns_per_acq", cfc::bench::jv(res.mean_ns)},
+                {"violations", cfc::bench::jv(
+                                   static_cast<long long>(res.violations))}});
       verify.check(res.violations == 0, "hardware ME holds");
     }
   }
@@ -84,5 +102,5 @@ int main() {
       "parameter the register-complexity measure predicts the direction "
       "of.)\n");
 
-  return verify.finish("ablation_multigrain");
+  return json.finish(verify);
 }

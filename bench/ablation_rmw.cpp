@@ -2,28 +2,33 @@
 // only atomic read/write registers. A single test-and-set bit gives a mutex
 // with contention-free step complexity 2 and register complexity 1 for any
 // n — below the register-model lower bound once n is large. This bench
-// prints the separation as n grows.
+// prints the separation as n grows, pitting the registry's rmw algorithm
+// against the register-model Theorem 3 tree.
 #include <cstdio>
 #include <string>
 
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "bench_util.h"
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "mutex/lamport_tree.h"
-#include "mutex/tas_lock.h"
 
 int main() {
   using namespace cfc;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("ablation_rmw");
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+
+  const MutexFactory tas_factory = registry.mutex("tas-lock").factory;
+  const MutexFactory tree_factory = registry.mutex("thm3-exact-l1").factory;
 
   TextTable t({"n", "thm1 lb (l=1)", "tas-lock cf step",
                "tree(l=1) cf step", "tas cf reg", "tree(l=1) cf reg"});
   for (const int n : {4, 16, 64, 256, 1024, 4096}) {
     const MutexCfResult tas = measure_mutex_contention_free(
-        TasLock::factory(), n, AccessPolicy::Unrestricted, /*max_pids=*/3);
+        tas_factory, n, AccessPolicy::Unrestricted, /*max_pids=*/3);
     const MutexCfResult tree = measure_mutex_contention_free(
-        theorem3_factory(1), n, AccessPolicy::RegistersOnly, /*max_pids=*/3);
+        tree_factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/3);
     const double lb = bounds::thm1_cf_step_lower(n, 1);
     char lb_s[32];
     std::snprintf(lb_s, sizeof(lb_s), "%.2f", lb);
@@ -31,6 +36,13 @@ int main() {
                std::to_string(tree.session.steps),
                std::to_string(tas.session.registers),
                std::to_string(tree.session.registers)});
+    json.row({{"section", std::string("separation")},
+              {"n", cfc::bench::jv(n)},
+              {"thm1_lb", cfc::bench::jv(lb)},
+              {"tas_cf_step", cfc::bench::jv(tas.session.steps)},
+              {"tree_cf_step", cfc::bench::jv(tree.session.steps)},
+              {"tas_cf_reg", cfc::bench::jv(tas.session.registers)},
+              {"tree_cf_reg", cfc::bench::jv(tree.session.registers)}});
     verify.check(tas.session.steps == 2,
                  "tas constant at n=" + std::to_string(n));
     verify.check(static_cast<double>(tree.session.steps) > lb,
@@ -44,5 +56,5 @@ int main() {
       "lock stays at 2 steps / 1 register: the contention-free measures\n"
       "separate the primitives' computational power (the paper's thesis).\n");
 
-  return verify.finish("ablation_rmw");
+  return json.finish(verify);
 }

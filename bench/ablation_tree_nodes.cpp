@@ -10,7 +10,8 @@
 //
 // The trade: wider nodes mean fewer levels (7 * ceil(log n / l) total), so
 // past a modest l the Lamport tree wins on steps despite the larger
-// per-level constant; bit-only trees win at l = 1.
+// per-level constant; bit-only trees win at l = 1. The candidate pool is
+// the registry's tournament trees plus its Theorem 3 grid.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,13 +19,14 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "bench_util.h"
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "mutex/lamport_tree.h"
-#include "mutex/tournament.h"
 
 int main() {
   using namespace cfc;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("ablation_tree_nodes");
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   struct Case {
     std::string label;
@@ -32,15 +34,22 @@ int main() {
   };
   TextTable t({"tree", "n", "cf step", "cf reg", "atomicity", "depth-eq"});
   for (const int n : {16, 64, 256, 1024}) {
-    const std::vector<Case> cases = {
-        {"peterson-tree (l=1)", TournamentMutex::peterson_tree()},
-        {"kessels-tree (l=1)", TournamentMutex::kessels_tree()},
-        {"lamport-tree l=2", LamportTree::factory(2)},
-        {"lamport-tree l=3", LamportTree::factory(3)},
-        {"lamport-tree l=4", LamportTree::factory(4)},
-        {"lamport-tree l=3 paper", LamportTree::factory(
-                                       3, TreeArity::PaperLiteral)},
-    };
+    std::vector<Case> cases;
+    for (const MutexAlgorithmEntry* entry :
+         registry.mutex_for_n(n, "tournament")) {
+      cases.push_back({entry->info.name + " (l=1)", entry->factory});
+    }
+    for (const MutexAlgorithmEntry* entry :
+         registry.mutex_for_n(n, "thm3-exact")) {
+      const int l = entry->info.atomicity_param;
+      if (l >= 2 && l <= 4) {
+        cases.push_back({"lamport-tree l=" + std::to_string(l),
+                         entry->factory});
+      }
+    }
+    cases.push_back({"lamport-tree l=3 paper",
+                     registry.mutex("thm3-paper-l3").factory});
+
     for (const Case& c : cases) {
       const MutexCfResult r = measure_mutex_contention_free(
           c.factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/6);
@@ -49,6 +58,12 @@ int main() {
                  std::to_string(r.session.registers),
                  std::to_string(r.measured_atomicity),
                  std::to_string(r.session.registers / 3)});
+      json.row({{"section", std::string("tree-nodes")},
+                {"tree", c.label},
+                {"n", cfc::bench::jv(n)},
+                {"cf_step", cfc::bench::jv(r.session.steps)},
+                {"cf_reg", cfc::bench::jv(r.session.registers)},
+                {"atomicity", cfc::bench::jv(r.measured_atomicity)}});
       verify.check(r.session.steps > 0, "measured " + c.label);
     }
 
@@ -56,11 +71,11 @@ int main() {
     // steps (7*ceil(10/4)=21 < 4*10=40) — wider atomicity buys time.
     if (n == 1024) {
       const MutexCfResult bit_tree = measure_mutex_contention_free(
-          TournamentMutex::peterson_tree(), n, AccessPolicy::RegistersOnly,
-          /*max_pids=*/4);
+          registry.mutex("peterson-tree").factory, n,
+          AccessPolicy::RegistersOnly, /*max_pids=*/4);
       const MutexCfResult wide_tree = measure_mutex_contention_free(
-          LamportTree::factory(4), n, AccessPolicy::RegistersOnly,
-          /*max_pids=*/4);
+          registry.mutex("thm3-exact-l4").factory, n,
+          AccessPolicy::RegistersOnly, /*max_pids=*/4);
       verify.check(wide_tree.session.steps < bit_tree.session.steps,
                    "l=4 Lamport tree beats bit tournament on cf steps at "
                    "n=1024");
@@ -76,5 +91,5 @@ int main() {
       "  peterson 4/3, kessels 5/4, lamport 7/3 — matching [PF77], [Kes82],\n"
       "  [Lam87] respectively.\n");
 
-  return verify.finish("ablation_tree_nodes");
+  return json.finish(verify);
 }

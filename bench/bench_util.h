@@ -1,8 +1,13 @@
 #ifndef CFC_BENCH_BENCH_UTIL_H
 #define CFC_BENCH_BENCH_UTIL_H
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 namespace cfc::bench {
 
@@ -28,11 +33,128 @@ class Verifier {
   }
 
   [[nodiscard]] int failed() const { return failed_; }
+  [[nodiscard]] int total() const { return total_; }
 
  private:
   int total_ = 0;
   int failed_ = 0;
 };
+
+/// One value in a JSON row: string, integer, or double.
+using JsonValue = std::variant<std::string, long long, double>;
+
+/// Machine-readable results channel shared by all benches: collects flat
+/// key/value rows and writes them as a JSON array to BENCH_<name>.json in
+/// the working directory on finish(), so each bench's measured numbers can
+/// be tracked across PRs (the perf trajectory). The last row is a summary
+/// with the check counts and the bench wall time.
+///
+/// Usage:
+///   JsonReport json("table1_mutex_bounds");
+///   json.row({{"section", "sweep"}, {"n", 64}, {"cf_step", 21}});
+///   ...
+///   return json.finish(verify);   // writes the file, returns exit code
+class JsonReport {
+ public:
+  using Field = std::pair<std::string, JsonValue>;
+
+  explicit JsonReport(std::string bench_name)
+      : name_(std::move(bench_name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void row(std::vector<Field> fields) { rows_.push_back(std::move(fields)); }
+
+  /// Writes BENCH_<name>.json (rows + summary), prints the Verifier
+  /// summary, and returns the process exit code.
+  int finish(Verifier& verify) {
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    row({{"section", std::string("summary")},
+         {"checks_total", static_cast<long long>(verify.total())},
+         {"checks_failed", static_cast<long long>(verify.failed())},
+         {"elapsed_ms", static_cast<long long>(elapsed)}});
+    write_file();
+    return verify.finish(name_.c_str());
+  }
+
+ private:
+  static void append_escaped(std::string& out, const std::string& s) {
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+  }
+
+  void write_file() const {
+    std::string out = "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out += "  {";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        const auto& [key, value] = rows_[r][f];
+        out += '"';
+        append_escaped(out, key);
+        out += "\": ";
+        if (const auto* s = std::get_if<std::string>(&value)) {
+          out += '"';
+          append_escaped(out, *s);
+          out += '"';
+        } else if (const auto* i = std::get_if<long long>(&value)) {
+          out += std::to_string(*i);
+        } else {
+          char buf[40];
+          std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(value));
+          out += buf;
+        }
+        if (f + 1 < rows_[r].size()) {
+          out += ", ";
+        }
+      }
+      out += (r + 1 < rows_.size()) ? "},\n" : "}\n";
+    }
+    out += "]\n";
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), fp);
+      std::fclose(fp);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::vector<Field>> rows_;
+};
+
+/// Convenience: a JsonValue from the common numeric types used in benches.
+inline JsonValue jv(int v) { return static_cast<long long>(v); }
+inline JsonValue jv(long long v) { return v; }
+inline JsonValue jv(std::uint64_t v) { return static_cast<long long>(v); }
+inline JsonValue jv(double v) { return v; }
+inline JsonValue jv(std::string v) { return v; }
 
 }  // namespace cfc::bench
 

@@ -18,6 +18,7 @@
 int main() {
   using namespace cfc;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("census_naming_models");
 
   const int n = 16;
   const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
@@ -53,10 +54,20 @@ int main() {
         Model::from_mask(static_cast<std::uint8_t>(group.masks.front()));
     t.add_row({key, std::to_string(group.masks.size()),
                example.to_string()});
+    json.row({{"section", std::string("group")},
+              {"cells", std::string(key)},
+              {"models", cfc::bench::jv(static_cast<int>(group.masks.size()))},
+              {"example", example.to_string()}});
   }
   std::printf("%s\n", t.render().c_str());
 
   const CensusSummary s = summarize(census, n);
+  json.row({{"section", std::string("summary-counts")},
+            {"n", cfc::bench::jv(n)},
+            {"total", cfc::bench::jv(s.total)},
+            {"solvable", cfc::bench::jv(s.solvable)},
+            {"all_log_n", cfc::bench::jv(s.all_log_n)},
+            {"all_n_minus_1", cfc::bench::jv(s.all_n_minus_1)}});
   std::printf(
       "summary: %d models, %d solvable, %d fully log-n, %d fully (n-1)\n\n",
       s.total, s.solvable, s.all_log_n, s.all_n_minus_1);
@@ -102,5 +113,5 @@ int main() {
   verify.check(cell(Model{BitOp::TestAndReset}).cf_register == n - 1,
                "{tar} mirrors {tas}: cf register n-1");
 
-  return verify.finish("census_naming_models");
+  return json.finish(verify);
 }

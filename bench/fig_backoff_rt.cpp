@@ -23,6 +23,7 @@ int main() {
   using namespace cfc;
   using namespace cfc::rt;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("fig_backoff_rt");
 
   const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
   std::vector<int> thread_counts = {1, 2};
@@ -55,6 +56,12 @@ int main() {
       std::snprintf(ns, sizeof(ns), "%.0f", lam.mean_ns);
       t.add_row({"lamport-fast", std::to_string(k), backoff ? "yes" : "no",
                  acc, ns, std::to_string(lam.violations)});
+      json.row({{"section", std::string("hardware")},
+                {"lock", std::string("lamport-fast")},
+                {"threads", cfc::bench::jv(k)},
+                {"backoff", cfc::bench::jv(backoff ? 1 : 0)},
+                {"accesses_per_acq", cfc::bench::jv(lam.mean_accesses)},
+                {"ns_per_acq", cfc::bench::jv(lam.mean_ns)}});
       verify.check(lam.violations == 0, "lamport ME holds on hardware");
       if (k == 1 && !backoff) {
         lamport_solo_accesses = lam.mean_accesses;
@@ -69,6 +76,12 @@ int main() {
       std::snprintf(ns, sizeof(ns), "%.0f", tas.mean_ns);
       t.add_row({"tas-lock", std::to_string(k), backoff ? "yes" : "no", acc,
                  ns, std::to_string(tas.violations)});
+      json.row({{"section", std::string("hardware")},
+                {"lock", std::string("tas-lock")},
+                {"threads", cfc::bench::jv(k)},
+                {"backoff", cfc::bench::jv(backoff ? 1 : 0)},
+                {"accesses_per_acq", cfc::bench::jv(tas.mean_accesses)},
+                {"ns_per_acq", cfc::bench::jv(tas.mean_ns)}});
       verify.check(tas.violations == 0, "tas ME holds on hardware");
     }
   }
@@ -86,5 +99,5 @@ int main() {
       "backoff=%.1f\n",
       thread_counts.back(), lamport_nobackoff_worst, lamport_backoff_worst);
 
-  return verify.finish("fig_backoff_rt");
+  return json.finish(verify);
 }

@@ -15,6 +15,7 @@
 int main() {
   using namespace cfc;
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("fig_bound_curves");
 
   const std::vector<int> ls = {1, 2, 4, 8, 16};
 
@@ -32,6 +33,11 @@ int main() {
       const int ub =
           l <= e ? bounds::thm3_cf_step_upper(n, l) : 7;  // l capped at log n
       std::printf(", %.2f, %d", lb, ub);
+      json.row({{"section", std::string("step-bounds")},
+                {"n", cfc::bench::jv(static_cast<long long>(n))},
+                {"l", cfc::bench::jv(l)},
+                {"lb", cfc::bench::jv(lb)},
+                {"ub", cfc::bench::jv(ub)}});
       verify.check(static_cast<double>(ub) > lb,
                    "step ub dominates lb");
     }
@@ -53,6 +59,11 @@ int main() {
       const int ub =
           l <= e ? bounds::thm3_cf_register_upper(n, l) : 3;
       std::printf(", %.2f, %d", lb, ub);
+      json.row({{"section", std::string("register-bounds")},
+                {"n", cfc::bench::jv(static_cast<long long>(n))},
+                {"l", cfc::bench::jv(l)},
+                {"lb", cfc::bench::jv(lb)},
+                {"ub", cfc::bench::jv(ub)}});
       verify.check(static_cast<double>(ub) >= lb, "register ub dominates lb");
     }
     std::printf("\n");
@@ -74,5 +85,5 @@ int main() {
     verify.check(floor_at(e) >= e, "bit-access floor >= log n");
   }
 
-  return verify.finish("fig_bound_curves");
+  return json.finish(verify);
 }

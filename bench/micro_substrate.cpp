@@ -1,19 +1,33 @@
 // A4 — google-benchmark microbenchmarks of the simulation substrate:
-// events/second through the scheduler, solo mutex sessions, full detection
-// runs, and trace measurement. These put a number on the harness itself so
-// sweep costs in the table benches are predictable.
+// events/second through the scheduler, solo mutex sessions (trace-recorded
+// vs streaming-measured), full detection runs, and trace measurement.
+// These put a number on the harness itself so sweep costs in the table
+// benches are predictable. Algorithms are resolved from the
+// AlgorithmRegistry; results additionally land in
+// BENCH_micro_substrate.json for the cross-PR perf trajectory. NOTE: this
+// file uses google-benchmark's native JSON schema ({context, benchmarks})
+// rather than bench_util.h's flat row-array schema — trajectory tooling
+// must branch on the top-level shape.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "analysis/experiment.h"
-#include "core/contention_detection.h"
+#include "core/algorithm_registry.h"
 #include "core/measures.h"
-#include "mutex/lamport_fast.h"
-#include "mutex/lamport_tree.h"
+#include "core/streaming_measures.h"
 #include "sched/sched.h"
 
 namespace {
 
 using namespace cfc;
+
+MutexFactory lamport_fast() {
+  return AlgorithmRegistry::instance().mutex("lamport-fast").factory;
+}
 
 void BM_SimReadWriteSteps(benchmark::State& state) {
   const auto iters = static_cast<int>(state.range(0));
@@ -39,7 +53,7 @@ void BM_SoloLamportSession(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Sim sim;
-    auto alg = setup_mutex(sim, LamportFast::factory(), n, 1);
+    auto alg = setup_mutex(sim, lamport_fast(), n, 1);
     SoloScheduler solo(0);
     drive(sim, solo);
     benchmark::DoNotOptimize(sim.trace().size());
@@ -52,7 +66,9 @@ void BM_TreeMutexSoloSession(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Sim sim;
-    auto alg = setup_mutex(sim, theorem3_factory(2), n, 1);
+    auto alg = setup_mutex(
+        sim, AlgorithmRegistry::instance().mutex("thm3-exact-l2").factory, n,
+        1);
     SoloScheduler solo(0);
     drive(sim, solo);
     benchmark::DoNotOptimize(sim.trace().size());
@@ -66,7 +82,9 @@ void BM_DetectionFullRun(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state) {
     Sim sim;
-    auto det = setup_detection(sim, SplitterTree::factory(2), n);
+    auto det = setup_detection(
+        sim, AlgorithmRegistry::instance().detector("splitter-tree-l2").factory,
+        n);
     RandomScheduler rnd(seed++);
     drive(sim, rnd);
     benchmark::DoNotOptimize(count_winners(sim));
@@ -77,7 +95,7 @@ BENCHMARK(BM_DetectionFullRun)->Arg(16)->Arg(64);
 
 void BM_TraceMeasurement(benchmark::State& state) {
   Sim sim;
-  auto alg = setup_mutex(sim, LamportFast::factory(), 8, 50);
+  auto alg = setup_mutex(sim, lamport_fast(), 8, 50);
   RoundRobinScheduler rr;
   drive(sim, rr);
   for (auto _ : state) {
@@ -91,6 +109,61 @@ void BM_TraceMeasurement(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceMeasurement);
 
+void BM_SoloLamportSessionStreaming(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Sim sim;
+    sim.set_trace_recording(false);
+    MeasureAccumulator acc(n);
+    sim.add_sink(acc);
+    auto alg = setup_mutex(sim, lamport_fast(), n, 1);
+    SoloScheduler solo(0);
+    drive(sim, solo);
+    benchmark::DoNotOptimize(acc.total(0).steps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoloLamportSessionStreaming)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WorstCaseSearchStreaming(benchmark::State& state) {
+  // The refactored hot path: random-schedule search, streaming measurement,
+  // no trace materialization, single-threaded engine (so the number is the
+  // per-core cost, comparable across PRs).
+  ExperimentRunner seq(1);
+  for (auto _ : state) {
+    const MutexWcSearchResult wc = search_mutex_worst_case(
+        lamport_fast(), 8, /*sessions=*/2, {1, 2, 3, 4},
+        /*budget_per_run=*/50'000, &seq);
+    benchmark::DoNotOptimize(wc.entry.steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_WorstCaseSearchStreaming);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, defaulting --benchmark_out to the BENCH_<name>.json
+// naming convention all benches follow (an explicit --benchmark_out on the
+// command line still wins). The payload is google-benchmark's own JSON
+// schema, not bench_util.h's row array — see the file comment.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_substrate.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  const bool has_out = std::any_of(
+      args.begin(), args.end(), [](const char* a) {
+        return std::string_view(a).rfind("--benchmark_out=", 0) == 0;
+      });
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,11 +8,11 @@
 //   worst-case register  | sqrt(log n / (l + log log n))       | O(log n)            (Thm 2 / [Kes82])
 //   worst-case step      | infinity                            | —                   ([AT92])
 //
-// The bench sweeps n and l, runs the Theorem 3 tree (paper-literal arity,
-// whose measured contention-free complexities equal the formulas exactly),
-// the exact-atomicity variant, Lamport's fast algorithm (l = log n), and
-// the Kessels tournament (the worst-case register row), and prints measured
-// vs. formula side by side.
+// The bench sweeps n against the AlgorithmRegistry's Theorem 3 grid
+// (paper-literal arity, whose measured contention-free complexities equal
+// the formulas exactly; and the exact-atomicity variant), Lamport's fast
+// algorithm (l = log n), and the Kessels tournament (the worst-case
+// register row), and prints measured vs. formula side by side.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -21,11 +21,8 @@
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "bench_util.h"
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "mutex/kessels.h"
-#include "mutex/lamport_fast.h"
-#include "mutex/lamport_tree.h"
-#include "mutex/tournament.h"
 #include "sched/sched.h"
 
 namespace {
@@ -55,9 +52,9 @@ void print_paper_table() {
 /// The [AT92] row: drive the scripted adversary from the test suite and
 /// report how the winner's clean-window entry steps scale with the spin
 /// budget (unbounded worst case, witnessed).
-int unbounded_witness(int spins) {
+int unbounded_witness(const MutexFactory& lamport_fast, int spins) {
   Sim sim;
-  auto alg = setup_mutex(sim, LamportFast::factory(), 3, 1);
+  auto alg = setup_mutex(sim, lamport_fast, 3, 1);
   const Pid a = 0;
   const Pid c = 2;
   step_n(sim, a, 4);
@@ -76,10 +73,11 @@ int unbounded_witness(int spins) {
 
 int main() {
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("table1_mutex_bounds");
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
   print_paper_table();
 
   const std::vector<int> ns = {4, 16, 64, 256, 1024, 4096};
-  const std::vector<int> ls = {1, 2, 3, 4, 6, 8};
 
   std::printf(
       "Measured contention-free complexity of the Theorem 3 algorithm\n"
@@ -87,13 +85,14 @@ int main() {
   TextTable sweep({"n", "l", "thm1 lb", "cf step", "7ceil(logn/l)",
                    "thm2 lb", "cf reg", "3ceil(logn/l)", "atom"});
   for (const int n : ns) {
-    for (const int l : ls) {
+    for (const MutexAlgorithmEntry* entry :
+         registry.mutex_for_n(n, "thm3-paper")) {
+      const int l = entry->info.atomicity_param;
       if (l > bounds::ceil_log2(static_cast<std::uint64_t>(n))) {
         continue;  // the theorem covers 1 <= l <= log n
       }
       const MutexCfResult r = measure_mutex_contention_free(
-          theorem3_factory(l, TreeArity::PaperLiteral), n,
-          AccessPolicy::RegistersOnly, /*max_pids=*/8);
+          entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/8);
       const auto un = static_cast<std::uint64_t>(n);
       const double lb_step = bounds::thm1_cf_step_lower(n, l);
       const double lb_reg = bounds::thm2_cf_register_lower(n, l);
@@ -104,6 +103,17 @@ int main() {
                      fmt(lb_reg), std::to_string(r.session.registers),
                      std::to_string(ub_reg),
                      std::to_string(r.measured_atomicity)});
+      json.row({{"section", std::string("thm3-paper")},
+                {"algorithm", entry->info.name},
+                {"n", cfc::bench::jv(n)},
+                {"l", cfc::bench::jv(l)},
+                {"cf_step", cfc::bench::jv(r.session.steps)},
+                {"cf_reg", cfc::bench::jv(r.session.registers)},
+                {"ub_step", cfc::bench::jv(ub_step)},
+                {"ub_reg", cfc::bench::jv(ub_reg)},
+                {"lb_step", cfc::bench::jv(lb_step)},
+                {"lb_reg", cfc::bench::jv(lb_reg)},
+                {"atomicity", cfc::bench::jv(r.measured_atomicity)}});
       verify.check(r.session.steps == ub_step,
                    "cf step == 7*ceil(log n/l) at n=" + std::to_string(n) +
                        " l=" + std::to_string(l));
@@ -133,10 +143,14 @@ int main() {
   TextTable exact({"n", "l", "cf step", "7ceil(logn/l)", "cf reg",
                    "3ceil(logn/l)", "atom"});
   for (const int n : {64, 256, 1024}) {
-    for (const int l : {2, 3, 4}) {
+    for (const MutexAlgorithmEntry* entry :
+         registry.mutex_for_n(n, "thm3-exact")) {
+      const int l = entry->info.atomicity_param;
+      if (l < 2 || l > 4) {
+        continue;  // representative mid-range atomicities
+      }
       const MutexCfResult r = measure_mutex_contention_free(
-          theorem3_factory(l, TreeArity::ExactAtomicity), n,
-          AccessPolicy::RegistersOnly, /*max_pids=*/8);
+          entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/8);
       const auto un = static_cast<std::uint64_t>(n);
       exact.add_row({std::to_string(n), std::to_string(l),
                      std::to_string(r.session.steps),
@@ -144,6 +158,13 @@ int main() {
                      std::to_string(r.session.registers),
                      std::to_string(bounds::thm3_cf_register_upper(un, l)),
                      std::to_string(r.measured_atomicity)});
+      json.row({{"section", std::string("thm3-exact")},
+                {"algorithm", entry->info.name},
+                {"n", cfc::bench::jv(n)},
+                {"l", cfc::bench::jv(l)},
+                {"cf_step", cfc::bench::jv(r.session.steps)},
+                {"cf_reg", cfc::bench::jv(r.session.registers)},
+                {"atomicity", cfc::bench::jv(r.measured_atomicity)}});
       verify.check(r.measured_atomicity <= l,
                    "exact variant atomicity == l at n=" + std::to_string(n));
       verify.check(
@@ -157,20 +178,25 @@ int main() {
   std::printf(
       "Lamport's fast algorithm [Lam87] (atomicity log n): constant\n"
       "contention-free complexity — the l = log n endpoint of the table:\n\n");
-  TextTable lamport({"n", "cf step", "cf reg", "entry", "exit", "atom"});
+  const MutexAlgorithmEntry& lamport = registry.mutex("lamport-fast");
+  TextTable lam_table({"n", "cf step", "cf reg", "entry", "exit", "atom"});
   for (const int n : {4, 64, 1024, 100000}) {
     const MutexCfResult r = measure_mutex_contention_free(
-        LamportFast::factory(), n, AccessPolicy::RegistersOnly,
-        /*max_pids=*/4);
-    lamport.add_row({std::to_string(n), std::to_string(r.session.steps),
-                     std::to_string(r.session.registers),
-                     std::to_string(r.entry.steps),
-                     std::to_string(r.exit.steps),
-                     std::to_string(r.measured_atomicity)});
+        lamport.factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4);
+    lam_table.add_row({std::to_string(n), std::to_string(r.session.steps),
+                       std::to_string(r.session.registers),
+                       std::to_string(r.entry.steps),
+                       std::to_string(r.exit.steps),
+                       std::to_string(r.measured_atomicity)});
+    json.row({{"section", std::string("lamport-fast")},
+              {"n", cfc::bench::jv(n)},
+              {"cf_step", cfc::bench::jv(r.session.steps)},
+              {"cf_reg", cfc::bench::jv(r.session.registers)},
+              {"atomicity", cfc::bench::jv(r.measured_atomicity)}});
     verify.check(r.session.steps == 7 && r.session.registers == 3,
                  "Lamport constant 7/3 at n=" + std::to_string(n));
   }
-  std::printf("%s\n", lamport.render().c_str());
+  std::printf("%s\n", lam_table.render().c_str());
 
   std::printf(
       "Worst-case register row [Kes82]: Kessels tournament (atomicity 1),\n"
@@ -179,15 +205,20 @@ int main() {
   // Per the paper, worst-case complexity is the *sum* of the entry-code and
   // exit-code maxima. A Kessels node costs at most 4 entry registers plus 1
   // exit register per level (the own-intent bit counts in both windows).
+  const MutexAlgorithmEntry& kessels = registry.mutex("kessels-tree");
   TextTable kes({"n", "wc reg found", "5*log2(n)", "wc entry steps found"});
   for (const int n : {4, 8, 16, 32}) {
     const MutexWcSearchResult wc = search_mutex_worst_case(
-        TournamentMutex::kessels_tree(), n, /*sessions=*/2,
-        {1, 2, 3, 4, 5, 6, 7, 8});
+        kessels.factory, n, /*sessions=*/2, {1, 2, 3, 4, 5, 6, 7, 8});
     const int depth = bounds::ceil_log2(static_cast<std::uint64_t>(n));
     kes.add_row({std::to_string(n),
                  std::to_string(wc.entry.registers + wc.exit.registers),
                  std::to_string(5 * depth), std::to_string(wc.entry.steps)});
+    json.row({{"section", std::string("kessels-wc")},
+              {"n", cfc::bench::jv(n)},
+              {"wc_reg", cfc::bench::jv(wc.entry.registers +
+                                        wc.exit.registers)},
+              {"wc_entry_step", cfc::bench::jv(wc.entry.steps)}});
     verify.check(wc.entry.registers + wc.exit.registers <= 5 * depth,
                  "Kessels wc register <= 5 log n at n=" + std::to_string(n));
   }
@@ -200,13 +231,16 @@ int main() {
   TextTable at92({"adversary spins", "winner entry steps"});
   int prev = 0;
   for (const int spins : {10, 100, 1000, 10000}) {
-    const int steps = unbounded_witness(spins);
+    const int steps = unbounded_witness(lamport.factory, spins);
     at92.add_row({std::to_string(spins), std::to_string(steps)});
+    json.row({{"section", std::string("at92-witness")},
+              {"spins", cfc::bench::jv(spins)},
+              {"entry_steps", cfc::bench::jv(steps)}});
     verify.check(steps > prev, "witness grows at spins=" +
                                    std::to_string(spins));
     prev = steps;
   }
   std::printf("%s\n", at92.render().c_str());
 
-  return verify.finish("table1_mutex_bounds");
+  return json.finish(verify);
 }

@@ -9,8 +9,9 @@
 //   w-c step      n-1        n-1        n-1         log n       log n
 //
 // Per cell, the *problem* complexity is the best implemented algorithm
-// legal in the column's model: tas-scan (Thm 4.3), tas-read-search
-// (Thm 4.4), tas-tar-tree (Thm 4.2), taf-tree (Thm 4.1). The worst case is
+// legal in the column's model, drawn from the AlgorithmRegistry's naming
+// catalogue (tas-scan Thm 4.3, tas-read-search Thm 4.4, tas-tar-tree
+// Thm 4.2, taf-tree Thm 4.1, plus the Section 3.2 duals). The worst case is
 // searched over the sequential schedule, round-robin, the Theorem 6
 // lockstep adversary, and seeded random schedules.
 #include <cstdio>
@@ -40,6 +41,7 @@ std::string cell_str(int v, int n, int log_n) {
 
 int main() {
   cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("table2_naming_bounds");
 
   std::printf("Paper table (Section 3.3), tight bounds for naming:\n\n");
   {
@@ -62,6 +64,14 @@ int main() {
     cells.reserve(table.size());
     for (const Table2Column& col : table) {
       cells.push_back(col.best());
+      const Table2Cell& c = cells.back();
+      json.row({{"section", std::string("table2")},
+                {"n", cfc::bench::jv(n)},
+                {"model", col.model_label},
+                {"cf_step", cfc::bench::jv(c.cf_step)},
+                {"cf_reg", cfc::bench::jv(c.cf_register)},
+                {"wc_step", cfc::bench::jv(c.wc_step)},
+                {"wc_reg", cfc::bench::jv(c.wc_register)}});
     }
     auto row = [&](const char* label, auto proj) {
       std::vector<std::string> cs = {label};
@@ -118,5 +128,5 @@ int main() {
       "the Theorem 6 lockstep adversary, and the tas column's n-1\n"
       "contention-free register complexity is the Theorem 7 sequential run.\n");
 
-  return verify.finish("table2_naming_bounds");
+  return json.finish(verify);
 }

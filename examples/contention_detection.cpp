@@ -9,19 +9,22 @@
 #include <cstdio>
 
 #include "core/adversary.h"
+#include "core/algorithm_registry.h"
 #include "core/contention_detection.h"
 #include "mutex/detector_adapter.h"
-#include "mutex/lamport_fast.h"
 #include "sched/sched.h"
 
 int main() {
   using namespace cfc;
   const int n = 16;
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  const DetectorFactory splitter =
+      registry.detector("splitter-tree-l2").factory;
 
   // --- Solo run: the lone process must output 1.
   {
     Sim sim;
-    auto det = setup_detection(sim, SplitterTree::factory(2), n);
+    auto det = setup_detection(sim, splitter, n);
     SoloScheduler solo(5);
     drive(sim, solo);
     std::printf("solo process 5 -> output %d (%llu accesses)\n",
@@ -32,7 +35,7 @@ int main() {
   // --- Everyone races: at most one winner, all terminate.
   {
     Sim sim;
-    auto det = setup_detection(sim, SplitterTree::factory(2), n);
+    auto det = setup_detection(sim, splitter, n);
     RandomScheduler rnd(7);
     drive(sim, rnd);
     std::printf("contended run  -> winners: %d (must be <= 1)\n",
@@ -44,7 +47,9 @@ int main() {
   {
     Sim sim;
     auto det = setup_detection(
-        sim, DetectorFromMutex::factory(LamportFast::factory()), n);
+        sim,
+        DetectorFromMutex::factory(registry.mutex("lamport-fast").factory),
+        n);
     RandomScheduler rnd(11);
     drive(sim, rnd, RunLimits{200'000});
     std::printf("lemma1(lamport-fast) -> winners: %d, everyone done: %s\n",

@@ -9,8 +9,7 @@
 #include "core/bounds.h"
 #include "core/measures.h"
 #include "core/contention_detection.h"
-#include "naming/tas_scan.h"
-#include "naming/taf_tree.h"
+#include "core/algorithm_registry.h"
 #include "sched/sched.h"
 
 int main() {
@@ -24,7 +23,10 @@ int main() {
   {
     SimSetup good = [](Sim& sim) {
       static std::vector<std::unique_ptr<Detector>> keep;
-      keep.push_back(setup_detection(sim, SplitterTree::factory(2), 4));
+      keep.push_back(setup_detection(
+          sim,
+          AlgorithmRegistry::instance().detector("splitter-tree-l2").factory,
+          4));
     };
     const SoloProfile p0 = solo_profile(good, 0);
     const SoloProfile p1 = solo_profile(good, 1);
@@ -45,7 +47,8 @@ int main() {
   std::printf("== Theorem 5: log n registers even contention-free ==\n");
   for (const int n : {8, 64}) {
     Sim sim;
-    auto alg = setup_naming(sim, TafTree::factory(), n);
+    auto alg = setup_naming(
+        sim, AlgorithmRegistry::instance().naming("taf-tree").factory, n);
     run_sequentially(sim);
     int max_regs = 0;
     for (Pid p = 0; p < n; ++p) {
@@ -64,8 +67,10 @@ int main() {
   for (const bool use_taf : {false, true}) {
     const int n = 16;
     Sim sim;
-    auto alg = use_taf ? setup_naming(sim, TafTree::factory(), n)
-                       : setup_naming(sim, TasScan::factory(), n);
+    const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+    auto alg = setup_naming(
+        sim,
+        registry.naming(use_taf ? "taf-tree" : "tas-scan").factory, n);
     std::vector<Pid> group;
     for (Pid p = 0; p < n; ++p) {
       group.push_back(p);
@@ -83,7 +88,8 @@ int main() {
   {
     const int n = 10;
     Sim sim;
-    auto alg = setup_naming(sim, TasScan::factory(), n);
+    auto alg = setup_naming(
+        sim, AlgorithmRegistry::instance().naming("tas-scan").factory, n);
     run_sequentially(sim);
     std::printf("sequential run, registers touched per process:");
     for (Pid p = 0; p < n; ++p) {

@@ -10,9 +10,8 @@
 #include <cstdio>
 
 #include "analysis/experiment.h"
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "mutex/lamport_tree.h"
-#include "mutex/tournament.h"
 #include "sched/sched.h"
 
 int main() {
@@ -22,12 +21,17 @@ int main() {
   std::printf("mutual exclusion for n = %d processes\n\n", n);
   std::printf("l (bits) | cf steps | cf registers | 7ceil(logn/l) | algorithm\n");
   std::printf("---------+----------+--------------+---------------+----------\n");
-  for (const int l : {1, 2, 3, 4, 8}) {
-    const MutexFactory factory = theorem3_factory(l);
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  for (const MutexAlgorithmEntry* entry :
+       registry.mutex_for_n(n, "thm3-exact")) {
+    const int l = entry->info.atomicity_param;
+    if (l > bounds::ceil_log2(n)) {
+      continue;  // the theorem covers 1 <= l <= log n
+    }
     const MutexCfResult cf = measure_mutex_contention_free(
-        factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4);
+        entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4);
     Sim sim;
-    auto alg = setup_mutex(sim, factory, n, 1);
+    auto alg = setup_mutex(sim, entry->factory, n, 1);
     std::printf("%8d | %8d | %12d | %13d | %s\n", l, cf.session.steps,
                 cf.session.registers,
                 bounds::thm3_cf_step_upper(n, l),
@@ -39,7 +43,8 @@ int main() {
   std::printf("\ncontention check (16 processes x 3 sessions, 20 seeds): ");
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     Sim sim;
-    auto alg = setup_mutex(sim, theorem3_factory(3), 16, 3);
+    auto alg =
+        setup_mutex(sim, registry.mutex("thm3-exact-l3").factory, 16, 3);
     RandomScheduler rnd(seed);
     if (drive(sim, rnd, RunLimits{500'000}) != RunOutcome::AllDone) {
       std::printf("run did not finish (seed %llu)\n",

@@ -1,51 +1,41 @@
 // Scenario: assigning unique ids to identical workers, and how the choice
 // of synchronization primitive changes the cost (the paper's Section 3).
 //
-// Runs all four naming algorithms for the same worker pool, under a random
-// schedule and under the contention-free sequential schedule, and prints
-// the four complexity measures per algorithm — the executable version of
-// the paper's "Tight bounds for naming" table.
+// Runs every naming algorithm in the AlgorithmRegistry for the same worker
+// pool, under a random schedule and under the contention-free sequential
+// schedule, and prints the four complexity measures per algorithm — the
+// executable version of the paper's "Tight bounds for naming" table.
 #include <cstdio>
 
 #include "analysis/naming_complexity.h"
+#include "core/algorithm_registry.h"
 #include "naming/checkers.h"
-#include "naming/tas_read_search.h"
-#include "naming/tas_scan.h"
-#include "naming/tas_tar_tree.h"
-#include "naming/taf_tree.h"
 
 int main() {
   using namespace cfc;
   const int n = 32;
-
-  struct Entry {
-    const char* story;
-    NamingFactory factory;
-  };
-  const Entry entries[] = {
-      {"test-and-set only (scan)", TasScan::factory()},
-      {"+ read (binary search)", TasReadSearch::factory()},
-      {"+ test-and-reset (tree)", TasTarTree::factory()},
-      {"test-and-flip (tree)", TafTree::factory()},
-  };
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   std::printf("naming %d identical workers\n\n", n);
   std::printf(
       "%-28s %-20s | cf step | cf reg | wc step | wc reg\n"
       "--------------------------------------------------"
       "-------------------------------\n",
-      "primitives", "algorithm");
-  for (const Entry& e : entries) {
+      "model", "algorithm");
+  for (const NamingAlgorithmEntry* entry : registry.naming_algorithms()) {
     const NamingAlgMeasurement m =
-        measure_naming(e.factory, n, {1, 2, 3, 4, 5});
-    std::printf("%-28s %-20s | %7d | %6d | %7d | %6d\n", e.story,
+        measure_naming(entry->factory, n, {1, 2, 3, 4, 5});
+    std::printf("%-28s %-20s | %7d | %6d | %7d | %6d\n",
+                entry->info.required_model.to_string().c_str(),
                 m.name.c_str(), m.cf.steps, m.cf.registers, m.wc.steps,
                 m.wc.registers);
   }
 
+  const NamingFactory taf = registry.naming("taf-tree").factory;
+
   // Show actual assigned names for one algorithm under contention.
   std::printf("\nnames claimed under a contended schedule (taf-tree): ");
-  const NamingRunCheck check = run_naming_random(TafTree::factory(), 8, 42);
+  const NamingRunCheck check = run_naming_random(taf, 8, 42);
   if (!check.ok()) {
     std::printf("FAILED\n");
     return 1;
@@ -57,8 +47,8 @@ int main() {
 
   // And with crash failures: drop three workers mid-protocol.
   std::printf("with 3 crashed workers (wait-freedom):               ");
-  const NamingRunCheck crashed = run_naming_random(
-      TafTree::factory(), 8, 43, {{0, 1}, {3, 0}, {5, 2}});
+  const NamingRunCheck crashed =
+      run_naming_random(taf, 8, 43, {{0, 1}, {3, 0}, {5, 2}});
   if (!crashed.all_terminated || !crashed.names_unique) {
     std::printf("FAILED\n");
     return 1;

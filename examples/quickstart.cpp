@@ -15,8 +15,8 @@
 #include <cstdio>
 
 #include "analysis/experiment.h"
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "mutex/lamport_fast.h"
 #include "sched/sched.h"
 
 int main() {
@@ -27,7 +27,9 @@ int main() {
   // --- Manual tour: one process entering and leaving its critical section
   // alone, step by step.
   Sim sim;
-  auto mutex = setup_mutex(sim, LamportFast::factory(), n, /*sessions=*/1);
+  const MutexFactory lamport =
+      AlgorithmRegistry::instance().mutex("lamport-fast").factory;
+  auto mutex = setup_mutex(sim, lamport, n, /*sessions=*/1);
   std::printf("spawned %d processes; registers in shared memory: %d\n",
               sim.process_count(), sim.memory().size());
 
@@ -49,7 +51,7 @@ int main() {
 
   // --- The measured contention-free complexity (max over all processes).
   const MutexCfResult cf = measure_mutex_contention_free(
-      LamportFast::factory(), n, AccessPolicy::RegistersOnly);
+      lamport, n, AccessPolicy::RegistersOnly);
   std::printf(
       "\ncontention-free complexity of lamport-fast at n=%d:\n"
       "  steps     = %d   (paper: 5 entry + 2 exit = 7)\n"

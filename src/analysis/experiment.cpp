@@ -1,101 +1,161 @@
 #include "analysis/experiment.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/streaming_measures.h"
 #include "sched/sched.h"
 
 namespace cfc {
 
 MutexCfResult measure_mutex_contention_free(const MutexFactory& make, int n,
-                                            AccessPolicy policy,
-                                            int max_pids) {
-  MutexCfResult res;
+                                            AccessPolicy policy, int max_pids,
+                                            ExperimentRunner* runner) {
   const int pid_limit = (max_pids > 0 && max_pids < n) ? max_pids : n;
-  for (Pid pid = 0; pid < pid_limit; ++pid) {
-    Sim sim;
-    sim.set_access_policy(policy);
-    auto alg = setup_mutex(sim, make, n, /*sessions=*/1);
-    SoloScheduler solo(pid);
-    const RunOutcome out = drive(sim, solo);
-    if (out == RunOutcome::BudgetExhausted) {
-      throw std::logic_error(
-          "solo mutex session did not terminate (weak deadlock freedom "
-          "violated)");
-    }
-    const auto sessions = contention_free_sessions(sim.trace(), pid, n);
-    if (sessions.size() != 1) {
-      throw std::logic_error("expected exactly one contention-free session");
-    }
-    res.session = res.session.max_with(measure(sim.trace(), pid, sessions[0]));
-    res.entry = res.entry.max_with(max_over_windows(
-        sim.trace(), pid, clean_entry_windows(sim.trace(), pid, n)));
-    res.exit = res.exit.max_with(
-        max_over_windows(sim.trace(), pid, exit_windows(sim.trace(), pid)));
-    res.measured_atomicity =
-        std::max(res.measured_atomicity, sim.trace().max_width_accessed(pid));
+
+  struct Cell {
+    ComplexityReport session;
+    ComplexityReport entry;
+    ComplexityReport exit;
+    int atomicity = 0;
+  };
+  std::vector<Cell> cells(static_cast<std::size_t>(pid_limit));
+
+  runner_or_shared(runner).parallel_for(
+      cells.size(), [&](std::size_t i) {
+        const Pid pid = static_cast<Pid>(i);
+        Sim sim;
+        sim.set_trace_recording(false);
+        sim.set_access_policy(policy);
+        MeasureAccumulator acc(n);
+        sim.add_sink(acc);
+        auto alg = setup_mutex(sim, make, n, /*sessions=*/1);
+        SoloScheduler solo(pid);
+        const RunOutcome out = drive(sim, solo);
+        if (out == RunOutcome::BudgetExhausted) {
+          throw std::logic_error(
+              "solo mutex session did not terminate (weak deadlock freedom "
+              "violated)");
+        }
+        if (acc.contention_free_session_count(pid) != 1) {
+          throw std::logic_error(
+              "expected exactly one contention-free session");
+        }
+        Cell& cell = cells[i];
+        cell.session = acc.contention_free_session_max(pid);
+        cell.entry = acc.clean_entry_max(pid);
+        cell.exit = acc.exit_max(pid);
+        cell.atomicity = acc.total(pid).atomicity;
+      });
+
+  MutexCfResult res;
+  for (const Cell& cell : cells) {  // index order: deterministic reduction
+    res.session = res.session.max_with(cell.session);
+    res.entry = res.entry.max_with(cell.entry);
+    res.exit = res.exit.max_with(cell.exit);
+    res.measured_atomicity = std::max(res.measured_atomicity, cell.atomicity);
   }
   return res;
 }
 
 MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
-    const std::vector<std::uint64_t>& seeds, std::uint64_t budget_per_run) {
+    const std::vector<std::uint64_t>& seeds, std::uint64_t budget_per_run,
+    ExperimentRunner* runner) {
+  struct Cell {
+    ComplexityReport entry;
+    ComplexityReport exit;
+  };
+  std::vector<Cell> cells(seeds.size());
+
+  runner_or_shared(runner).parallel_for(
+      seeds.size(), [&](std::size_t i) {
+        Sim sim;
+        sim.set_trace_recording(false);
+        MeasureAccumulator acc(n);
+        sim.add_sink(acc);
+        auto alg = setup_mutex(sim, make, n, sessions);
+        RandomScheduler rnd(seeds[i]);
+        drive(sim, rnd, RunLimits{budget_per_run});
+        for (Pid pid = 0; pid < n; ++pid) {
+          cells[i].entry = cells[i].entry.max_with(acc.clean_entry_max(pid));
+          cells[i].exit = cells[i].exit.max_with(acc.exit_max(pid));
+        }
+      });
+
   MutexWcSearchResult res;
-  for (const std::uint64_t seed : seeds) {
-    Sim sim;
-    auto alg = setup_mutex(sim, make, n, sessions);
-    RandomScheduler rnd(seed);
-    drive(sim, rnd, RunLimits{budget_per_run});
-    for (Pid pid = 0; pid < n; ++pid) {
-      res.entry = res.entry.max_with(max_over_windows(
-          sim.trace(), pid, clean_entry_windows(sim.trace(), pid, n)));
-      res.exit = res.exit.max_with(
-          max_over_windows(sim.trace(), pid, exit_windows(sim.trace(), pid)));
-    }
+  for (const Cell& cell : cells) {
+    res.entry = res.entry.max_with(cell.entry);
+    res.exit = res.exit.max_with(cell.exit);
     res.schedules_tried += 1;
   }
   return res;
 }
 
-ComplexityReport measure_detector_contention_free(const DetectorFactory& make,
-                                                  int n) {
+namespace {
+
+/// One detector run under `sched`, measured streaming: the max whole-run
+/// complexity over all processes. `expect_solo_winner` additionally
+/// verifies the solo process's output (the contention-detection liveness
+/// side).
+ComplexityReport run_detector_cell(const DetectorFactory& make, int n,
+                                   Scheduler& sched,
+                                   std::optional<Pid> expect_solo_winner) {
+  Sim sim;
+  sim.set_trace_recording(false);
+  MeasureAccumulator acc(n);
+  sim.add_sink(acc);
+  auto det = setup_detection(sim, make, n);
+  drive(sim, sched);
+  if (expect_solo_winner.has_value() &&
+      sim.output(*expect_solo_winner) != 1) {
+    throw std::logic_error(
+        "solo detector process did not output 1 (broken detector)");
+  }
   ComplexityReport best;
   for (Pid pid = 0; pid < n; ++pid) {
-    Sim sim;
-    auto det = setup_detection(sim, make, n);
-    SoloScheduler solo(pid);
-    drive(sim, solo);
-    if (sim.output(pid) != 1) {
-      throw std::logic_error(
-          "solo detector process did not output 1 (broken detector)");
-    }
-    best = best.max_with(measure_all(sim.trace(), pid));
+    best = best.max_with(acc.total(pid));
+  }
+  return best;
+}
+
+}  // namespace
+
+ComplexityReport measure_detector_contention_free(const DetectorFactory& make,
+                                                  int n,
+                                                  ExperimentRunner* runner) {
+  std::vector<ComplexityReport> cells(static_cast<std::size_t>(n));
+  runner_or_shared(runner).parallel_for(
+      cells.size(), [&](std::size_t i) {
+        const Pid pid = static_cast<Pid>(i);
+        SoloScheduler solo(pid);
+        cells[i] = run_detector_cell(make, n, solo, pid);
+      });
+  ComplexityReport best;
+  for (const ComplexityReport& cell : cells) {
+    best = best.max_with(cell);
   }
   return best;
 }
 
 ComplexityReport search_detector_worst_case(
     const DetectorFactory& make, int n,
-    const std::vector<std::uint64_t>& seeds) {
+    const std::vector<std::uint64_t>& seeds, ExperimentRunner* runner) {
+  // Cell 0 is the round-robin schedule; cells 1..k are the seeded randoms.
+  std::vector<ComplexityReport> cells(seeds.size() + 1);
+  runner_or_shared(runner).parallel_for(
+      cells.size(), [&](std::size_t i) {
+        if (i == 0) {
+          RoundRobinScheduler rr;
+          cells[i] = run_detector_cell(make, n, rr, std::nullopt);
+        } else {
+          RandomScheduler rnd(seeds[i - 1]);
+          cells[i] = run_detector_cell(make, n, rnd, std::nullopt);
+        }
+      });
   ComplexityReport best;
-  auto account = [&](const Sim& sim) {
-    for (Pid pid = 0; pid < n; ++pid) {
-      best = best.max_with(measure_all(sim.trace(), pid));
-    }
-  };
-  {
-    Sim sim;
-    auto det = setup_detection(sim, make, n);
-    RoundRobinScheduler rr;
-    drive(sim, rr);
-    account(sim);
-  }
-  for (const std::uint64_t seed : seeds) {
-    Sim sim;
-    auto det = setup_detection(sim, make, n);
-    RandomScheduler rnd(seed);
-    drive(sim, rnd);
-    account(sim);
+  for (const ComplexityReport& cell : cells) {
+    best = best.max_with(cell);
   }
   return best;
 }

@@ -4,11 +4,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/experiment_runner.h"
 #include "core/contention_detection.h"
 #include "core/measures.h"
 #include "mutex/mutex_algorithm.h"
 
 namespace cfc {
+
+/// The experiment engine: every entry point fans its independent cells
+/// (per-pid solo runs, per-seed schedule searches) across an
+/// ExperimentRunner thread pool and reduces the per-cell results in index
+/// order, so the reports are bit-identical for every thread count —
+/// `ExperimentRunner seq(1)` is the reference sequential engine. Passing
+/// `runner = nullptr` uses the shared hardware-sized pool.
+///
+/// Measurement is streaming: each cell attaches a MeasureAccumulator sink
+/// and runs with trace materialization disabled, so long random-schedule
+/// searches never allocate a trace.
 
 /// Contention-free complexity of a mutual exclusion algorithm, measured per
 /// the paper's Section 2.2 definition: for every process, run it alone
@@ -27,7 +39,8 @@ struct MutexCfResult {
 /// loses nothing there; pass 0 when exactness over every pid matters.
 [[nodiscard]] MutexCfResult measure_mutex_contention_free(
     const MutexFactory& make, int n,
-    AccessPolicy policy = AccessPolicy::Unrestricted, int max_pids = 0);
+    AccessPolicy policy = AccessPolicy::Unrestricted, int max_pids = 0,
+    ExperimentRunner* runner = nullptr);
 
 /// Worst-case entry estimate: maximum step/register complexity over the
 /// paper's *clean* entry windows (no process in CS or exit anywhere in the
@@ -43,19 +56,21 @@ struct MutexWcSearchResult {
 [[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
     const std::vector<std::uint64_t>& seeds,
-    std::uint64_t budget_per_run = 200'000);
+    std::uint64_t budget_per_run = 200'000,
+    ExperimentRunner* runner = nullptr);
 
 /// Contention-free complexity of a contention detector: solo run per
 /// process, maximum over processes. Also verifies the solo process outputs
 /// 1 (throws std::logic_error otherwise — a broken detector).
 [[nodiscard]] ComplexityReport measure_detector_contention_free(
-    const DetectorFactory& make, int n);
+    const DetectorFactory& make, int n, ExperimentRunner* runner = nullptr);
 
 /// Worst-case step/register complexity of a detector over seeded random
 /// schedules plus the round-robin schedule (max over processes and runs).
 [[nodiscard]] ComplexityReport search_detector_worst_case(
     const DetectorFactory& make, int n,
-    const std::vector<std::uint64_t>& seeds);
+    const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner = nullptr);
 
 }  // namespace cfc
 

@@ -1,0 +1,144 @@
+#include "analysis/experiment_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace cfc {
+
+/// One parallel_for invocation: an index dispenser shared by every thread
+/// that helps with the job.
+struct ExperimentRunner::Job {
+  std::function<void(std::size_t)> body;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;  // guarded by mu
+  std::exception_ptr first_error;  // guarded by mu
+
+  /// Claims and runs indices until the dispenser is empty. Returns true if
+  /// this call ran at least one index.
+  bool drain() {
+    bool ran = false;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return ran;
+      }
+      ran = true;
+      std::exception_ptr error;
+      try {
+        body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (error && !first_error) {
+        first_error = error;
+      }
+      finished += 1;
+      if (finished == count) {
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  [[nodiscard]] bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= count;
+  }
+};
+
+ExperimentRunner::ExperimentRunner(int threads)
+    : threads_(threads > 0
+                   ? threads
+                   : std::max(1u, std::thread::hardware_concurrency())) {
+  // The calling thread participates in every parallel_for, so spawn one
+  // worker fewer than the requested parallelism.
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ExperimentRunner::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_) {
+        return;
+      }
+      job = jobs_.front();
+      if (job->exhausted()) {
+        // Nothing left to claim; retire the job from the queue.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    job->drain();
+  }
+}
+
+void ExperimentRunner::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (threads_ <= 1 || count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  job->drain();  // the calling thread helps; guarantees forward progress
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] { return job->finished == job->count; });
+  }
+  {
+    // Retire the job if a worker has not already done so.
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+    if (it != jobs_.end()) {
+      jobs_.erase(it);
+    }
+  }
+  if (job->first_error) {
+    std::rethrow_exception(job->first_error);
+  }
+}
+
+ExperimentRunner& ExperimentRunner::shared() {
+  static ExperimentRunner runner(0);
+  return runner;
+}
+
+ExperimentRunner& runner_or_shared(ExperimentRunner* runner) {
+  return runner != nullptr ? *runner : ExperimentRunner::shared();
+}
+
+}  // namespace cfc

@@ -1,0 +1,70 @@
+#ifndef CFC_ANALYSIS_EXPERIMENT_RUNNER_H
+#define CFC_ANALYSIS_EXPERIMENT_RUNNER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfc {
+
+/// A std::thread pool for the experiment grids: fans index ranges across
+/// worker threads. Designed for the measurement pipeline's determinism
+/// contract — parallel_for only schedules; callers write results into
+/// per-index slots and reduce them in index order afterwards, so a run is
+/// bit-identical regardless of thread count.
+///
+/// Properties:
+///  * the calling thread participates in the work, so nested parallel_for
+///    calls (a parallel census whose cells run parallel searches) cannot
+///    deadlock even when every pool thread is busy;
+///  * exceptions thrown by the body are captured and the first one is
+///    rethrown on the calling thread after all indices finish;
+///  * `ExperimentRunner(1)` never spawns a thread and runs everything
+///    inline — the reference sequential engine.
+class ExperimentRunner {
+ public:
+  /// `threads` <= 0 picks std::thread::hardware_concurrency().
+  explicit ExperimentRunner(int threads = 0);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept { return threads_; }
+
+  /// Runs body(i) for every i in [0, count), distributed over the pool plus
+  /// the calling thread; returns when all indices completed. Rethrows the
+  /// first body exception (after draining the remaining indices).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide default pool, sized to the hardware.
+  [[nodiscard]] static ExperimentRunner& shared();
+
+ private:
+  struct Job;
+
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+};
+
+/// Resolves an optional runner argument: `runner` if non-null, else the
+/// shared pool. Experiment entry points take `ExperimentRunner* runner =
+/// nullptr` so callers opt into a specific engine (e.g. a single-threaded
+/// one for determinism tests) without plumbing a pool everywhere.
+[[nodiscard]] ExperimentRunner& runner_or_shared(ExperimentRunner* runner);
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_EXPERIMENT_RUNNER_H

@@ -2,12 +2,8 @@
 
 #include <limits>
 
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
-#include "naming/dual_scan.h"
-#include "naming/tas_read_search.h"
-#include "naming/tas_scan.h"
-#include "naming/tas_tar_tree.h"
-#include "naming/taf_tree.h"
 
 namespace cfc {
 
@@ -17,26 +13,12 @@ bool naming_solvable(Model m) {
 }
 
 std::vector<ModelCensusEntry> run_model_census(
-    int n, const std::vector<std::uint64_t>& seeds) {
-  struct Candidate {
-    NamingFactory factory;
-    Model requires_model;
-  };
-  const std::vector<Candidate> candidates = {
-      {TasScan::factory(), Model::test_and_set()},
-      {TarScan::factory(), Model{BitOp::TestAndReset}},
-      {TasReadSearch::factory(), Model::read_test_and_set()},
-      {TarReadSearch::factory(), Model{BitOp::Read, BitOp::TestAndReset}},
-      {TasTarTree::factory(), Model{BitOp::TestAndSet, BitOp::TestAndReset}},
-      {TafTree::factory(), Model::test_and_flip()},
-  };
-
-  // Measure each candidate once; model cells reuse the measurements.
-  std::vector<NamingAlgMeasurement> measured;
-  measured.reserve(candidates.size());
-  for (const Candidate& c : candidates) {
-    measured.push_back(measure_naming(c.factory, n, seeds));
-  }
+    int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner) {
+  // The candidate pool is the registry's full naming catalogue, measured
+  // once per candidate; the 256 model cells below reuse the measurements.
+  const auto [candidates, measured] =
+      measure_registry_naming(n, seeds, runner);
 
   std::vector<ModelCensusEntry> out;
   out.reserve(256);
@@ -48,7 +30,7 @@ std::vector<ModelCensusEntry> run_model_census(
       Table2Column col;
       col.model = entry.model;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (entry.model.includes(candidates[i].requires_model)) {
+        if (entry.model.includes(candidates[i]->info.required_model)) {
           col.algorithms.push_back(measured[i]);
           entry.algorithms_used.push_back(measured[i].name);
         }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_runner.h"
 #include "analysis/naming_complexity.h"
 #include "memory/model.h"
 
@@ -38,11 +39,15 @@ struct ModelCensusEntry {
 };
 
 /// Classifies all 256 models at a given n (power of two >= 2 so the tree
-/// algorithms apply). The candidate pool covers every solvable model:
-/// tas-scan / tar-scan (single rmw-op models), tas/tar-read-search (+read),
-/// tas-tar-tree ({tas,tar}), taf-tree ({taf}).
+/// algorithms apply). The candidate pool is every naming algorithm in the
+/// AlgorithmRegistry (which covers every solvable model: the scans for
+/// single rmw-op models, the read-searches, the trees and their duals);
+/// candidates are measured once each, fanned across `runner`, and the 256
+/// model cells reuse the measurements — identical results for every thread
+/// count.
 [[nodiscard]] std::vector<ModelCensusEntry> run_model_census(
-    int n, const std::vector<std::uint64_t>& seeds);
+    int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner = nullptr);
 
 /// Summary counts over a census.
 struct CensusSummary {

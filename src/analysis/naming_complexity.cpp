@@ -2,13 +2,11 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "core/adversary.h"
+#include "core/algorithm_registry.h"
 #include "naming/checkers.h"
-#include "naming/tas_read_search.h"
-#include "naming/tas_scan.h"
-#include "naming/tas_tar_tree.h"
-#include "naming/taf_tree.h"
 #include "sched/sched.h"
 
 namespace cfc {
@@ -32,68 +30,82 @@ void require_ok(const NamingRunCheck& check, const std::string& who) {
 }  // namespace
 
 NamingAlgMeasurement measure_naming(const NamingFactory& make, int n,
-                                    const std::vector<std::uint64_t>& seeds) {
+                                    const std::vector<std::uint64_t>& seeds,
+                                    ExperimentRunner* runner) {
   NamingAlgMeasurement out;
 
-  // Contention-free: the sequential schedule.
+  // Resolve the algorithm name (and capacity errors) up front, on the
+  // calling thread, so misconfiguration surfaces as the documented
+  // exception rather than through the pool.
   {
     Sim sim;
     auto alg = setup_naming(sim, make, n);
     out.name = alg->algorithm_name();
-    if (!run_sequentially(sim)) {
-      throw std::logic_error("sequential naming run did not finish: " +
-                             out.name);
-    }
-    require_ok(check_naming_run(sim, alg->name_space()), out.name);
-    out.cf = max_over_processes(sim);
-    out.wc = out.wc.max_with(out.cf);
   }
 
-  // Worst-case search: round-robin.
-  {
+  // Cells: 0 = the sequential (contention-free) schedule, 1 = round-robin,
+  // 2 = the Theorem 6 lockstep symmetry adversary, 3.. = seeded randoms.
+  // All independent; reduced below in this fixed order.
+  const std::size_t cell_count = 3 + seeds.size();
+  std::vector<ComplexityReport> wc_cells(cell_count);
+  ComplexityReport cf;
+
+  runner_or_shared(runner).parallel_for(cell_count, [&](std::size_t i) {
     Sim sim;
     auto alg = setup_naming(sim, make, n);
-    RoundRobinScheduler rr;
-    if (drive(sim, rr) != RunOutcome::AllDone) {
-      throw std::logic_error("round-robin naming run did not finish: " +
-                             out.name);
+    switch (i) {
+      case 0: {
+        if (!run_sequentially(sim)) {
+          throw std::logic_error("sequential naming run did not finish: " +
+                                 out.name);
+        }
+        break;
+      }
+      case 1: {
+        RoundRobinScheduler rr;
+        if (drive(sim, rr) != RunOutcome::AllDone) {
+          throw std::logic_error("round-robin naming run did not finish: " +
+                                 out.name);
+        }
+        break;
+      }
+      case 2: {
+        // The lockstep symmetry adversary, finished off fairly so
+        // stragglers complete and count.
+        std::vector<Pid> group;
+        group.reserve(static_cast<std::size_t>(n));
+        for (Pid p = 0; p < n; ++p) {
+          group.push_back(p);
+        }
+        const LockstepResult res = lockstep_symmetry_adversary(sim, group);
+        if (res.identical_group_terminated) {
+          throw std::logic_error("identical processes terminated together: " +
+                                 out.name);
+        }
+        RoundRobinScheduler rr;
+        drive(sim, rr);
+        break;
+      }
+      default: {
+        RandomScheduler rnd(seeds[i - 3]);
+        if (drive(sim, rnd) != RunOutcome::AllDone) {
+          throw std::logic_error("random naming run did not finish: " +
+                                 out.name);
+        }
+        break;
+      }
     }
     require_ok(check_naming_run(sim, alg->name_space()), out.name);
-    out.wc = out.wc.max_with(max_over_processes(sim));
-  }
-
-  // Worst-case search: the Theorem 6 lockstep symmetry adversary, finished
-  // off fairly so stragglers complete and count.
-  {
-    Sim sim;
-    auto alg = setup_naming(sim, make, n);
-    std::vector<Pid> group;
-    for (Pid p = 0; p < n; ++p) {
-      group.push_back(p);
+    wc_cells[i] = max_over_processes(sim);
+    if (i == 0) {
+      cf = wc_cells[i];
     }
-    const LockstepResult res = lockstep_symmetry_adversary(sim, group);
-    if (res.identical_group_terminated) {
-      throw std::logic_error("identical processes terminated together: " +
-                             out.name);
-    }
-    RoundRobinScheduler rr;
-    drive(sim, rr);
-    require_ok(check_naming_run(sim, alg->name_space()), out.name);
-    out.wc = out.wc.max_with(max_over_processes(sim));
-  }
+  });
 
-  // Worst-case search: seeded random schedules.
-  for (const std::uint64_t seed : seeds) {
-    Sim sim;
-    auto alg = setup_naming(sim, make, n);
-    RandomScheduler rnd(seed);
-    if (drive(sim, rnd) != RunOutcome::AllDone) {
-      throw std::logic_error("random naming run did not finish: " + out.name);
-    }
-    require_ok(check_naming_run(sim, alg->name_space()), out.name);
-    out.wc = out.wc.max_with(max_over_processes(sim));
+  out.cf = cf;
+  for (const ComplexityReport& cell : wc_cells) {
+    out.wc = out.wc.max_with(cell);
   }
-
   return out;
 }
 
@@ -112,18 +124,26 @@ Table2Cell Table2Column::best() const {
   return cell;
 }
 
+RegistryNamingMeasurements measure_registry_naming(
+    int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner) {
+  RegistryNamingMeasurements out;
+  out.candidates = AlgorithmRegistry::instance().naming_algorithms();
+  out.measured.resize(out.candidates.size());
+  runner_or_shared(runner).parallel_for(
+      out.candidates.size(), [&](std::size_t i) {
+        out.measured[i] =
+            measure_naming(out.candidates[i]->factory, n, seeds, runner);
+      });
+  return out;
+}
+
 std::vector<Table2Column> measure_table2(
-    int n, const std::vector<std::uint64_t>& seeds) {
-  struct Candidate {
-    NamingFactory factory;
-    Model requires_model;
-  };
-  const std::vector<Candidate> candidates = {
-      {TasScan::factory(), Model::test_and_set()},
-      {TasReadSearch::factory(), Model::read_test_and_set()},
-      {TasTarTree::factory(), Model{BitOp::TestAndSet, BitOp::TestAndReset}},
-      {TafTree::factory(), Model::test_and_flip()},
-  };
+    int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner) {
+  // Candidate pool: every registered naming algorithm, measured once.
+  const auto [candidates, measured] =
+      measure_registry_naming(n, seeds, runner);
 
   const std::vector<std::pair<std::string, Model>> columns = {
       {"test-and-set", Model::test_and_set()},
@@ -134,13 +154,14 @@ std::vector<Table2Column> measure_table2(
   };
 
   std::vector<Table2Column> out;
+  out.reserve(columns.size());
   for (const auto& [label, model] : columns) {
     Table2Column col;
     col.model_label = label;
     col.model = model;
-    for (const Candidate& c : candidates) {
-      if (model.includes(c.requires_model)) {
-        col.algorithms.push_back(measure_naming(c.factory, n, seeds));
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (model.includes(candidates[i]->info.required_model)) {
+        col.algorithms.push_back(measured[i]);
       }
     }
     out.push_back(std::move(col));

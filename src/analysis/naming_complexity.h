@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_runner.h"
+#include "core/algorithm_registry.h"
 #include "core/measures.h"
 #include "naming/naming_algorithm.h"
 
@@ -25,8 +27,25 @@ struct NamingAlgMeasurement {
   ComplexityReport wc;
 };
 
+/// The independent runs (sequential, round-robin, lockstep adversary, one
+/// per seed) are fanned across `runner` and reduced in a fixed order, so
+/// results are identical for every thread count.
 [[nodiscard]] NamingAlgMeasurement measure_naming(
-    const NamingFactory& make, int n, const std::vector<std::uint64_t>& seeds);
+    const NamingFactory& make, int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner = nullptr);
+
+/// Every registered naming algorithm measured once at n, fanned across the
+/// runner; candidates[i] corresponds to measured[i], in the registry's
+/// deterministic (name-sorted) order. The shared candidate pool behind
+/// measure_table2 and the model census.
+struct RegistryNamingMeasurements {
+  std::vector<const NamingAlgorithmEntry*> candidates;
+  std::vector<NamingAlgMeasurement> measured;
+};
+
+[[nodiscard]] RegistryNamingMeasurements measure_registry_naming(
+    int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner = nullptr);
 
 /// One column of the paper's Section 3.3 table: a model plus the measured
 /// complexities of every implemented algorithm legal in that model. The
@@ -49,9 +68,13 @@ struct Table2Column {
 };
 
 /// Measures all five columns of the paper's naming table for n processes
-/// (n must be a power of two >= 2 for the tree algorithms).
+/// (n must be a power of two >= 2 for the tree algorithms). The candidate
+/// pool per column is every AlgorithmRegistry naming entry legal in the
+/// column's model; each distinct algorithm is measured once (in parallel
+/// across the runner) and shared between columns.
 [[nodiscard]] std::vector<Table2Column> measure_table2(
-    int n, const std::vector<std::uint64_t>& seeds);
+    int n, const std::vector<std::uint64_t>& seeds,
+    ExperimentRunner* runner = nullptr);
 
 }  // namespace cfc
 

@@ -1,0 +1,188 @@
+#include "core/algorithm_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/bounds.h"
+
+namespace cfc {
+
+namespace {
+
+template <class MapT, class EntryT>
+std::vector<const EntryT*> enumerate(const MapT& map, std::string_view tag) {
+  std::vector<const EntryT*> out;
+  out.reserve(map.size());
+  for (const auto& [name, entry] : map) {
+    if (tag.empty() || entry.info.has_tag(tag)) {
+      out.push_back(&entry);
+    }
+  }
+  return out;  // maps iterate in key order: sorted by name
+}
+
+template <class MapT>
+const auto& find_or_throw(const MapT& map, std::string_view name,
+                          const char* kind) {
+  const auto it = map.find(name);
+  if (it == map.end()) {
+    throw std::out_of_range(std::string("no registered ") + kind +
+                            " algorithm named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+bool AlgorithmInfo::has_tag(std::string_view tag) const {
+  return std::any_of(tags.begin(), tags.end(),
+                     [tag](const std::string& t) { return t == tag; });
+}
+
+AlgorithmInfo AlgorithmInfo::named(std::string name) {
+  AlgorithmInfo info;
+  info.name = std::move(name);
+  return info;
+}
+
+AlgorithmInfo&& AlgorithmInfo::desc(std::string d) && {
+  description = std::move(d);
+  return std::move(*this);
+}
+
+AlgorithmInfo&& AlgorithmInfo::model(Model m) && {
+  required_model = m;
+  return std::move(*this);
+}
+
+AlgorithmInfo&& AlgorithmInfo::atomicity(int l) && {
+  atomicity_param = l;
+  return std::move(*this);
+}
+
+AlgorithmInfo&& AlgorithmInfo::capacity_limit(int n) && {
+  max_n = n;
+  return std::move(*this);
+}
+
+AlgorithmInfo&& AlgorithmInfo::pow2_only() && {
+  pow2_n_only = true;
+  return std::move(*this);
+}
+
+AlgorithmInfo&& AlgorithmInfo::tag(std::string t) && {
+  tags.push_back(std::move(t));
+  return std::move(*this);
+}
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry registry;
+  return registry;
+}
+
+void AlgorithmRegistry::add_mutex(AlgorithmInfo info, MutexFactory factory) {
+  const std::string name = info.name;
+  if (!mutex_.emplace(name, MutexAlgorithmEntry{std::move(info),
+                                                std::move(factory)})
+           .second) {
+    throw std::logic_error("duplicate mutex algorithm registration: " + name);
+  }
+}
+
+void AlgorithmRegistry::add_naming(AlgorithmInfo info,
+                                   NamingFactory factory) {
+  const std::string name = info.name;
+  if (!naming_.emplace(name, NamingAlgorithmEntry{std::move(info),
+                                                  std::move(factory)})
+           .second) {
+    throw std::logic_error("duplicate naming algorithm registration: " +
+                           name);
+  }
+}
+
+void AlgorithmRegistry::add_detector(AlgorithmInfo info,
+                                     DetectorFactory factory) {
+  const std::string name = info.name;
+  if (!detector_.emplace(name, DetectorAlgorithmEntry{std::move(info),
+                                                      std::move(factory)})
+           .second) {
+    throw std::logic_error("duplicate detector algorithm registration: " +
+                           name);
+  }
+}
+
+const MutexAlgorithmEntry& AlgorithmRegistry::mutex(
+    std::string_view name) const {
+  return find_or_throw(mutex_, name, "mutex");
+}
+
+const NamingAlgorithmEntry& AlgorithmRegistry::naming(
+    std::string_view name) const {
+  return find_or_throw(naming_, name, "naming");
+}
+
+const DetectorAlgorithmEntry& AlgorithmRegistry::detector(
+    std::string_view name) const {
+  return find_or_throw(detector_, name, "detector");
+}
+
+std::vector<const MutexAlgorithmEntry*> AlgorithmRegistry::mutex_algorithms(
+    std::string_view tag) const {
+  return enumerate<decltype(mutex_), MutexAlgorithmEntry>(mutex_, tag);
+}
+
+std::vector<const NamingAlgorithmEntry*>
+AlgorithmRegistry::naming_algorithms(std::string_view tag) const {
+  return enumerate<decltype(naming_), NamingAlgorithmEntry>(naming_, tag);
+}
+
+std::vector<const DetectorAlgorithmEntry*>
+AlgorithmRegistry::detector_algorithms(std::string_view tag) const {
+  return enumerate<decltype(detector_), DetectorAlgorithmEntry>(detector_,
+                                                                tag);
+}
+
+std::vector<const NamingAlgorithmEntry*> AlgorithmRegistry::naming_for_model(
+    Model m) const {
+  std::vector<const NamingAlgorithmEntry*> out;
+  for (const auto& [name, entry] : naming_) {
+    if (m.includes(entry.info.required_model)) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+
+std::vector<const MutexAlgorithmEntry*> AlgorithmRegistry::mutex_for_n(
+    int n, std::string_view tag) const {
+  std::vector<const MutexAlgorithmEntry*> out;
+  for (const MutexAlgorithmEntry* entry : mutex_algorithms(tag)) {
+    if (entry->info.max_n != 0 && n > entry->info.max_n) {
+      continue;
+    }
+    if (entry->info.pow2_n_only && !bounds::is_power_of_two(n)) {
+      continue;
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+MutexRegistrar::MutexRegistrar(AlgorithmInfo info, MutexFactory factory) {
+  AlgorithmRegistry::instance().add_mutex(std::move(info),
+                                          std::move(factory));
+}
+
+NamingRegistrar::NamingRegistrar(AlgorithmInfo info, NamingFactory factory) {
+  AlgorithmRegistry::instance().add_naming(std::move(info),
+                                           std::move(factory));
+}
+
+DetectorRegistrar::DetectorRegistrar(AlgorithmInfo info,
+                                     DetectorFactory factory) {
+  AlgorithmRegistry::instance().add_detector(std::move(info),
+                                             std::move(factory));
+}
+
+}  // namespace cfc

@@ -1,0 +1,133 @@
+#ifndef CFC_CORE_ALGORITHM_REGISTRY_H
+#define CFC_CORE_ALGORITHM_REGISTRY_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/contention_detection.h"
+#include "memory/model.h"
+#include "mutex/mutex_algorithm.h"
+#include "naming/naming_algorithm.h"
+
+namespace cfc {
+
+/// Metadata describing one registered algorithm (or one instantiation of a
+/// parameterized family, e.g. the Theorem 3 tree at a fixed atomicity l).
+struct AlgorithmInfo {
+  /// Unique key within the algorithm's kind, e.g. "lamport-fast",
+  /// "thm3-paper-l2". Registry enumeration is sorted by this name, so
+  /// every consumer sees the same deterministic order.
+  std::string name;
+  std::string description;
+  /// Naming algorithms: the weakest bit-operation model required. Mutex
+  /// and detector algorithms in the register model leave this empty.
+  Model required_model;
+  /// Parameterized families: the atomicity parameter l this entry was
+  /// instantiated at (0 when not applicable / n-dependent).
+  int atomicity_param = 0;
+  /// Largest n the algorithm supports (0 = any). Two-process primitives
+  /// (Peterson, Kessels arbiter) set 2.
+  int max_n = 0;
+  /// True when capacity is restricted to powers of two (tree algorithms).
+  bool pow2_n_only = false;
+  /// Free-form labels for enumeration filters, e.g. "paper", "thm3-paper",
+  /// "thm3-exact", "tournament".
+  std::vector<std::string> tags;
+
+  [[nodiscard]] bool has_tag(std::string_view tag) const;
+
+  /// Fluent construction, e.g.
+  ///   AlgorithmInfo::named("kessels-2p").desc("...").capacity_limit(2)
+  ///       .tag("two-process")
+  [[nodiscard]] static AlgorithmInfo named(std::string name);
+  [[nodiscard]] AlgorithmInfo&& desc(std::string d) &&;
+  [[nodiscard]] AlgorithmInfo&& model(Model m) &&;
+  [[nodiscard]] AlgorithmInfo&& atomicity(int l) &&;
+  [[nodiscard]] AlgorithmInfo&& capacity_limit(int n) &&;
+  [[nodiscard]] AlgorithmInfo&& pow2_only() &&;
+  [[nodiscard]] AlgorithmInfo&& tag(std::string t) &&;
+};
+
+struct MutexAlgorithmEntry {
+  AlgorithmInfo info;
+  MutexFactory factory;
+};
+
+struct NamingAlgorithmEntry {
+  AlgorithmInfo info;
+  NamingFactory factory;
+};
+
+struct DetectorAlgorithmEntry {
+  AlgorithmInfo info;
+  DetectorFactory factory;
+};
+
+/// Central catalogue of every algorithm the repository implements, keyed by
+/// kind (mutex / naming / detector) and name. Implementations self-register
+/// via the *Registrar helpers at the bottom of their translation units, so
+/// benches, examples, the model census, and the experiment engine enumerate
+/// algorithms from one place instead of duplicating hard-coded lists.
+///
+/// The registry is populated during static initialization and treated as
+/// read-only afterwards; enumeration order is the lexicographic order of
+/// entry names (deterministic across runs and thread counts).
+class AlgorithmRegistry {
+ public:
+  [[nodiscard]] static AlgorithmRegistry& instance();
+
+  /// --- Registration (throws std::logic_error on duplicate names). ---
+  void add_mutex(AlgorithmInfo info, MutexFactory factory);
+  void add_naming(AlgorithmInfo info, NamingFactory factory);
+  void add_detector(AlgorithmInfo info, DetectorFactory factory);
+
+  /// --- Lookup by exact name (throws std::out_of_range if absent). ---
+  [[nodiscard]] const MutexAlgorithmEntry& mutex(std::string_view name) const;
+  [[nodiscard]] const NamingAlgorithmEntry& naming(
+      std::string_view name) const;
+  [[nodiscard]] const DetectorAlgorithmEntry& detector(
+      std::string_view name) const;
+
+  /// --- Enumeration, sorted by name. Empty tag = all entries. ---
+  [[nodiscard]] std::vector<const MutexAlgorithmEntry*> mutex_algorithms(
+      std::string_view tag = {}) const;
+  [[nodiscard]] std::vector<const NamingAlgorithmEntry*> naming_algorithms(
+      std::string_view tag = {}) const;
+  [[nodiscard]] std::vector<const DetectorAlgorithmEntry*>
+  detector_algorithms(std::string_view tag = {}) const;
+
+  /// Naming algorithms runnable in `m`: entries whose required model is a
+  /// subset of `m` (the paper's "legal in the column's model").
+  [[nodiscard]] std::vector<const NamingAlgorithmEntry*> naming_for_model(
+      Model m) const;
+
+  /// Mutex algorithms usable at a given n (capacity and pow2 filters).
+  [[nodiscard]] std::vector<const MutexAlgorithmEntry*> mutex_for_n(
+      int n, std::string_view tag = {}) const;
+
+ private:
+  AlgorithmRegistry() = default;
+
+  std::map<std::string, MutexAlgorithmEntry, std::less<>> mutex_;
+  std::map<std::string, NamingAlgorithmEntry, std::less<>> naming_;
+  std::map<std::string, DetectorAlgorithmEntry, std::less<>> detector_;
+};
+
+/// Static self-registration helpers: place one at file scope in the
+/// algorithm's translation unit. (The build links the library as an object
+/// library, so these are never dropped by the linker.)
+struct MutexRegistrar {
+  MutexRegistrar(AlgorithmInfo info, MutexFactory factory);
+};
+struct NamingRegistrar {
+  NamingRegistrar(AlgorithmInfo info, NamingFactory factory);
+};
+struct DetectorRegistrar {
+  DetectorRegistrar(AlgorithmInfo info, DetectorFactory factory);
+};
+
+}  // namespace cfc
+
+#endif  // CFC_CORE_ALGORITHM_REGISTRY_H

@@ -16,6 +16,11 @@ namespace cfc::bounds {
 /// ceil(a / b) for positive b.
 [[nodiscard]] int ceil_div(int a, int b);
 
+/// True iff n is a power of two (n >= 1).
+[[nodiscard]] constexpr bool is_power_of_two(int n) {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
 /// --- Mutual exclusion / contention detection (Section 2). ---
 
 /// Theorem 1 (and Lemma 4): every algorithm for contention detection — and

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
 
 namespace cfc {
@@ -152,5 +153,30 @@ DetectorFactory SelfishDetector::factory() {
     return std::make_unique<SelfishDetector>(mem, n);
   };
 }
+
+namespace {
+/// The direct detectors of the Section 2.6 remark, at the atomicities the
+/// benches sweep. (SelfishDetector is deliberately broken and therefore
+/// not registered: registry enumeration only yields correct algorithms.)
+const struct SplitterTreeRegistrar {
+  SplitterTreeRegistrar() {
+    for (const int l : {1, 2, 4}) {
+      AlgorithmRegistry::instance().add_detector(
+          AlgorithmInfo::named("splitter-tree-l" + std::to_string(l))
+              .desc("splitter trie of arity 2^l: worst-case step "
+                    "complexity 4*ceil(log n / l), bounded")
+              .atomicity(l)
+              .tag("splitter"),
+          SplitterTree::factory(l));
+    }
+    AlgorithmRegistry::instance().add_detector(
+        AlgorithmInfo::named("splitter-tree-full")
+            .desc("single-level splitter at atomicity ceil(log2 n): "
+                  "Lamport's fast path as a contention detector")
+            .tag("splitter"),
+        SplitterTree::factory_full_width());
+  }
+} kSplitterTreeRegistrar;
+}  // namespace
 
 }  // namespace cfc

@@ -1,0 +1,203 @@
+#include "core/streaming_measures.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cfc {
+
+void MeasureAccumulator::ReportAcc::add(const Access& a) {
+  rep.steps += 1;
+  regs.insert(a.reg);
+  if (a.is_read()) {
+    rep.read_steps += 1;
+    read_regs.insert(a.reg);
+  }
+  if (a.is_write()) {
+    rep.write_steps += 1;
+    write_regs.insert(a.reg);
+  }
+  rep.atomicity = std::max(rep.atomicity, a.width);
+}
+
+void MeasureAccumulator::ReportAcc::reset() {
+  rep = ComplexityReport{};
+  regs.clear();
+  read_regs.clear();
+  write_regs.clear();
+}
+
+ComplexityReport MeasureAccumulator::ReportAcc::report() const {
+  ComplexityReport out = rep;
+  out.registers = static_cast<int>(regs.size());
+  out.read_registers = static_cast<int>(read_regs.size());
+  out.write_registers = static_cast<int>(write_regs.size());
+  return out;
+}
+
+namespace {
+
+std::size_t checked_nprocs(int nprocs) {
+  if (nprocs < 1) {
+    throw std::invalid_argument("MeasureAccumulator needs nprocs >= 1");
+  }
+  return static_cast<std::size_t>(nprocs);
+}
+
+}  // namespace
+
+MeasureAccumulator::MeasureAccumulator(int nprocs)
+    : per_pid_(checked_nprocs(nprocs)),
+      section_(static_cast<std::size_t>(nprocs), Section::Remainder) {}
+
+const MeasureAccumulator::PerPid& MeasureAccumulator::at(Pid pid) const {
+  if (pid < 0 || pid >= process_count()) {
+    throw std::out_of_range("MeasureAccumulator: bad pid");
+  }
+  return per_pid_[static_cast<std::size_t>(pid)];
+}
+
+MeasureAccumulator::PerPid& MeasureAccumulator::at(Pid pid) {
+  if (pid < 0 || pid >= process_count()) {
+    throw std::out_of_range("MeasureAccumulator: bad pid");
+  }
+  return per_pid_[static_cast<std::size_t>(pid)];
+}
+
+bool MeasureAccumulator::others_in_remainder(Pid pid) const {
+  for (Pid q = 0; q < process_count(); ++q) {
+    if (q != pid && section_[static_cast<std::size_t>(q)] !=
+                        Section::Remainder) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MeasureAccumulator::nobody_in_cs_or_exit() const {
+  for (const Section s : section_) {
+    if (s == Section::Critical || s == Section::Exit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MeasureAccumulator::on_event(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEvent::Kind::Access:
+      on_access(ev);
+      break;
+    case TraceEvent::Kind::SectionChange:
+      on_section_change(ev);
+      break;
+    case TraceEvent::Kind::Crash:
+    case TraceEvent::Kind::Finish:
+      break;  // terminal events carry no measured cost
+  }
+}
+
+void MeasureAccumulator::on_access(const TraceEvent& ev) {
+  PerPid& pp = at(ev.pid);
+  pp.total.add(ev.access);
+  if (pp.cf_session.open) {
+    pp.cf_session.acc.add(ev.access);
+  }
+  if (pp.clean_entry.open) {
+    pp.clean_entry.acc.add(ev.access);
+  }
+  if (pp.exit.open) {
+    pp.exit.acc.add(ev.access);
+  }
+}
+
+void MeasureAccumulator::on_section_change(const TraceEvent& ev) {
+  const Pid p = ev.pid;
+  const Section to = ev.to;
+
+  // --- Contention-free sessions (measures.h contention_free_sessions):
+  // a session of q opens at q's Remainder->Entry, closes at its next
+  // ->Remainder, and counts only if every other process stayed in its
+  // remainder region throughout. The trace-based code checks the others'
+  // sections *before* applying this event's update, so run this block
+  // first.
+  for (Pid q = 0; q < process_count(); ++q) {
+    WindowState& w = per_pid_[static_cast<std::size_t>(q)].cf_session;
+    if (q == p) {
+      if (to == Section::Entry && !w.open) {
+        w.open = true;
+        w.clean = others_in_remainder(q);
+        w.acc.reset();
+      } else if (to == Section::Remainder && w.open) {
+        PerPid& pp = per_pid_[static_cast<std::size_t>(q)];
+        if (w.clean && others_in_remainder(q)) {
+          pp.cf_session_max = pp.cf_session_max.max_with(w.acc.report());
+          pp.cf_sessions_completed += 1;
+        }
+        w.open = false;
+      }
+    } else if (w.open && to != Section::Remainder) {
+      w.clean = false;  // interference: not a contention-free session
+    }
+  }
+
+  section_[static_cast<std::size_t>(p)] = to;
+
+  // --- Clean entry windows (measures.h clean_entry_windows): open at
+  // Remainder->Entry, close at Entry->Critical, clean iff no process is in
+  // its CS or exit code anywhere in the window. The trace-based code
+  // applies the section update first, so this block runs after it.
+  for (Pid q = 0; q < process_count(); ++q) {
+    WindowState& w = per_pid_[static_cast<std::size_t>(q)].clean_entry;
+    if (q == p && to == Section::Entry) {
+      w.open = true;
+      w.clean = nobody_in_cs_or_exit();
+      w.acc.reset();
+    } else if (q == p && to == Section::Critical && w.open) {
+      if (w.clean) {
+        PerPid& pp = per_pid_[static_cast<std::size_t>(q)];
+        pp.clean_entry_max = pp.clean_entry_max.max_with(w.acc.report());
+      }
+      w.open = false;
+    } else if (w.open &&
+               (to == Section::Critical || to == Section::Exit)) {
+      w.clean = false;  // someone reached CS/exit inside the window
+    }
+  }
+
+  // --- Exit windows (measures.h exit_windows): Critical->Exit to
+  // ->Remainder, own transitions only, always counted.
+  {
+    WindowState& w = at(p).exit;
+    if (ev.from == Section::Critical && to == Section::Exit) {
+      w.open = true;
+      w.acc.reset();
+    } else if (to == Section::Remainder && w.open) {
+      PerPid& pp = at(p);
+      pp.exit_max = pp.exit_max.max_with(w.acc.report());
+      w.open = false;
+    }
+  }
+}
+
+ComplexityReport MeasureAccumulator::total(Pid pid) const {
+  return at(pid).total.report();
+}
+
+ComplexityReport MeasureAccumulator::contention_free_session_max(
+    Pid pid) const {
+  return at(pid).cf_session_max;
+}
+
+ComplexityReport MeasureAccumulator::clean_entry_max(Pid pid) const {
+  return at(pid).clean_entry_max;
+}
+
+ComplexityReport MeasureAccumulator::exit_max(Pid pid) const {
+  return at(pid).exit_max;
+}
+
+int MeasureAccumulator::contention_free_session_count(Pid pid) const {
+  return at(pid).cf_sessions_completed;
+}
+
+}  // namespace cfc

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 namespace {
@@ -66,5 +68,16 @@ MutexFactory Kessels::factory() {
     return std::make_unique<Kessels>(mem);
   };
 }
+
+namespace {
+const MutexRegistrar kKesselsRegistrar{
+    AlgorithmInfo::named("kessels-2p")
+        .desc("Kessels' two-process arbiter [Kes82]: single-writer bits, "
+              "4 entry + 1 exit accesses")
+        .capacity_limit(2)
+        .tag("two-process")
+        .tag("bit"),
+    Kessels::factory()};
+}  // namespace
 
 }  // namespace cfc

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
 
 namespace cfc {
@@ -111,5 +112,15 @@ MutexFactory LamportFast::factory() {
     return std::make_unique<LamportFast>(mem, n);
   };
 }
+
+namespace {
+const MutexRegistrar kLamportFastRegistrar{
+    AlgorithmInfo::named("lamport-fast")
+        .desc("Lamport's fast mutual exclusion [Lam87]: constant 7/3 "
+              "contention-free complexity at atomicity ~log n")
+        .tag("paper")
+        .tag("fast"),
+    LamportFast::factory()};
+}  // namespace
 
 }  // namespace cfc

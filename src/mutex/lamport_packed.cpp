@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
 #include "core/bounds.h"
 
 namespace cfc {
@@ -120,5 +121,16 @@ MutexFactory LamportPacked::factory() {
     return std::make_unique<LamportPacked>(mem, n);
   };
 }
+
+namespace {
+const MutexRegistrar kLamportPackedRegistrar{
+    AlgorithmInfo::named("lamport-packed")
+        .desc("Lamport fast mutex with x and y packed into one word "
+              "([MS93] multi-grain): cf registers 3 -> 2 at doubled "
+              "atomicity")
+        .tag("multigrain")
+        .tag("fast"),
+    LamportPacked::factory()};
+}  // namespace
 
 }  // namespace cfc

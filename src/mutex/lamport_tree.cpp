@@ -5,6 +5,8 @@
 
 #include "mutex/tournament.h"
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 LamportTree::LamportTree(RegisterFile& mem, int n, int l,
@@ -118,5 +120,34 @@ MutexFactory theorem3_factory(int l, TreeArity arity_policy) {
   }
   return LamportTree::factory(l, arity_policy);
 }
+
+namespace {
+/// Registers the Theorem 3 family at every atomicity 1 <= l <= 8, in both
+/// arity policies, so benches can enumerate the (l, policy) grid from the
+/// registry instead of hard-coding it.
+const struct Theorem3Registrar {
+  Theorem3Registrar() {
+    for (int l = 1; l <= 8; ++l) {
+      AlgorithmRegistry::instance().add_mutex(
+          AlgorithmInfo::named("thm3-paper-l" + std::to_string(l))
+              .desc("Theorem 3 tree, paper-literal arity 2^l at l=" +
+                    std::to_string(l) +
+                    ": cf complexity exactly 7/3 * ceil(log n / l)")
+              .atomicity(l)
+              .tag("thm3")
+              .tag("thm3-paper"),
+          theorem3_factory(l, TreeArity::PaperLiteral));
+      AlgorithmRegistry::instance().add_mutex(
+          AlgorithmInfo::named("thm3-exact-l" + std::to_string(l))
+              .desc("Theorem 3 tree, arity 2^l - 1 at l=" +
+                    std::to_string(l) + ": measured atomicity exactly l")
+              .atomicity(l)
+              .tag("thm3")
+              .tag("thm3-exact"),
+          theorem3_factory(l, TreeArity::ExactAtomicity));
+    }
+  }
+} kTheorem3Registrar;
+}  // namespace
 
 }  // namespace cfc

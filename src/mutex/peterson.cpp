@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 namespace {
@@ -59,5 +61,16 @@ MutexFactory Peterson::factory() {
     return std::make_unique<Peterson>(mem);
   };
 }
+
+namespace {
+const MutexRegistrar kPetersonRegistrar{
+    AlgorithmInfo::named("peterson-2p")
+        .desc("Peterson's two-process algorithm: 4 entry + 1 exit accesses "
+              "over 3 bits")
+        .capacity_limit(2)
+        .tag("two-process")
+        .tag("bit"),
+    Peterson::factory()};
+}  // namespace
 
 }  // namespace cfc

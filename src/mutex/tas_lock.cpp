@@ -1,5 +1,7 @@
 #include "mutex/tas_lock.h"
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 namespace {
@@ -39,5 +41,14 @@ MutexFactory TasLock::factory() {
     return std::make_unique<TasLock>(mem);
   };
 }
+
+namespace {
+const MutexRegistrar kTasLockRegistrar{
+    AlgorithmInfo::named("tas-lock")
+        .desc("test-and-set spin lock: the rmw escape hatch below the "
+              "paper's register-model lower bounds (cf 2 steps, 1 reg)")
+        .tag("rmw"),
+    TasLock::factory()};
+}  // namespace
 
 }  // namespace cfc

@@ -6,6 +6,8 @@
 #include "mutex/kessels.h"
 #include "mutex/peterson.h"
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 TournamentMutex::TournamentMutex(RegisterFile& mem, int n,
@@ -120,5 +122,22 @@ MutexFactory TournamentMutex::kessels_tree(ReleaseOrder release_order) {
                                              release_order);
   };
 }
+
+namespace {
+const MutexRegistrar kPetersonTreeRegistrar{
+    AlgorithmInfo::named("peterson-tree")
+        .desc("binary tournament of Peterson nodes [PF77]: atomicity 1, "
+              "4/3 contention-free constants per level")
+        .tag("tournament")
+        .tag("bit"),
+    TournamentMutex::peterson_tree()};
+const MutexRegistrar kKesselsTreeRegistrar{
+    AlgorithmInfo::named("kessels-tree")
+        .desc("binary tournament of Kessels arbiters [Kes82]: the paper's "
+              "O(log n) worst-case register row at atomicity 1")
+        .tag("tournament")
+        .tag("bit"),
+    TournamentMutex::kessels_tree()};
+}  // namespace
 
 }  // namespace cfc

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 TarScan::TarScan(RegisterFile& mem, int n) : n_(n) {
@@ -71,5 +73,24 @@ NamingFactory TarReadSearch::factory() {
     return std::make_unique<TarReadSearch>(mem, n);
   };
 }
+
+namespace {
+const NamingRegistrar kTarScanRegistrar{
+    AlgorithmInfo::named("tar-scan")
+        .desc("dual of tas-scan under the Section 3.2 duality: "
+              "test-and-reset over bits initialized to 1")
+        .model(Model{BitOp::TestAndReset})
+        .tag("dual")
+        .tag("scan"),
+    TarScan::factory()};
+const NamingRegistrar kTarReadSearchRegistrar{
+    AlgorithmInfo::named("tar-read-search")
+        .desc("dual of tas-read-search: binary search by reads, then "
+              "test-and-reset probes")
+        .model(Model{BitOp::Read, BitOp::TestAndReset})
+        .tag("dual")
+        .tag("search"),
+    TarReadSearch::factory()};
+}  // namespace
 
 }  // namespace cfc

@@ -2,16 +2,13 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+#include "core/bounds.h"
+
 namespace cfc {
 
-namespace {
-
-bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
-
-}  // namespace
-
 TafTree::TafTree(RegisterFile& mem, int n) : n_(n) {
-  if (n < 2 || !is_power_of_two(n)) {
+  if (n < 2 || !bounds::is_power_of_two(n)) {
     throw std::invalid_argument("TafTree needs a power-of-two n >= 2");
   }
   bits_.resize(static_cast<std::size_t>(n));  // index 0 unused
@@ -38,5 +35,17 @@ NamingFactory TafTree::factory() {
     return std::make_unique<TafTree>(mem, n);
   };
 }
+
+namespace {
+const NamingRegistrar kTafTreeRegistrar{
+    AlgorithmInfo::named("taf-tree")
+        .desc("test-and-flip tree (Thm 4.1): log n in all four measures, "
+              "tight for the {taf} model")
+        .model(Model::test_and_flip())
+        .pow2_only()
+        .tag("paper")
+        .tag("tree"),
+    TafTree::factory()};
+}  // namespace
 
 }  // namespace cfc

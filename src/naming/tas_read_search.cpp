@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 TasReadSearch::TasReadSearch(RegisterFile& mem, int n) : n_(n) {
@@ -47,5 +49,16 @@ NamingFactory TasReadSearch::factory() {
     return std::make_unique<TasReadSearch>(mem, n);
   };
 }
+
+namespace {
+const NamingRegistrar kTasReadSearchRegistrar{
+    AlgorithmInfo::named("tas-read-search")
+        .desc("binary search by reads plus test-and-set probes (Thm 4.4): "
+              "contention-free measures ~log n")
+        .model(Model::read_test_and_set())
+        .tag("paper")
+        .tag("search"),
+    TasReadSearch::factory()};
+}  // namespace
 
 }  // namespace cfc

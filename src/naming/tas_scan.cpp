@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+
 namespace cfc {
 
 TasScan::TasScan(RegisterFile& mem, int n) : n_(n) {
@@ -29,5 +31,16 @@ NamingFactory TasScan::factory() {
     return std::make_unique<TasScan>(mem, n);
   };
 }
+
+namespace {
+const NamingRegistrar kTasScanRegistrar{
+    AlgorithmInfo::named("tas-scan")
+        .desc("linear test-and-set scan (Thm 4.3): n-1 in all four "
+              "measures, tight for the {tas} model")
+        .model(Model::test_and_set())
+        .tag("paper")
+        .tag("scan"),
+    TasScan::factory()};
+}  // namespace
 
 }  // namespace cfc

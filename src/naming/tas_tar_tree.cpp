@@ -2,16 +2,13 @@
 
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
+#include "core/bounds.h"
+
 namespace cfc {
 
-namespace {
-
-bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
-
-}  // namespace
-
 TasTarTree::TasTarTree(RegisterFile& mem, int n) : n_(n) {
-  if (n < 2 || !is_power_of_two(n)) {
+  if (n < 2 || !bounds::is_power_of_two(n)) {
     throw std::invalid_argument("TasTarTree needs a power-of-two n >= 2");
   }
   bits_.resize(static_cast<std::size_t>(n));
@@ -47,5 +44,17 @@ NamingFactory TasTarTree::factory() {
     return std::make_unique<TasTarTree>(mem, n);
   };
 }
+
+namespace {
+const NamingRegistrar kTasTarTreeRegistrar{
+    AlgorithmInfo::named("tas-tar-tree")
+        .desc("alternating tas/tar tree (Thm 4.2): worst-case register "
+              "complexity log n without test-and-flip")
+        .model(Model{BitOp::TestAndSet, BitOp::TestAndReset})
+        .pow2_only()
+        .tag("paper")
+        .tag("tree"),
+    TasTarTree::factory()};
+}  // namespace
 
 }  // namespace cfc

@@ -1,0 +1,41 @@
+#ifndef CFC_SCHED_EVENT_SINK_H
+#define CFC_SCHED_EVENT_SINK_H
+
+#include "sched/run.h"
+
+namespace cfc {
+
+/// Observer of a simulation's event stream. The simulator publishes every
+/// event (counted accesses, section changes, crashes, terminations) to its
+/// registered sinks as the run unfolds, in sequence order.
+///
+/// Trace recording is just one sink (TraceRecorder, enabled by default on
+/// every Sim); streaming consumers such as MeasureAccumulator subscribe the
+/// same way and compute their results online, which lets long searches run
+/// with trace materialization switched off entirely.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Called for every event, after the event took effect on the shared
+  /// state, in increasing `ev.seq` order.
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+/// The classic full-run recorder: materializes the trace the offline
+/// measurement functions in core/measures.h consume.
+class TraceRecorder final : public EventSink {
+ public:
+  void on_event(const TraceEvent& ev) override { trace_.push(ev); }
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  void clear() { trace_.clear(); }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_SCHED_EVENT_SINK_H

@@ -1,8 +1,23 @@
 #include "sched/sim.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace cfc {
+
+void Sim::remove_sink(EventSink& sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), &sink),
+               sinks_.end());
+}
+
+void Sim::emit(const TraceEvent& ev) {
+  if (record_trace_) {
+    recorder_.on_event(ev);
+  }
+  for (EventSink* sink : sinks_) {
+    sink->on_event(ev);
+  }
+}
 
 void ProcessContext::post(const PendingAccess& req, std::coroutine_handle<> h) {
   Sim::Proc& pr = sim_->proc(pid_);
@@ -142,7 +157,7 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
   const int w = mem_.width(req.reg);
 
   Access a;
-  a.seq = trace_.next_seq();
+  a.seq = next_seq_;
   a.pid = pid;
   a.reg = req.reg;
   a.kind = req.kind;
@@ -215,11 +230,11 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
   mem_.poke(req.reg, a.after);
   pr.naccesses += 1;
   TraceEvent ev;
-  ev.seq = a.seq;
+  ev.seq = next_seq_++;
   ev.pid = pid;
   ev.kind = TraceEvent::Kind::Access;
   ev.access = a;
-  trace_.push(ev);
+  emit(ev);
   return a.returned.value_or(0);
 }
 
@@ -235,23 +250,23 @@ void Sim::on_section_change(Pid pid, Section s) {
     }
   }
   TraceEvent ev;
-  ev.seq = trace_.next_seq();
+  ev.seq = next_seq_++;
   ev.pid = pid;
   ev.kind = TraceEvent::Kind::SectionChange;
   ev.from = pr.section;
   ev.to = s;
-  trace_.push(ev);
-  pr.section = s;
+  pr.section = s;  // apply before emit: sinks observe post-event state
+  emit(ev);
 }
 
 void Sim::on_output(Pid pid, int value) { proc(pid).output = value; }
 
 void Sim::record_terminal(Pid pid, TraceEvent::Kind kind) {
   TraceEvent ev;
-  ev.seq = trace_.next_seq();
+  ev.seq = next_seq_++;
   ev.pid = pid;
   ev.kind = kind;
-  trace_.push(ev);
+  emit(ev);
 }
 
 }  // namespace cfc

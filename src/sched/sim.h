@@ -8,10 +8,13 @@
 #include <stdexcept>
 #include <string>
 
+#include <vector>
+
 #include "memory/access.h"
 #include "memory/model.h"
 #include "memory/register_file.h"
 #include "memory/types.h"
+#include "sched/event_sink.h"
 #include "sched/run.h"
 #include "sched/task.h"
 
@@ -121,6 +124,14 @@ class ProcessContext {
   /// the multi-granularity memory access of Section 1.3 / [MS93].
   [[nodiscard]] AccessAwaiter write_field(RegId r, int shift, int width,
                                           Value v) {
+    if (width < 1) {
+      throw std::invalid_argument(
+          "write_field: field width must be >= 1 (a zero-width store is "
+          "not an access)");
+    }
+    if (shift < 0) {
+      throw std::invalid_argument("write_field: negative field shift");
+    }
     PendingAccess pa;
     pa.kind = AccessKind::Write;
     pa.reg = r;
@@ -241,7 +252,28 @@ class Sim {
     return proc(pid).pending;
   }
 
-  [[nodiscard]] const Trace& trace() const { return trace_; }
+  /// The materialized run (empty when trace recording is disabled).
+  [[nodiscard]] const Trace& trace() const { return recorder_.trace(); }
+
+  /// --- Event sinks (observer interface). ---
+
+  /// Subscribes a sink to the event stream. The sink must outlive the
+  /// simulation (or be removed first); events already emitted are not
+  /// replayed to late subscribers.
+  void add_sink(EventSink& sink) { sinks_.push_back(&sink); }
+
+  void remove_sink(EventSink& sink);
+
+  /// Enables/disables materialization of the full trace (on by default).
+  /// Streaming consumers (MeasureAccumulator) work with recording off,
+  /// which removes the trace's allocation cost from long search runs;
+  /// sequence numbers keep advancing identically either way.
+  void set_trace_recording(bool enabled) { record_trace_ = enabled; }
+  [[nodiscard]] bool trace_recording() const { return record_trace_; }
+
+  /// Next sequence number to be assigned (equals the number of events
+  /// emitted so far, whether or not they were materialized).
+  [[nodiscard]] Seq next_seq() const { return next_seq_; }
 
   /// --- Configuration (set before stepping). ---
 
@@ -297,9 +329,16 @@ class Sim {
   void on_output(Pid pid, int value);
   void record_terminal(Pid pid, TraceEvent::Kind kind);
 
+  /// Publishes the event: materializes it when recording is on, then
+  /// notifies every subscribed sink.
+  void emit(const TraceEvent& ev);
+
   RegisterFile mem_;
   std::deque<Proc> procs_;  // deque: stable addresses for ProcessContext
-  Trace trace_;
+  TraceRecorder recorder_;
+  std::vector<EventSink*> sinks_;
+  bool record_trace_ = true;
+  Seq next_seq_ = 0;
   AccessPolicy policy_ = AccessPolicy::Unrestricted;
   std::optional<Model> model_;
   bool check_mutex_ = false;

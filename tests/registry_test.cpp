@@ -1,0 +1,126 @@
+// The AlgorithmRegistry: self-registration coverage, deterministic
+// enumeration order, model/capacity filters, and duplicate rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/algorithm_registry.h"
+
+namespace cfc {
+namespace {
+
+TEST(Registry, AllExpectedAlgorithmsSelfRegistered) {
+  const auto& registry = AlgorithmRegistry::instance();
+  // Mutex: the named singletons plus the 2x8 Theorem 3 grid.
+  for (const char* name :
+       {"lamport-fast", "lamport-packed", "peterson-2p", "kessels-2p",
+        "peterson-tree", "kessels-tree", "tas-lock", "thm3-paper-l1",
+        "thm3-paper-l8", "thm3-exact-l1", "thm3-exact-l4"}) {
+    EXPECT_NO_THROW((void)registry.mutex(name)) << name;
+  }
+  EXPECT_GE(registry.mutex_algorithms().size(), 23u);
+
+  // Naming: the paper's four plus the two duals.
+  for (const char* name : {"tas-scan", "tar-scan", "tas-read-search",
+                           "tar-read-search", "tas-tar-tree", "taf-tree"}) {
+    EXPECT_NO_THROW((void)registry.naming(name)) << name;
+  }
+  EXPECT_EQ(registry.naming_algorithms().size(), 6u);
+
+  // Detectors: the splitter-tree family. The deliberately broken
+  // SelfishDetector must NOT be enumerable.
+  EXPECT_EQ(registry.detector_algorithms().size(), 4u);
+  EXPECT_THROW((void)registry.detector("selfish(broken)"), std::out_of_range);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const auto& registry = AlgorithmRegistry::instance();
+  EXPECT_THROW((void)registry.mutex("no-such-algorithm"), std::out_of_range);
+  EXPECT_THROW((void)registry.naming("no-such-algorithm"), std::out_of_range);
+}
+
+TEST(Registry, EnumerationIsNameSorted) {
+  const auto& registry = AlgorithmRegistry::instance();
+  const auto entries = registry.mutex_algorithms();
+  EXPECT_TRUE(std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const MutexAlgorithmEntry* a, const MutexAlgorithmEntry* b) {
+        return a->info.name < b->info.name;
+      }));
+}
+
+TEST(Registry, TagFilterSelectsFamilies) {
+  const auto& registry = AlgorithmRegistry::instance();
+  EXPECT_EQ(registry.mutex_algorithms("thm3-paper").size(), 8u);
+  EXPECT_EQ(registry.mutex_algorithms("thm3-exact").size(), 8u);
+  EXPECT_EQ(registry.mutex_algorithms("tournament").size(), 2u);
+  EXPECT_EQ(registry.mutex_algorithms("no-such-tag").size(), 0u);
+  for (const MutexAlgorithmEntry* e :
+       registry.mutex_algorithms("thm3-paper")) {
+    EXPECT_GE(e->info.atomicity_param, 1);
+    EXPECT_LE(e->info.atomicity_param, 8);
+    EXPECT_TRUE(e->info.has_tag("thm3"));
+  }
+}
+
+TEST(Registry, CapacityFilterExcludesTwoProcessAlgorithms) {
+  const auto& registry = AlgorithmRegistry::instance();
+  const auto at_2 = registry.mutex_for_n(2);
+  const auto at_4 = registry.mutex_for_n(4);
+  const auto has = [](const auto& entries, const char* name) {
+    return std::any_of(entries.begin(), entries.end(), [name](const auto* e) {
+      return e->info.name == name;
+    });
+  };
+  EXPECT_TRUE(has(at_2, "peterson-2p"));
+  EXPECT_TRUE(has(at_2, "kessels-2p"));
+  EXPECT_FALSE(has(at_4, "peterson-2p"));
+  EXPECT_FALSE(has(at_4, "kessels-2p"));
+  EXPECT_TRUE(has(at_4, "lamport-fast"));
+}
+
+TEST(Registry, NamingModelFilterMatchesPaperColumns) {
+  const auto& registry = AlgorithmRegistry::instance();
+  const auto names = [&](Model m) {
+    std::vector<std::string> out;
+    for (const NamingAlgorithmEntry* e : registry.naming_for_model(m)) {
+      out.push_back(e->info.name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(names(Model::test_and_set()),
+            (std::vector<std::string>{"tas-scan"}));
+  EXPECT_EQ(names(Model::read_test_and_set()),
+            (std::vector<std::string>{"tas-read-search", "tas-scan"}));
+  EXPECT_EQ(names(Model::test_and_flip()),
+            (std::vector<std::string>{"taf-tree"}));
+  // rmw admits everything.
+  EXPECT_EQ(names(Model::rmw()).size(), 6u);
+  // The read/write model admits nothing (naming is unsolvable there).
+  EXPECT_TRUE(names(Model::read_write()).empty());
+}
+
+TEST(Registry, FactoriesProduceWorkingAlgorithms) {
+  const auto& registry = AlgorithmRegistry::instance();
+  for (const NamingAlgorithmEntry* e : registry.naming_algorithms()) {
+    RegisterFile mem;
+    auto alg = e->factory(mem, 8);
+    ASSERT_NE(alg, nullptr) << e->info.name;
+    EXPECT_GE(alg->capacity(), 8) << e->info.name;
+    // The registered metadata matches the instance's declared model.
+    EXPECT_TRUE(alg->model().includes(e->info.required_model))
+        << e->info.name;
+  }
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  auto& registry = AlgorithmRegistry::instance();
+  EXPECT_THROW(
+      registry.add_mutex(AlgorithmInfo::named("lamport-fast"),
+                         registry.mutex("lamport-fast").factory),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,143 @@
+// Scheduler replay determinism: a run recorded with RecordingScheduler must
+// be reproducible exactly — event for event — by feeding the recorded pid
+// sequence to ScriptedScheduler on a fresh simulation, including under
+// crash injection (the Section 3 stopping failures).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/algorithm_registry.h"
+#include "naming/naming_algorithm.h"
+#include "mutex/mutex_algorithm.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+struct CrashPlan {
+  Pid pid;
+  std::uint64_t after_accesses;
+};
+
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const TraceEvent& ea = a.events()[i];
+    const TraceEvent& eb = b.events()[i];
+    ASSERT_EQ(ea.seq, eb.seq) << "event " << i;
+    ASSERT_EQ(ea.pid, eb.pid) << "event " << i;
+    ASSERT_EQ(ea.kind, eb.kind) << "event " << i;
+    if (ea.kind == TraceEvent::Kind::Access) {
+      ASSERT_EQ(ea.access.reg, eb.access.reg) << "event " << i;
+      ASSERT_EQ(ea.access.kind, eb.access.kind) << "event " << i;
+      ASSERT_EQ(ea.access.bit_op, eb.access.bit_op) << "event " << i;
+      ASSERT_EQ(ea.access.written, eb.access.written) << "event " << i;
+      ASSERT_EQ(ea.access.returned, eb.access.returned) << "event " << i;
+      ASSERT_EQ(ea.access.before, eb.access.before) << "event " << i;
+      ASSERT_EQ(ea.access.after, eb.access.after) << "event " << i;
+    } else if (ea.kind == TraceEvent::Kind::SectionChange) {
+      ASSERT_EQ(ea.from, eb.from) << "event " << i;
+      ASSERT_EQ(ea.to, eb.to) << "event " << i;
+    }
+  }
+}
+
+/// Records a random-scheduled mutex run (with optional crashes), replays
+/// the recorded schedule on a fresh sim, and demands identical traces.
+void roundtrip_mutex(const MutexFactory& factory, int n, int sessions,
+                     std::uint64_t seed,
+                     const std::vector<CrashPlan>& crashes) {
+  Sim recorded;
+  auto alg1 = setup_mutex(recorded, factory, n, sessions);
+  for (const CrashPlan& c : crashes) {
+    recorded.crash_after(c.pid, c.after_accesses);
+  }
+  RandomScheduler rnd(seed);
+  RecordingScheduler recording(rnd);
+  drive(recorded, recording, RunLimits{100'000});
+
+  Sim replayed;
+  auto alg2 = setup_mutex(replayed, factory, n, sessions);
+  for (const CrashPlan& c : crashes) {
+    replayed.crash_after(c.pid, c.after_accesses);
+  }
+  ScriptedScheduler scripted(recording.schedule());
+  drive(replayed, scripted, RunLimits{100'000});
+
+  expect_traces_identical(recorded.trace(), replayed.trace());
+  for (Pid p = 0; p < n; ++p) {
+    EXPECT_EQ(recorded.status(p), replayed.status(p)) << "pid " << p;
+    EXPECT_EQ(recorded.output(p), replayed.output(p)) << "pid " << p;
+  }
+}
+
+TEST(SchedulerReplay, MutexRoundTripWithoutCrashes) {
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("thm3-exact-l2").factory;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    roundtrip_mutex(factory, 4, 2, seed, {});
+  }
+}
+
+TEST(SchedulerReplay, MutexRoundTripUnderCrashInjection) {
+  // A crashed process's pending access never executes; the replay must
+  // reproduce the crash at the same event index and the same downstream
+  // behaviour of the survivors (who may inherit a blocked lock — hence the
+  // budget-limited drive).
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("lamport-fast").factory;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    roundtrip_mutex(factory, 4, 2, seed,
+                    {{0, seed % 5}, {2, 1 + seed % 3}});
+  }
+}
+
+TEST(SchedulerReplay, NamingRoundTripUnderCrashInjection) {
+  const auto& registry = AlgorithmRegistry::instance();
+  for (const NamingAlgorithmEntry* entry : registry.naming_algorithms()) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const int n = 8;
+      Sim recorded;
+      auto alg1 = setup_naming(recorded, entry->factory, n);
+      recorded.crash_after(3, seed % 4);
+      RandomScheduler rnd(seed);
+      RecordingScheduler recording(rnd);
+      drive(recorded, recording, RunLimits{100'000});
+
+      Sim replayed;
+      auto alg2 = setup_naming(replayed, entry->factory, n);
+      replayed.crash_after(3, seed % 4);
+      ScriptedScheduler scripted(recording.schedule());
+      drive(replayed, scripted, RunLimits{100'000});
+
+      expect_traces_identical(recorded.trace(), replayed.trace());
+    }
+  }
+}
+
+TEST(SchedulerReplay, RecordingSchedulerLogsOnlyWhatRan) {
+  // The recorded schedule replays to the same access counts even when the
+  // script includes pids that crashed mid-run (ScriptedScheduler skips
+  // non-runnable entries, mirroring the original skip behaviour).
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-tree").factory;
+  Sim recorded;
+  auto alg = setup_mutex(recorded, factory, 4, 1);
+  recorded.crash_after(1, 2);
+  RandomScheduler rnd(1234);
+  RecordingScheduler recording(rnd);
+  drive(recorded, recording, RunLimits{100'000});
+  EXPECT_FALSE(recording.schedule().empty());
+
+  Sim replayed;
+  auto alg2 = setup_mutex(replayed, factory, 4, 1);
+  replayed.crash_after(1, 2);
+  ScriptedScheduler scripted(recording.schedule());
+  drive(replayed, scripted, RunLimits{100'000});
+  for (Pid p = 0; p < 4; ++p) {
+    EXPECT_EQ(recorded.access_count(p), replayed.access_count(p));
+  }
+}
+
+}  // namespace
+}  // namespace cfc

@@ -1,0 +1,122 @@
+// Edge cases of the multi-grain sub-word store (Section 1.3 / [MS93]):
+// zero-width fields are rejected, adjacent fields do not clobber each
+// other, and a full-word field store behaves exactly like a plain write.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/sched.h"
+#include "sched/sim.h"
+
+namespace cfc {
+namespace {
+
+/// Runs `body` as the only process of a fresh sim owning one `width`-bit
+/// register preloaded with `initial`, and returns the final register value.
+Value run_single(int width, Value initial,
+                 const std::function<Task<void>(ProcessContext&, RegId)>&
+                     body) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", width);
+  sim.memory().poke(r, initial);
+  const Pid p = sim.spawn("p", [&body, r](ProcessContext& ctx) {
+    return body(ctx, r);
+  });
+  while (sim.runnable(p)) {
+    sim.step(p);
+  }
+  EXPECT_EQ(sim.status(p), ProcStatus::Done);
+  return sim.memory().peek(r);
+}
+
+TEST(WriteField, ZeroWidthFieldIsRejectedEagerly) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 8);
+  sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    // The factory itself throws — a zero-width store is not an access and
+    // must not silently degrade to a full-register write.
+    EXPECT_THROW((void)ctx.write_field(r, 0, 0, 0), std::invalid_argument);
+    EXPECT_THROW((void)ctx.write_field(r, 3, -1, 0), std::invalid_argument);
+    EXPECT_THROW((void)ctx.write_field(r, -1, 2, 0), std::invalid_argument);
+    co_await ctx.write(r, 7);
+  });
+  while (sim.runnable(0)) {
+    sim.step(0);
+  }
+  EXPECT_EQ(sim.memory().peek(r), 7u);
+}
+
+TEST(WriteField, AdjacentFieldsDoNotOverlap) {
+  // Three adjacent 4-bit fields in a 12-bit word, written in arbitrary
+  // order: each store must touch exactly its own bits.
+  const Value result = run_single(
+      12, 0, [](ProcessContext& ctx, RegId r) -> Task<void> {
+        co_await ctx.write_field(r, 4, 4, 0xA);  // middle
+        co_await ctx.write_field(r, 0, 4, 0xB);  // low
+        co_await ctx.write_field(r, 8, 4, 0xC);  // high
+        co_await ctx.write_field(r, 4, 4, 0xD);  // overwrite middle only
+      });
+  EXPECT_EQ(result, 0xCDBu);
+}
+
+TEST(WriteField, FieldStorePreservesSurroundingBits) {
+  const Value result = run_single(
+      16, 0xFFFF, [](ProcessContext& ctx, RegId r) -> Task<void> {
+        co_await ctx.write_field(r, 4, 8, 0x00);  // clear the middle byte
+      });
+  EXPECT_EQ(result, 0xF00Fu);
+}
+
+TEST(WriteField, FullWordFieldActsAsPlainWrite) {
+  // Full 64-bit field on a 64-bit register: the mask computation must not
+  // shift by >= the word size (UB) and the store must replace everything.
+  const Value result = run_single(
+      64, 0x1234'5678'9ABC'DEF0ull,
+      [](ProcessContext& ctx, RegId r) -> Task<void> {
+        co_await ctx.write_field(r, 0, 64, 0xFEDC'BA98'7654'3210ull);
+      });
+  EXPECT_EQ(result, 0xFEDC'BA98'7654'3210ull);
+}
+
+TEST(WriteField, FullWidthFieldOnNarrowRegister) {
+  const Value result = run_single(
+      8, 0x55, [](ProcessContext& ctx, RegId r) -> Task<void> {
+        co_await ctx.write_field(r, 0, 8, 0xAA);
+      });
+  EXPECT_EQ(result, 0xAAu);
+}
+
+TEST(WriteField, OutOfRangeFieldThrowsAtExecution) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 8);
+  sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.write_field(r, 4, 8, 0);  // bits [4,12) of an 8-bit reg
+  });
+  EXPECT_THROW(sim.step(0), std::invalid_argument);
+}
+
+TEST(WriteField, OversizedValueThrowsAtExecution) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 8);
+  sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.write_field(r, 0, 4, 0x1F);  // 5 bits into a 4-bit field
+  });
+  EXPECT_THROW(sim.step(0), std::invalid_argument);
+}
+
+TEST(WriteField, FieldWriteCountsAsOneStep) {
+  Sim sim;
+  const RegId r = sim.memory().add_register("r", 16);
+  const Pid p = sim.spawn("p", [r](ProcessContext& ctx) -> Task<void> {
+    co_await ctx.write_field(r, 0, 8, 1);
+    co_await ctx.write_field(r, 8, 8, 2);
+  });
+  while (sim.runnable(p)) {
+    sim.step(p);
+  }
+  EXPECT_EQ(sim.access_count(p), 2u);
+  EXPECT_EQ(sim.memory().peek(r), 0x0201u);
+}
+
+}  // namespace
+}  // namespace cfc
