@@ -19,13 +19,16 @@
 #include "core/bounds.h"
 #include "mutex/detector_adapter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
+  const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("ablation_detection");
+  cfc::bench::JsonReport json("ablation_detection", opts.out);
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
-  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::uint64_t> seeds = opts.seeds(8);
 
   std::printf(
       "Contention detection, contention-free and worst-found complexity:\n\n");
@@ -56,9 +59,9 @@ int main() {
 
     for (const Case& c : cases) {
       const ComplexityReport cf =
-          measure_detector_contention_free(c.factory, n);
+          measure_detector_contention_free(c.factory, n, runner.get());
       const ComplexityReport wc =
-          search_detector_worst_case(c.factory, n, seeds);
+          search_detector_worst_case(c.factory, n, seeds, runner.get());
       t.add_row({c.label, std::to_string(n), std::to_string(cf.steps),
                  std::to_string(cf.registers), std::to_string(wc.steps),
                  std::to_string(wc.registers),
@@ -70,7 +73,10 @@ int main() {
                 {"cf_reg", cfc::bench::jv(cf.registers)},
                 {"wc_step", cfc::bench::jv(wc.steps)},
                 {"wc_reg", cfc::bench::jv(wc.registers)},
-                {"atomicity", cfc::bench::jv(cf.atomicity)}});
+                {"atomicity", cfc::bench::jv(cf.atomicity)},
+                {"truncated",
+                 cfc::bench::warn_truncated(wc.truncated || cf.truncated,
+                                            c.label)}});
       verify.check(wc.steps >= cf.steps, "wc >= cf for " + c.label);
     }
 

@@ -22,10 +22,12 @@
 #include "core/algorithm_registry.h"
 #include "rt/contention_study.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("ablation_multigrain");
+  cfc::bench::JsonReport json("ablation_multigrain", opts.out);
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   std::printf("Simulator: packed vs unpacked Lamport, contention-free:\n\n");

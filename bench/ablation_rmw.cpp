@@ -13,10 +13,12 @@
 #include "core/algorithm_registry.h"
 #include "core/bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("ablation_rmw");
+  cfc::bench::JsonReport json("ablation_rmw", opts.out);
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   const MutexFactory tas_factory = registry.mutex("tas-lock").factory;

@@ -22,10 +22,12 @@
 #include "core/algorithm_registry.h"
 #include "core/bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("ablation_tree_nodes");
+  cfc::bench::JsonReport json("ablation_tree_nodes", opts.out);
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   struct Case {

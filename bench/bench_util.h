@@ -4,12 +4,113 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "analysis/experiment_runner.h"
+
 namespace cfc::bench {
+
+/// Minimal CLI options shared by every bench binary (micro_substrate keeps
+/// google-benchmark's own argv handling):
+///   --seed <base>    base seed for the seeded schedule searches (default 1,
+///                    which reproduces the historical hard-coded {1..k})
+///   --threads <k>    experiment thread pool size (default: shared
+///                    hardware-sized pool)
+///   --out <dir>      directory for the BENCH_<name>.json report
+struct BenchOptions {
+  std::uint64_t seed = 1;
+  int threads = 0;
+  std::string out = ".";
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    const auto usage = [&](std::FILE* to, int exit_code) {
+      std::fprintf(to,
+                   "usage: %s [--seed <base>] [--threads <k>] [--out <dir>]\n",
+                   argc > 0 ? argv[0] : "bench");
+      std::exit(exit_code);
+    };
+    // A flag matches exactly ("--seed 5") or in its "=" form ("--seed=5");
+    // anything else — including prefix typos like "--seeds" — is rejected.
+    const auto matches = [](const std::string& arg, const char* flag) {
+      return arg == flag || arg.rfind(std::string(flag) + "=", 0) == 0;
+    };
+    const auto value = [&](int& i, const char* flag) -> std::string {
+      const std::string arg = argv[i];
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(prefix.size());
+      }
+      if (++i >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(stderr, 2);
+      }
+      return argv[i];
+    };
+    const auto number = [&](int& i, const char* flag) -> std::uint64_t {
+      const std::string v = value(i, flag);
+      // Digits only: strtoull alone would wrap "-4" to 2^64-4 silently.
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "invalid numeric value for %s: '%s'\n", flag,
+                     v.c_str());
+        usage(stderr, 2);
+      }
+      return std::strtoull(v.c_str(), nullptr, 10);
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout, 0);
+      } else if (matches(arg, "--seed")) {
+        opts.seed = number(i, "--seed");
+      } else if (matches(arg, "--threads")) {
+        opts.threads = static_cast<int>(number(i, "--threads"));
+      } else if (matches(arg, "--out")) {
+        opts.out = value(i, "--out");
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage(stderr, 2);
+      }
+    }
+    return opts;
+  }
+
+  /// `count` consecutive seeds starting at the base: the default base 1
+  /// reproduces the benches' historical {1, 2, ..., count}.
+  [[nodiscard]] std::vector<std::uint64_t> seeds(std::size_t count) const {
+    std::vector<std::uint64_t> out_seeds;
+    out_seeds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out_seeds.push_back(seed + i);
+    }
+    return out_seeds;
+  }
+
+  /// Non-null when --threads was given; pass `.get()` to the experiment
+  /// entry points (null selects the shared hardware-sized pool).
+  [[nodiscard]] std::unique_ptr<ExperimentRunner> make_runner() const {
+    return threads > 0 ? std::make_unique<ExperimentRunner>(threads)
+                       : nullptr;
+  }
+};
+
+/// Truncation warning shared by benches (the ComplexityReport::truncated
+/// satellite): prints a warning when a measurement was cut off and returns
+/// the flag as a JSON-ready 0/1.
+inline long long warn_truncated(bool truncated, const std::string& what) {
+  if (truncated) {
+    std::printf(
+        "  [warn] %s: search truncated (budget exhausted); values are lower "
+        "bounds\n",
+        what.c_str());
+  }
+  return truncated ? 1 : 0;
+}
 
 /// Tiny check-reporting helper shared by the table/figure regenerators:
 /// every bench binary verifies the paper's claims against measured values
@@ -50,7 +151,7 @@ using JsonValue = std::variant<std::string, long long, double>;
 /// with the check counts and the bench wall time.
 ///
 /// Usage:
-///   JsonReport json("table1_mutex_bounds");
+///   JsonReport json("table1_mutex_bounds", opts.out);
 ///   json.row({{"section", "sweep"}, {"n", 64}, {"cf_step", 21}});
 ///   ...
 ///   return json.finish(verify);   // writes the file, returns exit code
@@ -58,8 +159,9 @@ class JsonReport {
  public:
   using Field = std::pair<std::string, JsonValue>;
 
-  explicit JsonReport(std::string bench_name)
+  explicit JsonReport(std::string bench_name, std::string out_dir = ".")
       : name_(std::move(bench_name)),
+        out_dir_(std::move(out_dir)),
         start_(std::chrono::steady_clock::now()) {}
 
   void row(std::vector<Field> fields) { rows_.push_back(std::move(fields)); }
@@ -135,7 +237,7 @@ class JsonReport {
     }
     out += "]\n";
 
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
     if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
       std::fwrite(out.data(), 1, out.size(), fp);
       std::fclose(fp);
@@ -145,6 +247,7 @@ class JsonReport {
   }
 
   std::string name_;
+  std::string out_dir_;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::vector<Field>> rows_;
 };

@@ -15,17 +15,19 @@
 #include "bench_util.h"
 #include "core/bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("census_naming_models");
+  cfc::bench::JsonReport json("census_naming_models", opts.out);
 
   const int n = 16;
   const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
   std::printf("census of all 256 models at n = %d (log n = %d)\n\n", n,
               log_n);
 
-  const auto census = run_model_census(n, {1, 2, 3, 4});
+  const auto census = run_model_census(n, opts.seeds(4));
 
   // Group models by their measured cell signature.
   struct Group {

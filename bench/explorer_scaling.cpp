@@ -1,0 +1,217 @@
+// P1 (perf) — schedule-space explorer scaling: DFS throughput (states/sec),
+// the value of visited-state pruning, checkpoint-restore (fork-by-replay
+// with suppressed sinks + accumulator snapshot) vs. from-scratch replay
+// (rebuild + re-run with live measurement), and thread-count invariance of
+// the certified results. Writes BENCH_explorer_scaling.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "core/algorithm_registry.h"
+#include "core/streaming_measures.h"
+#include "sched/sched.h"
+
+namespace {
+
+using namespace cfc;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
+  const auto runner = opts.make_runner();
+  cfc::bench::Verifier verify;
+  cfc::bench::JsonReport json("explorer_scaling", opts.out);
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+
+  // --- 1. Exhaustive DFS throughput over depth, with and without pruning.
+  std::printf("Exhaustive exploration throughput (Peterson, n=2):\n\n");
+  TextTable thr({"depth", "states", "leaves", "ms", "states/sec",
+                 "entry steps"});
+  const MutexFactory peterson = registry.mutex("peterson-2p").factory;
+  for (const int depth : {12, 16, 20}) {
+    WorstCaseSearchOptions o;
+    o.strategy = SearchStrategy::Exhaustive;
+    o.limits.max_depth = depth;
+    const auto t0 = std::chrono::steady_clock::now();
+    const MutexWcSearchResult r =
+        search_mutex_worst_case(peterson, 2, 1, o, runner.get());
+    const double ms = ms_since(t0);
+    const double rate = ms > 0 ? 1000.0 * static_cast<double>(
+                                     r.states_visited) / ms
+                               : 0.0;
+    thr.add_row({std::to_string(depth), std::to_string(r.states_visited),
+                 std::to_string(r.schedules_tried),
+                 std::to_string(static_cast<long long>(ms)),
+                 std::to_string(static_cast<long long>(rate)),
+                 std::to_string(r.entry.steps)});
+    json.row({{"section", std::string("throughput")},
+              {"depth", cfc::bench::jv(depth)},
+              {"states_visited", cfc::bench::jv(r.states_visited)},
+              {"leaves", cfc::bench::jv(r.schedules_tried)},
+              {"elapsed_ms", cfc::bench::jv(ms)},
+              {"states_per_sec", cfc::bench::jv(rate)},
+              {"entry_steps", cfc::bench::jv(r.entry.steps)},
+              {"certified", cfc::bench::jv(r.certified ? 1 : 0)},
+              // Depth truncation is expected here (Peterson spins), so no
+              // warning — but the flag itself is recorded faithfully.
+              {"truncated", cfc::bench::jv(r.truncated ? 1 : 0)}});
+    verify.check(r.certified, "exhaustive certified at depth " +
+                                  std::to_string(depth));
+  }
+  std::printf("%s\n", thr.render().c_str());
+
+  {
+    WorstCaseSearchOptions pruned;
+    pruned.strategy = SearchStrategy::Exhaustive;
+    pruned.limits.max_depth = 16;
+    WorstCaseSearchOptions unpruned = pruned;
+    unpruned.limits.prune_visited = false;
+    const auto tp0 = std::chrono::steady_clock::now();
+    const MutexWcSearchResult rp =
+        search_mutex_worst_case(peterson, 2, 1, pruned, runner.get());
+    const double ms_pruned = ms_since(tp0);
+    const auto tu0 = std::chrono::steady_clock::now();
+    const MutexWcSearchResult ru =
+        search_mutex_worst_case(peterson, 2, 1, unpruned, runner.get());
+    const double ms_unpruned = ms_since(tu0);
+    std::printf(
+        "Visited-state pruning at depth 16: %llu states vs %llu unpruned "
+        "(%.1fx fewer)\n\n",
+        static_cast<unsigned long long>(rp.states_visited),
+        static_cast<unsigned long long>(ru.states_visited),
+        rp.states_visited
+            ? static_cast<double>(ru.states_visited) /
+                  static_cast<double>(rp.states_visited)
+            : 0.0);
+    json.row({{"section", std::string("pruning")},
+              {"states_pruned_on", cfc::bench::jv(rp.states_visited)},
+              {"states_pruned_off", cfc::bench::jv(ru.states_visited)},
+              {"ms_pruned_on", cfc::bench::jv(ms_pruned)},
+              {"ms_pruned_off", cfc::bench::jv(ms_unpruned)}});
+    verify.check(rp.entry.steps == ru.entry.steps,
+                 "pruning preserves the certified entry maximum");
+    verify.check(rp.states_visited <= ru.states_visited,
+                 "pruning never visits more states");
+  }
+
+  // --- 2. Checkpoint-restore vs from-scratch replay.
+  // A measured run is repositioned K times: fork-by-replay (sinks
+  // suppressed, accumulator restored by copy) against the no-checkpoint
+  // alternative (rebuild, re-attach a fresh accumulator, re-run every unit
+  // with measurement live).
+  std::printf("Checkpoint-restore vs from-scratch replay:\n\n");
+  const MutexFactory tree = registry.mutex("peterson-tree").factory;
+  const int n = 4;
+  auto keep = std::make_shared<std::vector<std::unique_ptr<MutexAlgorithm>>>();
+  const SimBuilder rebuild = [tree, n, keep](Sim& sim) {
+    keep->push_back(setup_mutex(sim, tree, n, /*sessions=*/8));
+    sim.set_trace_recording(false);
+  };
+
+  Sim original;
+  rebuild(original);
+  MeasureAccumulator acc(n);
+  original.add_sink(acc);
+  RandomScheduler rnd(opts.seed);
+  drive(original, rnd, RunLimits{1200});
+  const SimCheckpoint cp = original.checkpoint();
+  const std::size_t prefix_len = cp.schedule.size();
+
+  // Interleaved A/B batches so machine-load drift hits both paths equally;
+  // the pass/fail check uses the median batch ratio.
+  const int batches = 30;
+  const int per_batch = 10;
+  const int iters = batches * per_batch;
+  double ms_fork = 0.0;
+  double ms_scratch = 0.0;
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(batches));
+  for (int b = 0; b < batches; ++b) {
+    const auto tf0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < per_batch; ++i) {
+      std::unique_ptr<Sim> forked = Sim::fork(cp, rebuild);
+      MeasureAccumulator restored(acc);  // checkpointed by copy
+      forked->add_sink(restored);
+    }
+    const double bf = ms_since(tf0);
+    const auto ts0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < per_batch; ++i) {
+      Sim scratch;
+      rebuild(scratch);
+      MeasureAccumulator fresh(n);
+      scratch.add_sink(fresh);
+      for (const SimCheckpoint::Unit& u : cp.schedule) {
+        if (u.start_only) {
+          scratch.ensure_started(u.pid);
+        } else {
+          scratch.step(u.pid);
+        }
+      }
+    }
+    const double bs = ms_since(ts0);
+    ms_fork += bf;
+    ms_scratch += bs;
+    ratios.push_back(bf > 0 ? bs / bf : 0.0);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double speedup = ratios[ratios.size() / 2];  // median batch ratio
+  std::printf(
+      "  prefix %zu picks, %d restores: fork-by-replay %.1f ms, "
+      "from-scratch %.1f ms -> %.2fx speedup (median of %d batches)\n\n",
+      prefix_len, iters, ms_fork, ms_scratch, speedup, batches);
+  json.row({{"section", std::string("checkpoint_restore")},
+            {"prefix_picks", cfc::bench::jv(
+                                 static_cast<long long>(prefix_len))},
+            {"iters", cfc::bench::jv(iters)},
+            {"fork_ms", cfc::bench::jv(ms_fork)},
+            {"scratch_ms", cfc::bench::jv(ms_scratch)},
+            {"speedup", cfc::bench::jv(speedup)}});
+  // Regression guard, not a proof: locally the margin is ~2x, but this
+  // runs in CI where a loaded machine adds noise even to the median batch
+  // ratio — the threshold only catches fork-by-replay becoming
+  // pathologically slower than scratch. The JSON row tracks the real value.
+  verify.check(speedup > 0.75,
+               "checkpoint-restore not slower than from-scratch replay");
+
+  // --- 3. Thread-count invariance of the certified results.
+  {
+    ExperimentRunner seq(1);
+    ExperimentRunner par(4);
+    WorstCaseSearchOptions o;
+    o.strategy = SearchStrategy::Exhaustive;
+    o.limits.max_depth = 18;
+    const MutexWcSearchResult a =
+        search_mutex_worst_case(peterson, 2, 1, o, &seq);
+    const MutexWcSearchResult b =
+        search_mutex_worst_case(peterson, 2, 1, o, &par);
+    const bool identical = a.entry.steps == b.entry.steps &&
+                           a.entry.registers == b.entry.registers &&
+                           a.exit.steps == b.exit.steps &&
+                           a.states_visited == b.states_visited &&
+                           a.schedules_tried == b.schedules_tried &&
+                           a.truncated == b.truncated;
+    std::printf("Thread invariance (threads=1 vs 4): %s\n",
+                identical ? "bit-identical" : "MISMATCH");
+    json.row({{"section", std::string("thread_invariance")},
+              {"identical", cfc::bench::jv(identical ? 1 : 0)},
+              {"entry_steps", cfc::bench::jv(a.entry.steps)},
+              {"states_visited", cfc::bench::jv(a.states_visited)}});
+    verify.check(identical, "explorer bit-identical for threads=1 vs 4");
+  }
+
+  return json.finish(verify);
+}

@@ -19,11 +19,13 @@
 #include "bench_util.h"
 #include "rt/contention_study.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
   using namespace cfc::rt;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("fig_backoff_rt");
+  cfc::bench::JsonReport json("fig_backoff_rt", opts.out);
 
   const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
   std::vector<int> thread_counts = {1, 2};

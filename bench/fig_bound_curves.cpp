@@ -12,10 +12,12 @@
 #include "bench_util.h"
 #include "core/bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("fig_bound_curves");
+  cfc::bench::JsonReport json("fig_bound_curves", opts.out);
 
   const std::vector<int> ls = {1, 2, 4, 8, 16};
 

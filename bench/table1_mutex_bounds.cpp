@@ -71,9 +71,12 @@ int unbounded_witness(const MutexFactory& lamport_fast, int spins) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
+  const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("table1_mutex_bounds");
+  cfc::bench::JsonReport json("table1_mutex_bounds", opts.out);
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
   print_paper_table();
 
@@ -92,7 +95,8 @@ int main() {
         continue;  // the theorem covers 1 <= l <= log n
       }
       const MutexCfResult r = measure_mutex_contention_free(
-          entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/8);
+          entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/8,
+          runner.get());
       const auto un = static_cast<std::uint64_t>(n);
       const double lb_step = bounds::thm1_cf_step_lower(n, l);
       const double lb_reg = bounds::thm2_cf_register_lower(n, l);
@@ -150,7 +154,8 @@ int main() {
         continue;  // representative mid-range atomicities
       }
       const MutexCfResult r = measure_mutex_contention_free(
-          entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/8);
+          entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/8,
+          runner.get());
       const auto un = static_cast<std::uint64_t>(n);
       exact.add_row({std::to_string(n), std::to_string(l),
                      std::to_string(r.session.steps),
@@ -182,7 +187,8 @@ int main() {
   TextTable lam_table({"n", "cf step", "cf reg", "entry", "exit", "atom"});
   for (const int n : {4, 64, 1024, 100000}) {
     const MutexCfResult r = measure_mutex_contention_free(
-        lamport.factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4);
+        lamport.factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4,
+        runner.get());
     lam_table.add_row({std::to_string(n), std::to_string(r.session.steps),
                        std::to_string(r.session.registers),
                        std::to_string(r.entry.steps),
@@ -208,8 +214,9 @@ int main() {
   const MutexAlgorithmEntry& kessels = registry.mutex("kessels-tree");
   TextTable kes({"n", "wc reg found", "5*log2(n)", "wc entry steps found"});
   for (const int n : {4, 8, 16, 32}) {
-    const MutexWcSearchResult wc = search_mutex_worst_case(
-        kessels.factory, n, /*sessions=*/2, {1, 2, 3, 4, 5, 6, 7, 8});
+    const MutexWcSearchResult wc =
+        search_mutex_worst_case(kessels.factory, n, /*sessions=*/2,
+                                opts.seeds(8), 200'000, runner.get());
     const int depth = bounds::ceil_log2(static_cast<std::uint64_t>(n));
     kes.add_row({std::to_string(n),
                  std::to_string(wc.entry.registers + wc.exit.registers),
@@ -218,7 +225,10 @@ int main() {
               {"n", cfc::bench::jv(n)},
               {"wc_reg", cfc::bench::jv(wc.entry.registers +
                                         wc.exit.registers)},
-              {"wc_entry_step", cfc::bench::jv(wc.entry.steps)}});
+              {"wc_entry_step", cfc::bench::jv(wc.entry.steps)},
+              {"truncated",
+               cfc::bench::warn_truncated(
+                   wc.truncated, "kessels-wc n=" + std::to_string(n))}});
     verify.check(wc.entry.registers + wc.exit.registers <= 5 * depth,
                  "Kessels wc register <= 5 log n at n=" + std::to_string(n));
   }

@@ -39,9 +39,11 @@ std::string cell_str(int v, int n, int log_n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const cfc::bench::BenchOptions opts =
+      cfc::bench::BenchOptions::parse(argc, argv);
   cfc::bench::Verifier verify;
-  cfc::bench::JsonReport json("table2_naming_bounds");
+  cfc::bench::JsonReport json("table2_naming_bounds", opts.out);
 
   std::printf("Paper table (Section 3.3), tight bounds for naming:\n\n");
   {
@@ -53,7 +55,7 @@ int main() {
     std::printf("%s\n", t.render().c_str());
   }
 
-  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::uint64_t> seeds = opts.seeds(8);
   for (const int n : {8, 16, 32, 64}) {
     const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
     std::printf("Measured, n = %d (log n = %d):\n\n", n, log_n);

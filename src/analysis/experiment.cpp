@@ -58,38 +58,78 @@ MutexCfResult measure_mutex_contention_free(const MutexFactory& make, int n,
   return res;
 }
 
+namespace {
+
+/// Copies the run statistics shared by every worst-case search result —
+/// including the single definition of the `certified` invariant.
+template <class ResultT>
+void fill_search_stats(ResultT& res, const Explorer::Result& r,
+                       SearchStrategy strategy) {
+  res.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
+  res.states_visited = r.stats.states_visited;
+  res.violations = r.stats.violations;
+  res.truncated = r.stats.truncated;
+  res.certified =
+      strategy != SearchStrategy::Random && !r.stats.state_budget_hit;
+}
+
+/// Explorer configuration for the mutex worst-case objective: maximize the
+/// clean-entry and exit window maxima over all processes. The objective is
+/// monotone along a run (window maxima never decrease), and its pruning
+/// digest is the window digest — the whole-run totals are irrelevant to it.
+Explorer::Config mutex_explore_config(const MutexFactory& make, int n,
+                                      int sessions,
+                                      const WorstCaseSearchOptions& options) {
+  Explorer::Config cfg;
+  cfg.nprocs = n;
+  cfg.strategy = options.strategy;
+  cfg.limits = options.limits;
+  cfg.seeds = options.seeds;
+  cfg.random_budget = options.budget_per_run;
+  cfg.setup = [make, n, sessions](Sim& sim) -> std::shared_ptr<void> {
+    return setup_mutex(sim, make, n, sessions);
+  };
+  cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
+    ComplexityReport entry;
+    ComplexityReport exit;
+    for (Pid pid = 0; pid < n; ++pid) {
+      entry = entry.max_with(acc.clean_entry_max(pid));
+      exit = exit.max_with(acc.exit_max(pid));
+    }
+    return std::vector<ComplexityReport>{entry, exit};
+  };
+  cfg.objective.digest = [](const MeasureAccumulator& acc) {
+    return acc.window_digest();
+  };
+  return cfg;
+}
+
+}  // namespace
+
+MutexWcSearchResult search_mutex_worst_case(
+    const MutexFactory& make, int n, int sessions,
+    const WorstCaseSearchOptions& options, ExperimentRunner* runner) {
+  const Explorer explorer(mutex_explore_config(make, n, sessions, options));
+  const Explorer::Result r = explorer.run(runner);
+
+  MutexWcSearchResult res;
+  if (r.best.size() >= 2) {
+    res.entry = r.best[0];
+    res.exit = r.best[1];
+  }
+  fill_search_stats(res, r, options.strategy);
+  return res;
+}
+
 MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
     const std::vector<std::uint64_t>& seeds, std::uint64_t budget_per_run,
     ExperimentRunner* runner) {
-  struct Cell {
-    ComplexityReport entry;
-    ComplexityReport exit;
-  };
-  std::vector<Cell> cells(seeds.size());
-
-  runner_or_shared(runner).parallel_for(
-      seeds.size(), [&](std::size_t i) {
-        Sim sim;
-        sim.set_trace_recording(false);
-        MeasureAccumulator acc(n);
-        sim.add_sink(acc);
-        auto alg = setup_mutex(sim, make, n, sessions);
-        RandomScheduler rnd(seeds[i]);
-        drive(sim, rnd, RunLimits{budget_per_run});
-        for (Pid pid = 0; pid < n; ++pid) {
-          cells[i].entry = cells[i].entry.max_with(acc.clean_entry_max(pid));
-          cells[i].exit = cells[i].exit.max_with(acc.exit_max(pid));
-        }
-      });
-
-  MutexWcSearchResult res;
-  for (const Cell& cell : cells) {
-    res.entry = res.entry.max_with(cell.entry);
-    res.exit = res.exit.max_with(cell.exit);
-    res.schedules_tried += 1;
-  }
-  return res;
+  WorstCaseSearchOptions options;
+  options.strategy = SearchStrategy::Random;
+  options.seeds = seeds;
+  options.budget_per_run = budget_per_run;
+  return search_mutex_worst_case(make, n, sessions, options, runner);
 }
 
 namespace {
@@ -106,7 +146,9 @@ ComplexityReport run_detector_cell(const DetectorFactory& make, int n,
   MeasureAccumulator acc(n);
   sim.add_sink(acc);
   auto det = setup_detection(sim, make, n);
-  drive(sim, sched);
+  if (drive(sim, sched) == RunOutcome::BudgetExhausted) {
+    acc.mark_truncated();  // surfaced as ComplexityReport::truncated
+  }
   if (expect_solo_winner.has_value() &&
       sim.output(*expect_solo_winner) != 1) {
     throw std::logic_error(
@@ -136,6 +178,39 @@ ComplexityReport measure_detector_contention_free(const DetectorFactory& make,
     best = best.max_with(cell);
   }
   return best;
+}
+
+DetectorWcSearchResult search_detector_worst_case(
+    const DetectorFactory& make, int n, const WorstCaseSearchOptions& options,
+    ExperimentRunner* runner) {
+  Explorer::Config cfg;
+  cfg.nprocs = n;
+  cfg.strategy = options.strategy;
+  cfg.limits = options.limits;
+  cfg.seeds = options.seeds;
+  cfg.random_budget = options.budget_per_run;
+  cfg.setup = [make, n](Sim& sim) -> std::shared_ptr<void> {
+    return setup_detection(sim, make, n);
+  };
+  cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
+    ComplexityReport best;
+    for (Pid pid = 0; pid < n; ++pid) {
+      best = best.max_with(acc.total(pid));
+    }
+    return std::vector<ComplexityReport>{best};
+  };
+  // Whole-run totals objective: the default accumulator digest (which
+  // covers the totals) is the sound pruning key, so leave it unset.
+
+  const Explorer explorer(std::move(cfg));
+  const Explorer::Result r = explorer.run(runner);
+
+  DetectorWcSearchResult res;
+  if (!r.best.empty()) {
+    res.best = r.best[0];
+  }
+  fill_search_stats(res, r, options.strategy);
+  return res;
 }
 
 ComplexityReport search_detector_worst_case(

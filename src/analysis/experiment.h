@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/experiment_runner.h"
+#include "analysis/explorer.h"
 #include "core/contention_detection.h"
 #include "core/measures.h"
 #include "mutex/mutex_algorithm.h"
@@ -42,17 +43,49 @@ struct MutexCfResult {
     AccessPolicy policy = AccessPolicy::Unrestricted, int max_pids = 0,
     ExperimentRunner* runner = nullptr);
 
+/// How to search for worst cases: the strategy plus its budgets. The
+/// Exhaustive/Bounded strategies run the schedule-space Explorer (DFS with
+/// checkpoint-based backtracking and visited-state pruning); Random is the
+/// legacy seeded sampler.
+struct WorstCaseSearchOptions {
+  SearchStrategy strategy = SearchStrategy::Random;
+  /// Random: one run per seed, each `budget_per_run` picks long.
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::uint64_t budget_per_run = 200'000;
+  /// Exhaustive/Bounded: the DFS budgets. Bounded additionally requires
+  /// limits.max_preemptions >= 0 (Exhaustive ignores it).
+  ExploreLimits limits;
+};
+
 /// Worst-case entry estimate: maximum step/register complexity over the
 /// paper's *clean* entry windows (no process in CS or exit anywhere in the
-/// window), searched over seeded random schedules. A lower bound on the
-/// true worst case; for waiting algorithms it grows with the search budget
-/// (the worst case is unbounded, [AT92]).
+/// window). Under the Random strategy this is a lower bound on the true
+/// worst case; under Exhaustive it is *certified* over all schedules of at
+/// most limits.max_depth picks (`certified` below). For waiting algorithms
+/// the unbounded worst case [AT92] grows with any depth budget.
 struct MutexWcSearchResult {
   ComplexityReport entry;  ///< max over clean entry windows found
   ComplexityReport exit;   ///< max over exit windows found
-  std::uint64_t schedules_tried = 0;
+  std::uint64_t schedules_tried = 0;  ///< runs (Random) / leaves (DFS)
+  std::uint64_t states_visited = 0;
+  /// Mutual-exclusion violations found (DFS strategies; violating
+  /// schedules are excluded from the maxima). Nonzero means the algorithm
+  /// is unsafe — the complexity certification is then over the safe
+  /// schedules only.
+  std::uint64_t violations = 0;
+  /// Some run was cut off (budget/depth/preemption bound): the values may
+  /// under-report anything beyond the explored space.
+  bool truncated = false;
+  /// Exhaustive/Bounded only: the whole bounded schedule space was covered
+  /// (no max_states cut) — the values are the exact maxima over it.
+  bool certified = false;
 };
 
+[[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
+    const MutexFactory& make, int n, int sessions,
+    const WorstCaseSearchOptions& options, ExperimentRunner* runner = nullptr);
+
+/// Legacy entry point: Random strategy over `seeds`.
 [[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
     const std::vector<std::uint64_t>& seeds,
@@ -65,8 +98,25 @@ struct MutexWcSearchResult {
 [[nodiscard]] ComplexityReport measure_detector_contention_free(
     const DetectorFactory& make, int n, ExperimentRunner* runner = nullptr);
 
-/// Worst-case step/register complexity of a detector over seeded random
-/// schedules plus the round-robin schedule (max over processes and runs).
+/// Worst-case whole-run complexity of a detector (max over processes and
+/// runs). Random samples; Exhaustive certifies over the bounded space —
+/// detectors terminate in a bounded number of steps, so a sufficient
+/// max_depth certifies the true worst case.
+struct DetectorWcSearchResult {
+  ComplexityReport best;
+  std::uint64_t schedules_tried = 0;
+  std::uint64_t states_visited = 0;
+  std::uint64_t violations = 0;
+  bool truncated = false;
+  bool certified = false;
+};
+
+[[nodiscard]] DetectorWcSearchResult search_detector_worst_case(
+    const DetectorFactory& make, int n, const WorstCaseSearchOptions& options,
+    ExperimentRunner* runner = nullptr);
+
+/// Legacy entry point: seeded random schedules plus the round-robin
+/// schedule.
 [[nodiscard]] ComplexityReport search_detector_worst_case(
     const DetectorFactory& make, int n,
     const std::vector<std::uint64_t>& seeds,

@@ -1,0 +1,417 @@
+#include "analysis/explorer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/state_fingerprint.h"
+
+namespace cfc {
+
+const char* name(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::Exhaustive:
+      return "exhaustive";
+    case SearchStrategy::Bounded:
+      return "bounded";
+    case SearchStrategy::Random:
+      return "random";
+  }
+  return "unknown";
+}
+
+void ExploreStats::merge(const ExploreStats& o) {
+  states_visited += o.states_visited;
+  runs_completed += o.runs_completed;
+  runs_truncated += o.runs_truncated;
+  pruned_visited += o.pruned_visited;
+  violations += o.violations;
+  truncated = truncated || o.truncated;
+  state_budget_hit = state_budget_hit || o.state_budget_hit;
+}
+
+namespace {
+
+/// Index-wise max_with reduction of objective report vectors (the single
+/// definition behind leaf accumulation and the cell reductions).
+void merge_best(std::vector<ComplexityReport>& best,
+                const std::vector<ComplexityReport>& leaf) {
+  if (leaf.empty()) {
+    return;
+  }
+  if (best.empty()) {
+    best = leaf;
+    return;
+  }
+  const std::size_t k = std::min(best.size(), leaf.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    best[i] = best[i].max_with(leaf[i]);
+  }
+}
+
+/// Per-frontier-cell result slot; reduced in index order afterwards.
+struct CellResult {
+  ExploreStats stats;
+  std::vector<ComplexityReport> best;
+
+  void take_leaf(const std::vector<ComplexityReport>& leaf) {
+    merge_best(best, leaf);
+  }
+};
+
+/// One frontier cell's DFS: owns the live simulation, the live accumulator,
+/// and the per-cell visited cache. Descends by stepping the live sim;
+/// backtracks by fork-by-replay plus an accumulator snapshot restore.
+class CellExplorer {
+ public:
+  CellExplorer(const Explorer::Config& cfg, CellResult& out)
+      : cfg_(cfg), out_(out), acc_(cfg.nprocs) {}
+
+  void run(const std::vector<Pid>& prefix) {
+    reset_sim();
+    int preempt = 0;
+    Pid last = -1;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      const Pid p = prefix[i];
+      if (!sim_->any_runnable()) {
+        // Terminal before the frontier: exactly one cell — the one whose
+        // remaining digits are all zero — owns this leaf.
+        if (all_zero_from(prefix, i)) {
+          ++nodes_;
+          ++out_.stats.states_visited;
+          leaf_completed();
+        }
+        return;
+      }
+      if (!allowed_pick_exists(preempt, last)) {
+        // Runnable processes remain but every pick is over the preemption
+        // budget (the last-running process finished): the bounded space
+        // ends here, exactly as dfs() records it below the frontier.
+        if (all_zero_from(prefix, i)) {
+          ++nodes_;
+          ++out_.stats.states_visited;
+          leaf_truncated();
+        }
+        return;
+      }
+      if (!sim_->runnable(p)) {
+        return;  // unrealizable branch; the runnable-digit cells cover it
+      }
+      const int switch_cost = (last != -1 && p != last) ? 1 : 0;
+      if (cfg_.limits.max_preemptions >= 0 &&
+          preempt + switch_cost > cfg_.limits.max_preemptions) {
+        return;  // excluded by the bound; the allowed-digit cells cover it
+      }
+      preempt += switch_cost;
+      try {
+        sim_->step(p);
+      } catch (const MutualExclusionViolation&) {
+        if (all_zero_from(prefix, i + 1)) {
+          ++out_.stats.violations;
+        }
+        return;
+      }
+      last = p;
+    }
+    dfs(static_cast<int>(prefix.size()), preempt, last);
+  }
+
+ private:
+  [[nodiscard]] static bool all_zero_from(const std::vector<Pid>& prefix,
+                                          std::size_t from) {
+    return std::all_of(prefix.begin() + static_cast<std::ptrdiff_t>(from),
+                       prefix.end(), [](Pid p) { return p == 0; });
+  }
+
+  /// True iff some runnable pick fits the remaining preemption budget.
+  [[nodiscard]] bool allowed_pick_exists(int preempt, Pid last) const {
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      if (!sim_->runnable(p)) {
+        continue;
+      }
+      const int switch_cost = (last != -1 && p != last) ? 1 : 0;
+      if (cfg_.limits.max_preemptions < 0 ||
+          preempt + switch_cost <= cfg_.limits.max_preemptions) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void reset_sim() {
+    sim_ = std::make_unique<Sim>();
+    owner_ = cfg_.setup(*sim_);
+    sim_->set_trace_recording(false);
+    acc_ = MeasureAccumulator(cfg_.nprocs);
+    sim_->add_sink(acc_);
+  }
+
+  /// Fork-by-replay back to a prefix of the live sim's own schedule log,
+  /// re-attaching the node's accumulator snapshot.
+  void restore(std::size_t sched_len, const MeasureAccumulator& snap,
+               std::uint64_t mem_fp, Seq seq) {
+    SimCheckpoint cp;
+    const auto& log = sim_->schedule_log();
+    cp.schedule.assign(log.begin(),
+                       log.begin() + static_cast<std::ptrdiff_t>(sched_len));
+    cp.memory_fingerprint = mem_fp;
+    cp.next_seq = seq;
+    std::shared_ptr<void> owner;
+    const SimBuilder rebuild = [&](Sim& s) {
+      owner = cfg_.setup(s);
+      s.set_trace_recording(false);
+    };
+    sim_ = Sim::fork(cp, rebuild);
+    owner_ = std::move(owner);
+    acc_ = snap;
+    sim_->add_sink(acc_);
+  }
+
+  [[nodiscard]] std::uint64_t state_key(Pid last) const {
+    std::uint64_t h = state_fingerprint(*sim_);
+    if (cfg_.objective.eval) {
+      h = fingerprint_combine(h, cfg_.objective.digest
+                                     ? cfg_.objective.digest(acc_)
+                                     : acc_.digest());
+    }
+    if (cfg_.limits.max_preemptions >= 0) {
+      // Under a preemption bound the last-scheduled pid is part of the
+      // state: futures continuing it are free while switches cost budget,
+      // so merging across different `last` would prune feasible subtrees.
+      h = fingerprint_combine(h, static_cast<std::uint64_t>(last) + 1);
+    }
+    return h;
+  }
+
+  /// Prune iff the state was already explored with at least as much
+  /// remaining budget: a stored visit at (depth', preempt') dominates when
+  /// depth' <= depth and preempt' <= preempt (leaf evaluations are monotone
+  /// along a run, so the dominating subtree's leaves subsume this one's).
+  [[nodiscard]] bool visited_dominated(std::uint64_t key, int depth,
+                                       int preempt) const {
+    const auto it = visited_.find(key);
+    if (it == visited_.end()) {
+      return false;
+    }
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [&](const std::pair<int, int>& v) {
+                         return v.first <= depth && v.second <= preempt;
+                       });
+  }
+
+  void visited_insert(std::uint64_t key, int depth, int preempt) {
+    std::vector<std::pair<int, int>>& v = visited_[key];
+    std::erase_if(v, [&](const std::pair<int, int>& e) {
+      return e.first >= depth && e.second >= preempt;
+    });
+    v.emplace_back(depth, preempt);
+  }
+
+  void eval_leaf(bool truncated) {
+    if (!cfg_.objective.eval) {
+      return;
+    }
+    if (truncated) {
+      acc_.mark_truncated();  // cleared by the next backtrack restore
+    }
+    out_.take_leaf(cfg_.objective.eval(*sim_, acc_));
+  }
+
+  void leaf_completed() {
+    ++out_.stats.runs_completed;
+    eval_leaf(false);
+  }
+
+  void leaf_truncated() {
+    ++out_.stats.runs_truncated;
+    out_.stats.truncated = true;
+    eval_leaf(true);
+  }
+
+  void dfs(int depth, int preempt, Pid last) {
+    ++nodes_;
+    ++out_.stats.states_visited;
+    if (!sim_->any_runnable()) {
+      leaf_completed();
+      return;
+    }
+    if (depth >= cfg_.limits.max_depth) {
+      leaf_truncated();
+      return;
+    }
+    if (cfg_.limits.max_states != 0 && nodes_ >= cfg_.limits.max_states) {
+      stop_ = true;
+      out_.stats.state_budget_hit = true;
+      leaf_truncated();  // the cut path counts like any truncated leaf
+      return;
+    }
+    const int eff_preempt = cfg_.limits.max_preemptions < 0 ? 0 : preempt;
+    if (cfg_.limits.prune_visited) {
+      const std::uint64_t key = state_key(last);
+      if (visited_dominated(key, depth, eff_preempt)) {
+        ++out_.stats.pruned_visited;
+        return;
+      }
+      visited_insert(key, depth, eff_preempt);
+    }
+
+    std::vector<Pid> branches;
+    branches.reserve(static_cast<std::size_t>(cfg_.nprocs));
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      if (!sim_->runnable(p)) {
+        continue;
+      }
+      const int switch_cost = (last != -1 && p != last) ? 1 : 0;
+      if (cfg_.limits.max_preemptions >= 0 &&
+          preempt + switch_cost > cfg_.limits.max_preemptions) {
+        continue;
+      }
+      branches.push_back(p);
+    }
+    if (branches.empty()) {
+      // Runnable processes exist but every switch is over the preemption
+      // budget: the bounded space ends here.
+      leaf_truncated();
+      return;
+    }
+
+    // Node checkpoint for sibling restores (skipped for single branches:
+    // the parent restores for us).
+    const bool need_restore = branches.size() > 1;
+    const std::size_t sched_len = sim_->schedule_log().size();
+    const std::uint64_t mem_fp = sim_->memory().fingerprint();
+    const Seq seq = sim_->next_seq();
+    std::unique_ptr<MeasureAccumulator> acc_snap;
+    if (need_restore) {
+      acc_snap = std::make_unique<MeasureAccumulator>(acc_);
+    }
+
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+      if (stop_) {
+        return;
+      }
+      if (b > 0) {
+        restore(sched_len, *acc_snap, mem_fp, seq);
+      }
+      const Pid p = branches[b];
+      try {
+        sim_->step(p);
+      } catch (const MutualExclusionViolation&) {
+        ++out_.stats.violations;
+        continue;  // sim is poisoned; the next iteration restores it
+      }
+      const int switch_cost = (last != -1 && p != last) ? 1 : 0;
+      dfs(depth + 1, preempt + switch_cost, p);
+    }
+  }
+
+  const Explorer::Config& cfg_;
+  CellResult& out_;
+  std::unique_ptr<Sim> sim_;
+  std::shared_ptr<void> owner_;
+  MeasureAccumulator acc_;
+  std::unordered_map<std::uint64_t, std::vector<std::pair<int, int>>>
+      visited_;
+  std::uint64_t nodes_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Explorer::Explorer(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.nprocs < 1) {
+    throw std::invalid_argument("Explorer: nprocs must be >= 1");
+  }
+  if (!cfg_.setup) {
+    throw std::invalid_argument("Explorer: setup callback is required");
+  }
+  if (cfg_.strategy == SearchStrategy::Exhaustive) {
+    // Exhaustive means every interleaving within the depth bound: a
+    // preemption limit left over from a Bounded configuration must not
+    // silently shrink the certified space.
+    cfg_.limits.max_preemptions = -1;
+  }
+  if (cfg_.strategy == SearchStrategy::Bounded &&
+      cfg_.limits.max_preemptions < 0) {
+    // Without a preemption bound, "Bounded" would silently run the full
+    // exhaustive DFS — exponentially more states than the caller asked for.
+    throw std::invalid_argument(
+        "Explorer: Bounded strategy requires limits.max_preemptions >= 0");
+  }
+}
+
+Explorer::Result Explorer::run(ExperimentRunner* runner) const {
+  if (cfg_.strategy == SearchStrategy::Random) {
+    return run_random_strategy(runner);
+  }
+
+  const int n = cfg_.nprocs;
+  const int want_f =
+      std::clamp(cfg_.limits.frontier_depth, 0, cfg_.limits.max_depth);
+  // Frontier size n^f, capped so wide process counts do not explode the
+  // cell grid. Depends only on (n, frontier_depth): thread-count invariant.
+  std::size_t cells = 1;
+  int f = 0;
+  while (f < want_f && cells * static_cast<std::size_t>(n) <= 4096) {
+    cells *= static_cast<std::size_t>(n);
+    ++f;
+  }
+
+  std::vector<CellResult> slots(cells);
+  runner_or_shared(runner).parallel_for(cells, [&](std::size_t c) {
+    std::vector<Pid> prefix(static_cast<std::size_t>(f));
+    std::size_t x = c;
+    for (int i = f - 1; i >= 0; --i) {
+      prefix[static_cast<std::size_t>(i)] = static_cast<Pid>(
+          x % static_cast<std::size_t>(n));
+      x /= static_cast<std::size_t>(n);
+    }
+    CellExplorer cell(cfg_, slots[c]);
+    cell.run(prefix);
+  });
+
+  Result res;
+  for (const CellResult& slot : slots) {  // index order: deterministic
+    res.stats.merge(slot.stats);
+    merge_best(res.best, slot.best);
+  }
+  return res;
+}
+
+Explorer::Result Explorer::run_random_strategy(
+    ExperimentRunner* runner) const {
+  std::vector<CellResult> slots(cfg_.seeds.size());
+  runner_or_shared(runner).parallel_for(
+      cfg_.seeds.size(), [&](std::size_t i) {
+        Sim sim;
+        const std::shared_ptr<void> owner = cfg_.setup(sim);
+        sim.set_trace_recording(false);
+        MeasureAccumulator acc(cfg_.nprocs);
+        sim.add_sink(acc);
+        RandomScheduler rnd(cfg_.seeds[i]);
+        const RunOutcome out =
+            drive(sim, rnd, RunLimits{cfg_.random_budget});
+        CellResult& slot = slots[i];
+        slot.stats.states_visited += sim.schedule_log().size();
+        if (out == RunOutcome::BudgetExhausted) {
+          acc.mark_truncated();
+          slot.stats.runs_truncated += 1;
+          slot.stats.truncated = true;
+        } else {
+          slot.stats.runs_completed += 1;
+        }
+        if (cfg_.objective.eval) {
+          slot.take_leaf(cfg_.objective.eval(sim, acc));
+        }
+      });
+
+  Result res;
+  for (const CellResult& slot : slots) {
+    res.stats.merge(slot.stats);
+    merge_best(res.best, slot.best);
+  }
+  return res;
+}
+
+}  // namespace cfc

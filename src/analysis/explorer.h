@@ -1,0 +1,140 @@
+#ifndef CFC_ANALYSIS_EXPLORER_H
+#define CFC_ANALYSIS_EXPLORER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/experiment_runner.h"
+#include "core/streaming_measures.h"
+#include "sched/sched.h"
+#include "sched/sim.h"
+
+namespace cfc {
+
+/// How a worst-case search walks the schedule space.
+enum class SearchStrategy : std::uint8_t {
+  /// Every interleaving within the depth bound — a *certified* bound over
+  /// all schedules of at most max_depth picks (hashed-state fidelity).
+  Exhaustive,
+  /// Every interleaving with at most max_preemptions context switches
+  /// (systematic concurrency testing's preemption-bounded search): far
+  /// cheaper, and empirically the schedules that expose races.
+  Bounded,
+  /// Seeded random schedules — the legacy sampler. A lower bound only.
+  Random,
+};
+
+[[nodiscard]] const char* name(SearchStrategy s);
+
+/// Budgets for a DFS exploration.
+struct ExploreLimits {
+  /// Scheduler picks per path (depth of the interleaving tree).
+  int max_depth = 48;
+  /// Context switches per path; -1 = unlimited (Exhaustive).
+  int max_preemptions = -1;
+  /// DFS node budget *per frontier cell*; 0 = unlimited. Exceeding it cuts
+  /// the search (result no longer certified; ExploreStats::truncated).
+  std::uint64_t max_states = 0;
+  /// Depth of the parallel frontier split: prefixes of this many picks are
+  /// distributed over the ExperimentRunner as independent cells. Fixed per
+  /// configuration (never derived from the thread count), so results are
+  /// bit-identical for every thread count.
+  int frontier_depth = 4;
+  /// Visited-state pruning (on by default). The cache is per frontier
+  /// cell; keys combine core/state_fingerprint with the objective digest.
+  bool prune_visited = true;
+};
+
+struct ExploreStats {
+  std::uint64_t states_visited = 0;  ///< DFS nodes entered (all cells)
+  std::uint64_t runs_completed = 0;  ///< leaves with no runnable process
+  std::uint64_t runs_truncated = 0;  ///< leaves cut by depth/preemption/state budget
+  std::uint64_t pruned_visited = 0;  ///< subtrees skipped by the state cache
+  std::uint64_t violations = 0;      ///< MutualExclusionViolations found
+  /// True iff some path was cut off before terminating: the objective max
+  /// is certified only over the explored bounded space. (For waiting
+  /// algorithms, whose schedule space is infinite, this is unavoidable.)
+  bool truncated = false;
+  /// True iff a cell hit max_states: the *bounded* space itself was not
+  /// fully covered, so the result is not certified even within the bounds.
+  bool state_budget_hit = false;
+
+  void merge(const ExploreStats& o);
+};
+
+/// The measurement fields an exploration maximizes.
+struct ExploreObjective {
+  /// Evaluated at every leaf (completed or truncated run); the explorer
+  /// keeps the index-wise max_with over all leaves. The vector's arity must
+  /// be fixed across calls, and eval must be *monotone along a run*
+  /// (extending a run never decreases any field — true for the streaming
+  /// window maxima and for whole-run totals); visited-state pruning relies
+  /// on it. Null = pure safety exploration (no objective).
+  std::function<std::vector<ComplexityReport>(const Sim&,
+                                              const MeasureAccumulator&)>
+      eval;
+  /// Digest of the accumulator state the objective's *future* values can
+  /// depend on; folded into the visited-state key so pruning never merges
+  /// states with measurement-relevant different pasts. Defaults to
+  /// MeasureAccumulator::digest() (always sound, weakest pruning); use
+  /// window_digest() for window-maxima objectives.
+  std::function<std::uint64_t(const MeasureAccumulator&)> digest;
+};
+
+/// A DFS over scheduler choices with configurable budgets, checkpoint-based
+/// backtracking, and visited-state pruning — the schedule-space exploration
+/// engine behind the certified worst-case searches.
+///
+/// Mechanics: the explorer keeps ONE live simulation per frontier cell and
+/// descends by stepping it. Coroutine frames cannot be copied, so
+/// backtracking restores the parent node by fork-by-replay (Sim::fork): the
+/// node's schedule prefix is replayed against a freshly built simulation
+/// with sinks and invariant checks suppressed, and the node's
+/// MeasureAccumulator snapshot (plain data, checkpointed by copy) is
+/// re-attached — reusing the shared prefix instead of re-measuring it.
+///
+/// Parallelism: prefixes of frontier_depth picks partition the tree into
+/// independent subtrees, fanned over an ExperimentRunner; per-cell results
+/// reduce in index order, so reports are bit-identical for every thread
+/// count.
+class Explorer {
+ public:
+  /// Rebuilds the simulation under exploration and returns an owner handle
+  /// for objects that must outlive it (the algorithm instance holding the
+  /// register layout). Must be deterministic — it runs once per fork.
+  using SetupFn = std::function<std::shared_ptr<void>(Sim&)>;
+
+  struct Config {
+    int nprocs = 0;             ///< processes the setup spawns
+    SetupFn setup;              ///< registers + processes + sim config
+    SearchStrategy strategy = SearchStrategy::Exhaustive;
+    ExploreLimits limits;       ///< DFS budgets (Exhaustive/Bounded)
+    std::vector<std::uint64_t> seeds;  ///< Random: one run per seed
+    std::uint64_t random_budget = 200'000;  ///< Random: steps per run
+    ExploreObjective objective;
+  };
+
+  struct Result {
+    ExploreStats stats;
+    /// Index-wise max_with over all evaluated leaves of objective.eval's
+    /// vector; empty when no leaf was evaluated or eval is null. Reports
+    /// carry truncated=true when any contributing run was cut off.
+    std::vector<ComplexityReport> best;
+  };
+
+  explicit Explorer(Config cfg);
+
+  /// Runs the exploration. `runner == nullptr` uses the shared pool.
+  [[nodiscard]] Result run(ExperimentRunner* runner = nullptr) const;
+
+ private:
+  [[nodiscard]] Result run_random_strategy(ExperimentRunner* runner) const;
+
+  Config cfg_;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_EXPLORER_H

@@ -53,6 +53,7 @@ NamingAlgMeasurement measure_naming(const NamingFactory& make, int n,
   runner_or_shared(runner).parallel_for(cell_count, [&](std::size_t i) {
     Sim sim;
     auto alg = setup_naming(sim, make, n);
+    bool cut = false;  // budget exhausted: surfaced as truncated below
     switch (i) {
       case 0: {
         if (!run_sequentially(sim)) {
@@ -83,7 +84,7 @@ NamingAlgMeasurement measure_naming(const NamingFactory& make, int n,
                                  out.name);
         }
         RoundRobinScheduler rr;
-        drive(sim, rr);
+        cut = drive(sim, rr) != RunOutcome::AllDone;
         break;
       }
       default: {
@@ -97,6 +98,7 @@ NamingAlgMeasurement measure_naming(const NamingFactory& make, int n,
     }
     require_ok(check_naming_run(sim, alg->name_space()), out.name);
     wc_cells[i] = max_over_processes(sim);
+    wc_cells[i].truncated = wc_cells[i].truncated || cut;
     if (i == 0) {
       cf = wc_cells[i];
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/streaming_measures.h"
 #include "sched/sched.h"
 
 namespace cfc {
@@ -83,6 +84,8 @@ MergeResult lemma2_merge(const SimSetup& setup, Pid p1, Pid p2,
                          std::uint64_t max_steps) {
   Sim sim;
   setup(sim);
+  MeasureAccumulator acc(sim.process_count());
+  sim.add_sink(acc);
 
   std::uint64_t steps = 0;
   auto advance_reads = [&](Pid p) {
@@ -118,6 +121,7 @@ MergeResult lemma2_merge(const SimSetup& setup, Pid p1, Pid p2,
   res.output2 = sim.output(p2);
   res.both_terminated = sim.status(p1) == ProcStatus::Done &&
                         sim.status(p2) == ProcStatus::Done;
+  res.max_total = acc.total(p1).max_with(acc.total(p2));
   return res;
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/measures.h"
 #include "memory/access.h"
 #include "sched/sim.h"
 
@@ -61,6 +62,11 @@ struct MergeResult {
   std::optional<int> output1;
   std::optional<int> output2;
   bool both_terminated = false;
+  /// Max whole-run complexity over the two merged processes — the
+  /// contention the scripted adversary constructed, measured streaming.
+  /// The exhaustive explorer must find at least this much (its schedule
+  /// space contains the merge schedule); the explorer tests assert it.
+  ComplexityReport max_total;
 
   [[nodiscard]] bool both_won() const {
     return output1 == 1 && output2 == 1;

@@ -15,6 +15,7 @@ ComplexityReport ComplexityReport::max_with(const ComplexityReport& o) const {
   r.read_registers = std::max(read_registers, o.read_registers);
   r.write_registers = std::max(write_registers, o.write_registers);
   r.atomicity = std::max(atomicity, o.atomicity);
+  r.truncated = truncated || o.truncated;
   return r;
 }
 
@@ -27,13 +28,15 @@ ComplexityReport ComplexityReport::plus(const ComplexityReport& o) const {
   r.read_registers = read_registers + o.read_registers;
   r.write_registers = write_registers + o.write_registers;
   r.atomicity = std::max(atomicity, o.atomicity);
+  r.truncated = truncated || o.truncated;
   return r;
 }
 
 std::ostream& operator<<(std::ostream& os, const ComplexityReport& r) {
   return os << "{steps=" << r.steps << ", registers=" << r.registers
             << ", reads=" << r.read_steps << ", writes=" << r.write_steps
-            << ", atomicity=" << r.atomicity << "}";
+            << ", atomicity=" << r.atomicity
+            << (r.truncated ? ", truncated" : "") << "}";
 }
 
 ComplexityReport measure(const Trace& trace, Pid pid, SeqRange window) {

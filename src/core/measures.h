@@ -35,6 +35,11 @@ struct ComplexityReport {
   int read_registers = 0;
   int write_registers = 0;
   int atomicity = 0;
+  /// True when the run(s) behind this report were cut off before completing
+  /// (RunOutcome::BudgetExhausted, or an explorer depth/preemption bound):
+  /// the values are a lower bound on what an uncut run would have measured.
+  /// Propagates through max_with/plus as logical OR.
+  bool truncated = false;
 
   /// Component-wise maximum (for "max over processes / fragments").
   [[nodiscard]] ComplexityReport max_with(const ComplexityReport& o) const;

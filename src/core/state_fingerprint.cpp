@@ -1,0 +1,21 @@
+#include "core/state_fingerprint.h"
+
+#include "memory/fingerprint.h"
+
+namespace cfc {
+
+std::uint64_t fingerprint_combine(std::uint64_t h, std::uint64_t v) {
+  return fp_push(h, v);
+}
+
+std::uint64_t state_fingerprint(const Sim& sim) {
+  std::uint64_t h = fp_push(fp_mix(0x5f17e0ULL), sim.memory().fingerprint());
+  for (Pid p = 0; p < sim.process_count(); ++p) {
+    h = fp_push(h, sim.process_digest(p));
+    h = fp_push(h, (static_cast<std::uint64_t>(sim.status(p)) << 8) |
+                       static_cast<std::uint64_t>(sim.section(p)));
+  }
+  return h;
+}
+
+}  // namespace cfc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "memory/fingerprint.h"
+
 namespace cfc {
 
 void MeasureAccumulator::ReportAcc::add(const Access& a) {
@@ -32,6 +34,38 @@ ComplexityReport MeasureAccumulator::ReportAcc::report() const {
   out.read_registers = static_cast<int>(read_regs.size());
   out.write_registers = static_cast<int>(write_regs.size());
   return out;
+}
+
+namespace {
+
+std::uint64_t report_digest(const ComplexityReport& r) {
+  std::uint64_t h = fp_mix(0x5e9047c3ULL);
+  h = fp_push(h, static_cast<std::uint64_t>(r.steps));
+  h = fp_push(h, static_cast<std::uint64_t>(r.registers));
+  h = fp_push(h, static_cast<std::uint64_t>(r.read_steps));
+  h = fp_push(h, static_cast<std::uint64_t>(r.write_steps));
+  h = fp_push(h, static_cast<std::uint64_t>(r.read_registers));
+  h = fp_push(h, static_cast<std::uint64_t>(r.write_registers));
+  h = fp_push(h, static_cast<std::uint64_t>(r.atomicity));
+  return h;
+}
+
+std::uint64_t set_digest(const std::set<RegId>& s) {
+  std::uint64_t h = fp_mix(0x7a11ULL);
+  for (const RegId r : s) {  // std::set: deterministic iteration order
+    h = fp_push(h, static_cast<std::uint64_t>(r));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t MeasureAccumulator::ReportAcc::digest() const {
+  std::uint64_t h = report_digest(rep);
+  h = fp_push(h, set_digest(regs));
+  h = fp_push(h, set_digest(read_regs));
+  h = fp_push(h, set_digest(write_regs));
+  return h;
 }
 
 namespace {
@@ -180,24 +214,76 @@ void MeasureAccumulator::on_section_change(const TraceEvent& ev) {
 }
 
 ComplexityReport MeasureAccumulator::total(Pid pid) const {
-  return at(pid).total.report();
+  ComplexityReport r = at(pid).total.report();
+  r.truncated = r.truncated || truncated_;
+  return r;
 }
 
 ComplexityReport MeasureAccumulator::contention_free_session_max(
     Pid pid) const {
-  return at(pid).cf_session_max;
+  ComplexityReport r = at(pid).cf_session_max;
+  r.truncated = r.truncated || truncated_;
+  return r;
 }
 
 ComplexityReport MeasureAccumulator::clean_entry_max(Pid pid) const {
-  return at(pid).clean_entry_max;
+  ComplexityReport r = at(pid).clean_entry_max;
+  r.truncated = r.truncated || truncated_;
+  return r;
 }
 
 ComplexityReport MeasureAccumulator::exit_max(Pid pid) const {
-  return at(pid).exit_max;
+  ComplexityReport r = at(pid).exit_max;
+  r.truncated = r.truncated || truncated_;
+  return r;
 }
 
 int MeasureAccumulator::contention_free_session_count(Pid pid) const {
   return at(pid).cf_sessions_completed;
+}
+
+namespace {
+
+std::uint64_t window_state_digest(bool open, bool clean,
+                                  std::uint64_t acc_digest) {
+  std::uint64_t h = fp_mix(0x77a1ULL);
+  h = fp_push(h, (open ? 2u : 0u) | (clean ? 1u : 0u));
+  if (open) {
+    h = fp_push(h, acc_digest);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t MeasureAccumulator::window_digest() const {
+  std::uint64_t h = fp_mix(0x3a17bd02ULL);
+  for (const PerPid& pp : per_pid_) {
+    h = fp_push(h, window_state_digest(pp.cf_session.open,
+                                       pp.cf_session.clean,
+                                       pp.cf_session.acc.digest()));
+    h = fp_push(h, window_state_digest(pp.clean_entry.open,
+                                       pp.clean_entry.clean,
+                                       pp.clean_entry.acc.digest()));
+    h = fp_push(h, window_state_digest(pp.exit.open, pp.exit.clean,
+                                       pp.exit.acc.digest()));
+    h = fp_push(h, report_digest(pp.cf_session_max));
+    h = fp_push(h, report_digest(pp.clean_entry_max));
+    h = fp_push(h, report_digest(pp.exit_max));
+    h = fp_push(h, static_cast<std::uint64_t>(pp.cf_sessions_completed));
+  }
+  for (const Section s : section_) {
+    h = fp_push(h, static_cast<std::uint64_t>(s));
+  }
+  return h;
+}
+
+std::uint64_t MeasureAccumulator::digest() const {
+  std::uint64_t h = window_digest();
+  for (const PerPid& pp : per_pid_) {
+    h = fp_push(h, pp.total.digest());
+  }
+  return h;
 }
 
 }  // namespace cfc

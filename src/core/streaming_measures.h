@@ -44,6 +44,27 @@ class MeasureAccumulator final : public EventSink {
   /// Number of *completed* contention-free sessions of `pid` so far.
   [[nodiscard]] int contention_free_session_count(Pid pid) const;
 
+  /// Marks the measurement as cut off (the driver stopped the run on
+  /// RunOutcome::BudgetExhausted or an exploration bound): every report
+  /// this accumulator returns afterwards carries `truncated = true`.
+  void mark_truncated() { truncated_ = true; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  /// --- State digests (visited-state pruning in analysis/explorer). ---
+
+  /// 64-bit hash of the full measurement state: totals, window maxima, open
+  /// windows, and the section table. Combine with core/state_fingerprint
+  /// when an exploration objective reads whole-run totals. Note the totals
+  /// grow with every access, so under this digest no two states along one
+  /// path ever merge — use window_digest() for window-maxima objectives.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Hash of only the window-measurement state (cf-session / clean-entry /
+  /// exit maxima, any open windows, the section table) — everything a
+  /// window-maxima objective's future values can depend on, excluding the
+  /// monotonically growing totals that would defeat pruning.
+  [[nodiscard]] std::uint64_t window_digest() const;
+
   [[nodiscard]] int process_count() const {
     return static_cast<int>(per_pid_.size());
   }
@@ -60,6 +81,7 @@ class MeasureAccumulator final : public EventSink {
     void add(const Access& a);
     void reset();
     [[nodiscard]] ComplexityReport report() const;
+    [[nodiscard]] std::uint64_t digest() const;
   };
 
   /// One measurement window currently open for a process.
@@ -91,6 +113,7 @@ class MeasureAccumulator final : public EventSink {
 
   std::vector<PerPid> per_pid_;
   std::vector<Section> section_;
+  bool truncated_ = false;
 };
 
 }  // namespace cfc

@@ -1,0 +1,40 @@
+#ifndef CFC_MEMORY_FINGERPRINT_H
+#define CFC_MEMORY_FINGERPRINT_H
+
+#include <cstdint>
+
+namespace cfc {
+
+/// 64-bit hash primitives shared by the incremental state fingerprints
+/// (RegisterFile memory hash, Sim per-process observation digests, and the
+/// core/state_fingerprint combiner). They exist so the schedule-space
+/// explorer can key its visited-state cache on cheap O(1)-maintained values
+/// instead of serializing simulator state at every node.
+
+/// splitmix64 finalizer: decorrelates structured inputs (small ids, small
+/// values) into well-mixed 64-bit words.
+[[nodiscard]] constexpr std::uint64_t fp_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent accumulation: folds `v` into the running hash `h`.
+/// Use for sequences (observation histories, per-process digest chains).
+[[nodiscard]] constexpr std::uint64_t fp_push(std::uint64_t h,
+                                              std::uint64_t v) noexcept {
+  return fp_mix(h ^ fp_mix(v ^ 0x2545f4914f6cdd1dULL));
+}
+
+/// Contribution of one (slot, value) pair to an order-INdependent set hash
+/// (combined by XOR). A value change is applied incrementally as
+/// `h ^= fp_slot(r, old) ^ fp_slot(r, new)`.
+[[nodiscard]] constexpr std::uint64_t fp_slot(std::uint64_t slot,
+                                              std::uint64_t value) noexcept {
+  return fp_mix(fp_mix(slot + 1) ^ fp_mix(value ^ 0xd6e8feb86659fd93ULL));
+}
+
+}  // namespace cfc
+
+#endif  // CFC_MEMORY_FINGERPRINT_H

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "memory/fingerprint.h"
+
 namespace cfc {
 
 RegId RegisterFile::add_register(std::string reg_name, int width_bits,
@@ -21,7 +23,9 @@ RegId RegisterFile::add_register(std::string reg_name, int width_bits,
   s.initial = initial;
   s.value = initial;
   slots_.push_back(std::move(s));
-  return static_cast<RegId>(slots_.size()) - 1;
+  const RegId id = static_cast<RegId>(slots_.size()) - 1;
+  fp_ ^= fp_slot(static_cast<std::uint64_t>(id), initial);
+  return id;
 }
 
 RegId RegisterFile::add_bit(std::string reg_name, bool initial) {
@@ -33,12 +37,41 @@ void RegisterFile::poke(RegId r, Value v) {
   if (!fits(r, v)) {
     throw std::invalid_argument("poke value does not fit register " + s.name);
   }
+  const auto ur = static_cast<std::uint64_t>(r);
+  fp_ ^= fp_slot(ur, s.value) ^ fp_slot(ur, v);
   s.value = v;
 }
 
 void RegisterFile::reset() {
-  for (Slot& s : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    fp_ ^= fp_slot(i, s.value) ^ fp_slot(i, s.initial);
     s.value = s.initial;
+  }
+}
+
+MemorySnapshot RegisterFile::snapshot() const {
+  MemorySnapshot snap;
+  snap.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    snap.push_back(s.value);
+  }
+  return snap;
+}
+
+void RegisterFile::restore(const MemorySnapshot& snap) {
+  if (snap.size() != slots_.size()) {
+    throw std::invalid_argument(
+        "snapshot does not match register file layout");
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.width < kMaxWidth && snap[i] > ((Value{1} << s.width) - 1)) {
+      throw std::invalid_argument("snapshot value does not fit register " +
+                                  s.name);
+    }
+    fp_ ^= fp_slot(i, s.value) ^ fp_slot(i, snap[i]);
+    s.value = snap[i];
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef CFC_MEMORY_REGISTER_FILE_H
 #define CFC_MEMORY_REGISTER_FILE_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,6 +9,11 @@
 #include "memory/types.h"
 
 namespace cfc {
+
+/// A copy of every register's current value, in register-id order. Cheap to
+/// take and restore (one Value per register); the backbone of the simulator
+/// checkpoints used by the schedule-space explorer.
+using MemorySnapshot = std::vector<Value>;
 
 /// The shared memory of a simulated system: a set of named registers, each
 /// 1..64 bits wide. The *atomicity* of an algorithm (paper, Section 2.1) is
@@ -50,6 +56,21 @@ class RegisterFile {
   /// Restores every register to its initial value.
   void reset();
 
+  /// Copies every register's current value (O(size), no allocation beyond
+  /// the returned vector).
+  [[nodiscard]] MemorySnapshot snapshot() const;
+
+  /// Restores the values captured by `snapshot()`. The register layout
+  /// (count, widths) must be unchanged; throws std::invalid_argument on a
+  /// size mismatch or a value that no longer fits its register.
+  void restore(const MemorySnapshot& snap);
+
+  /// 64-bit incremental hash of the current (register, value) set,
+  /// maintained O(1) per mutation. Two register files with the same layout
+  /// and the same values have equal fingerprints; used for visited-state
+  /// pruning and checkpoint-replay verification, not for equality proofs.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fp_; }
+
   /// Largest value representable in register r.
   [[nodiscard]] Value max_value(RegId r) const;
 
@@ -68,6 +89,7 @@ class RegisterFile {
   [[nodiscard]] Slot& slot(RegId r);
 
   std::vector<Slot> slots_;
+  std::uint64_t fp_ = 0;
 
   friend class Sim;  // Sim::execute applies counted accesses in place
 };

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <utility>
 
+#include "memory/fingerprint.h"
+
 namespace cfc {
+
+namespace {
+
+// Digest marks for the non-access events of a process's observation
+// history (fingerprint.h fp_push folds them into Proc::digest).
+constexpr std::uint64_t kDigestStart = 0x5712a6cbb1a5e0d1ULL;
+constexpr std::uint64_t kDigestYield = 0x9c0e8b5d47f3a2e7ULL;
+constexpr std::uint64_t kDigestCrash = 0xc4a51fd2387b6e09ULL;
+constexpr std::uint64_t kDigestFinish = 0xf1f0c2d9e8b7a6c5ULL;
+
+}  // namespace
 
 void Sim::remove_sink(EventSink& sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), &sink),
@@ -11,6 +24,9 @@ void Sim::remove_sink(EventSink& sink) {
 }
 
 void Sim::emit(const TraceEvent& ev) {
+  if (quiet_replay_) {
+    return;  // checkpoint replay: the events were already published once
+  }
   if (record_trace_) {
     recorder_.on_event(ev);
   }
@@ -40,6 +56,7 @@ int ProcessContext::process_count() const noexcept {
 Pid Sim::spawn(std::string proc_name, BodyFactory factory) {
   const Pid pid = static_cast<Pid>(procs_.size());
   procs_.emplace_back(*this, pid, std::move(proc_name), std::move(factory));
+  procs_.back().digest = fp_mix(0x5eedULL ^ static_cast<std::uint64_t>(pid));
   return pid;
 }
 
@@ -93,6 +110,8 @@ void Sim::ensure_started(Pid pid) {
   if (pr.status != ProcStatus::NotStarted) {
     return;
   }
+  sched_log_.push_back({pid, /*start_only=*/true});
+  pr.digest = fp_push(pr.digest, kDigestStart);
   pr.status = ProcStatus::Runnable;
   pr.root = pr.factory(pr.ctx);
   if (!pr.root.valid()) {
@@ -124,6 +143,8 @@ Sim::StepResult Sim::step(Pid pid) {
     }
   }
 
+  sched_log_.push_back({pid, /*start_only=*/false});
+
   // Crash injection fires when the process attempts one access too many.
   if (pr.crash_after.has_value() && pr.naccesses >= *pr.crash_after) {
     pr.status = ProcStatus::Crashed;
@@ -139,6 +160,9 @@ Sim::StepResult Sim::step(Pid pid) {
   // process run (for free) up to its next access request or to completion.
   const PendingAccess req = *pr.pending;
   pr.pending.reset();
+  if (req.local_yield) {
+    pr.digest = fp_push(pr.digest, kDigestYield);
+  }
   pr.last_result = req.local_yield ? 0 : execute(pid, req);
   const std::coroutine_handle<> h = pr.resume_point;
   h.resume();
@@ -229,6 +253,17 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
 
   mem_.poke(req.reg, a.after);
   pr.naccesses += 1;
+  // Fold the full observation into the process digest: what was done and
+  // what came back. A deterministic coroutine's local state is a function
+  // of its observation history, so equal digests mean equal local states.
+  std::uint64_t h = pr.digest;
+  h = fp_push(h, static_cast<std::uint64_t>(a.reg));
+  h = fp_push(h, (static_cast<std::uint64_t>(a.kind) << 8) |
+                     static_cast<std::uint64_t>(a.bit_op));
+  h = fp_push(h, a.before);
+  h = fp_push(h, a.after);
+  h = fp_push(h, a.returned.has_value() ? fp_mix(*a.returned) | 1u : 0u);
+  pr.digest = h;
   TraceEvent ev;
   ev.seq = next_seq_++;
   ev.pid = pid;
@@ -240,7 +275,7 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
 
 void Sim::on_section_change(Pid pid, Section s) {
   Proc& pr = proc(pid);
-  if (check_mutex_ && s == Section::Critical) {
+  if (check_mutex_ && !quiet_replay_ && s == Section::Critical) {
     for (Pid q = 0; q < process_count(); ++q) {
       if (q != pid && proc(q).section == Section::Critical) {
         throw MutualExclusionViolation(
@@ -261,7 +296,54 @@ void Sim::on_section_change(Pid pid, Section s) {
 
 void Sim::on_output(Pid pid, int value) { proc(pid).output = value; }
 
+SimCheckpoint Sim::checkpoint() const {
+  SimCheckpoint cp;
+  cp.schedule = sched_log_;
+  cp.memory = mem_.snapshot();
+  cp.memory_fingerprint = mem_.fingerprint();
+  cp.next_seq = next_seq_;
+  return cp;
+}
+
+std::unique_ptr<Sim> Sim::fork(const SimCheckpoint& cp,
+                               const SimBuilder& rebuild) {
+  if (!rebuild) {
+    throw std::invalid_argument("Sim::fork needs a rebuild callback");
+  }
+  auto sim = std::make_unique<Sim>();
+  rebuild(*sim);
+  sim->quiet_replay_ = true;
+  try {
+    for (const SimCheckpoint::Unit& u : cp.schedule) {
+      if (u.start_only) {
+        sim->ensure_started(u.pid);
+      } else {
+        sim->step(u.pid);
+      }
+    }
+  } catch (...) {
+    sim->quiet_replay_ = false;
+    throw;
+  }
+  sim->quiet_replay_ = false;
+  const bool diverged =
+      (cp.memory_fingerprint != 0 &&
+       (sim->next_seq_ != cp.next_seq ||
+        sim->mem_.fingerprint() != cp.memory_fingerprint)) ||
+      (!cp.memory.empty() && sim->mem_.snapshot() != cp.memory);
+  if (diverged) {
+    throw std::logic_error(
+        "Sim::fork: replay diverged from the checkpoint (non-deterministic "
+        "SimBuilder?)");
+  }
+  return sim;
+}
+
 void Sim::record_terminal(Pid pid, TraceEvent::Kind kind) {
+  Proc& pr = proc(pid);
+  pr.digest = fp_push(pr.digest, kind == TraceEvent::Kind::Crash
+                                     ? kDigestCrash
+                                     : kDigestFinish);
   TraceEvent ev;
   ev.seq = next_seq_++;
   ev.pid = pid;

@@ -2,8 +2,10 @@
 #define CFC_SCHED_SIM_H
 
 #include <coroutine>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -21,6 +23,44 @@
 namespace cfc {
 
 class Sim;
+
+/// Rebuilds a simulation's static configuration from scratch: registers,
+/// processes, access policy/model, crash injection, invariant checks —
+/// everything that is set up *before* the first scheduler pick. Must be
+/// deterministic: Sim::fork() replays a schedule prefix against a rebuilt
+/// simulation and verifies the result against the checkpoint's memory
+/// fingerprint.
+using SimBuilder = std::function<void(Sim&)>;
+
+/// A resumable point in a run. Coroutine frames cannot be copied, so a
+/// checkpoint is *not* a deep copy of the simulator: it is the schedule
+/// prefix that led here (every scheduler pick, in order) plus a snapshot of
+/// shared memory for verification. Restoring = rebuilding a fresh simulation
+/// with the same SimBuilder and replaying the prefix (fork-by-replay).
+///
+/// What a fork restores exactly: register values, per-process coroutine
+/// positions, sections, outputs, access counts, pending accesses, crash
+/// status, and the event sequence counter — everything the original run
+/// observed, because replay re-executes the same deterministic accesses.
+/// What it does NOT restore: the materialized trace (replayed events are
+/// suppressed — the fork's trace starts empty) and event-sink history
+/// (sinks attach after the replay and see only post-fork events; streaming
+/// consumers like MeasureAccumulator are plain data, so checkpoint them by
+/// copy and re-attach alongside the fork).
+struct SimCheckpoint {
+  /// One replay unit: a scheduler pick (`start_only == false`, replayed via
+  /// step()) or a bare body start (`start_only == true`, replayed via
+  /// ensure_started() — the adversary constructions use it).
+  struct Unit {
+    Pid pid = -1;
+    bool start_only = false;
+  };
+
+  std::vector<Unit> schedule;    ///< every unit executed so far, in order
+  MemorySnapshot memory;         ///< register values at capture (verification)
+  std::uint64_t memory_fingerprint = 0;  ///< RegisterFile::fingerprint()
+  Seq next_seq = 0;              ///< event counter at capture (verification)
+};
 
 /// Thrown when two processes are simultaneously in their critical sections
 /// and the mutual-exclusion invariant check is enabled.
@@ -255,6 +295,52 @@ class Sim {
   /// The materialized run (empty when trace recording is disabled).
   [[nodiscard]] const Trace& trace() const { return recorder_.trace(); }
 
+  /// --- Checkpointing (fork-by-replay). ---
+
+  /// Captures the current point of the run: the full schedule log plus a
+  /// memory snapshot. O(picks + registers). See SimCheckpoint for the exact
+  /// restore semantics.
+  [[nodiscard]] SimCheckpoint checkpoint() const;
+
+  /// Restores a checkpoint into a fresh simulation: `rebuild` reconstructs
+  /// the static setup, then the schedule prefix is replayed with event
+  /// sinks, trace materialization, and the mutual-exclusion invariant check
+  /// suppressed (the prefix was already observed/validated when it first
+  /// ran). After the replay the memory fingerprint, event counter, and (when
+  /// present) the memory snapshot values are verified against the
+  /// checkpoint; a mismatch (non-deterministic rebuild) throws
+  /// std::logic_error. Attach sinks to the returned simulation afterwards —
+  /// they see only post-fork events.
+  ///
+  /// `cp.memory_fingerprint == 0 && cp.memory.empty()` skips verification
+  /// (used by the explorer, which tracks fingerprints per node itself).
+  [[nodiscard]] static std::unique_ptr<Sim> fork(const SimCheckpoint& cp,
+                                                 const SimBuilder& rebuild);
+
+  /// checkpoint() + fork(): a second simulation positioned exactly here.
+  [[nodiscard]] std::unique_ptr<Sim> fork(const SimBuilder& rebuild) const {
+    return fork(checkpoint(), rebuild);
+  }
+
+  /// The schedule log backing checkpoint(): every step()/ensure_started()
+  /// unit executed so far, in order.
+  [[nodiscard]] const std::vector<SimCheckpoint::Unit>& schedule_log() const {
+    return sched_log_;
+  }
+
+  /// True while this simulation is replaying a checkpoint prefix inside
+  /// fork() (sinks/trace/invariant checks suppressed).
+  [[nodiscard]] bool in_replay() const { return quiet_replay_; }
+
+  /// 64-bit digest of everything process `pid` has observed: its access
+  /// history including returned values, plus start/yield/crash/finish
+  /// marks. Two processes (in identically built simulations) with equal
+  /// digests are at the same coroutine position with the same local state —
+  /// the per-process half of the explorer's visited-state fingerprint.
+  [[nodiscard]] std::uint64_t process_digest(Pid pid) const {
+    return proc(pid).digest;
+  }
+
   /// --- Event sinks (observer interface). ---
 
   /// Subscribes a sink to the event stream. The sink must outlive the
@@ -313,6 +399,7 @@ class Sim {
     std::optional<int> output;
     std::uint64_t naccesses = 0;
     std::optional<std::uint64_t> crash_after;
+    std::uint64_t digest = 0;  ///< observation-history hash (process_digest)
 
     Proc(Sim& sim, Pid pid, std::string n, BodyFactory f)
         : name(std::move(n)), factory(std::move(f)), ctx(sim, pid) {}
@@ -337,6 +424,8 @@ class Sim {
   std::deque<Proc> procs_;  // deque: stable addresses for ProcessContext
   TraceRecorder recorder_;
   std::vector<EventSink*> sinks_;
+  std::vector<SimCheckpoint::Unit> sched_log_;
+  bool quiet_replay_ = false;
   bool record_trace_ = true;
   Seq next_seq_ = 0;
   AccessPolicy policy_ = AccessPolicy::Unrestricted;

@@ -1,0 +1,292 @@
+// Exploration correctness: the bounded exhaustive explorer must (a) certify
+// worst-case values no smaller than any random search over the same
+// configuration, (b) reproduce the contention the scripted Lemma-2 merge
+// adversary constructs, (c) be bit-identical across thread counts, and
+// (d) still find safety violations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "core/adversary.h"
+#include "core/algorithm_registry.h"
+#include "core/contention_detection.h"
+#include "mutex/peterson.h"
+#include "mutex/tas_lock.h"
+
+namespace cfc {
+namespace {
+
+WorstCaseSearchOptions exhaustive_opts(int depth) {
+  WorstCaseSearchOptions o;
+  o.strategy = SearchStrategy::Exhaustive;
+  o.limits.max_depth = depth;
+  return o;
+}
+
+WorstCaseSearchOptions random_opts(std::uint64_t budget, int nseeds) {
+  WorstCaseSearchOptions o;
+  o.strategy = SearchStrategy::Random;
+  o.budget_per_run = budget;
+  o.seeds.clear();
+  for (int i = 1; i <= nseeds; ++i) {
+    o.seeds.push_back(static_cast<std::uint64_t>(i));
+  }
+  return o;
+}
+
+// Every random schedule of <= depth picks is one path of the exhaustive
+// tree, so the exhaustive maxima dominate the random maxima field by field.
+// This exercises the soundness of visited-state pruning: an unsound merge
+// would let the random search win.
+TEST(Explorer, ExhaustiveDominatesRandomOnSameDepth) {
+  const int depth = 20;
+  const MutexFactory make = Peterson::factory();
+  const MutexWcSearchResult ex =
+      search_mutex_worst_case(make, 2, 1, exhaustive_opts(depth));
+  const MutexWcSearchResult rnd =
+      search_mutex_worst_case(make, 2, 1, random_opts(depth, 32));
+  EXPECT_TRUE(ex.certified);
+  EXPECT_FALSE(rnd.certified);
+  EXPECT_GE(ex.entry.steps, rnd.entry.steps);
+  EXPECT_GE(ex.entry.registers, rnd.entry.registers);
+  EXPECT_GE(ex.exit.steps, rnd.exit.steps);
+  EXPECT_GE(ex.exit.registers, rnd.exit.registers);
+}
+
+TEST(Explorer, CertifiesPetersonWorstCaseWindows) {
+  const MutexWcSearchResult ex =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, exhaustive_opts(20));
+  // Clean-entry register complexity is bounded by the three shared bits and
+  // certified exactly; the exit code is the single flag write.
+  EXPECT_EQ(ex.entry.registers, 3);
+  EXPECT_EQ(ex.exit.steps, 1);
+  EXPECT_EQ(ex.exit.registers, 1);
+  // The worst-case *step* row is unbounded [AT92]: a deeper bound must
+  // certify a strictly larger clean-entry step maximum (longer spins fit).
+  const MutexWcSearchResult shallow =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, exhaustive_opts(12));
+  EXPECT_GT(ex.entry.steps, shallow.entry.steps);
+  // Peterson spins: some paths are always cut by the depth bound.
+  EXPECT_TRUE(ex.truncated);
+  EXPECT_TRUE(ex.entry.truncated);
+}
+
+TEST(Explorer, CertifiesTasLockCleanEntry) {
+  // The TAS lock only spins while another process holds the lock (is in its
+  // CS), and such windows are not clean: the certified clean-entry cost is
+  // the single test-and-set on the single lock bit.
+  const MutexWcSearchResult ex =
+      search_mutex_worst_case(TasLock::factory(), 2, 1, exhaustive_opts(16));
+  EXPECT_EQ(ex.entry.steps, 1);
+  EXPECT_EQ(ex.entry.registers, 1);
+  EXPECT_EQ(ex.exit.steps, 1);
+}
+
+TEST(Explorer, BitIdenticalAcrossThreadCounts) {
+  ExperimentRunner seq(1);
+  ExperimentRunner par(4);
+  const MutexFactory make = Peterson::factory();
+  const MutexWcSearchResult a =
+      search_mutex_worst_case(make, 2, 1, exhaustive_opts(16), &seq);
+  const MutexWcSearchResult b =
+      search_mutex_worst_case(make, 2, 1, exhaustive_opts(16), &par);
+  EXPECT_EQ(a.entry.steps, b.entry.steps);
+  EXPECT_EQ(a.entry.registers, b.entry.registers);
+  EXPECT_EQ(a.entry.truncated, b.entry.truncated);
+  EXPECT_EQ(a.exit.steps, b.exit.steps);
+  EXPECT_EQ(a.exit.registers, b.exit.registers);
+  EXPECT_EQ(a.schedules_tried, b.schedules_tried);
+  EXPECT_EQ(a.states_visited, b.states_visited);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.certified, b.certified);
+}
+
+// Bounded (preemption-limited) exploration covers a subset of the
+// exhaustive space, so its maxima are sandwiched between the contention-free
+// values and the exhaustive maxima.
+TEST(Explorer, BoundedIsSandwichedBetweenCfAndExhaustive) {
+  WorstCaseSearchOptions bounded = exhaustive_opts(16);
+  bounded.strategy = SearchStrategy::Bounded;
+  bounded.limits.max_preemptions = 2;
+  const MutexWcSearchResult b =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, bounded);
+  const MutexWcSearchResult ex =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, exhaustive_opts(16));
+  EXPECT_LE(b.entry.steps, ex.entry.steps);
+  EXPECT_LE(b.entry.registers, ex.entry.registers);
+  // With >= 1 preemption available, the solo session (cf entry = 3 steps)
+  // is in the bounded space.
+  EXPECT_GE(b.entry.steps, 3);
+  EXPECT_LT(b.states_visited, ex.states_visited);
+}
+
+TEST(Explorer, FindsMutualExclusionViolationInBrokenLock) {
+  class NoMutex final : public MutexAlgorithm {
+   public:
+    explicit NoMutex(RegisterFile& mem) { r_ = mem.add_bit("nomutex.r"); }
+    Task<void> enter(ProcessContext& ctx, int) override {
+      co_await ctx.read(r_);
+    }
+    Task<void> exit(ProcessContext& ctx, int) override {
+      co_await ctx.read(r_);
+    }
+    Task<Value> try_enter(ProcessContext& ctx, int slot, RegId) override {
+      co_await enter(ctx, slot);
+      co_return 1;
+    }
+    [[nodiscard]] int capacity() const override { return 2; }
+    [[nodiscard]] int atomicity() const override { return 1; }
+    [[nodiscard]] std::string algorithm_name() const override {
+      return "broken";
+    }
+
+   private:
+    RegId r_;
+  };
+  const MutexFactory broken = [](RegisterFile& mem, int) {
+    return std::make_unique<NoMutex>(mem);
+  };
+  Explorer::Config cfg;
+  cfg.nprocs = 2;
+  cfg.strategy = SearchStrategy::Exhaustive;
+  cfg.limits.max_depth = 10;
+  cfg.setup = [&broken](Sim& sim) -> std::shared_ptr<void> {
+    return setup_mutex(sim, broken, 2, 1);
+  };
+  const Explorer::Result res = Explorer(cfg).run();
+  EXPECT_GT(res.stats.violations, 0u);
+
+  // The violation count survives into the public search result: a
+  // "certified" maximum over a broken algorithm is clearly marked unsafe.
+  const MutexWcSearchResult wc =
+      search_mutex_worst_case(broken, 2, 1, exhaustive_opts(10));
+  EXPECT_GT(wc.violations, 0u);
+}
+
+// The Lemma-2 merge adversary is one schedule of the exhaustive space: the
+// explorer must reproduce at least the contention it constructs. For the
+// SelfishDetector every process performs the same fixed access sequence in
+// every schedule, so the values agree exactly.
+TEST(Explorer, ReproducesMergeAdversaryContentionExactly) {
+  const DetectorFactory selfish = SelfishDetector::factory();
+  auto keep = std::make_shared<std::vector<std::unique_ptr<Detector>>>();
+  const SimSetup setup = [selfish, keep](Sim& sim) {
+    keep->push_back(setup_detection(sim, selfish, 2));
+  };
+  const MergeResult merge = lemma2_merge(setup, 0, 1);
+  ASSERT_TRUE(merge.both_terminated);
+  EXPECT_TRUE(merge.both_won());  // the selfish detector is broken
+
+  WorstCaseSearchOptions opts = exhaustive_opts(16);
+  const DetectorWcSearchResult ex =
+      search_detector_worst_case(selfish, 2, opts);
+  EXPECT_TRUE(ex.certified);
+  EXPECT_EQ(ex.best.steps, merge.max_total.steps);
+  EXPECT_EQ(ex.best.registers, merge.max_total.registers);
+}
+
+TEST(Explorer, DominatesMergeAdversaryOnSplitterTree) {
+  const DetectorFactory splitter = SplitterTree::factory(1);
+  auto keep = std::make_shared<std::vector<std::unique_ptr<Detector>>>();
+  const SimSetup setup = [splitter, keep](Sim& sim) {
+    keep->push_back(setup_detection(sim, splitter, 2));
+  };
+  const MergeResult merge = lemma2_merge(setup, 0, 1);
+
+  const DetectorWcSearchResult ex =
+      search_detector_worst_case(splitter, 2, exhaustive_opts(24));
+  EXPECT_TRUE(ex.certified);
+  EXPECT_FALSE(ex.truncated);  // detectors terminate: full certification
+  EXPECT_GE(ex.best.steps, merge.max_total.steps);
+  // Worst-case step bound of the depth-1 splitter tree: 4 accesses.
+  EXPECT_LE(ex.best.steps, 4);
+  // Random sampling over the same space cannot beat the certified value.
+  const DetectorWcSearchResult rnd =
+      search_detector_worst_case(splitter, 2, random_opts(24, 16));
+  EXPECT_LE(rnd.best.steps, ex.best.steps);
+}
+
+TEST(Explorer, TruncationIsSurfacedInReports) {
+  // A random budget too small to close any window: the zero-valued report
+  // must say so instead of masquerading as a certified completion.
+  const MutexWcSearchResult tiny =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, random_opts(2, 2));
+  EXPECT_TRUE(tiny.truncated);
+  EXPECT_TRUE(tiny.entry.truncated);
+  EXPECT_EQ(tiny.entry.steps, 0);
+  // A full random run completes and is not flagged.
+  const MutexWcSearchResult full =
+      search_mutex_worst_case(Peterson::factory(), 2, 1,
+                              random_opts(100'000, 2));
+  EXPECT_FALSE(full.truncated);
+  EXPECT_FALSE(full.entry.truncated);
+}
+
+TEST(Explorer, BoundedPruningPreservesValues) {
+  // Under a preemption bound the visited key must include the last-running
+  // pid: merging states with different `last` would prune subtrees whose
+  // continuations are still in budget. Pruned and unpruned bounded searches
+  // must certify identical values.
+  WorstCaseSearchOptions pruned;
+  pruned.strategy = SearchStrategy::Bounded;
+  pruned.limits.max_depth = 14;
+  pruned.limits.max_preemptions = 1;
+  WorstCaseSearchOptions unpruned = pruned;
+  unpruned.limits.prune_visited = false;
+  const MutexWcSearchResult a =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, pruned);
+  const MutexWcSearchResult b =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, unpruned);
+  EXPECT_EQ(a.entry.steps, b.entry.steps);
+  EXPECT_EQ(a.entry.registers, b.entry.registers);
+  EXPECT_EQ(a.exit.steps, b.exit.steps);
+  EXPECT_EQ(a.truncated, b.truncated);
+}
+
+TEST(Explorer, BoundedMarksPreemptionStarvedLeavesInsideFrontier) {
+  // max_preemptions=0 admits only solo runs; once the solo process
+  // finishes (within the frontier prefix) the other is runnable but every
+  // switch is over budget — the bounded space was cut, and the result must
+  // say so instead of claiming an un-truncated certification.
+  WorstCaseSearchOptions o;
+  o.strategy = SearchStrategy::Bounded;
+  o.limits.max_depth = 12;
+  o.limits.max_preemptions = 0;
+  const MutexWcSearchResult r =
+      search_mutex_worst_case(TasLock::factory(), 2, 1, o);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.entry.steps, 1);  // the solo clean entry is still found
+}
+
+TEST(Explorer, ExhaustiveIgnoresLeftoverPreemptionLimit) {
+  // Reusing a Bounded limits struct with strategy=Exhaustive must not
+  // silently shrink the certified space.
+  WorstCaseSearchOptions leftover = exhaustive_opts(16);
+  leftover.limits.max_preemptions = 0;
+  const MutexWcSearchResult a =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, leftover);
+  const MutexWcSearchResult b =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, exhaustive_opts(16));
+  EXPECT_EQ(a.entry.steps, b.entry.steps);
+  EXPECT_EQ(a.states_visited, b.states_visited);
+}
+
+TEST(Explorer, VisitedPruningOnlyDropsRedundantWork) {
+  // Pruning must not change the certified values, only the visit count.
+  WorstCaseSearchOptions pruned = exhaustive_opts(14);
+  WorstCaseSearchOptions unpruned = exhaustive_opts(14);
+  unpruned.limits.prune_visited = false;
+  const MutexWcSearchResult a =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, pruned);
+  const MutexWcSearchResult b =
+      search_mutex_worst_case(Peterson::factory(), 2, 1, unpruned);
+  EXPECT_EQ(a.entry.steps, b.entry.steps);
+  EXPECT_EQ(a.entry.registers, b.entry.registers);
+  EXPECT_EQ(a.exit.steps, b.exit.steps);
+  EXPECT_LE(a.states_visited, b.states_visited);
+}
+
+}  // namespace
+}  // namespace cfc

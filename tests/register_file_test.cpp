@@ -79,5 +79,70 @@ TEST(RegisterFile, FitsMatchesWidth) {
   EXPECT_FALSE(mem.fits(r, 8));
 }
 
+TEST(RegisterFile, SnapshotRestoreRoundTrip) {
+  RegisterFile mem;
+  const RegId a = mem.add_register("a", 8, 42);
+  const RegId b = mem.add_bit("b");
+  const RegId c = mem.add_register("c", 64);
+  const MemorySnapshot snap = mem.snapshot();
+  const std::uint64_t fp = mem.fingerprint();
+
+  mem.poke(a, 7);
+  mem.poke(b, 1);
+  mem.poke(c, ~Value{0});
+  EXPECT_NE(mem.fingerprint(), fp);
+
+  mem.restore(snap);
+  EXPECT_EQ(mem.peek(a), 42u);
+  EXPECT_EQ(mem.peek(b), 0u);
+  EXPECT_EQ(mem.peek(c), 0u);
+  EXPECT_EQ(mem.fingerprint(), fp);
+  EXPECT_EQ(mem.snapshot(), snap);
+}
+
+TEST(RegisterFile, IncrementalFingerprintMatchesRebuiltFile) {
+  // The incrementally maintained hash must equal the hash of a file that
+  // reached the same values by any other poke sequence.
+  RegisterFile a;
+  RegisterFile b;
+  for (int i = 0; i < 6; ++i) {
+    a.add_register("r" + std::to_string(i), 16);
+    b.add_register("r" + std::to_string(i), 16);
+  }
+  a.poke(0, 11);
+  a.poke(3, 500);
+  a.poke(0, 13);   // overwrite
+  a.poke(5, 1);
+  b.poke(5, 1);    // different order, different intermediate values
+  b.poke(0, 99);
+  b.poke(0, 13);
+  b.poke(3, 500);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  b.poke(3, 501);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RegisterFile, ResetRestoresInitialFingerprint) {
+  RegisterFile mem;
+  mem.add_register("a", 8, 42);
+  mem.add_bit("b");
+  const std::uint64_t fp0 = mem.fingerprint();
+  mem.poke(0, 9);
+  mem.poke(1, 1);
+  mem.reset();
+  EXPECT_EQ(mem.fingerprint(), fp0);
+}
+
+TEST(RegisterFile, RestoreRejectsBadSnapshots) {
+  RegisterFile mem;
+  mem.add_register("a", 3);
+  EXPECT_THROW(mem.restore(MemorySnapshot{}), std::invalid_argument);
+  EXPECT_THROW(mem.restore(MemorySnapshot{1, 2}), std::invalid_argument);
+  EXPECT_THROW(mem.restore(MemorySnapshot{8}), std::invalid_argument);
+  mem.restore(MemorySnapshot{7});
+  EXPECT_EQ(mem.peek(0), 7u);
+}
+
 }  // namespace
 }  // namespace cfc
