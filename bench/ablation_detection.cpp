@@ -4,15 +4,24 @@
 // extra access, and (b) detection has *bounded* worst-case step complexity
 // O(ceil(log n / l)) (Section 2.6 remark) while mutual exclusion does not.
 //
-// Both candidate pools enumerate via the AlgorithmRegistry: the direct
-// detectors are its detector catalogue; the Lemma 1 detectors wrap its
+// Both candidate pools enumerate via the AlgorithmRegistry and run as one
+// Campaign per n: the direct detectors are registry subjects, the Lemma 1
+// detectors ad-hoc StudySpec factories wrapping the registry's
 // constant-time mutex algorithms (tags "fast" and "rmw") plus the l=2
 // Theorem 3 tree.
+//
+// Battery note (PR 3): the worst-case search is the Study engine's Random
+// strategy — seeded random schedules only. The pre-Study battery
+// additionally ran the deterministic round-robin schedule (still
+// available via the deprecated seeds overload of
+// search_detector_worst_case), so "wc found" values are not comparable
+// with pre-PR-3 BENCH_ablation_detection.json artifacts; the emitted
+// study objects record strategy and schedules_tried explicitly.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "core/algorithm_registry.h"
@@ -23,6 +32,9 @@ int main(int argc, char** argv) {
   using namespace cfc;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Detector, cfc::StudyKind::Mutex})) {
+    return 0;
+  }
   const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("ablation_detection", opts.out);
@@ -35,65 +47,74 @@ int main(int argc, char** argv) {
   TextTable t({"detector", "n", "cf step", "cf reg", "wc step found",
                "wc reg found", "atomicity"});
 
-  struct Case {
-    std::string label;
-    DetectorFactory factory;
-  };
   for (const int n : {16, 64, 256}) {
-    std::vector<Case> cases;
+    Campaign campaign;
+    const auto add_spec = [&](StudySpec spec) {
+      campaign.add(std::move(spec)
+                       .kind(StudyKind::Detector)
+                       .n(n)
+                       .contention_free()
+                       .worst_case(SearchStrategy::Random)
+                       .seeds(seeds));
+    };
     for (const DetectorAlgorithmEntry* entry :
          registry.detector_algorithms()) {
-      cases.push_back({entry->info.name, entry->factory});
+      if (opts.selected(entry->info)) {
+        add_spec(StudySpec::of(entry->info.name));
+      }
     }
-    for (const MutexAlgorithmEntry* entry : registry.mutex_for_n(n, "fast")) {
-      cases.push_back({"lemma1(" + entry->info.name + ")",
-                       DetectorFromMutex::factory(entry->factory)});
+    for (const char* tag : {"fast", "rmw"}) {
+      for (const MutexAlgorithmEntry* entry : registry.mutex_for_n(n, tag)) {
+        if (opts.selected(entry->info)) {
+          add_spec(StudySpec::of("lemma1(" + entry->info.name + ")")
+                       .factory(DetectorFromMutex::factory(entry->factory)));
+        }
+      }
     }
-    for (const MutexAlgorithmEntry* entry : registry.mutex_for_n(n, "rmw")) {
-      cases.push_back({"lemma1(" + entry->info.name + ")",
-                       DetectorFromMutex::factory(entry->factory)});
-    }
-    cases.push_back(
-        {"lemma1(thm3-exact-l2)",
-         DetectorFromMutex::factory(registry.mutex("thm3-exact-l2").factory)});
-
-    for (const Case& c : cases) {
-      const ComplexityReport cf =
-          measure_detector_contention_free(c.factory, n, runner.get());
-      const ComplexityReport wc =
-          search_detector_worst_case(c.factory, n, seeds, runner.get());
-      t.add_row({c.label, std::to_string(n), std::to_string(cf.steps),
-                 std::to_string(cf.registers), std::to_string(wc.steps),
-                 std::to_string(wc.registers),
-                 std::to_string(cf.atomicity)});
-      json.row({{"section", std::string("detector")},
-                {"detector", c.label},
-                {"n", cfc::bench::jv(n)},
-                {"cf_step", cfc::bench::jv(cf.steps)},
-                {"cf_reg", cfc::bench::jv(cf.registers)},
-                {"wc_step", cfc::bench::jv(wc.steps)},
-                {"wc_reg", cfc::bench::jv(wc.registers)},
-                {"atomicity", cfc::bench::jv(cf.atomicity)},
-                {"truncated",
-                 cfc::bench::warn_truncated(wc.truncated || cf.truncated,
-                                            c.label)}});
-      verify.check(wc.steps >= cf.steps, "wc >= cf for " + c.label);
+    const MutexAlgorithmEntry& tree = registry.mutex("thm3-exact-l2");
+    if (opts.selected(tree.info)) {
+      add_spec(StudySpec::of("lemma1(thm3-exact-l2)")
+                   .factory(DetectorFromMutex::factory(tree.factory)));
     }
 
+    for (const StudyResult& r : campaign.run(runner.get())) {
+      t.add_row({r.subject, std::to_string(n), std::to_string(r.cf.steps),
+                 std::to_string(r.cf.registers), std::to_string(r.wc.steps),
+                 std::to_string(r.wc.registers),
+                 std::to_string(r.cf.atomicity)});
+      json.study(r, {{"section", std::string("detector")},
+                     {"truncated",
+                      cfc::bench::warn_truncated(
+                          r.truncated || r.cf.truncated, r.subject)}});
+      verify.check(r.wc.steps >= r.cf.steps, "wc >= cf for " + r.subject);
+    }
+
+    if (!opts.full_pool()) {
+      continue;  // the named-subject claims below assume the full pool
+    }
     // The reduction overhead claim: lemma1(lamport) == lamport entry + 1.
-    const ComplexityReport lam_cf = measure_detector_contention_free(
-        DetectorFromMutex::factory(registry.mutex("lamport-fast").factory),
-        n);
-    verify.check(lam_cf.steps == 6,
+    const StudyResult lam = run_study(
+        StudySpec::of("lemma1(lamport-fast)")
+            .kind(StudyKind::Detector)
+            .n(n)
+            .contention_free()
+            .factory(DetectorFromMutex::factory(
+                registry.mutex("lamport-fast").factory)),
+        runner.get());
+    verify.check(lam.cf.steps == 6,
                  "lemma1(lamport) cf = entry(5) + 1 at n=" +
                      std::to_string(n));
     // The bounded-worst-case claim for the direct detector: the splitter
     // tree's wc steps are exactly 4 * depth, independent of schedule.
-    const ComplexityReport sp_wc = search_detector_worst_case(
-        registry.detector("splitter-tree-l2").factory, n, seeds);
+    const StudyResult sp = run_study(StudySpec::of("splitter-tree-l2")
+                                         .kind(StudyKind::Detector)
+                                         .n(n)
+                                         .worst_case(SearchStrategy::Random)
+                                         .seeds(seeds),
+                                     runner.get());
     const int d = bounds::ceil_div(
         bounds::ceil_log2(static_cast<std::uint64_t>(n)), 2);
-    verify.check(sp_wc.steps <= 4 * d,
+    verify.check(sp.wc.steps <= 4 * d,
                  "splitter tree wc step <= 4*ceil(log n/l) at n=" +
                      std::to_string(n));
   }

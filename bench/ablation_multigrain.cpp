@@ -6,61 +6,75 @@
 // read and write atomically at both full- and half-word granularities."
 //
 // Two views:
-//  1. Simulator (exact counts): packing x and y into one word keeps the
-//     contention-free step count at 7 but drops the *register* complexity
-//     from 3 to 2 — strictly better on remote-access architectures, paid
-//     for with doubled atomicity. (Register complexity lower-bounds remote
-//     accesses, so this is the measure [MS93]'s cache behaviour lives in.)
+//  1. Simulator (exact counts, one Campaign over both variants): packing x
+//     and y into one word keeps the contention-free step count at 7 but
+//     drops the *register* complexity from 3 to 2 — strictly better on
+//     remote-access architectures, paid for with doubled atomicity.
+//     (Register complexity lower-bounds remote accesses, so this is the
+//     measure [MS93]'s cache behaviour lives in.)
 //  2. Hardware (wall clock): dense vs cache-line-padded register placement
 //     for the same algorithm under contention.
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "analysis/table.h"
 #include "bench_util.h"
-#include "core/algorithm_registry.h"
 #include "rt/contention_study.h"
 
 int main(int argc, char** argv) {
   using namespace cfc;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Mutex})) {
+    return 0;
+  }
+  const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("ablation_multigrain", opts.out);
-  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
+  // The simulator view is a paired comparison: it needs both variants, so
+  // an --algo filter that drops either skips the whole section.
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  const bool pair_selected =
+      opts.selected(registry.mutex("lamport-fast").info) &&
+      opts.selected(registry.mutex("lamport-packed").info);
+  if (!pair_selected) {
+    cfc::bench::note_algo_inapplicable(
+        opts, "the packing comparison needs both lamport variants; "
+              "simulator section skipped");
+  }
   std::printf("Simulator: packed vs unpacked Lamport, contention-free:\n\n");
+  const std::vector<int> ns = pair_selected ? std::vector<int>{4, 16, 64, 1024}
+                                            : std::vector<int>{};
+  Campaign campaign;
+  for (const int n : ns) {
+    for (const char* subject : {"lamport-fast", "lamport-packed"}) {
+      campaign.add(StudySpec::of(subject)
+                       .n(n)
+                       .policy(AccessPolicy::RegistersOnly)
+                       .sample_pids(4)
+                       .contention_free());
+    }
+  }
+  const std::vector<StudyResult> results = campaign.run(runner.get());
+
   TextTable t({"algorithm", "n", "cf step", "cf reg", "atomicity"});
-  for (const int n : {4, 16, 64, 1024}) {
-    const MutexCfResult plain = measure_mutex_contention_free(
-        registry.mutex("lamport-fast").factory, n,
-        AccessPolicy::RegistersOnly, /*max_pids=*/4);
-    const MutexCfResult packed = measure_mutex_contention_free(
-        registry.mutex("lamport-packed").factory, n,
-        AccessPolicy::RegistersOnly, /*max_pids=*/4);
-    t.add_row({"lamport-fast", std::to_string(n),
-               std::to_string(plain.session.steps),
-               std::to_string(plain.session.registers),
-               std::to_string(plain.measured_atomicity)});
-    t.add_row({"lamport-packed", std::to_string(n),
-               std::to_string(packed.session.steps),
-               std::to_string(packed.session.registers),
-               std::to_string(packed.measured_atomicity)});
-    for (const auto* r : {&plain, &packed}) {
-      json.row({{"section", std::string("packing")},
-                {"algorithm", std::string(r == &plain ? "lamport-fast"
-                                                      : "lamport-packed")},
-                {"n", cfc::bench::jv(n)},
-                {"cf_step", cfc::bench::jv(r->session.steps)},
-                {"cf_reg", cfc::bench::jv(r->session.registers)},
-                {"atomicity", cfc::bench::jv(r->measured_atomicity)}});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const int n = ns[i];
+    const StudyResult& plain = results[2 * i];
+    const StudyResult& packed = results[2 * i + 1];
+    for (const StudyResult* r : {&plain, &packed}) {
+      t.add_row({r->subject, std::to_string(n), std::to_string(r->cf.steps),
+                 std::to_string(r->cf.registers),
+                 std::to_string(r->measured_atomicity)});
+      json.study(*r, {{"section", std::string("packing")}});
     }
     const std::string at = " at n=" + std::to_string(n);
-    verify.check(packed.session.steps == plain.session.steps,
+    verify.check(packed.cf.steps == plain.cf.steps,
                  "packing preserves step count" + at);
-    verify.check(packed.session.registers == 2 &&
-                     plain.session.registers == 3,
+    verify.check(packed.cf.registers == 2 && plain.cf.registers == 3,
                  "packing drops cf registers 3 -> 2" + at);
     verify.check(packed.measured_atomicity == 2 * plain.measured_atomicity,
                  "packing doubles atomicity" + at);

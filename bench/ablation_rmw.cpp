@@ -3,11 +3,12 @@
 // with contention-free step complexity 2 and register complexity 1 for any
 // n — below the register-model lower bound once n is large. This bench
 // prints the separation as n grows, pitting the registry's rmw algorithm
-// against the register-model Theorem 3 tree.
+// against the register-model Theorem 3 tree, both through one Campaign.
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "core/algorithm_registry.h"
@@ -17,37 +18,61 @@ int main(int argc, char** argv) {
   using namespace cfc;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Mutex})) {
+    return 0;
+  }
+  const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("ablation_rmw", opts.out);
-  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
-  const MutexFactory tas_factory = registry.mutex("tas-lock").factory;
-  const MutexFactory tree_factory = registry.mutex("thm3-exact-l1").factory;
+  // A paired separation (rmw lock vs register-model tree): an --algo
+  // filter that drops either side skips the sweep rather than comparing
+  // against nothing.
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  const bool pair_selected = opts.selected(registry.mutex("tas-lock").info) &&
+                             opts.selected(registry.mutex("thm3-exact-l1").info);
+  if (!pair_selected) {
+    cfc::bench::note_algo_inapplicable(
+        opts, "the separation needs both tas-lock and thm3-exact-l1; "
+              "sweep skipped");
+  }
+  const std::vector<int> ns =
+      pair_selected ? std::vector<int>{4, 16, 64, 256, 1024, 4096}
+                    : std::vector<int>{};
+  Campaign campaign;
+  for (const int n : ns) {
+    campaign.add(StudySpec::of("tas-lock")
+                     .n(n)
+                     .sample_pids(3)
+                     .contention_free());
+    campaign.add(StudySpec::of("thm3-exact-l1")
+                     .n(n)
+                     .policy(AccessPolicy::RegistersOnly)
+                     .sample_pids(3)
+                     .contention_free());
+  }
+  const std::vector<StudyResult> results = campaign.run(runner.get());
 
   TextTable t({"n", "thm1 lb (l=1)", "tas-lock cf step",
                "tree(l=1) cf step", "tas cf reg", "tree(l=1) cf reg"});
-  for (const int n : {4, 16, 64, 256, 1024, 4096}) {
-    const MutexCfResult tas = measure_mutex_contention_free(
-        tas_factory, n, AccessPolicy::Unrestricted, /*max_pids=*/3);
-    const MutexCfResult tree = measure_mutex_contention_free(
-        tree_factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/3);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const int n = ns[i];
+    const StudyResult& tas = results[2 * i];
+    const StudyResult& tree = results[2 * i + 1];
     const double lb = bounds::thm1_cf_step_lower(n, 1);
     char lb_s[32];
     std::snprintf(lb_s, sizeof(lb_s), "%.2f", lb);
-    t.add_row({std::to_string(n), lb_s, std::to_string(tas.session.steps),
-               std::to_string(tree.session.steps),
-               std::to_string(tas.session.registers),
-               std::to_string(tree.session.registers)});
-    json.row({{"section", std::string("separation")},
-              {"n", cfc::bench::jv(n)},
-              {"thm1_lb", cfc::bench::jv(lb)},
-              {"tas_cf_step", cfc::bench::jv(tas.session.steps)},
-              {"tree_cf_step", cfc::bench::jv(tree.session.steps)},
-              {"tas_cf_reg", cfc::bench::jv(tas.session.registers)},
-              {"tree_cf_reg", cfc::bench::jv(tree.session.registers)}});
-    verify.check(tas.session.steps == 2,
+    t.add_row({std::to_string(n), lb_s, std::to_string(tas.cf.steps),
+               std::to_string(tree.cf.steps),
+               std::to_string(tas.cf.registers),
+               std::to_string(tree.cf.registers)});
+    json.study(tas, {{"section", std::string("separation")},
+                     {"thm1_lb", cfc::bench::jv(lb)}});
+    json.study(tree, {{"section", std::string("separation")},
+                      {"thm1_lb", cfc::bench::jv(lb)}});
+    verify.check(tas.cf.steps == 2,
                  "tas constant at n=" + std::to_string(n));
-    verify.check(static_cast<double>(tree.session.steps) > lb,
+    verify.check(static_cast<double>(tree.cf.steps) > lb,
                  "register algorithm obeys Theorem 1 at n=" +
                      std::to_string(n));
   }

@@ -11,82 +11,114 @@
 // The trade: wider nodes mean fewer levels (7 * ceil(log n / l) total), so
 // past a modest l the Lamport tree wins on steps despite the larger
 // per-level constant; bit-only trees win at l = 1. The candidate pool is
-// the registry's tournament trees plus its Theorem 3 grid.
+// the registry's tournament trees plus its Theorem 3 grid, measured as one
+// Campaign (the shared tree measurements are deduplicated automatically —
+// e.g. the n=1024 crossover check reuses the sweep's cells).
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "core/algorithm_registry.h"
 #include "core/bounds.h"
 
+namespace {
+
+cfc::StudySpec tree_cf_spec(const std::string& subject, int n) {
+  return cfc::StudySpec::of(subject)
+      .n(n)
+      .policy(cfc::AccessPolicy::RegistersOnly)
+      .sample_pids(6)
+      .contention_free();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cfc;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Mutex})) {
+    return 0;
+  }
+  const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("ablation_tree_nodes", opts.out);
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
-  struct Case {
+  Campaign campaign;
+  struct Meta {
     std::string label;
-    MutexFactory factory;
+    int n;
   };
-  TextTable t({"tree", "n", "cf step", "cf reg", "atomicity", "depth-eq"});
+  std::vector<Meta> meta;
   for (const int n : {16, 64, 256, 1024}) {
-    std::vector<Case> cases;
     for (const MutexAlgorithmEntry* entry :
          registry.mutex_for_n(n, "tournament")) {
-      cases.push_back({entry->info.name + " (l=1)", entry->factory});
+      if (!opts.selected(entry->info)) {
+        continue;
+      }
+      campaign.add(tree_cf_spec(entry->info.name, n));
+      meta.push_back({entry->info.name + " (l=1)", n});
     }
     for (const MutexAlgorithmEntry* entry :
          registry.mutex_for_n(n, "thm3-exact")) {
       const int l = entry->info.atomicity_param;
-      if (l >= 2 && l <= 4) {
-        cases.push_back({"lamport-tree l=" + std::to_string(l),
-                         entry->factory});
+      if (l < 2 || l > 4 || !opts.selected(entry->info)) {
+        continue;
       }
+      campaign.add(tree_cf_spec(entry->info.name, n));
+      meta.push_back({"lamport-tree l=" + std::to_string(l), n});
     }
-    cases.push_back({"lamport-tree l=3 paper",
-                     registry.mutex("thm3-paper-l3").factory});
-
-    for (const Case& c : cases) {
-      const MutexCfResult r = measure_mutex_contention_free(
-          c.factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/6);
-      // Per-level cost: steps divided by the implied depth.
-      t.add_row({c.label, std::to_string(n), std::to_string(r.session.steps),
-                 std::to_string(r.session.registers),
-                 std::to_string(r.measured_atomicity),
-                 std::to_string(r.session.registers / 3)});
-      json.row({{"section", std::string("tree-nodes")},
-                {"tree", c.label},
-                {"n", cfc::bench::jv(n)},
-                {"cf_step", cfc::bench::jv(r.session.steps)},
-                {"cf_reg", cfc::bench::jv(r.session.registers)},
-                {"atomicity", cfc::bench::jv(r.measured_atomicity)}});
-      verify.check(r.session.steps > 0, "measured " + c.label);
-    }
-
-    // Shape check: at n = 1024, the l=4 Lamport tree beats the bit trees on
-    // steps (7*ceil(10/4)=21 < 4*10=40) — wider atomicity buys time.
-    if (n == 1024) {
-      const MutexCfResult bit_tree = measure_mutex_contention_free(
-          registry.mutex("peterson-tree").factory, n,
-          AccessPolicy::RegistersOnly, /*max_pids=*/4);
-      const MutexCfResult wide_tree = measure_mutex_contention_free(
-          registry.mutex("thm3-exact-l4").factory, n,
-          AccessPolicy::RegistersOnly, /*max_pids=*/4);
-      verify.check(wide_tree.session.steps < bit_tree.session.steps,
-                   "l=4 Lamport tree beats bit tournament on cf steps at "
-                   "n=1024");
-      std::printf("crossover at n=1024: bit tournament %d steps vs "
-                  "l=4 Lamport tree %d steps\n\n",
-                  bit_tree.session.steps, wide_tree.session.steps);
+    if (opts.selected(registry.mutex("thm3-paper-l3").info)) {
+      campaign.add(tree_cf_spec("thm3-paper-l3", n));
+      meta.push_back({"lamport-tree l=3 paper", n});
     }
   }
+  // Shape check at n = 1024: the l=4 Lamport tree beats the bit trees on
+  // steps (7*ceil(10/4)=21 < 4*10=40) — wider atomicity buys time. These
+  // two specs duplicate sweep entries at sample_pids=4, so they form
+  // distinct measurement cells only where the sweep used a different
+  // sample; identical requests are deduplicated by the campaign.
+  const bool crossover = opts.full_pool();
+  if (crossover) {
+    campaign.add(tree_cf_spec("peterson-tree", 1024).sample_pids(4));
+    meta.push_back({"crossover-bit", 1024});
+    campaign.add(tree_cf_spec("thm3-exact-l4", 1024).sample_pids(4));
+    meta.push_back({"crossover-wide", 1024});
+  }
+
+  const std::vector<StudyResult> results = campaign.run(runner.get());
+
+  TextTable t({"tree", "n", "cf step", "cf reg", "atomicity", "depth-eq"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (meta[i].label.rfind("crossover-", 0) == 0) {
+      continue;
+    }
+    const StudyResult& r = results[i];
+    // Per-level cost: steps divided by the implied depth.
+    t.add_row({meta[i].label, std::to_string(meta[i].n),
+               std::to_string(r.cf.steps), std::to_string(r.cf.registers),
+               std::to_string(r.measured_atomicity),
+               std::to_string(r.cf.registers / 3)});
+    json.study(r, {{"section", std::string("tree-nodes")},
+                   {"tree", meta[i].label}});
+    verify.check(r.cf.steps > 0, "measured " + meta[i].label);
+  }
   std::printf("%s\n", t.render().c_str());
+
+  if (crossover) {
+    const StudyResult& bit_tree = results[results.size() - 2];
+    const StudyResult& wide_tree = results[results.size() - 1];
+    verify.check(wide_tree.cf.steps < bit_tree.cf.steps,
+                 "l=4 Lamport tree beats bit tournament on cf steps at "
+                 "n=1024");
+    std::printf("crossover at n=1024: bit tournament %d steps vs "
+                "l=4 Lamport tree %d steps\n\n",
+                bit_tree.cf.steps, wide_tree.cf.steps);
+  }
 
   std::printf(
       "Per-level constants (from any row: steps = const * levels):\n"

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "analysis/experiment_runner.h"
+#include "analysis/study.h"
+#include "core/algorithm_registry.h"
 
 namespace cfc::bench {
 
@@ -22,16 +24,25 @@ namespace cfc::bench {
 ///   --threads <k>    experiment thread pool size (default: shared
 ///                    hardware-sized pool)
 ///   --out <dir>      directory for the BENCH_<name>.json report
+///   --algo <sel>     restrict registry-enumerated subjects to the
+///                    algorithm named <sel> or carrying tag <sel> (paper
+///                    verification checks that need the full pool are
+///                    skipped on filtered runs)
+///   --list           print the registry algorithms this bench can target
+///                    (after --algo filtering) and exit
 struct BenchOptions {
   std::uint64_t seed = 1;
   int threads = 0;
   std::string out = ".";
+  std::string algo;
+  bool list = false;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opts;
     const auto usage = [&](std::FILE* to, int exit_code) {
       std::fprintf(to,
-                   "usage: %s [--seed <base>] [--threads <k>] [--out <dir>]\n",
+                   "usage: %s [--seed <base>] [--threads <k>] [--out <dir>] "
+                   "[--algo <tag-or-name>] [--list]\n",
                    argc > 0 ? argv[0] : "bench");
       std::exit(exit_code);
     };
@@ -72,6 +83,10 @@ struct BenchOptions {
         opts.threads = static_cast<int>(number(i, "--threads"));
       } else if (matches(arg, "--out")) {
         opts.out = value(i, "--out");
+      } else if (matches(arg, "--algo")) {
+        opts.algo = value(i, "--algo");
+      } else if (arg == "--list") {
+        opts.list = true;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
         usage(stderr, 2);
@@ -97,7 +112,83 @@ struct BenchOptions {
     return threads > 0 ? std::make_unique<ExperimentRunner>(threads)
                        : nullptr;
   }
+
+  /// --algo filter: true when no filter is set, or `info` matches it by
+  /// exact name or by tag.
+  [[nodiscard]] bool selected(const AlgorithmInfo& info) const {
+    return algo.empty() || info.name == algo || info.has_tag(algo);
+  }
+
+  /// True on an unfiltered run: the paper-verification checks that assume
+  /// the full registry pool only make sense then.
+  [[nodiscard]] bool full_pool() const { return algo.empty(); }
 };
+
+/// --list handler: prints the registry algorithms this bench can actually
+/// target — the caller passes the StudyKinds it enumerates (an empty list
+/// means the bench has no registry-enumerated subjects) — filtered by
+/// --algo, and returns true (the bench should exit 0) when --list was
+/// given.
+inline bool handle_list(const BenchOptions& opts,
+                        std::initializer_list<StudyKind> kinds = {
+                            StudyKind::Mutex, StudyKind::Naming,
+                            StudyKind::Detector}) {
+  if (!opts.list) {
+    return false;
+  }
+  if (kinds.size() == 0) {
+    std::printf("this bench has no registry-enumerated subjects\n");
+    return true;
+  }
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  const auto targets = [&](StudyKind k) {
+    for (const StudyKind want : kinds) {
+      if (want == k) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto print = [&](const char* kind, const AlgorithmInfo& info) {
+    if (!opts.selected(info)) {
+      return;
+    }
+    std::string tags;
+    for (const std::string& t : info.tags) {
+      tags += tags.empty() ? t : "," + t;
+    }
+    std::printf("%-9s %-22s %s\n", kind, info.name.c_str(), tags.c_str());
+  };
+  if (targets(StudyKind::Mutex)) {
+    for (const MutexAlgorithmEntry* e : registry.mutex_algorithms()) {
+      print("mutex", e->info);
+    }
+  }
+  if (targets(StudyKind::Naming)) {
+    for (const NamingAlgorithmEntry* e : registry.naming_algorithms()) {
+      print("naming", e->info);
+    }
+  }
+  if (targets(StudyKind::Detector)) {
+    for (const DetectorAlgorithmEntry* e : registry.detector_algorithms()) {
+      print("detector", e->info);
+    }
+  }
+  return true;
+}
+
+/// For benches (or bench sections) whose subject pool is fixed or
+/// internally enumerated — paired comparisons, the model census, derived
+/// formula curves, hardware studies — prints an honest note when --algo
+/// was passed but cannot subset that pool, instead of silently ignoring
+/// the flag.
+inline void note_algo_inapplicable(const BenchOptions& opts,
+                                   const char* why) {
+  if (!opts.algo.empty()) {
+    std::printf("  [note] --algo=%s has no effect here: %s\n",
+                opts.algo.c_str(), why);
+  }
+}
 
 /// Truncation warning shared by benches (the ComplexityReport::truncated
 /// satellite): prints a warning when a measurement was cut off and returns
@@ -144,15 +235,26 @@ class Verifier {
 /// One value in a JSON row: string, integer, or double.
 using JsonValue = std::variant<std::string, long long, double>;
 
-/// Machine-readable results channel shared by all benches: collects flat
-/// key/value rows and writes them as a JSON array to BENCH_<name>.json in
-/// the working directory on finish(), so each bench's measured numbers can
-/// be tracked across PRs (the perf trajectory). The last row is a summary
-/// with the check counts and the bench wall time.
+/// Machine-readable results channel shared by all benches, writing the
+/// canonical bench schema "cfc.bench.v1" to BENCH_<name>.json on finish():
+///
+///   {
+///     "schema": "cfc.bench.v1",
+///     "bench": "<name>",
+///     "studies": [{"context": {...}, "study": <cfc.study.v1 object>}, ...],
+///     "rows": [{...flat key/value row...}, ...],
+///     "summary": {"checks_total": T, "checks_failed": F, "elapsed_ms": MS}
+///   }
+///
+/// Study measurements go through study() — the canonical Study serializer
+/// from analysis/study.h, with an optional flat context object (section
+/// labels, sweep parameters) — so every bench emits the same study schema;
+/// row() remains for non-study data (derived bound curves, hardware runs).
 ///
 /// Usage:
 ///   JsonReport json("table1_mutex_bounds", opts.out);
-///   json.row({{"section", "sweep"}, {"n", 64}, {"cf_step", 21}});
+///   json.study(result, {{"section", "sweep"}, {"l", 2}});
+///   json.row({{"section", "hw"}, {"ns", 123}});
 ///   ...
 ///   return json.finish(verify);   // writes the file, returns exit code
 class JsonReport {
@@ -166,18 +268,25 @@ class JsonReport {
 
   void row(std::vector<Field> fields) { rows_.push_back(std::move(fields)); }
 
-  /// Writes BENCH_<name>.json (rows + summary), prints the Verifier
-  /// summary, and returns the process exit code.
+  /// Appends one canonical study object (with its wall time) plus a flat
+  /// context object identifying the study's place in the bench.
+  void study(const StudyResult& r, std::vector<Field> context = {}) {
+    std::string entry = "{\"context\": ";
+    append_row(entry, context);
+    entry += ", \"study\": ";
+    entry += to_json(r);
+    entry += "}";
+    studies_.push_back(std::move(entry));
+  }
+
+  /// Writes BENCH_<name>.json (studies + rows + summary), prints the
+  /// Verifier summary, and returns the process exit code.
   int finish(Verifier& verify) {
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - start_)
             .count();
-    row({{"section", std::string("summary")},
-         {"checks_total", static_cast<long long>(verify.total())},
-         {"checks_failed", static_cast<long long>(verify.failed())},
-         {"elapsed_ms", static_cast<long long>(elapsed)}});
-    write_file();
+    write_file(verify, static_cast<long long>(elapsed));
     return verify.finish(name_.c_str());
   }
 
@@ -209,33 +318,50 @@ class JsonReport {
     }
   }
 
-  void write_file() const {
-    std::string out = "[\n";
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      out += "  {";
-      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
-        const auto& [key, value] = rows_[r][f];
+  static void append_row(std::string& out, const std::vector<Field>& fields) {
+    out += '{';
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      const auto& [key, value] = fields[f];
+      out += '"';
+      append_escaped(out, key);
+      out += "\": ";
+      if (const auto* s = std::get_if<std::string>(&value)) {
         out += '"';
-        append_escaped(out, key);
-        out += "\": ";
-        if (const auto* s = std::get_if<std::string>(&value)) {
-          out += '"';
-          append_escaped(out, *s);
-          out += '"';
-        } else if (const auto* i = std::get_if<long long>(&value)) {
-          out += std::to_string(*i);
-        } else {
-          char buf[40];
-          std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(value));
-          out += buf;
-        }
-        if (f + 1 < rows_[r].size()) {
-          out += ", ";
-        }
+        append_escaped(out, *s);
+        out += '"';
+      } else if (const auto* i = std::get_if<long long>(&value)) {
+        out += std::to_string(*i);
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(value));
+        out += buf;
       }
-      out += (r + 1 < rows_.size()) ? "},\n" : "}\n";
+      if (f + 1 < fields.size()) {
+        out += ", ";
+      }
     }
-    out += "]\n";
+    out += '}';
+  }
+
+  void write_file(const Verifier& verify, long long elapsed_ms) const {
+    std::string out = "{\n  \"schema\": \"cfc.bench.v1\",\n  \"bench\": \"";
+    append_escaped(out, name_);
+    out += "\",\n  \"studies\": [";
+    for (std::size_t i = 0; i < studies_.size(); ++i) {
+      out += (i == 0) ? "\n" : ",\n";
+      out += studies_[i];
+    }
+    out += studies_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out += (r == 0) ? "\n    " : ",\n    ";
+      append_row(out, rows_[r]);
+    }
+    out += rows_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"summary\": {\"checks_total\": " +
+           std::to_string(verify.total()) +
+           ", \"checks_failed\": " + std::to_string(verify.failed()) +
+           ", \"elapsed_ms\": " + std::to_string(elapsed_ms) + "}\n}\n";
 
     const std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
     if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
@@ -249,6 +375,7 @@ class JsonReport {
   std::string name_;
   std::string out_dir_;
   std::chrono::steady_clock::time_point start_;
+  std::vector<std::string> studies_;
   std::vector<std::vector<Field>> rows_;
 };
 

@@ -4,7 +4,8 @@
 // value-returning modifier: test-and-set, test-and-reset, or
 // test-and-flip), measures the four complexity measures for each solvable
 // model with the best applicable algorithm (originals + duals), and prints
-// the census grouped by outcome.
+// the census grouped by outcome. The candidate measurements route through
+// one Campaign (run_model_census -> measure_registry_naming).
 #include <cstdio>
 #include <map>
 #include <string>
@@ -19,6 +20,11 @@ int main(int argc, char** argv) {
   using namespace cfc;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Naming})) {
+    return 0;
+  }
+  cfc::bench::note_algo_inapplicable(
+      opts, "the census cells are min-over-pool and need the full registry");
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("census_naming_models", opts.out);
 

@@ -2,7 +2,9 @@
 // the value of visited-state pruning, checkpoint-restore (fork-by-replay
 // with suppressed sinks + accumulator snapshot) vs. from-scratch replay
 // (rebuild + re-run with live measurement), and thread-count invariance of
-// the certified results. Writes BENCH_explorer_scaling.json.
+// the certified results — checked byte-for-byte on the canonical study
+// JSON. The searches are StudySpec-driven; the checkpoint section drives
+// the Sim directly. Writes BENCH_explorer_scaling.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -10,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "core/algorithm_registry.h"
@@ -27,11 +29,21 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+StudySpec peterson_exhaustive(int depth) {
+  return StudySpec::of("peterson-2p")
+      .n(2)
+      .worst_case(SearchStrategy::Exhaustive)
+      .depth(depth);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Mutex})) {
+    return 0;
+  }
   const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("explorer_scaling", opts.out);
@@ -41,53 +53,32 @@ int main(int argc, char** argv) {
   std::printf("Exhaustive exploration throughput (Peterson, n=2):\n\n");
   TextTable thr({"depth", "states", "leaves", "ms", "states/sec",
                  "entry steps"});
-  const MutexFactory peterson = registry.mutex("peterson-2p").factory;
   for (const int depth : {12, 16, 20}) {
-    WorstCaseSearchOptions o;
-    o.strategy = SearchStrategy::Exhaustive;
-    o.limits.max_depth = depth;
-    const auto t0 = std::chrono::steady_clock::now();
-    const MutexWcSearchResult r =
-        search_mutex_worst_case(peterson, 2, 1, o, runner.get());
-    const double ms = ms_since(t0);
-    const double rate = ms > 0 ? 1000.0 * static_cast<double>(
-                                     r.states_visited) / ms
-                               : 0.0;
+    const StudyResult r = run_study(peterson_exhaustive(depth), runner.get());
+    const double ms = r.wall_ms;
+    const double rate =
+        ms > 0 ? 1000.0 * static_cast<double>(r.states_visited) / ms : 0.0;
     thr.add_row({std::to_string(depth), std::to_string(r.states_visited),
                  std::to_string(r.schedules_tried),
                  std::to_string(static_cast<long long>(ms)),
                  std::to_string(static_cast<long long>(rate)),
-                 std::to_string(r.entry.steps)});
-    json.row({{"section", std::string("throughput")},
-              {"depth", cfc::bench::jv(depth)},
-              {"states_visited", cfc::bench::jv(r.states_visited)},
-              {"leaves", cfc::bench::jv(r.schedules_tried)},
-              {"elapsed_ms", cfc::bench::jv(ms)},
-              {"states_per_sec", cfc::bench::jv(rate)},
-              {"entry_steps", cfc::bench::jv(r.entry.steps)},
-              {"certified", cfc::bench::jv(r.certified ? 1 : 0)},
-              // Depth truncation is expected here (Peterson spins), so no
-              // warning — but the flag itself is recorded faithfully.
-              {"truncated", cfc::bench::jv(r.truncated ? 1 : 0)}});
+                 std::to_string(r.wc_entry.steps)});
+    // Depth truncation is expected here (Peterson spins), so no warning —
+    // but the study JSON records the flag faithfully.
+    json.study(r, {{"section", std::string("throughput")},
+                   {"depth", cfc::bench::jv(depth)},
+                   {"states_per_sec", cfc::bench::jv(rate)}});
     verify.check(r.certified, "exhaustive certified at depth " +
                                   std::to_string(depth));
   }
   std::printf("%s\n", thr.render().c_str());
 
   {
-    WorstCaseSearchOptions pruned;
-    pruned.strategy = SearchStrategy::Exhaustive;
-    pruned.limits.max_depth = 16;
-    WorstCaseSearchOptions unpruned = pruned;
-    unpruned.limits.prune_visited = false;
-    const auto tp0 = std::chrono::steady_clock::now();
-    const MutexWcSearchResult rp =
-        search_mutex_worst_case(peterson, 2, 1, pruned, runner.get());
-    const double ms_pruned = ms_since(tp0);
-    const auto tu0 = std::chrono::steady_clock::now();
-    const MutexWcSearchResult ru =
-        search_mutex_worst_case(peterson, 2, 1, unpruned, runner.get());
-    const double ms_unpruned = ms_since(tu0);
+    StudySpec pruned = peterson_exhaustive(16);
+    StudySpec unpruned = peterson_exhaustive(16);
+    unpruned.search.limits.prune_visited = false;
+    const StudyResult rp = run_study(pruned, runner.get());
+    const StudyResult ru = run_study(unpruned, runner.get());
     std::printf(
         "Visited-state pruning at depth 16: %llu states vs %llu unpruned "
         "(%.1fx fewer)\n\n",
@@ -100,9 +91,9 @@ int main(int argc, char** argv) {
     json.row({{"section", std::string("pruning")},
               {"states_pruned_on", cfc::bench::jv(rp.states_visited)},
               {"states_pruned_off", cfc::bench::jv(ru.states_visited)},
-              {"ms_pruned_on", cfc::bench::jv(ms_pruned)},
-              {"ms_pruned_off", cfc::bench::jv(ms_unpruned)}});
-    verify.check(rp.entry.steps == ru.entry.steps,
+              {"ms_pruned_on", cfc::bench::jv(rp.wall_ms)},
+              {"ms_pruned_off", cfc::bench::jv(ru.wall_ms)}});
+    verify.check(rp.wc_entry.steps == ru.wc_entry.steps,
                  "pruning preserves the certified entry maximum");
     verify.check(rp.states_visited <= ru.states_visited,
                  "pruning never visits more states");
@@ -187,30 +178,24 @@ int main(int argc, char** argv) {
   verify.check(speedup > 0.75,
                "checkpoint-restore not slower than from-scratch replay");
 
-  // --- 3. Thread-count invariance of the certified results.
+  // --- 3. Thread-count invariance of the certified results, checked on
+  // the canonical serialization: the study JSONs (timing excluded) must be
+  // byte-identical between the sequential reference engine and a pool.
   {
     ExperimentRunner seq(1);
     ExperimentRunner par(4);
-    WorstCaseSearchOptions o;
-    o.strategy = SearchStrategy::Exhaustive;
-    o.limits.max_depth = 18;
-    const MutexWcSearchResult a =
-        search_mutex_worst_case(peterson, 2, 1, o, &seq);
-    const MutexWcSearchResult b =
-        search_mutex_worst_case(peterson, 2, 1, o, &par);
-    const bool identical = a.entry.steps == b.entry.steps &&
-                           a.entry.registers == b.entry.registers &&
-                           a.exit.steps == b.exit.steps &&
-                           a.states_visited == b.states_visited &&
-                           a.schedules_tried == b.schedules_tried &&
-                           a.truncated == b.truncated;
+    const StudyResult a = run_study(peterson_exhaustive(18), &seq);
+    const StudyResult b = run_study(peterson_exhaustive(18), &par);
+    const StudyJsonOptions no_timing{.include_timing = false};
+    const bool identical = to_json(a, no_timing) == to_json(b, no_timing);
     std::printf("Thread invariance (threads=1 vs 4): %s\n",
                 identical ? "bit-identical" : "MISMATCH");
     json.row({{"section", std::string("thread_invariance")},
               {"identical", cfc::bench::jv(identical ? 1 : 0)},
-              {"entry_steps", cfc::bench::jv(a.entry.steps)},
+              {"entry_steps", cfc::bench::jv(a.wc_entry.steps)},
               {"states_visited", cfc::bench::jv(a.states_visited)}});
-    verify.check(identical, "explorer bit-identical for threads=1 vs 4");
+    verify.check(identical,
+                 "canonical study JSON bit-identical for threads=1 vs 4");
   }
 
   return json.finish(verify);

@@ -24,6 +24,11 @@ int main(int argc, char** argv) {
   using namespace cfc::rt;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {})) {
+    return 0;
+  }
+  cfc::bench::note_algo_inapplicable(
+      opts, "hardware study over the fixed rt/ locks; no registry subjects");
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("fig_backoff_rt", opts.out);
 

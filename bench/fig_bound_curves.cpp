@@ -16,6 +16,11 @@ int main(int argc, char** argv) {
   using namespace cfc;
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {})) {
+    return 0;
+  }
+  cfc::bench::note_algo_inapplicable(
+      opts, "derived formula curves; no registry-enumerated subjects");
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("fig_bound_curves", opts.out);
 

@@ -6,8 +6,9 @@
 // AlgorithmRegistry; results additionally land in
 // BENCH_micro_substrate.json for the cross-PR perf trajectory. NOTE: this
 // file uses google-benchmark's native JSON schema ({context, benchmarks})
-// rather than bench_util.h's flat row-array schema — trajectory tooling
-// must branch on the top-level shape.
+// rather than bench_util.h's canonical "cfc.bench.v1" schema — trajectory
+// tooling must branch on the top-level shape (the only bench exempt from
+// the shared schema, per its google-benchmark argv handling).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -130,10 +131,13 @@ void BM_WorstCaseSearchStreaming(benchmark::State& state) {
   // no trace materialization, single-threaded engine (so the number is the
   // per-core cost, comparable across PRs).
   ExperimentRunner seq(1);
+  WorstCaseSearchOptions options;
+  options.strategy = SearchStrategy::Random;
+  options.seeds = {1, 2, 3, 4};
+  options.budget_per_run = 50'000;
   for (auto _ : state) {
     const MutexWcSearchResult wc = search_mutex_worst_case(
-        lamport_fast(), 8, /*sessions=*/2, {1, 2, 3, 4},
-        /*budget_per_run=*/50'000, &seq);
+        lamport_fast(), 8, /*sessions=*/2, options, &seq);
     benchmark::DoNotOptimize(wc.entry.steps);
   }
   state.SetItemsProcessed(state.iterations() * 4);

@@ -11,9 +11,11 @@
 // Per cell, the *problem* complexity is the best implemented algorithm
 // legal in the column's model, drawn from the AlgorithmRegistry's naming
 // catalogue (tas-scan Thm 4.3, tas-read-search Thm 4.4, tas-tar-tree
-// Thm 4.2, taf-tree Thm 4.1, plus the Section 3.2 duals). The worst case is
-// searched over the sequential schedule, round-robin, the Theorem 6
-// lockstep adversary, and seeded random schedules.
+// Thm 4.2, taf-tree Thm 4.1, plus the Section 3.2 duals). The candidate
+// pool is measured once per n through one Campaign
+// (measure_registry_naming) and shared between the five model columns; the
+// worst case is searched over the sequential schedule, round-robin, the
+// Theorem 6 lockstep adversary, and seeded random schedules.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,6 +44,17 @@ std::string cell_str(int v, int n, int log_n) {
 int main(int argc, char** argv) {
   const cfc::bench::BenchOptions opts =
       cfc::bench::BenchOptions::parse(argc, argv);
+  if (cfc::bench::handle_list(opts, {cfc::StudyKind::Naming})) {
+    return 0;
+  }
+  if (!opts.full_pool()) {
+    std::printf(
+        "  [note] --algo=%s: the table's cells are min-over-pool, so the "
+        "full registry\n  is still measured; the filter restricts only the "
+        "emitted candidate studies\n  and skips the paper-cell checks.\n",
+        opts.algo.c_str());
+  }
+  const auto runner = opts.make_runner();
   cfc::bench::Verifier verify;
   cfc::bench::JsonReport json("table2_naming_bounds", opts.out);
 
@@ -59,7 +72,14 @@ int main(int argc, char** argv) {
   for (const int n : {8, 16, 32, 64}) {
     const int log_n = bounds::ceil_log2(static_cast<std::uint64_t>(n));
     std::printf("Measured, n = %d (log n = %d):\n\n", n, log_n);
-    const std::vector<Table2Column> table = measure_table2(n, seeds);
+    const RegistryNamingMeasurements reg =
+        measure_registry_naming(n, seeds, runner.get());
+    for (std::size_t i = 0; i < reg.studies.size(); ++i) {
+      if (opts.selected(reg.candidates[i]->info)) {
+        json.study(reg.studies[i], {{"section", std::string("candidates")}});
+      }
+    }
+    const std::vector<Table2Column> table = build_table2_columns(reg);
 
     TextTable t({"measure", "tas", "read+tas", "read+tas+tar", "taf", "rmw"});
     std::vector<Table2Cell> cells;
@@ -88,6 +108,9 @@ int main(int argc, char** argv) {
     row("w-c step", [](const Table2Cell& c) { return c.wc_step; });
     std::printf("%s\n", t.render().c_str());
 
+    if (!opts.full_pool()) {
+      continue;  // paper-cell checks assume the full candidate pool
+    }
     const std::string at = " at n=" + std::to_string(n);
     // Column 1: test-and-set — n-1 across all four measures.
     verify.check(cells[0].cf_register == n - 1, "tas c-f register = n-1" + at);

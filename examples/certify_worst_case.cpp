@@ -2,12 +2,12 @@
 //
 // The Table 1 worst-case rows are adversarial maxima, but a random schedule
 // search only *samples* the schedule space — it can under-report the true
-// worst case. This example runs the schedule-space explorer exhaustively at
-// small n (every interleaving up to a depth bound, visited states pruned by
-// fingerprint) and certifies the worst-case remembered contention — the
-// paper's clean-entry windows, the cost a process pays after contention has
-// left — for Peterson, the TAS lock, and a tournament tree, then
-// cross-checks the random-search values and the paper's Table 1 rows:
+// worst case. This example builds ONE Campaign of studies — an exhaustive
+// and a random search per configuration, plus the [AT92] depth sweep — and
+// certifies the worst-case remembered contention — the paper's clean-entry
+// windows, the cost a process pays after contention has left — for
+// Peterson, the TAS lock, and a tournament tree, then cross-checks the
+// random-search values and the paper's Table 1 rows:
 //
 //   * worst-case REGISTER complexity is bounded (Table 1 row 3: O(log n)
 //     [Kes82]); the certified values pin it exactly at these n.
@@ -15,16 +15,19 @@
 //     certified value grows with the depth budget, which the example shows.
 //   * the TAS contrast: with one rmw bit, both certified costs collapse to
 //     a constant — the paper's bounds are specific to atomic registers.
+//
+// The identical peterson-2p depth-20 exhaustive search is requested twice
+// (the comparison table and the Table 1 register cross-check); the
+// campaign deduplicates it, so it runs once.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "core/algorithm_registry.h"
 
 int main() {
   using namespace cfc;
-  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
 
   struct Case {
     std::string name;
@@ -39,9 +42,53 @@ int main() {
       {"kessels-tree", 2, 20},
   };
 
+  const auto exhaustive_spec = [](const std::string& name, int n, int depth) {
+    return StudySpec::of(name)
+        .kind(StudyKind::Mutex)
+        .n(n)
+        .worst_case(SearchStrategy::Exhaustive)
+        .depth(depth);
+  };
+
+  // --- One campaign: per case an exhaustive and a random study, then the
+  // [AT92] depth sweep, then the Table 1 register cross-checks (the last
+  // duplicating a sweep entry — deduplicated by the campaign).
+  Campaign campaign;
+  for (const Case& c : cases) {
+    campaign.add(exhaustive_spec(c.name, c.n, c.depth));
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 1; s <= 32; ++s) {
+      seeds.push_back(s);
+    }
+    campaign.add(StudySpec::of(c.name)
+                     .kind(StudyKind::Mutex)
+                     .n(c.n)
+                     .worst_case(SearchStrategy::Random)
+                     .seeds(seeds)
+                     .budget(static_cast<std::uint64_t>(c.depth)));
+  }
+  const std::vector<int> at92_depths = {12, 16, 20, 24};
+  for (const int depth : at92_depths) {
+    campaign.add(exhaustive_spec("peterson-2p", 2, depth));
+  }
+  struct RegCheck {
+    const char* name;
+    int expect_entry_regs;
+  };
+  const std::vector<RegCheck> reg_checks = {{"peterson-2p", 3},
+                                            {"tas-lock", 1}};
+  for (const RegCheck& rc : reg_checks) {
+    campaign.add(exhaustive_spec(rc.name, 2, 20));
+  }
+
+  CampaignStats stats;
+  const std::vector<StudyResult> results = campaign.run(nullptr, &stats);
+
   std::printf(
       "Certified worst-case remembered contention (exhaustive explorer)\n"
-      "vs. random-schedule search on the same configuration:\n\n");
+      "vs. random-schedule search on the same configuration\n"
+      "(%zu studies, %zu unique measurement tasks — %zu deduplicated):\n\n",
+      stats.specs, stats.tasks_planned, stats.tasks_deduplicated);
   std::printf(
       "algorithm       | n | depth |   states | certified entry  | random "
       "entry | exit\n");
@@ -53,45 +100,32 @@ int main() {
       "-----+------\n");
 
   bool all_ok = true;
-  for (const Case& c : cases) {
-    const MutexFactory make = registry.mutex(c.name).factory;
-
-    WorstCaseSearchOptions exhaustive;
-    exhaustive.strategy = SearchStrategy::Exhaustive;
-    exhaustive.limits.max_depth = c.depth;
-    const MutexWcSearchResult ex =
-        search_mutex_worst_case(make, c.n, /*sessions=*/1, exhaustive);
-
-    WorstCaseSearchOptions random;
-    random.strategy = SearchStrategy::Random;
-    random.budget_per_run = static_cast<std::uint64_t>(c.depth);
-    random.seeds.clear();
-    for (std::uint64_t s = 1; s <= 32; ++s) {
-      random.seeds.push_back(s);
-    }
-    const MutexWcSearchResult rnd =
-        search_mutex_worst_case(make, c.n, /*sessions=*/1, random);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    const StudyResult& ex = results[2 * i];
+    const StudyResult& rnd = results[2 * i + 1];
 
     std::printf("%-15s | %d | %5d | %8llu | %5d %3d %s | %5d %3d   | %5d\n",
                 c.name.c_str(), c.n, c.depth,
                 static_cast<unsigned long long>(ex.states_visited),
-                ex.entry.steps, ex.entry.registers,
-                ex.certified ? "(cert.)" : "       ", rnd.entry.steps,
-                rnd.entry.registers, ex.exit.steps);
+                ex.wc_entry.steps, ex.wc_entry.registers,
+                ex.certified ? "(cert.)" : "       ", rnd.wc_entry.steps,
+                rnd.wc_entry.registers, ex.wc_exit.steps);
 
     // Certification sanity: random sampling over the same space can never
     // beat the exhaustive maxima. The reverse — exhaustive exceeding the
     // random values — is the expected finding (flagged below).
-    if (rnd.entry.steps > ex.entry.steps ||
-        rnd.entry.registers > ex.entry.registers) {
+    if (rnd.wc_entry.steps > ex.wc_entry.steps ||
+        rnd.wc_entry.registers > ex.wc_entry.registers) {
       std::printf("  ERROR: random search exceeded the certified bound\n");
       all_ok = false;
     }
-    if (ex.entry.steps > rnd.entry.steps) {
+    if (ex.wc_entry.steps > rnd.wc_entry.steps) {
       std::printf(
           "  finding: exhaustive beats random sampling by %d entry steps "
           "(%d vs %d)\n",
-          ex.entry.steps - rnd.entry.steps, ex.entry.steps, rnd.entry.steps);
+          ex.wc_entry.steps - rnd.wc_entry.steps, ex.wc_entry.steps,
+          rnd.wc_entry.steps);
     }
   }
 
@@ -99,18 +133,13 @@ int main() {
   // certified clean-entry step maximum must grow with the depth budget.
   std::printf("\n[AT92] unbounded worst-case steps, certified per depth "
               "(peterson-2p, n=2):\n  ");
-  const MutexFactory peterson = registry.mutex("peterson-2p").factory;
   int prev = -1;
   bool grows = true;
-  for (const int depth : {12, 16, 20, 24}) {
-    WorstCaseSearchOptions o;
-    o.strategy = SearchStrategy::Exhaustive;
-    o.limits.max_depth = depth;
-    const MutexWcSearchResult r =
-        search_mutex_worst_case(peterson, 2, 1, o);
-    std::printf("depth %d -> %d steps   ", depth, r.entry.steps);
-    grows = grows && r.entry.steps > prev;
-    prev = r.entry.steps;
+  for (std::size_t d = 0; d < at92_depths.size(); ++d) {
+    const StudyResult& r = results[2 * cases.size() + d];
+    std::printf("depth %d -> %d steps   ", at92_depths[d], r.wc_entry.steps);
+    grows = grows && r.wc_entry.steps > prev;
+    prev = r.wc_entry.steps;
   }
   std::printf("\n  %s\n", grows ? "grows with every depth budget — the row "
                                   "is unbounded, as the paper proves"
@@ -120,22 +149,21 @@ int main() {
   // Table 1, row 3: worst-case register complexity is bounded. At n=2 the
   // certified values pin it: Peterson touches its 3 bits, the TAS lock 1.
   std::printf("\nTable 1 cross-check at n=2 (certified registers):\n");
-  struct RegCheck {
-    const char* name;
-    int expect_entry_regs;
-  };
-  for (const RegCheck& rc :
-       std::vector<RegCheck>{{"peterson-2p", 3}, {"tas-lock", 1}}) {
-    WorstCaseSearchOptions o;
-    o.strategy = SearchStrategy::Exhaustive;
-    o.limits.max_depth = 20;
-    const MutexWcSearchResult r = search_mutex_worst_case(
-        registry.mutex(rc.name).factory, 2, 1, o);
-    const bool ok = r.entry.registers == rc.expect_entry_regs;
-    std::printf("  %-12s entry registers = %d (expected %d) %s\n", rc.name,
-                r.entry.registers, rc.expect_entry_regs,
-                ok ? "ok" : "MISMATCH");
+  for (std::size_t k = 0; k < reg_checks.size(); ++k) {
+    const StudyResult& r =
+        results[2 * cases.size() + at92_depths.size() + k];
+    const bool ok = r.wc_entry.registers == reg_checks[k].expect_entry_regs;
+    std::printf("  %-12s entry registers = %d (expected %d) %s\n",
+                reg_checks[k].name, r.wc_entry.registers,
+                reg_checks[k].expect_entry_regs, ok ? "ok" : "MISMATCH");
     all_ok = all_ok && ok;
+  }
+
+  // The dedup claim from the file comment, verified: at least the repeated
+  // peterson-2p depth-20 search and the AT92 depth-20 entry were shared.
+  if (stats.tasks_deduplicated < 2) {
+    std::printf("\nERROR: expected campaign deduplication to fire\n");
+    all_ok = false;
   }
 
   std::printf("\n%s\n", all_ok ? "all certifications consistent"

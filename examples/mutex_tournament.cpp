@@ -8,8 +8,9 @@
 // ([MS93] packs several small registers into one word for exactly this
 // reason).
 #include <cstdio>
+#include <vector>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "core/algorithm_registry.h"
 #include "core/bounds.h"
 #include "sched/sched.h"
@@ -22,20 +23,32 @@ int main() {
   std::printf("l (bits) | cf steps | cf registers | 7ceil(logn/l) | algorithm\n");
   std::printf("---------+----------+--------------+---------------+----------\n");
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  // One campaign over the registry's Theorem 3 grid: the per-atomicity
+  // cells interleave across the experiment pool instead of running one
+  // atomicity at a time.
+  Campaign campaign;
+  std::vector<int> atomicities;
   for (const MutexAlgorithmEntry* entry :
        registry.mutex_for_n(n, "thm3-exact")) {
     const int l = entry->info.atomicity_param;
     if (l > bounds::ceil_log2(n)) {
       continue;  // the theorem covers 1 <= l <= log n
     }
-    const MutexCfResult cf = measure_mutex_contention_free(
-        entry->factory, n, AccessPolicy::RegistersOnly, /*max_pids=*/4);
-    Sim sim;
-    auto alg = setup_mutex(sim, entry->factory, n, 1);
-    std::printf("%8d | %8d | %12d | %13d | %s\n", l, cf.session.steps,
-                cf.session.registers,
-                bounds::thm3_cf_step_upper(n, l),
-                alg->algorithm_name().c_str());
+    campaign.add(StudySpec::of(entry->info.name)
+                     .kind(StudyKind::Mutex)
+                     .n(n)
+                     .policy(AccessPolicy::RegistersOnly)
+                     .sample_pids(4)
+                     .contention_free());
+    atomicities.push_back(l);
+  }
+  const std::vector<StudyResult> results = campaign.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StudyResult& r = results[i];
+    std::printf("%8d | %8d | %12d | %13d | %s\n", atomicities[i], r.cf.steps,
+                r.cf.registers,
+                bounds::thm3_cf_step_upper(n, atomicities[i]),
+                r.subject.c_str());
   }
 
   // Contended correctness: 16 processes, 3 critical sections each, random

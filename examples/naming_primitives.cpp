@@ -6,8 +6,9 @@
 // schedule, and prints the four complexity measures per algorithm — the
 // executable version of the paper's "Tight bounds for naming" table.
 #include <cstdio>
+#include <vector>
 
-#include "analysis/naming_complexity.h"
+#include "analysis/study.h"
 #include "core/algorithm_registry.h"
 #include "naming/checkers.h"
 
@@ -22,13 +23,26 @@ int main() {
       "--------------------------------------------------"
       "-------------------------------\n",
       "model", "algorithm");
-  for (const NamingAlgorithmEntry* entry : registry.naming_algorithms()) {
-    const NamingAlgMeasurement m =
-        measure_naming(entry->factory, n, {1, 2, 3, 4, 5});
+  // One campaign over the registry's naming catalogue — the executable
+  // version of the paper's "Tight bounds for naming" table, every
+  // algorithm's adversary battery interleaved across the pool.
+  Campaign campaign;
+  const auto candidates = registry.naming_algorithms();
+  for (const NamingAlgorithmEntry* entry : candidates) {
+    campaign.add(StudySpec::of(entry->info.name)
+                     .kind(StudyKind::Naming)
+                     .n(n)
+                     .contention_free()
+                     .worst_case()
+                     .seeds({1, 2, 3, 4, 5}));
+  }
+  const std::vector<StudyResult> results = campaign.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const StudyResult& r = results[i];
     std::printf("%-28s %-20s | %7d | %6d | %7d | %6d\n",
-                entry->info.required_model.to_string().c_str(),
-                m.name.c_str(), m.cf.steps, m.cf.registers, m.wc.steps,
-                m.wc.registers);
+                candidates[i]->info.required_model.to_string().c_str(),
+                r.subject.c_str(), r.cf.steps, r.cf.registers, r.wc.steps,
+                r.wc.registers);
   }
 
   const NamingFactory taf = registry.naming("taf-tree").factory;

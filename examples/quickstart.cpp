@@ -12,9 +12,12 @@
 //  2. SoloScheduler produces the paper's contention-free runs; the trace
 //     measurement then counts steps (accesses) and registers (distinct
 //     registers) inside the entry->exit window.
+//  3. The measured summary goes through the unified Study API: one
+//     StudySpec describes the measurement, one StudyResult carries every
+//     measure (and serializes to the canonical JSON with to_json).
 #include <cstdio>
 
-#include "analysis/experiment.h"
+#include "analysis/study.h"
 #include "core/algorithm_registry.h"
 #include "core/bounds.h"
 #include "sched/sched.h"
@@ -49,15 +52,20 @@ int main() {
                                                 : a.returned.value_or(0)));
   }
 
-  // --- The measured contention-free complexity (max over all processes).
-  const MutexCfResult cf = measure_mutex_contention_free(
-      lamport, n, AccessPolicy::RegistersOnly);
+  // --- The measured contention-free complexity (max over all processes),
+  // through the declarative Study API.
+  const StudyResult cf = run_study(StudySpec::of("lamport-fast")
+                                       .kind(StudyKind::Mutex)
+                                       .n(n)
+                                       .policy(AccessPolicy::RegistersOnly)
+                                       .contention_free());
   std::printf(
-      "\ncontention-free complexity of lamport-fast at n=%d:\n"
+      "\ncontention-free complexity of %s at n=%d:\n"
       "  steps     = %d   (paper: 5 entry + 2 exit = 7)\n"
       "  registers = %d   (paper: b[i], x, y = 3)\n"
       "  atomicity = %d   (= ceil(log2(n+1)))\n",
-      n, cf.session.steps, cf.session.registers, cf.measured_atomicity);
+      cf.subject.c_str(), n, cf.cf.steps, cf.cf.registers,
+      cf.measured_atomicity);
 
   // --- The paper's lower bounds, evaluated at the measured atomicity.
   const double lb_step =
@@ -67,10 +75,15 @@ int main() {
   std::printf(
       "\nTheorem 1 demands cf steps > %.2f  -> measured %d: %s\n"
       "Theorem 2 demands cf regs >= %.2f  -> measured %d: %s\n",
-      lb_step, cf.session.steps,
-      cf.session.steps > lb_step ? "satisfied" : "VIOLATED",
-      lb_reg, cf.session.registers,
-      static_cast<double>(cf.session.registers) >= lb_reg ? "satisfied"
-                                                          : "VIOLATED");
+      lb_step, cf.cf.steps,
+      cf.cf.steps > lb_step ? "satisfied" : "VIOLATED",
+      lb_reg, cf.cf.registers,
+      static_cast<double>(cf.cf.registers) >= lb_reg ? "satisfied"
+                                                     : "VIOLATED");
+
+  // --- The same result, machine-readable (the canonical study JSON every
+  // bench emits).
+  std::printf("\ncanonical study JSON:\n%s\n",
+              to_json(cf, StudyJsonOptions{.include_timing = false}).c_str());
   return 0;
 }

@@ -1,123 +1,55 @@
 #include "analysis/experiment.h"
 
-#include <algorithm>
-#include <stdexcept>
+#include <optional>
 
-#include "core/streaming_measures.h"
 #include "sched/sched.h"
 
 namespace cfc {
 
+// Every adapter here builds a StudySpec with an ad-hoc factory (the legacy
+// surface passes factories, not registry names) and repackages the
+// StudyResult. The measurement mechanics — cell grids, streaming sinks,
+// Explorer configuration, index-order reduction — live in study.cpp.
+
 MutexCfResult measure_mutex_contention_free(const MutexFactory& make, int n,
                                             AccessPolicy policy, int max_pids,
                                             ExperimentRunner* runner) {
-  const int pid_limit = (max_pids > 0 && max_pids < n) ? max_pids : n;
-
-  struct Cell {
-    ComplexityReport session;
-    ComplexityReport entry;
-    ComplexityReport exit;
-    int atomicity = 0;
-  };
-  std::vector<Cell> cells(static_cast<std::size_t>(pid_limit));
-
-  runner_or_shared(runner).parallel_for(
-      cells.size(), [&](std::size_t i) {
-        const Pid pid = static_cast<Pid>(i);
-        Sim sim;
-        sim.set_trace_recording(false);
-        sim.set_access_policy(policy);
-        MeasureAccumulator acc(n);
-        sim.add_sink(acc);
-        auto alg = setup_mutex(sim, make, n, /*sessions=*/1);
-        SoloScheduler solo(pid);
-        const RunOutcome out = drive(sim, solo);
-        if (out == RunOutcome::BudgetExhausted) {
-          throw std::logic_error(
-              "solo mutex session did not terminate (weak deadlock freedom "
-              "violated)");
-        }
-        if (acc.contention_free_session_count(pid) != 1) {
-          throw std::logic_error(
-              "expected exactly one contention-free session");
-        }
-        Cell& cell = cells[i];
-        cell.session = acc.contention_free_session_max(pid);
-        cell.entry = acc.clean_entry_max(pid);
-        cell.exit = acc.exit_max(pid);
-        cell.atomicity = acc.total(pid).atomicity;
-      });
+  StudySpec spec = StudySpec::of("")
+                       .kind(StudyKind::Mutex)
+                       .n(n)
+                       .policy(policy)
+                       .sample_pids(max_pids)
+                       .contention_free();
+  spec.factory(make);
+  const StudyResult r = run_study(spec, runner);
 
   MutexCfResult res;
-  for (const Cell& cell : cells) {  // index order: deterministic reduction
-    res.session = res.session.max_with(cell.session);
-    res.entry = res.entry.max_with(cell.entry);
-    res.exit = res.exit.max_with(cell.exit);
-    res.measured_atomicity = std::max(res.measured_atomicity, cell.atomicity);
-  }
+  res.session = r.cf;
+  res.entry = r.cf_entry;
+  res.exit = r.cf_exit;
+  res.measured_atomicity = r.measured_atomicity;
   return res;
 }
-
-namespace {
-
-/// Copies the run statistics shared by every worst-case search result —
-/// including the single definition of the `certified` invariant.
-template <class ResultT>
-void fill_search_stats(ResultT& res, const Explorer::Result& r,
-                       SearchStrategy strategy) {
-  res.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
-  res.states_visited = r.stats.states_visited;
-  res.violations = r.stats.violations;
-  res.truncated = r.stats.truncated;
-  res.certified =
-      strategy != SearchStrategy::Random && !r.stats.state_budget_hit;
-}
-
-/// Explorer configuration for the mutex worst-case objective: maximize the
-/// clean-entry and exit window maxima over all processes. The objective is
-/// monotone along a run (window maxima never decrease), and its pruning
-/// digest is the window digest — the whole-run totals are irrelevant to it.
-Explorer::Config mutex_explore_config(const MutexFactory& make, int n,
-                                      int sessions,
-                                      const WorstCaseSearchOptions& options) {
-  Explorer::Config cfg;
-  cfg.nprocs = n;
-  cfg.strategy = options.strategy;
-  cfg.limits = options.limits;
-  cfg.seeds = options.seeds;
-  cfg.random_budget = options.budget_per_run;
-  cfg.setup = [make, n, sessions](Sim& sim) -> std::shared_ptr<void> {
-    return setup_mutex(sim, make, n, sessions);
-  };
-  cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
-    ComplexityReport entry;
-    ComplexityReport exit;
-    for (Pid pid = 0; pid < n; ++pid) {
-      entry = entry.max_with(acc.clean_entry_max(pid));
-      exit = exit.max_with(acc.exit_max(pid));
-    }
-    return std::vector<ComplexityReport>{entry, exit};
-  };
-  cfg.objective.digest = [](const MeasureAccumulator& acc) {
-    return acc.window_digest();
-  };
-  return cfg;
-}
-
-}  // namespace
 
 MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
     const WorstCaseSearchOptions& options, ExperimentRunner* runner) {
-  const Explorer explorer(mutex_explore_config(make, n, sessions, options));
-  const Explorer::Result r = explorer.run(runner);
+  StudySpec spec = StudySpec::of("")
+                       .kind(StudyKind::Mutex)
+                       .n(n)
+                       .sessions(sessions)
+                       .worst_case(options);
+  spec.factory(make);
+  const StudyResult r = run_study(spec, runner);
 
   MutexWcSearchResult res;
-  if (r.best.size() >= 2) {
-    res.entry = r.best[0];
-    res.exit = r.best[1];
-  }
-  fill_search_stats(res, r, options.strategy);
+  res.entry = r.wc_entry;
+  res.exit = r.wc_exit;
+  res.schedules_tried = r.schedules_tried;
+  res.states_visited = r.states_visited;
+  res.violations = r.violations;
+  res.truncated = r.truncated;
+  res.certified = r.certified;
   return res;
 }
 
@@ -132,107 +64,58 @@ MutexWcSearchResult search_mutex_worst_case(
   return search_mutex_worst_case(make, n, sessions, options, runner);
 }
 
-namespace {
-
-/// One detector run under `sched`, measured streaming: the max whole-run
-/// complexity over all processes. `expect_solo_winner` additionally
-/// verifies the solo process's output (the contention-detection liveness
-/// side).
-ComplexityReport run_detector_cell(const DetectorFactory& make, int n,
-                                   Scheduler& sched,
-                                   std::optional<Pid> expect_solo_winner) {
-  Sim sim;
-  sim.set_trace_recording(false);
-  MeasureAccumulator acc(n);
-  sim.add_sink(acc);
-  auto det = setup_detection(sim, make, n);
-  if (drive(sim, sched) == RunOutcome::BudgetExhausted) {
-    acc.mark_truncated();  // surfaced as ComplexityReport::truncated
-  }
-  if (expect_solo_winner.has_value() &&
-      sim.output(*expect_solo_winner) != 1) {
-    throw std::logic_error(
-        "solo detector process did not output 1 (broken detector)");
-  }
-  ComplexityReport best;
-  for (Pid pid = 0; pid < n; ++pid) {
-    best = best.max_with(acc.total(pid));
-  }
-  return best;
-}
-
-}  // namespace
-
 ComplexityReport measure_detector_contention_free(const DetectorFactory& make,
                                                   int n,
                                                   ExperimentRunner* runner) {
-  std::vector<ComplexityReport> cells(static_cast<std::size_t>(n));
-  runner_or_shared(runner).parallel_for(
-      cells.size(), [&](std::size_t i) {
-        const Pid pid = static_cast<Pid>(i);
-        SoloScheduler solo(pid);
-        cells[i] = run_detector_cell(make, n, solo, pid);
-      });
-  ComplexityReport best;
-  for (const ComplexityReport& cell : cells) {
-    best = best.max_with(cell);
-  }
-  return best;
+  StudySpec spec =
+      StudySpec::of("").kind(StudyKind::Detector).n(n).contention_free();
+  spec.factory(make);
+  return run_study(spec, runner).cf;
 }
 
 DetectorWcSearchResult search_detector_worst_case(
     const DetectorFactory& make, int n, const WorstCaseSearchOptions& options,
     ExperimentRunner* runner) {
-  Explorer::Config cfg;
-  cfg.nprocs = n;
-  cfg.strategy = options.strategy;
-  cfg.limits = options.limits;
-  cfg.seeds = options.seeds;
-  cfg.random_budget = options.budget_per_run;
-  cfg.setup = [make, n](Sim& sim) -> std::shared_ptr<void> {
-    return setup_detection(sim, make, n);
-  };
-  cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
-    ComplexityReport best;
-    for (Pid pid = 0; pid < n; ++pid) {
-      best = best.max_with(acc.total(pid));
-    }
-    return std::vector<ComplexityReport>{best};
-  };
-  // Whole-run totals objective: the default accumulator digest (which
-  // covers the totals) is the sound pruning key, so leave it unset.
-
-  const Explorer explorer(std::move(cfg));
-  const Explorer::Result r = explorer.run(runner);
+  StudySpec spec =
+      StudySpec::of("").kind(StudyKind::Detector).n(n).worst_case(options);
+  spec.factory(make);
+  const StudyResult r = run_study(spec, runner);
 
   DetectorWcSearchResult res;
-  if (!r.best.empty()) {
-    res.best = r.best[0];
-  }
-  fill_search_stats(res, r, options.strategy);
+  res.best = r.wc;
+  res.schedules_tried = r.schedules_tried;
+  res.states_visited = r.states_visited;
+  res.violations = r.violations;
+  res.truncated = r.truncated;
+  res.certified = r.certified;
   return res;
 }
 
-ComplexityReport search_detector_worst_case(
+DetectorWcSearchResult search_detector_worst_case(
     const DetectorFactory& make, int n,
     const std::vector<std::uint64_t>& seeds, ExperimentRunner* runner) {
-  // Cell 0 is the round-robin schedule; cells 1..k are the seeded randoms.
+  // The historical battery: cell 0 is the round-robin schedule, cells 1..k
+  // the seeded randoms. Kept as its own cell grid (the options overload's
+  // Random strategy omits the round-robin run) so legacy callers see
+  // bit-identical maxima; the full result type now carries the run
+  // statistics the old bare-ComplexityReport return silently dropped.
   std::vector<ComplexityReport> cells(seeds.size() + 1);
-  runner_or_shared(runner).parallel_for(
-      cells.size(), [&](std::size_t i) {
-        if (i == 0) {
-          RoundRobinScheduler rr;
-          cells[i] = run_detector_cell(make, n, rr, std::nullopt);
-        } else {
-          RandomScheduler rnd(seeds[i - 1]);
-          cells[i] = run_detector_cell(make, n, rnd, std::nullopt);
-        }
-      });
-  ComplexityReport best;
+  runner_or_shared(runner).parallel_for(cells.size(), [&](std::size_t i) {
+    if (i == 0) {
+      RoundRobinScheduler rr;
+      cells[i] = detail::run_detector_cell(make, n, rr, std::nullopt);
+    } else {
+      RandomScheduler rnd(seeds[i - 1]);
+      cells[i] = detail::run_detector_cell(make, n, rnd, std::nullopt);
+    }
+  });
+  DetectorWcSearchResult res;
   for (const ComplexityReport& cell : cells) {
-    best = best.max_with(cell);
+    res.best = res.best.max_with(cell);
   }
-  return best;
+  res.schedules_tried = cells.size();
+  res.truncated = res.best.truncated;
+  return res;
 }
 
 }  // namespace cfc

@@ -6,22 +6,22 @@
 
 #include "analysis/experiment_runner.h"
 #include "analysis/explorer.h"
+#include "analysis/study.h"
 #include "core/contention_detection.h"
 #include "core/measures.h"
 #include "mutex/mutex_algorithm.h"
 
 namespace cfc {
 
-/// The experiment engine: every entry point fans its independent cells
-/// (per-pid solo runs, per-seed schedule searches) across an
-/// ExperimentRunner thread pool and reduces the per-cell results in index
-/// order, so the reports are bit-identical for every thread count —
-/// `ExperimentRunner seq(1)` is the reference sequential engine. Passing
-/// `runner = nullptr` uses the shared hardware-sized pool.
-///
-/// Measurement is streaming: each cell attaches a MeasureAccumulator sink
-/// and runs with trace materialization disabled, so long random-schedule
-/// searches never allocate a trace.
+/// Legacy per-problem measurement entry points, kept as thin forwarding
+/// adapters over the unified Study/Campaign API (analysis/study.h) — each
+/// builds a StudySpec, runs it, and repackages the StudyResult into the
+/// historical per-problem structs. New code should use StudySpec/Campaign
+/// directly; these remain for source compatibility and as the reference
+/// shape of the paper's three measurements. The determinism contract
+/// (bit-identical reports for every thread count; `runner = nullptr` uses
+/// the shared hardware-sized pool) is inherited from the study engine.
+/// (WorstCaseSearchOptions also lives in analysis/study.h now.)
 
 /// Contention-free complexity of a mutual exclusion algorithm, measured per
 /// the paper's Section 2.2 definition: for every process, run it alone
@@ -42,20 +42,6 @@ struct MutexCfResult {
     const MutexFactory& make, int n,
     AccessPolicy policy = AccessPolicy::Unrestricted, int max_pids = 0,
     ExperimentRunner* runner = nullptr);
-
-/// How to search for worst cases: the strategy plus its budgets. The
-/// Exhaustive/Bounded strategies run the schedule-space Explorer (DFS with
-/// checkpoint-based backtracking and visited-state pruning); Random is the
-/// legacy seeded sampler.
-struct WorstCaseSearchOptions {
-  SearchStrategy strategy = SearchStrategy::Random;
-  /// Random: one run per seed, each `budget_per_run` picks long.
-  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
-  std::uint64_t budget_per_run = 200'000;
-  /// Exhaustive/Bounded: the DFS budgets. Bounded additionally requires
-  /// limits.max_preemptions >= 0 (Exhaustive ignores it).
-  ExploreLimits limits;
-};
 
 /// Worst-case entry estimate: maximum step/register complexity over the
 /// paper's *clean* entry windows (no process in CS or exit anywhere in the
@@ -85,7 +71,10 @@ struct MutexWcSearchResult {
     const MutexFactory& make, int n, int sessions,
     const WorstCaseSearchOptions& options, ExperimentRunner* runner = nullptr);
 
-/// Legacy entry point: Random strategy over `seeds`.
+/// Legacy entry point: Random strategy over `seeds`. Redundant with the
+/// options overload (set strategy/seeds/budget there, or use StudySpec).
+[[deprecated(
+    "use the WorstCaseSearchOptions overload or StudySpec::worst_case")]]
 [[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
     const std::vector<std::uint64_t>& seeds,
@@ -116,8 +105,12 @@ struct DetectorWcSearchResult {
     ExperimentRunner* runner = nullptr);
 
 /// Legacy entry point: seeded random schedules plus the round-robin
-/// schedule.
-[[nodiscard]] ComplexityReport search_detector_worst_case(
+/// schedule. Returns the full DetectorWcSearchResult (historically a bare
+/// ComplexityReport, which silently dropped the truncated/violations run
+/// statistics).
+[[deprecated(
+    "use the WorstCaseSearchOptions overload or StudySpec::worst_case")]]
+[[nodiscard]] DetectorWcSearchResult search_detector_worst_case(
     const DetectorFactory& make, int n,
     const std::vector<std::uint64_t>& seeds,
     ExperimentRunner* runner = nullptr);

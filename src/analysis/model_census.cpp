@@ -16,9 +16,12 @@ std::vector<ModelCensusEntry> run_model_census(
     int n, const std::vector<std::uint64_t>& seeds,
     ExperimentRunner* runner) {
   // The candidate pool is the registry's full naming catalogue, measured
-  // once per candidate; the 256 model cells below reuse the measurements.
-  const auto [candidates, measured] =
+  // once per candidate through one Campaign (analysis/study.h); the 256
+  // model cells below reuse the measurements.
+  const RegistryNamingMeasurements reg =
       measure_registry_naming(n, seeds, runner);
+  const auto& candidates = reg.candidates;
+  const auto& measured = reg.measured;
 
   std::vector<ModelCensusEntry> out;
   out.reserve(256);

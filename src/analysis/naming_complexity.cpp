@@ -1,114 +1,38 @@
 #include "analysis/naming_complexity.h"
 
 #include <limits>
-#include <stdexcept>
 #include <utility>
-
-#include "core/adversary.h"
-#include "core/algorithm_registry.h"
-#include "naming/checkers.h"
-#include "sched/sched.h"
 
 namespace cfc {
 
 namespace {
 
-ComplexityReport max_over_processes(const Sim& sim) {
-  ComplexityReport best;
-  for (Pid p = 0; p < sim.process_count(); ++p) {
-    best = best.max_with(measure_all(sim.trace(), p));
-  }
-  return best;
-}
-
-void require_ok(const NamingRunCheck& check, const std::string& who) {
-  if (!check.ok()) {
-    throw std::logic_error("naming run failed validation: " + who);
-  }
+StudySpec naming_spec(std::string subject, int n,
+                      const std::vector<std::uint64_t>& seeds) {
+  return StudySpec::of(std::move(subject))
+      .kind(StudyKind::Naming)
+      .n(n)
+      .contention_free()
+      .worst_case()
+      .seeds(seeds);
 }
 
 }  // namespace
 
+NamingAlgMeasurement naming_measurement_from(const StudyResult& r) {
+  NamingAlgMeasurement out;
+  out.name = r.subject;
+  out.cf = r.cf;
+  out.wc = r.wc;
+  return out;
+}
+
 NamingAlgMeasurement measure_naming(const NamingFactory& make, int n,
                                     const std::vector<std::uint64_t>& seeds,
                                     ExperimentRunner* runner) {
-  NamingAlgMeasurement out;
-
-  // Resolve the algorithm name (and capacity errors) up front, on the
-  // calling thread, so misconfiguration surfaces as the documented
-  // exception rather than through the pool.
-  {
-    Sim sim;
-    auto alg = setup_naming(sim, make, n);
-    out.name = alg->algorithm_name();
-  }
-
-  // Cells: 0 = the sequential (contention-free) schedule, 1 = round-robin,
-  // 2 = the Theorem 6 lockstep symmetry adversary, 3.. = seeded randoms.
-  // All independent; reduced below in this fixed order.
-  const std::size_t cell_count = 3 + seeds.size();
-  std::vector<ComplexityReport> wc_cells(cell_count);
-  ComplexityReport cf;
-
-  runner_or_shared(runner).parallel_for(cell_count, [&](std::size_t i) {
-    Sim sim;
-    auto alg = setup_naming(sim, make, n);
-    bool cut = false;  // budget exhausted: surfaced as truncated below
-    switch (i) {
-      case 0: {
-        if (!run_sequentially(sim)) {
-          throw std::logic_error("sequential naming run did not finish: " +
-                                 out.name);
-        }
-        break;
-      }
-      case 1: {
-        RoundRobinScheduler rr;
-        if (drive(sim, rr) != RunOutcome::AllDone) {
-          throw std::logic_error("round-robin naming run did not finish: " +
-                                 out.name);
-        }
-        break;
-      }
-      case 2: {
-        // The lockstep symmetry adversary, finished off fairly so
-        // stragglers complete and count.
-        std::vector<Pid> group;
-        group.reserve(static_cast<std::size_t>(n));
-        for (Pid p = 0; p < n; ++p) {
-          group.push_back(p);
-        }
-        const LockstepResult res = lockstep_symmetry_adversary(sim, group);
-        if (res.identical_group_terminated) {
-          throw std::logic_error("identical processes terminated together: " +
-                                 out.name);
-        }
-        RoundRobinScheduler rr;
-        cut = drive(sim, rr) != RunOutcome::AllDone;
-        break;
-      }
-      default: {
-        RandomScheduler rnd(seeds[i - 3]);
-        if (drive(sim, rnd) != RunOutcome::AllDone) {
-          throw std::logic_error("random naming run did not finish: " +
-                                 out.name);
-        }
-        break;
-      }
-    }
-    require_ok(check_naming_run(sim, alg->name_space()), out.name);
-    wc_cells[i] = max_over_processes(sim);
-    wc_cells[i].truncated = wc_cells[i].truncated || cut;
-    if (i == 0) {
-      cf = wc_cells[i];
-    }
-  });
-
-  out.cf = cf;
-  for (const ComplexityReport& cell : wc_cells) {
-    out.wc = out.wc.max_with(cell);
-  }
-  return out;
+  StudySpec spec = naming_spec("", n, seeds);
+  spec.factory(make);  // subject label left empty: resolves algorithm_name()
+  return naming_measurement_from(run_study(spec, runner));
 }
 
 Table2Cell Table2Column::best() const {
@@ -127,26 +51,25 @@ Table2Cell Table2Column::best() const {
 }
 
 RegistryNamingMeasurements measure_registry_naming(
-    int n, const std::vector<std::uint64_t>& seeds,
-    ExperimentRunner* runner) {
+    int n, const std::vector<std::uint64_t>& seeds, ExperimentRunner* runner) {
   RegistryNamingMeasurements out;
   out.candidates = AlgorithmRegistry::instance().naming_algorithms();
-  out.measured.resize(out.candidates.size());
-  runner_or_shared(runner).parallel_for(
-      out.candidates.size(), [&](std::size_t i) {
-        out.measured[i] =
-            measure_naming(out.candidates[i]->factory, n, seeds, runner);
-      });
+
+  Campaign campaign;
+  for (const NamingAlgorithmEntry* entry : out.candidates) {
+    campaign.add(naming_spec(entry->info.name, n, seeds));
+  }
+  out.studies = campaign.run(runner);
+
+  out.measured.reserve(out.studies.size());
+  for (const StudyResult& r : out.studies) {
+    out.measured.push_back(naming_measurement_from(r));
+  }
   return out;
 }
 
-std::vector<Table2Column> measure_table2(
-    int n, const std::vector<std::uint64_t>& seeds,
-    ExperimentRunner* runner) {
-  // Candidate pool: every registered naming algorithm, measured once.
-  const auto [candidates, measured] =
-      measure_registry_naming(n, seeds, runner);
-
+std::vector<Table2Column> build_table2_columns(
+    const RegistryNamingMeasurements& measurements) {
   const std::vector<std::pair<std::string, Model>> columns = {
       {"test-and-set", Model::test_and_set()},
       {"read+test-and-set", Model::read_test_and_set()},
@@ -161,14 +84,19 @@ std::vector<Table2Column> measure_table2(
     Table2Column col;
     col.model_label = label;
     col.model = model;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (model.includes(candidates[i]->info.required_model)) {
-        col.algorithms.push_back(measured[i]);
+    for (std::size_t i = 0; i < measurements.candidates.size(); ++i) {
+      if (model.includes(measurements.candidates[i]->info.required_model)) {
+        col.algorithms.push_back(measurements.measured[i]);
       }
     }
     out.push_back(std::move(col));
   }
   return out;
+}
+
+std::vector<Table2Column> measure_table2(
+    int n, const std::vector<std::uint64_t>& seeds, ExperimentRunner* runner) {
+  return build_table2_columns(measure_registry_naming(n, seeds, runner));
 }
 
 }  // namespace cfc

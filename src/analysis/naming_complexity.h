@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/experiment_runner.h"
+#include "analysis/study.h"
 #include "core/algorithm_registry.h"
 #include "core/measures.h"
 #include "naming/naming_algorithm.h"
@@ -27,20 +28,28 @@ struct NamingAlgMeasurement {
   ComplexityReport wc;
 };
 
-/// The independent runs (sequential, round-robin, lockstep adversary, one
-/// per seed) are fanned across `runner` and reduced in a fixed order, so
-/// results are identical for every thread count.
+/// Repackages a naming StudyResult into the legacy measurement struct.
+[[nodiscard]] NamingAlgMeasurement naming_measurement_from(
+    const StudyResult& r);
+
+/// Thin forwarding adapter over the Study API: one naming study (cf + the
+/// worst-case battery) for an ad-hoc factory. The independent runs are
+/// fanned across `runner` and reduced in a fixed order, so results are
+/// identical for every thread count.
 [[nodiscard]] NamingAlgMeasurement measure_naming(
     const NamingFactory& make, int n, const std::vector<std::uint64_t>& seeds,
     ExperimentRunner* runner = nullptr);
 
-/// Every registered naming algorithm measured once at n, fanned across the
-/// runner; candidates[i] corresponds to measured[i], in the registry's
-/// deterministic (name-sorted) order. The shared candidate pool behind
-/// measure_table2 and the model census.
+/// Every registered naming algorithm measured once at n via one Campaign
+/// (per-algorithm cells interleaved, no per-algorithm barrier);
+/// candidates[i] corresponds to measured[i] and studies[i], in the
+/// registry's deterministic (name-sorted) order. The shared candidate pool
+/// behind measure_table2 and the model census.
 struct RegistryNamingMeasurements {
   std::vector<const NamingAlgorithmEntry*> candidates;
   std::vector<NamingAlgMeasurement> measured;
+  /// The uniform study results (canonical JSON via to_json).
+  std::vector<StudyResult> studies;
 };
 
 [[nodiscard]] RegistryNamingMeasurements measure_registry_naming(
@@ -67,11 +76,14 @@ struct Table2Column {
   [[nodiscard]] Table2Cell best() const;
 };
 
+/// Distributes already-measured candidates into the paper's five model
+/// columns (each distinct algorithm measured once, shared between columns).
+[[nodiscard]] std::vector<Table2Column> build_table2_columns(
+    const RegistryNamingMeasurements& measurements);
+
 /// Measures all five columns of the paper's naming table for n processes
-/// (n must be a power of two >= 2 for the tree algorithms). The candidate
-/// pool per column is every AlgorithmRegistry naming entry legal in the
-/// column's model; each distinct algorithm is measured once (in parallel
-/// across the runner) and shared between columns.
+/// (n must be a power of two >= 2 for the tree algorithms), routing the
+/// candidate pool through one Campaign via measure_registry_naming.
 [[nodiscard]] std::vector<Table2Column> measure_table2(
     int n, const std::vector<std::uint64_t>& seeds,
     ExperimentRunner* runner = nullptr);

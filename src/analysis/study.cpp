@@ -1,0 +1,1303 @@
+#include "analysis/study.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/adversary.h"
+#include "core/algorithm_registry.h"
+#include "core/streaming_measures.h"
+#include "naming/checkers.h"
+#include "sched/sched.h"
+
+namespace cfc {
+
+const char* name(StudyKind k) {
+  switch (k) {
+    case StudyKind::Mutex:
+      return "mutex";
+    case StudyKind::Naming:
+      return "naming";
+    case StudyKind::Detector:
+      return "detector";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- StudySpec
+
+StudySpec StudySpec::of(std::string subject) {
+  StudySpec spec;
+  spec.subject_name = std::move(subject);
+  return spec;
+}
+
+StudySpec& StudySpec::kind(StudyKind k) {
+  study_kind = k;
+  return *this;
+}
+
+StudySpec& StudySpec::n(int nprocs) {
+  procs = nprocs;
+  return *this;
+}
+
+StudySpec& StudySpec::sessions(int s) {
+  mutex_sessions = s;
+  return *this;
+}
+
+StudySpec& StudySpec::policy(AccessPolicy p) {
+  access = p;
+  return *this;
+}
+
+StudySpec& StudySpec::sample_pids(int max_pids) {
+  cf_pid_sample = max_pids;
+  return *this;
+}
+
+StudySpec& StudySpec::contention_free() {
+  want_cf = true;
+  return *this;
+}
+
+StudySpec& StudySpec::worst_case() {
+  want_wc = true;
+  return *this;
+}
+
+StudySpec& StudySpec::worst_case(SearchStrategy s) {
+  want_wc = true;
+  search.strategy = s;
+  return *this;
+}
+
+StudySpec& StudySpec::worst_case(const WorstCaseSearchOptions& options) {
+  want_wc = true;
+  search = options;
+  return *this;
+}
+
+StudySpec& StudySpec::seeds(std::vector<std::uint64_t> s) {
+  search.seeds = std::move(s);
+  return *this;
+}
+
+StudySpec& StudySpec::budget(std::uint64_t per_run) {
+  search.budget_per_run = per_run;
+  return *this;
+}
+
+StudySpec& StudySpec::limits(const ExploreLimits& l) {
+  search.limits = l;
+  return *this;
+}
+
+StudySpec& StudySpec::depth(int max_depth) {
+  search.limits.max_depth = max_depth;
+  return *this;
+}
+
+StudySpec& StudySpec::factory(MutexFactory f) {
+  adhoc_mutex = std::move(f);
+  return *this;
+}
+
+StudySpec& StudySpec::factory(NamingFactory f) {
+  adhoc_naming = std::move(f);
+  return *this;
+}
+
+StudySpec& StudySpec::factory(DetectorFactory f) {
+  adhoc_detector = std::move(f);
+  return *this;
+}
+
+// ------------------------------------------------------- measurement tasks
+
+namespace {
+
+/// One unit of campaign work: a fixed grid of independent cells plus an
+/// index-order reduction. Cells from every task in a campaign are
+/// interleaved into one flat parallel_for, so there is no per-task (and
+/// hence no per-spec) barrier; reductions run afterwards on the calling
+/// thread in task order.
+class MeasureTask {
+ public:
+  virtual ~MeasureTask() = default;
+
+  [[nodiscard]] virtual std::size_t cell_count() const = 0;
+  virtual void run_cell(std::size_t i, ExperimentRunner& runner) = 0;
+  virtual void reduce() = 0;
+  /// Writes the task's reduced measurements into the study result.
+  virtual void apply(StudyResult& out) const = 0;
+
+  void add_ns(std::int64_t ns) { ns_ += ns; }
+  [[nodiscard]] double wall_ms() const {
+    return static_cast<double>(ns_.load()) * 1e-6;
+  }
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
+
+/// Copies the Explorer run statistics shared by every worst-case task —
+/// including the single definition of the `certified` invariant.
+void fill_search_stats(StudyResult& out, const Explorer::Result& r,
+                       SearchStrategy strategy) {
+  out.wc_strategy = strategy;
+  out.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
+  out.states_visited = r.stats.states_visited;
+  out.violations = r.stats.violations;
+  out.truncated = out.truncated || r.stats.truncated;
+  out.certified =
+      strategy != SearchStrategy::Random && !r.stats.state_budget_hit;
+}
+
+/// Mutex contention-free measurement (Section 2.2): one solo session per
+/// measured pid, each a cell; max over pids.
+class MutexCfTask final : public MeasureTask {
+ public:
+  MutexCfTask(MutexFactory make, int n, AccessPolicy policy, int pid_limit)
+      : make_(std::move(make)), n_(n), policy_(policy) {
+    cells_.resize(static_cast<std::size_t>(pid_limit));
+  }
+
+  [[nodiscard]] std::size_t cell_count() const override {
+    return cells_.size();
+  }
+
+  void run_cell(std::size_t i, ExperimentRunner&) override {
+    const Pid pid = static_cast<Pid>(i);
+    Sim sim;
+    sim.set_trace_recording(false);
+    sim.set_access_policy(policy_);
+    MeasureAccumulator acc(n_);
+    sim.add_sink(acc);
+    auto alg = setup_mutex(sim, make_, n_, /*sessions=*/1);
+    SoloScheduler solo(pid);
+    if (drive(sim, solo) == RunOutcome::BudgetExhausted) {
+      throw std::logic_error(
+          "solo mutex session did not terminate (weak deadlock freedom "
+          "violated)");
+    }
+    if (acc.contention_free_session_count(pid) != 1) {
+      throw std::logic_error("expected exactly one contention-free session");
+    }
+    Cell& cell = cells_[i];
+    cell.session = acc.contention_free_session_max(pid);
+    cell.entry = acc.clean_entry_max(pid);
+    cell.exit = acc.exit_max(pid);
+    cell.atomicity = acc.total(pid).atomicity;
+  }
+
+  void reduce() override {
+    for (const Cell& cell : cells_) {  // index order: deterministic
+      session_ = session_.max_with(cell.session);
+      entry_ = entry_.max_with(cell.entry);
+      exit_ = exit_.max_with(cell.exit);
+      atomicity_ = std::max(atomicity_, cell.atomicity);
+    }
+  }
+
+  void apply(StudyResult& out) const override {
+    out.has_cf = true;
+    out.cf = session_;
+    out.cf_entry = entry_;
+    out.cf_exit = exit_;
+    out.measured_atomicity = std::max(out.measured_atomicity, atomicity_);
+  }
+
+ private:
+  struct Cell {
+    ComplexityReport session;
+    ComplexityReport entry;
+    ComplexityReport exit;
+    int atomicity = 0;
+  };
+
+  MutexFactory make_;
+  int n_;
+  AccessPolicy policy_;
+  std::vector<Cell> cells_;
+  ComplexityReport session_;
+  ComplexityReport entry_;
+  ComplexityReport exit_;
+  int atomicity_ = 0;
+};
+
+/// Mutex worst-case search: one cell running the schedule-space Explorer
+/// (which fans its own frontier/seed cells over the same runner — the
+/// ExperimentRunner is nestable and caller-participating).
+class MutexWcTask final : public MeasureTask {
+ public:
+  MutexWcTask(MutexFactory make, int n, int sessions,
+              WorstCaseSearchOptions options)
+      : make_(std::move(make)),
+        n_(n),
+        sessions_(sessions),
+        options_(std::move(options)) {}
+
+  [[nodiscard]] std::size_t cell_count() const override { return 1; }
+
+  void run_cell(std::size_t, ExperimentRunner& runner) override {
+    Explorer::Config cfg;
+    cfg.nprocs = n_;
+    cfg.strategy = options_.strategy;
+    cfg.limits = options_.limits;
+    cfg.seeds = options_.seeds;
+    cfg.random_budget = options_.budget_per_run;
+    const MutexFactory make = make_;
+    const int n = n_;
+    const int sessions = sessions_;
+    cfg.setup = [make, n, sessions](Sim& sim) -> std::shared_ptr<void> {
+      return setup_mutex(sim, make, n, sessions);
+    };
+    // Objective: maximize the clean-entry and exit window maxima over all
+    // processes. Monotone along a run (window maxima never decrease); its
+    // pruning digest is the window digest — whole-run totals are
+    // irrelevant to it.
+    cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
+      ComplexityReport entry;
+      ComplexityReport exit;
+      for (Pid pid = 0; pid < n; ++pid) {
+        entry = entry.max_with(acc.clean_entry_max(pid));
+        exit = exit.max_with(acc.exit_max(pid));
+      }
+      return std::vector<ComplexityReport>{entry, exit};
+    };
+    cfg.objective.digest = [](const MeasureAccumulator& acc) {
+      return acc.window_digest();
+    };
+    const Explorer explorer(std::move(cfg));
+    result_ = explorer.run(&runner);
+  }
+
+  void reduce() override {}
+
+  void apply(StudyResult& out) const override {
+    out.has_wc = true;
+    if (result_.best.size() >= 2) {
+      out.wc_entry = result_.best[0];
+      out.wc_exit = result_.best[1];
+    }
+    out.wc = out.wc_entry.plus(out.wc_exit);
+    fill_search_stats(out, result_, options_.strategy);
+  }
+
+ private:
+  MutexFactory make_;
+  int n_;
+  int sessions_;
+  WorstCaseSearchOptions options_;
+  Explorer::Result result_;
+};
+
+}  // namespace
+
+namespace detail {
+
+ComplexityReport run_detector_cell(const DetectorFactory& make, int n,
+                                   Scheduler& sched,
+                                   std::optional<Pid> expect_solo_winner) {
+  Sim sim;
+  sim.set_trace_recording(false);
+  MeasureAccumulator acc(n);
+  sim.add_sink(acc);
+  auto det = setup_detection(sim, make, n);
+  if (drive(sim, sched) == RunOutcome::BudgetExhausted) {
+    acc.mark_truncated();  // surfaced as ComplexityReport::truncated
+  }
+  if (expect_solo_winner.has_value() &&
+      sim.output(*expect_solo_winner) != 1) {
+    throw std::logic_error(
+        "solo detector process did not output 1 (broken detector)");
+  }
+  ComplexityReport best;
+  for (Pid pid = 0; pid < n; ++pid) {
+    best = best.max_with(acc.total(pid));
+  }
+  return best;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Detector contention-free measurement: one solo run per process.
+class DetectorCfTask final : public MeasureTask {
+ public:
+  DetectorCfTask(DetectorFactory make, int n) : make_(std::move(make)) {
+    cells_.resize(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] std::size_t cell_count() const override {
+    return cells_.size();
+  }
+
+  void run_cell(std::size_t i, ExperimentRunner&) override {
+    const Pid pid = static_cast<Pid>(i);
+    SoloScheduler solo(pid);
+    cells_[i] = detail::run_detector_cell(
+        make_, static_cast<int>(cells_.size()), solo, pid);
+  }
+
+  void reduce() override {
+    for (const ComplexityReport& cell : cells_) {
+      best_ = best_.max_with(cell);
+    }
+  }
+
+  void apply(StudyResult& out) const override {
+    out.has_cf = true;
+    out.cf = best_;
+    out.measured_atomicity = std::max(out.measured_atomicity,
+                                      best_.atomicity);
+  }
+
+ private:
+  DetectorFactory make_;
+  std::vector<ComplexityReport> cells_;
+  ComplexityReport best_;
+};
+
+/// Detector worst-case search: one Explorer cell over whole-run totals.
+class DetectorWcTask final : public MeasureTask {
+ public:
+  DetectorWcTask(DetectorFactory make, int n, WorstCaseSearchOptions options)
+      : make_(std::move(make)), n_(n), options_(std::move(options)) {}
+
+  [[nodiscard]] std::size_t cell_count() const override { return 1; }
+
+  void run_cell(std::size_t, ExperimentRunner& runner) override {
+    Explorer::Config cfg;
+    cfg.nprocs = n_;
+    cfg.strategy = options_.strategy;
+    cfg.limits = options_.limits;
+    cfg.seeds = options_.seeds;
+    cfg.random_budget = options_.budget_per_run;
+    const DetectorFactory make = make_;
+    const int n = n_;
+    cfg.setup = [make, n](Sim& sim) -> std::shared_ptr<void> {
+      return setup_detection(sim, make, n);
+    };
+    cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
+      ComplexityReport best;
+      for (Pid pid = 0; pid < n; ++pid) {
+        best = best.max_with(acc.total(pid));
+      }
+      return std::vector<ComplexityReport>{best};
+    };
+    // Whole-run totals objective: the default accumulator digest (which
+    // covers the totals) is the sound pruning key, so leave it unset.
+    const Explorer explorer(std::move(cfg));
+    result_ = explorer.run(&runner);
+  }
+
+  void reduce() override {}
+
+  void apply(StudyResult& out) const override {
+    out.has_wc = true;
+    if (!result_.best.empty()) {
+      out.wc = result_.best[0];
+    }
+    fill_search_stats(out, result_, options_.strategy);
+  }
+
+ private:
+  DetectorFactory make_;
+  int n_;
+  WorstCaseSearchOptions options_;
+  Explorer::Result result_;
+};
+
+/// Naming measurement battery. Cell 0 is the sequential (contention-free)
+/// schedule; with the worst-case battery enabled, cell 1 is round-robin,
+/// cell 2 the Theorem 6 lockstep symmetry adversary, and cells 3.. the
+/// seeded random schedules. The wc report is the max over all cells
+/// (naming worst cases are found by this fixed adversary battery; the DFS
+/// strategies do not apply).
+class NamingTask final : public MeasureTask {
+ public:
+  NamingTask(NamingFactory make, int n, std::vector<std::uint64_t> seeds,
+             bool battery, std::string label)
+      : make_(std::move(make)),
+        n_(n),
+        seeds_(std::move(seeds)),
+        battery_(battery),
+        label_(std::move(label)) {
+    cells_.resize(battery_ ? 3 + seeds_.size() : 1);
+  }
+
+  [[nodiscard]] std::size_t cell_count() const override {
+    return cells_.size();
+  }
+
+  void run_cell(std::size_t i, ExperimentRunner&) override {
+    Sim sim;
+    auto alg = setup_naming(sim, make_, n_);
+    bool cut = false;  // budget exhausted: surfaced as truncated below
+    switch (i) {
+      case 0: {
+        if (!run_sequentially(sim)) {
+          throw std::logic_error("sequential naming run did not finish: " +
+                                 label_);
+        }
+        break;
+      }
+      case 1: {
+        RoundRobinScheduler rr;
+        if (drive(sim, rr) != RunOutcome::AllDone) {
+          throw std::logic_error("round-robin naming run did not finish: " +
+                                 label_);
+        }
+        break;
+      }
+      case 2: {
+        // The lockstep symmetry adversary, finished off fairly so
+        // stragglers complete and count.
+        std::vector<Pid> group;
+        group.reserve(static_cast<std::size_t>(n_));
+        for (Pid p = 0; p < n_; ++p) {
+          group.push_back(p);
+        }
+        const LockstepResult res = lockstep_symmetry_adversary(sim, group);
+        if (res.identical_group_terminated) {
+          throw std::logic_error("identical processes terminated together: " +
+                                 label_);
+        }
+        RoundRobinScheduler rr;
+        cut = drive(sim, rr) != RunOutcome::AllDone;
+        break;
+      }
+      default: {
+        RandomScheduler rnd(seeds_[i - 3]);
+        if (drive(sim, rnd) != RunOutcome::AllDone) {
+          throw std::logic_error("random naming run did not finish: " +
+                                 label_);
+        }
+        break;
+      }
+    }
+    const NamingRunCheck check = check_naming_run(sim, alg->name_space());
+    if (!check.ok()) {
+      throw std::logic_error("naming run failed validation: " + label_);
+    }
+    ComplexityReport best;
+    for (Pid p = 0; p < sim.process_count(); ++p) {
+      best = best.max_with(measure_all(sim.trace(), p));
+    }
+    best.truncated = best.truncated || cut;
+    cells_[i] = best;
+  }
+
+  void reduce() override {
+    cf_ = cells_[0];
+    for (const ComplexityReport& cell : cells_) {
+      wc_ = wc_.max_with(cell);
+    }
+  }
+
+  void apply(StudyResult& out) const override {
+    out.has_cf = true;
+    out.cf = cf_;
+    out.measured_atomicity = std::max(out.measured_atomicity, cf_.atomicity);
+    if (battery_) {
+      out.has_wc = true;
+      out.wc_strategy = SearchStrategy::Random;
+      out.wc = wc_;
+      out.schedules_tried += cells_.size();
+      out.truncated = out.truncated || wc_.truncated;
+    }
+  }
+
+ private:
+  NamingFactory make_;
+  int n_;
+  std::vector<std::uint64_t> seeds_;
+  bool battery_;
+  std::string label_;
+  std::vector<ComplexityReport> cells_;
+  ComplexityReport cf_;
+  ComplexityReport wc_;
+};
+
+// ------------------------------------------------------ subject resolution
+
+struct ResolvedSubject {
+  std::string name;
+  MutexFactory mutex;
+  NamingFactory naming;
+  DetectorFactory detector;
+  bool from_registry = false;  ///< dedup-eligible across campaign specs
+};
+
+/// Resolves the spec's subject (ad-hoc factory or registry lookup) and
+/// validates capacity on the calling thread, so misconfiguration surfaces
+/// as the documented exception rather than through the pool. The probe
+/// allocates the algorithm's registers once but spawns no processes.
+ResolvedSubject resolve(const StudySpec& spec) {
+  ResolvedSubject r;
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  switch (spec.study_kind) {
+    case StudyKind::Mutex: {
+      if (spec.adhoc_mutex) {
+        r.mutex = spec.adhoc_mutex;
+      } else {
+        r.mutex = registry.mutex(spec.subject_name).factory;
+        r.from_registry = true;
+      }
+      Sim probe;
+      auto alg = r.mutex(probe.memory(), spec.procs);
+      if (alg->capacity() < spec.procs) {
+        throw std::invalid_argument("mutex capacity below process count");
+      }
+      r.name = spec.subject_name.empty() ? alg->algorithm_name()
+                                         : spec.subject_name;
+      break;
+    }
+    case StudyKind::Naming: {
+      if (spec.adhoc_naming) {
+        r.naming = spec.adhoc_naming;
+      } else {
+        r.naming = registry.naming(spec.subject_name).factory;
+        r.from_registry = true;
+      }
+      Sim probe;
+      auto alg = r.naming(probe.memory(), spec.procs);
+      if (alg->capacity() < spec.procs) {
+        throw std::invalid_argument("naming capacity below process count");
+      }
+      r.name = spec.subject_name.empty() ? alg->algorithm_name()
+                                         : spec.subject_name;
+      break;
+    }
+    case StudyKind::Detector: {
+      if (spec.adhoc_detector) {
+        r.detector = spec.adhoc_detector;
+      } else {
+        r.detector = registry.detector(spec.subject_name).factory;
+        r.from_registry = true;
+      }
+      Sim probe;
+      auto alg = r.detector(probe.memory(), spec.procs);
+      if (alg->capacity() < spec.procs) {
+        throw std::invalid_argument("detector capacity below process count");
+      }
+      r.name = spec.subject_name.empty() ? alg->algorithm_name()
+                                         : spec.subject_name;
+      break;
+    }
+  }
+  return r;
+}
+
+std::string seeds_key(const std::vector<std::uint64_t>& seeds) {
+  std::string out;
+  for (const std::uint64_t s : seeds) {
+    out += std::to_string(s);
+    out += ',';
+  }
+  return out;
+}
+
+std::string search_key(const WorstCaseSearchOptions& o) {
+  return std::string(name(o.strategy)) + "|seeds=" + seeds_key(o.seeds) +
+         "|budget=" + std::to_string(o.budget_per_run) +
+         "|depth=" + std::to_string(o.limits.max_depth) +
+         "|preempt=" + std::to_string(o.limits.max_preemptions) +
+         "|states=" + std::to_string(o.limits.max_states) +
+         "|frontier=" + std::to_string(o.limits.frontier_depth) +
+         "|prune=" + std::to_string(o.limits.prune_visited ? 1 : 0);
+}
+
+int effective_pid_limit(const StudySpec& spec) {
+  return (spec.cf_pid_sample > 0 && spec.cf_pid_sample < spec.procs)
+             ? spec.cf_pid_sample
+             : spec.procs;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Campaign
+
+Campaign& Campaign::add(StudySpec spec) {
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+Campaign& Campaign::add(std::vector<StudySpec> specs) {
+  for (StudySpec& spec : specs) {
+    specs_.push_back(std::move(spec));
+  }
+  return *this;
+}
+
+std::vector<StudyResult> Campaign::run(ExperimentRunner* runner,
+                                       CampaignStats* stats) const {
+  struct Binding {
+    MeasureTask* cf = nullptr;
+    MeasureTask* wc = nullptr;
+  };
+
+  std::vector<std::unique_ptr<MeasureTask>> tasks;
+  std::map<std::string, MeasureTask*> interned;
+  std::vector<Binding> bindings(specs_.size());
+  std::vector<std::string> names(specs_.size());
+  std::size_t deduplicated = 0;
+
+  // Dedup: an empty key (ad-hoc subject) always plans a fresh task; a
+  // registry key covering the full measurement configuration (subject,
+  // kind, n, policy/sessions, strategy, seeds, budgets) shares the task.
+  const auto intern = [&](const std::string& key,
+                          const std::function<std::unique_ptr<MeasureTask>()>&
+                              build) -> MeasureTask* {
+    if (!key.empty()) {
+      const auto it = interned.find(key);
+      if (it != interned.end()) {
+        deduplicated += 1;
+        return it->second;
+      }
+    }
+    tasks.push_back(build());
+    MeasureTask* task = tasks.back().get();
+    if (!key.empty()) {
+      interned.emplace(key, task);
+    }
+    return task;
+  };
+
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const StudySpec& spec = specs_[i];
+    const ResolvedSubject subject = resolve(spec);
+    names[i] = subject.name;
+    const std::string base =
+        subject.from_registry
+            ? std::string(name(spec.study_kind)) + '|' + subject.name +
+                  "|n=" + std::to_string(spec.procs)
+            : std::string();
+    const auto keyed = [&base](const std::string& suffix) {
+      return base.empty() ? std::string() : base + '|' + suffix;
+    };
+
+    switch (spec.study_kind) {
+      case StudyKind::Mutex: {
+        if (spec.want_cf) {
+          const int pid_limit = effective_pid_limit(spec);
+          bindings[i].cf = intern(
+              keyed("cf|policy=" +
+                    std::to_string(static_cast<int>(spec.access)) +
+                    "|pids=" + std::to_string(pid_limit)),
+              [&] {
+                return std::make_unique<MutexCfTask>(
+                    subject.mutex, spec.procs, spec.access, pid_limit);
+              });
+        }
+        if (spec.want_wc) {
+          bindings[i].wc = intern(
+              keyed("wc|sessions=" + std::to_string(spec.mutex_sessions) +
+                    '|' + search_key(spec.search)),
+              [&] {
+                return std::make_unique<MutexWcTask>(
+                    subject.mutex, spec.procs, spec.mutex_sessions,
+                    spec.search);
+              });
+        }
+        break;
+      }
+      case StudyKind::Naming: {
+        // One battery task covers both measures; a cf-only spec runs just
+        // the sequential cell.
+        MeasureTask* task = intern(
+            keyed(std::string("battery|wc=") + (spec.want_wc ? '1' : '0') +
+                  "|seeds=" + seeds_key(spec.search.seeds)),
+            [&] {
+              return std::make_unique<NamingTask>(
+                  subject.naming, spec.procs, spec.search.seeds,
+                  spec.want_wc, subject.name);
+            });
+        bindings[i].cf = task;
+        bindings[i].wc = spec.want_wc ? task : nullptr;
+        break;
+      }
+      case StudyKind::Detector: {
+        if (spec.want_cf) {
+          bindings[i].cf = intern(keyed("cf"), [&] {
+            return std::make_unique<DetectorCfTask>(subject.detector,
+                                                    spec.procs);
+          });
+        }
+        if (spec.want_wc) {
+          bindings[i].wc = intern(keyed("wc|" + search_key(spec.search)),
+                                  [&] {
+                                    return std::make_unique<DetectorWcTask>(
+                                        subject.detector, spec.procs,
+                                        spec.search);
+                                  });
+        }
+        break;
+      }
+    }
+  }
+
+  // Interleave: round-robin one cell per task, so no task (and no spec)
+  // forms a barrier in the flat grid.
+  std::vector<std::pair<MeasureTask*, std::size_t>> flat;
+  std::size_t max_cells = 0;
+  for (const auto& task : tasks) {
+    max_cells = std::max(max_cells, task->cell_count());
+  }
+  for (std::size_t round = 0; round < max_cells; ++round) {
+    for (const auto& task : tasks) {
+      if (round < task->cell_count()) {
+        flat.emplace_back(task.get(), round);
+      }
+    }
+  }
+
+  ExperimentRunner& engine = runner_or_shared(runner);
+  engine.parallel_for(flat.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    flat[i].first->run_cell(flat[i].second, engine);
+    flat[i].first->add_ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  });
+
+  for (const auto& task : tasks) {
+    task->reduce();
+  }
+
+  std::vector<StudyResult> out(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const StudySpec& spec = specs_[i];
+    StudyResult& res = out[i];
+    res.subject = names[i];
+    res.kind = spec.study_kind;
+    res.n = spec.procs;
+    res.sessions = spec.mutex_sessions;
+    if (bindings[i].cf != nullptr) {
+      bindings[i].cf->apply(res);
+      res.wall_ms += bindings[i].cf->wall_ms();
+    }
+    if (bindings[i].wc != nullptr && bindings[i].wc != bindings[i].cf) {
+      bindings[i].wc->apply(res);
+      res.wall_ms += bindings[i].wc->wall_ms();
+    }
+    // A naming battery measures cf as a side effect; mask it when the spec
+    // did not ask for it so the result mirrors the request.
+    if (!spec.want_cf) {
+      res.has_cf = false;
+      res.cf = ComplexityReport{};
+      res.cf_entry = ComplexityReport{};
+      res.cf_exit = ComplexityReport{};
+      res.measured_atomicity = 0;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->specs = specs_.size();
+    stats->tasks_planned = tasks.size();
+    stats->tasks_deduplicated = deduplicated;
+    stats->cells = flat.size();
+  }
+  return out;
+}
+
+StudyResult run_study(const StudySpec& spec, ExperimentRunner* runner) {
+  Campaign campaign;
+  campaign.add(spec);
+  return campaign.run(runner)[0];
+}
+
+// --------------------------------------------------------------- to_json
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_report(std::string& out, const ComplexityReport& r) {
+  out += "{\"steps\": " + std::to_string(r.steps) +
+         ", \"registers\": " + std::to_string(r.registers) +
+         ", \"read_steps\": " + std::to_string(r.read_steps) +
+         ", \"write_steps\": " + std::to_string(r.write_steps) +
+         ", \"read_registers\": " + std::to_string(r.read_registers) +
+         ", \"write_registers\": " + std::to_string(r.write_registers) +
+         ", \"atomicity\": " + std::to_string(r.atomicity) +
+         ", \"truncated\": " + (r.truncated ? "true" : "false") + "}";
+}
+
+}  // namespace
+
+std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
+  std::string out = "{\n  \"schema\": \"cfc.study.v1\",\n  \"subject\": \"";
+  append_escaped(out, r.subject);
+  out += "\",\n  \"kind\": \"";
+  out += name(r.kind);
+  out += "\",\n  \"n\": " + std::to_string(r.n) +
+         ",\n  \"sessions\": " + std::to_string(r.sessions) + ",\n";
+  if (r.has_cf) {
+    out += "  \"cf\": {\n    \"session\": ";
+    append_report(out, r.cf);
+    out += ",\n    \"entry\": ";
+    append_report(out, r.cf_entry);
+    out += ",\n    \"exit\": ";
+    append_report(out, r.cf_exit);
+    out += ",\n    \"atomicity\": " + std::to_string(r.measured_atomicity) +
+           "\n  },\n";
+  } else {
+    out += "  \"cf\": null,\n";
+  }
+  if (r.has_wc) {
+    out += "  \"wc\": {\n    \"strategy\": \"";
+    out += name(r.wc_strategy);
+    out += "\",\n    \"total\": ";
+    append_report(out, r.wc);
+    out += ",\n    \"entry\": ";
+    append_report(out, r.wc_entry);
+    out += ",\n    \"exit\": ";
+    append_report(out, r.wc_exit);
+    out += ",\n    \"schedules_tried\": " +
+           std::to_string(r.schedules_tried) +
+           ",\n    \"states_visited\": " + std::to_string(r.states_visited) +
+           ",\n    \"violations\": " + std::to_string(r.violations) +
+           ",\n    \"truncated\": " +
+           (r.truncated ? "true" : "false") +
+           ",\n    \"certified\": " + (r.certified ? "true" : "false") +
+           "\n  }";
+  } else {
+    out += "  \"wc\": null";
+  }
+  if (opts.include_timing) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", r.wall_ms);
+    out += ",\n  \"wall_ms\": ";
+    out += buf;
+  }
+  out += "\n}";
+  return out;
+}
+
+std::string to_json(const std::vector<StudyResult>& results,
+                    const StudyJsonOptions& opts) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out += to_json(results[i], opts);
+    out += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------------- study_from_json
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, sufficient for (a superset of)
+/// the canonical study schema. Numbers keep their raw text so 64-bit
+/// counters round-trip exactly.
+struct JsonNode {
+  enum class Type { Object, Array, String, Number, Bool, Null };
+  Type type = Type::Null;
+  std::map<std::string, JsonNode> object;
+  std::vector<JsonNode> array;
+  std::string text;  ///< String value / Number raw text
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& src) : src_(src) {}
+
+  JsonNode parse() {
+    JsonNode node = value();
+    skip_ws();
+    if (pos_ != src_.size()) {
+      fail("trailing content");
+    }
+    return node;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) const {
+    throw std::invalid_argument(std::string("study JSON parse error at ") +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\n' || src_[pos_] == '\t' ||
+            src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= src_.size()) {
+      fail("unexpected end of input");
+    }
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail("unexpected character");
+    }
+    ++pos_;
+  }
+
+  JsonNode value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_node();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        return null();
+      default:
+        return number();
+    }
+  }
+
+  JsonNode object() {
+    JsonNode node;
+    node.type = JsonNode::Type::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return node;
+    }
+    while (true) {
+      JsonNode key = string_node();
+      expect(':');
+      node.object.emplace(key.text, value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        return node;
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonNode array() {
+    JsonNode node;
+    node.type = JsonNode::Type::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return node;
+    }
+    while (true) {
+      node.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        return node;
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  JsonNode string_node() {
+    JsonNode node;
+    node.type = JsonNode::Type::String;
+    expect('"');
+    while (true) {
+      if (pos_ >= src_.size()) {
+        fail("unterminated string");
+      }
+      const char c = src_[pos_++];
+      if (c == '"') {
+        return node;
+      }
+      if (c != '\\') {
+        node.text += c;
+        continue;
+      }
+      if (pos_ >= src_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"':
+          node.text += '"';
+          break;
+        case '\\':
+          node.text += '\\';
+          break;
+        case '/':
+          node.text += '/';
+          break;
+        case 'n':
+          node.text += '\n';
+          break;
+        case 't':
+          node.text += '\t';
+          break;
+        case 'r':
+          node.text += '\r';
+          break;
+        case 'u': {
+          if (pos_ + 4 > src_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned long code = 0;
+          for (int d = 0; d < 4; ++d) {
+            const char h = src_[pos_ + static_cast<std::size_t>(d)];
+            if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+              fail("non-hex digit in \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned long>(
+                       h <= '9' ? h - '0'
+                                : (h | 0x20) - 'a' + 10);
+          }
+          pos_ += 4;
+          // The canonical serializer only emits \u00xx control codes;
+          // higher code points would be silently corrupted by the
+          // single-byte decode below, so reject them loudly.
+          if (code > 0xff) {
+            fail("\\u escape beyond \\u00ff unsupported");
+          }
+          node.text += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unsupported escape");
+      }
+    }
+  }
+
+  JsonNode boolean() {
+    JsonNode node;
+    node.type = JsonNode::Type::Bool;
+    if (src_.compare(pos_, 4, "true") == 0) {
+      node.boolean = true;
+      pos_ += 4;
+    } else if (src_.compare(pos_, 5, "false") == 0) {
+      node.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return node;
+  }
+
+  JsonNode null() {
+    if (src_.compare(pos_, 4, "null") != 0) {
+      fail("bad literal");
+    }
+    pos_ += 4;
+    return JsonNode{};
+  }
+
+  JsonNode number() {
+    JsonNode node;
+    node.type = JsonNode::Type::Number;
+    const std::size_t start = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0 ||
+            src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+            src_[pos_] == '+' || src_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a number");
+    }
+    node.text = src_.substr(start, pos_ - start);
+    return node;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+const JsonNode& member(const JsonNode& obj, const char* key) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    throw std::invalid_argument(std::string("study JSON: missing field '") +
+                                key + "'");
+  }
+  return it->second;
+}
+
+/// Typed accessors: a mistyped field (a string where a number belongs, a
+/// number where a bool belongs) is malformed input and must throw the
+/// documented std::invalid_argument, never silently parse to 0/false.
+[[noreturn]] void fail_type(const char* expected) {
+  throw std::invalid_argument(std::string("study JSON: expected ") +
+                              expected);
+}
+
+int to_int(const JsonNode& n) {
+  if (n.type != JsonNode::Type::Number) {
+    fail_type("a number");
+  }
+  return static_cast<int>(std::strtol(n.text.c_str(), nullptr, 10));
+}
+
+std::uint64_t to_u64(const JsonNode& n) {
+  if (n.type != JsonNode::Type::Number) {
+    fail_type("a number");
+  }
+  return std::strtoull(n.text.c_str(), nullptr, 10);
+}
+
+bool to_bool(const JsonNode& n) {
+  if (n.type != JsonNode::Type::Bool) {
+    fail_type("a boolean");
+  }
+  return n.boolean;
+}
+
+const std::string& to_string_field(const JsonNode& n) {
+  if (n.type != JsonNode::Type::String) {
+    fail_type("a string");
+  }
+  return n.text;
+}
+
+ComplexityReport report_from(const JsonNode& obj) {
+  if (obj.type != JsonNode::Type::Object) {
+    fail_type("a report object");
+  }
+  ComplexityReport r;
+  r.steps = to_int(member(obj, "steps"));
+  r.registers = to_int(member(obj, "registers"));
+  r.read_steps = to_int(member(obj, "read_steps"));
+  r.write_steps = to_int(member(obj, "write_steps"));
+  r.read_registers = to_int(member(obj, "read_registers"));
+  r.write_registers = to_int(member(obj, "write_registers"));
+  r.atomicity = to_int(member(obj, "atomicity"));
+  r.truncated = to_bool(member(obj, "truncated"));
+  return r;
+}
+
+StudyKind kind_from(const std::string& s) {
+  if (s == "mutex") {
+    return StudyKind::Mutex;
+  }
+  if (s == "naming") {
+    return StudyKind::Naming;
+  }
+  if (s == "detector") {
+    return StudyKind::Detector;
+  }
+  throw std::invalid_argument("study JSON: unknown kind '" + s + "'");
+}
+
+SearchStrategy strategy_from(const std::string& s) {
+  if (s == "exhaustive") {
+    return SearchStrategy::Exhaustive;
+  }
+  if (s == "bounded") {
+    return SearchStrategy::Bounded;
+  }
+  if (s == "random") {
+    return SearchStrategy::Random;
+  }
+  throw std::invalid_argument("study JSON: unknown strategy '" + s + "'");
+}
+
+}  // namespace
+
+StudyResult study_from_json(const std::string& json) {
+  const JsonNode root = JsonParser(json).parse();
+  if (root.type != JsonNode::Type::Object) {
+    throw std::invalid_argument("study JSON: expected an object");
+  }
+  if (to_string_field(member(root, "schema")) != "cfc.study.v1") {
+    throw std::invalid_argument("study JSON: unsupported schema '" +
+                                member(root, "schema").text + "'");
+  }
+  StudyResult r;
+  r.subject = to_string_field(member(root, "subject"));
+  r.kind = kind_from(to_string_field(member(root, "kind")));
+  r.n = to_int(member(root, "n"));
+  r.sessions = to_int(member(root, "sessions"));
+
+  const JsonNode& cf = member(root, "cf");
+  if (cf.type == JsonNode::Type::Object) {
+    r.has_cf = true;
+    r.cf = report_from(member(cf, "session"));
+    r.cf_entry = report_from(member(cf, "entry"));
+    r.cf_exit = report_from(member(cf, "exit"));
+    r.measured_atomicity = to_int(member(cf, "atomicity"));
+  }
+
+  const JsonNode& wc = member(root, "wc");
+  if (wc.type == JsonNode::Type::Object) {
+    r.has_wc = true;
+    r.wc_strategy = strategy_from(to_string_field(member(wc, "strategy")));
+    r.wc = report_from(member(wc, "total"));
+    r.wc_entry = report_from(member(wc, "entry"));
+    r.wc_exit = report_from(member(wc, "exit"));
+    r.schedules_tried = to_u64(member(wc, "schedules_tried"));
+    r.states_visited = to_u64(member(wc, "states_visited"));
+    r.violations = to_u64(member(wc, "violations"));
+    r.truncated = to_bool(member(wc, "truncated"));
+    r.certified = to_bool(member(wc, "certified"));
+  }
+
+  const auto wall = root.object.find("wall_ms");
+  if (wall != root.object.end()) {
+    if (wall->second.type != JsonNode::Type::Number) {
+      fail_type("a number");
+    }
+    r.wall_ms = std::strtod(wall->second.text.c_str(), nullptr);
+  }
+  return r;
+}
+
+}  // namespace cfc

@@ -1,0 +1,236 @@
+#ifndef CFC_ANALYSIS_STUDY_H
+#define CFC_ANALYSIS_STUDY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment_runner.h"
+#include "analysis/explorer.h"
+#include "core/contention_detection.h"
+#include "core/measures.h"
+#include "mutex/mutex_algorithm.h"
+#include "naming/naming_algorithm.h"
+#include "sched/sim.h"
+
+namespace cfc {
+
+/// The unified Study/Campaign API: one declarative front door for every
+/// measurement driver the paper's framework defines — contention-free
+/// measurement and worst-case schedule search, for mutual exclusion, naming
+/// and contention detection alike. The per-problem entry points in
+/// analysis/experiment.h and analysis/naming_complexity.h are thin
+/// forwarding adapters over this layer.
+///
+/// Determinism contract (inherited from the experiment engine): a study's
+/// independent cells are fanned across an ExperimentRunner and reduced in a
+/// fixed order, so every StudyResult is bit-identical for every thread
+/// count; `ExperimentRunner seq(1)` is the reference sequential engine.
+/// Only StudyResult::wall_ms is nondeterministic, and the canonical JSON
+/// serializer can exclude it (StudyJsonOptions::include_timing).
+
+/// Which of the paper's three problems a study measures.
+enum class StudyKind : std::uint8_t { Mutex, Naming, Detector };
+
+[[nodiscard]] const char* name(StudyKind k);
+
+/// How to search for worst cases: the strategy plus its budgets. The
+/// Exhaustive/Bounded strategies run the schedule-space Explorer (DFS with
+/// checkpoint-based backtracking and visited-state pruning); Random is the
+/// legacy seeded sampler. (Naming studies instead run the fixed adversary
+/// battery — sequential, round-robin, the Theorem 6 lockstep adversary —
+/// plus one random schedule per seed; strategy and limits are ignored.)
+struct WorstCaseSearchOptions {
+  SearchStrategy strategy = SearchStrategy::Random;
+  /// Random: one run per seed, each `budget_per_run` picks long.
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::uint64_t budget_per_run = 200'000;
+  /// Exhaustive/Bounded: the DFS budgets. Bounded additionally requires
+  /// limits.max_preemptions >= 0 (Exhaustive ignores it).
+  ExploreLimits limits;
+};
+
+/// Declarative description of one study: a subject (an AlgorithmRegistry
+/// name, or an ad-hoc factory with a display label) plus the measurements
+/// to run on it. Built fluently:
+///
+///   StudySpec::of("peterson-2p")
+///       .kind(StudyKind::Mutex)
+///       .n(2)
+///       .contention_free()
+///       .worst_case(SearchStrategy::Exhaustive)
+///       .depth(20);
+///
+/// The fluent methods return *this, so specs compose inline and can also be
+/// grown incrementally. Fields are public for the engine and for tests;
+/// prefer the fluent surface when building specs.
+struct StudySpec {
+  /// Registry key of the subject, or a display label when an ad-hoc
+  /// factory is set. Resolution happens at Campaign::run time.
+  std::string subject_name;
+  StudyKind study_kind = StudyKind::Mutex;
+  int procs = 2;
+  /// Mutex worst-case search: entry/exit sessions per process.
+  int mutex_sessions = 1;
+  /// Mutex contention-free measurement: simulator access policy.
+  AccessPolicy access = AccessPolicy::Unrestricted;
+  /// Mutex contention-free measurement: how many processes get their own
+  /// solo run (0 = all n). Tree algorithms have uniform per-process cost,
+  /// so sampling loses nothing there.
+  int cf_pid_sample = 0;
+  bool want_cf = false;
+  bool want_wc = false;
+  WorstCaseSearchOptions search;
+  /// Ad-hoc subjects: exactly the factory matching `study_kind` may be
+  /// set; it overrides registry lookup (and is never deduplicated across
+  /// campaign specs — only registry subjects are).
+  MutexFactory adhoc_mutex;
+  NamingFactory adhoc_naming;
+  DetectorFactory adhoc_detector;
+
+  [[nodiscard]] static StudySpec of(std::string subject);
+
+  StudySpec& kind(StudyKind k);
+  StudySpec& n(int nprocs);
+  StudySpec& sessions(int s);
+  StudySpec& policy(AccessPolicy p);
+  StudySpec& sample_pids(int max_pids);
+  StudySpec& contention_free();
+  StudySpec& worst_case();
+  StudySpec& worst_case(SearchStrategy s);
+  StudySpec& worst_case(const WorstCaseSearchOptions& options);
+  StudySpec& seeds(std::vector<std::uint64_t> s);
+  StudySpec& budget(std::uint64_t per_run);
+  StudySpec& limits(const ExploreLimits& l);
+  StudySpec& depth(int max_depth);
+  StudySpec& factory(MutexFactory f);
+  StudySpec& factory(NamingFactory f);
+  StudySpec& factory(DetectorFactory f);
+};
+
+/// The uniform result of one study. Absent measurements are flagged off and
+/// zero-valued. Semantics per kind:
+///
+///  * Mutex: cf is the paper's contention-free session (entry + exit, max
+///    over processes), refined by cf_entry / cf_exit; wc_entry / wc_exit
+///    are the clean-entry and exit window maxima found by the search and
+///    wc is their sum (the paper's worst-case complexity).
+///  * Naming: cf is the sequential-schedule max over processes; wc the max
+///    over the adversary battery; entry/exit refinements are zero.
+///  * Detector: cf is the solo-run max over processes; wc the whole-run
+///    max found; entry/exit refinements are zero.
+struct StudyResult {
+  std::string subject;  ///< resolved algorithm name
+  StudyKind kind = StudyKind::Mutex;
+  int n = 0;
+  int sessions = 1;
+
+  bool has_cf = false;
+  ComplexityReport cf;
+  ComplexityReport cf_entry;
+  ComplexityReport cf_exit;
+  int measured_atomicity = 0;
+
+  bool has_wc = false;
+  SearchStrategy wc_strategy = SearchStrategy::Random;
+  ComplexityReport wc;
+  ComplexityReport wc_entry;
+  ComplexityReport wc_exit;
+  std::uint64_t schedules_tried = 0;
+  std::uint64_t states_visited = 0;
+  /// Mutual-exclusion violations found (DFS strategies; violating
+  /// schedules are excluded from the maxima). Nonzero means the algorithm
+  /// is unsafe — the complexity certification is then over the safe
+  /// schedules only.
+  std::uint64_t violations = 0;
+  /// Some run was cut off (budget/depth/preemption bound): the values may
+  /// under-report anything beyond the explored space.
+  bool truncated = false;
+  /// Exhaustive/Bounded only: the whole bounded schedule space was covered
+  /// (no max_states cut) — the values are the exact maxima over it.
+  bool certified = false;
+
+  /// Wall-clock measurement time attributed to this study: the summed
+  /// durations of its cells (a shared, deduplicated measurement counts
+  /// fully for every spec that uses it). Nondeterministic — excluded from
+  /// the canonical JSON when StudyJsonOptions::include_timing is false.
+  double wall_ms = 0.0;
+};
+
+/// Aggregate counters of one Campaign::run, for observability and tests.
+struct CampaignStats {
+  std::size_t specs = 0;
+  std::size_t tasks_planned = 0;       ///< unique measurement tasks run
+  std::size_t tasks_deduplicated = 0;  ///< spec requests served by an
+                                       ///< identical earlier task
+  std::size_t cells = 0;               ///< schedulable cells fanned out
+};
+
+/// A batch of studies executed as one flat cell grid: every spec's
+/// independent cells (per-pid solo runs, per-schedule adversary runs,
+/// whole searches) are interleaved round-robin across specs and fanned
+/// over ONE ExperimentRunner::parallel_for — no per-spec barriers — then
+/// reduced per spec in a fixed order. Identical measurement requests from
+/// different specs (same registry subject, kind, n, and measurement
+/// parameters, seeds included) are deduplicated: the cells run once and
+/// every requesting spec shares the reduced result. Results are returned
+/// in spec insertion order and are bit-identical for every thread count.
+class Campaign {
+ public:
+  Campaign() = default;
+
+  Campaign& add(StudySpec spec);
+  Campaign& add(std::vector<StudySpec> specs);
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] const std::vector<StudySpec>& specs() const { return specs_; }
+
+  /// Runs every study. `runner == nullptr` uses the shared hardware-sized
+  /// pool; `stats`, when non-null, receives the plan/dedup counters.
+  [[nodiscard]] std::vector<StudyResult> run(
+      ExperimentRunner* runner = nullptr, CampaignStats* stats = nullptr) const;
+
+ private:
+  std::vector<StudySpec> specs_;
+};
+
+/// Convenience: a one-spec campaign.
+[[nodiscard]] StudyResult run_study(const StudySpec& spec,
+                                    ExperimentRunner* runner = nullptr);
+
+/// --- The canonical JSON serialization (schema "cfc.study.v1"). ---
+
+struct StudyJsonOptions {
+  /// Emit the nondeterministic wall_ms field. Switch off to compare
+  /// serialized results byte-for-byte across thread counts or hosts.
+  bool include_timing = true;
+};
+
+[[nodiscard]] std::string to_json(const StudyResult& r,
+                                  const StudyJsonOptions& opts = {});
+[[nodiscard]] std::string to_json(const std::vector<StudyResult>& results,
+                                  const StudyJsonOptions& opts = {});
+
+/// Parses a single serialized StudyResult (the exact schema to_json
+/// emits). Throws std::invalid_argument on malformed input. wall_ms parses
+/// to 0.0 when absent.
+[[nodiscard]] StudyResult study_from_json(const std::string& json);
+
+namespace detail {
+
+/// Internal: one detector run under `sched`, measured streaming — the max
+/// whole-run complexity over all processes, `truncated` set on budget
+/// exhaustion. The single definition shared by the Study engine's detector
+/// tasks and the legacy fixed-schedule battery in experiment.cpp.
+/// `expect_solo_winner` additionally verifies the solo process's output
+/// (throws std::logic_error on a broken detector).
+[[nodiscard]] ComplexityReport run_detector_cell(
+    const DetectorFactory& make, int n, Scheduler& sched,
+    std::optional<Pid> expect_solo_winner);
+
+}  // namespace detail
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_STUDY_H

@@ -175,8 +175,10 @@ TEST(MeasureOrdering, ContentionFreeAtMostWorstCase) {
   for (const int n : {2, 4, 8}) {
     const MutexCfResult cf = measure_mutex_contention_free(
         LamportFast::factory(), n, AccessPolicy::RegistersOnly);
+    WorstCaseSearchOptions options;
+    options.seeds = {1, 2, 3, 4};
     const MutexWcSearchResult wc = search_mutex_worst_case(
-        LamportFast::factory(), n, /*sessions=*/2, {1, 2, 3, 4});
+        LamportFast::factory(), n, /*sessions=*/2, options);
     EXPECT_LE(cf.entry.steps, wc.entry.steps) << n;
     EXPECT_LE(cf.exit.steps, wc.exit.steps) << n;
   }

@@ -84,13 +84,15 @@ TEST(ExperimentRunner, ZeroCountIsANoop) {
 TEST(ParallelDeterminism, MutexWorstCaseSearchIsThreadCountInvariant) {
   const MutexFactory factory =
       AlgorithmRegistry::instance().mutex("kessels-tree").factory;
-  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  WorstCaseSearchOptions options;
+  options.strategy = SearchStrategy::Random;
+  options.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
   ExperimentRunner seq(1);
   ExperimentRunner pool(4);
   const MutexWcSearchResult a =
-      search_mutex_worst_case(factory, 8, 2, seeds, 200'000, &seq);
+      search_mutex_worst_case(factory, 8, 2, options, &seq);
   const MutexWcSearchResult b =
-      search_mutex_worst_case(factory, 8, 2, seeds, 200'000, &pool);
+      search_mutex_worst_case(factory, 8, 2, options, &pool);
   expect_reports_equal(a.entry, b.entry, "wc entry");
   expect_reports_equal(a.exit, b.exit, "wc exit");
   EXPECT_EQ(a.schedules_tried, b.schedules_tried);
@@ -117,9 +119,20 @@ TEST(ParallelDeterminism, DetectorSearchIsThreadCountInvariant) {
   const std::vector<std::uint64_t> seeds = {3, 1, 4, 1, 5};
   ExperimentRunner seq(1);
   ExperimentRunner pool(3);
-  expect_reports_equal(
-      search_detector_worst_case(factory, 16, seeds, &seq),
-      search_detector_worst_case(factory, 16, seeds, &pool), "detector wc");
+  // The legacy seeds overloads are deprecated but must keep their exact
+  // semantics (round-robin + seeded randoms battery); this is their
+  // deliberate coverage.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const DetectorWcSearchResult a =
+      search_detector_worst_case(factory, 16, seeds, &seq);
+  const DetectorWcSearchResult b =
+      search_detector_worst_case(factory, 16, seeds, &pool);
+#pragma GCC diagnostic pop
+  expect_reports_equal(a.best, b.best, "detector wc");
+  EXPECT_EQ(a.schedules_tried, seeds.size() + 1);  // round-robin + seeds
+  EXPECT_EQ(a.schedules_tried, b.schedules_tried);
+  EXPECT_EQ(a.truncated, b.truncated);
   expect_reports_equal(
       measure_detector_contention_free(factory, 16, &seq),
       measure_detector_contention_free(factory, 16, &pool), "detector cf");

@@ -1,0 +1,201 @@
+// The canonical StudyResult JSON serializer: golden-file schema lock plus
+// full round-trip (serialize -> parse -> serialize, byte-identical). The
+// golden file freezes the "cfc.study.v1" schema — an intentional schema
+// change must update tests/golden/study_result.json in the same commit.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/study.h"
+
+namespace cfc {
+namespace {
+
+ComplexityReport report(int steps, int registers, int read_steps,
+                        int write_steps, int read_registers,
+                        int write_registers, int atomicity,
+                        bool truncated = false) {
+  ComplexityReport r;
+  r.steps = steps;
+  r.registers = registers;
+  r.read_steps = read_steps;
+  r.write_steps = write_steps;
+  r.read_registers = read_registers;
+  r.write_registers = write_registers;
+  r.atomicity = atomicity;
+  r.truncated = truncated;
+  return r;
+}
+
+/// The fixture frozen in tests/golden/study_result.json: every field of
+/// the schema populated with distinct values.
+StudyResult golden_fixture() {
+  StudyResult r;
+  r.subject = "peterson-2p";
+  r.kind = StudyKind::Mutex;
+  r.n = 2;
+  r.sessions = 1;
+  r.has_cf = true;
+  r.cf = report(7, 3, 3, 4, 2, 3, 1);
+  r.cf_entry = report(5, 3, 3, 2, 2, 3, 1);
+  r.cf_exit = report(2, 1, 0, 2, 0, 1, 1);
+  r.measured_atomicity = 1;
+  r.has_wc = true;
+  r.wc_strategy = SearchStrategy::Exhaustive;
+  r.wc = report(14, 4, 6, 8, 3, 4, 1, true);
+  r.wc_entry = report(12, 3, 6, 6, 3, 3, 1, true);
+  r.wc_exit = report(2, 1, 0, 2, 0, 1, 1);
+  r.schedules_tried = 12;
+  r.states_visited = 345;
+  r.violations = 0;
+  r.truncated = true;
+  r.certified = true;
+  r.wall_ms = 1.5;
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path;
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void expect_reports_equal(const ComplexityReport& a,
+                          const ComplexityReport& b, const char* what) {
+  EXPECT_EQ(a.steps, b.steps) << what;
+  EXPECT_EQ(a.registers, b.registers) << what;
+  EXPECT_EQ(a.read_steps, b.read_steps) << what;
+  EXPECT_EQ(a.write_steps, b.write_steps) << what;
+  EXPECT_EQ(a.read_registers, b.read_registers) << what;
+  EXPECT_EQ(a.write_registers, b.write_registers) << what;
+  EXPECT_EQ(a.atomicity, b.atomicity) << what;
+  EXPECT_EQ(a.truncated, b.truncated) << what;
+}
+
+TEST(StudyJson, MatchesGoldenFile) {
+  const std::string golden =
+      read_file(std::string(CFC_SOURCE_DIR) + "/tests/golden/study_result.json");
+  // The golden file ends with a trailing newline (editor/VCS convention);
+  // the serializer emits none.
+  EXPECT_EQ(to_json(golden_fixture()) + "\n", golden);
+}
+
+TEST(StudyJson, RoundTripsByteIdentically) {
+  const StudyResult original = golden_fixture();
+  const std::string json = to_json(original);
+  const StudyResult parsed = study_from_json(json);
+  EXPECT_EQ(to_json(parsed), json);
+
+  EXPECT_EQ(parsed.subject, original.subject);
+  EXPECT_EQ(parsed.kind, original.kind);
+  EXPECT_EQ(parsed.n, original.n);
+  EXPECT_EQ(parsed.sessions, original.sessions);
+  EXPECT_EQ(parsed.has_cf, original.has_cf);
+  expect_reports_equal(parsed.cf, original.cf, "cf");
+  expect_reports_equal(parsed.cf_entry, original.cf_entry, "cf_entry");
+  expect_reports_equal(parsed.cf_exit, original.cf_exit, "cf_exit");
+  EXPECT_EQ(parsed.measured_atomicity, original.measured_atomicity);
+  EXPECT_EQ(parsed.has_wc, original.has_wc);
+  EXPECT_EQ(parsed.wc_strategy, original.wc_strategy);
+  expect_reports_equal(parsed.wc, original.wc, "wc");
+  expect_reports_equal(parsed.wc_entry, original.wc_entry, "wc_entry");
+  expect_reports_equal(parsed.wc_exit, original.wc_exit, "wc_exit");
+  EXPECT_EQ(parsed.schedules_tried, original.schedules_tried);
+  EXPECT_EQ(parsed.states_visited, original.states_visited);
+  EXPECT_EQ(parsed.violations, original.violations);
+  EXPECT_EQ(parsed.truncated, original.truncated);
+  EXPECT_EQ(parsed.certified, original.certified);
+  EXPECT_DOUBLE_EQ(parsed.wall_ms, original.wall_ms);
+}
+
+TEST(StudyJson, AbsentMeasurementsSerializeAsNull) {
+  StudyResult r;
+  r.subject = "tas-scan";
+  r.kind = StudyKind::Naming;
+  r.n = 8;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"cf\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"wc\": null"), std::string::npos);
+
+  const StudyResult parsed = study_from_json(json);
+  EXPECT_FALSE(parsed.has_cf);
+  EXPECT_FALSE(parsed.has_wc);
+  EXPECT_EQ(parsed.kind, StudyKind::Naming);
+  EXPECT_EQ(to_json(parsed), json);
+}
+
+TEST(StudyJson, TimingIsOptionalAndExcludable) {
+  const StudyResult r = golden_fixture();
+  const std::string without =
+      to_json(r, StudyJsonOptions{.include_timing = false});
+  EXPECT_EQ(without.find("wall_ms"), std::string::npos);
+  // Parsing the timing-free form succeeds and defaults wall_ms to 0.
+  EXPECT_DOUBLE_EQ(study_from_json(without).wall_ms, 0.0);
+}
+
+TEST(StudyJson, BigCountersSurviveExactly) {
+  StudyResult r = golden_fixture();
+  r.states_visited = 9'007'199'254'740'993ull;  // 2^53 + 1: breaks doubles
+  r.schedules_tried = 18'446'744'073'709'551'615ull;  // 2^64 - 1
+  const StudyResult parsed = study_from_json(to_json(r));
+  EXPECT_EQ(parsed.states_visited, r.states_visited);
+  EXPECT_EQ(parsed.schedules_tried, r.schedules_tried);
+}
+
+TEST(StudyJson, EscapesSubjectStrings) {
+  StudyResult r;
+  r.subject = "weird\"name\\with\ncontrol\tchars";
+  const StudyResult parsed = study_from_json(to_json(r));
+  EXPECT_EQ(parsed.subject, r.subject);
+}
+
+TEST(StudyJson, ArraySerializerEmitsEveryResult) {
+  const std::vector<StudyResult> results = {golden_fixture(),
+                                            golden_fixture()};
+  const std::string json = to_json(results);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Two schema headers: two serialized studies.
+  std::size_t count = 0;
+  for (std::size_t at = json.find("cfc.study.v1"); at != std::string::npos;
+       at = json.find("cfc.study.v1", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(StudyJson, RejectsMalformedInput) {
+  EXPECT_THROW((void)study_from_json(""), std::invalid_argument);
+  EXPECT_THROW((void)study_from_json("[]"), std::invalid_argument);
+  EXPECT_THROW((void)study_from_json("{\"schema\": \"cfc.study.v2\"}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)study_from_json("{\"schema\": \"cfc.study.v1\"}"),
+               std::invalid_argument);  // missing fields
+  std::string truncated = to_json(golden_fixture());
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)study_from_json(truncated), std::invalid_argument);
+  // Non-hex \u escapes are rejected, not silently parsed as 0.
+  std::string bad_escape = to_json(golden_fixture());
+  bad_escape.replace(bad_escape.find("peterson"), 8, "p\\uZZZZn");
+  EXPECT_THROW((void)study_from_json(bad_escape), std::invalid_argument);
+  // Code points beyond ÿ would be corrupted by the single-byte
+  // decode, so they are rejected rather than mangled.
+  std::string wide_escape = to_json(golden_fixture());
+  wide_escape.replace(wide_escape.find("peterson"), 8, "p\\u0394\\u0395");
+  EXPECT_THROW((void)study_from_json(wide_escape), std::invalid_argument);
+  // Mistyped fields are malformed input, not zeros.
+  std::string mistyped = to_json(golden_fixture());
+  mistyped.replace(mistyped.find("\"n\": 2"), 6, "\"n\": \"two\"");
+  EXPECT_THROW((void)study_from_json(mistyped), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cfc
