@@ -28,6 +28,9 @@ namespace cfc::bench {
 ///                    algorithm named <sel> or carrying tag <sel> (paper
 ///                    verification checks that need the full pool are
 ///                    skipped on filtered runs)
+///   --repeat <n>     repetitions for timed sections; benches report the
+///                    min-of-N (the noise-robust estimator on shared CI
+///                    machines). Default 1.
 ///   --list           print the registry algorithms this bench can target
 ///                    (after --algo filtering) and exit
 struct BenchOptions {
@@ -35,6 +38,7 @@ struct BenchOptions {
   int threads = 0;
   std::string out = ".";
   std::string algo;
+  int repeat = 1;
   bool list = false;
 
   static BenchOptions parse(int argc, char** argv) {
@@ -42,7 +46,7 @@ struct BenchOptions {
     const auto usage = [&](std::FILE* to, int exit_code) {
       std::fprintf(to,
                    "usage: %s [--seed <base>] [--threads <k>] [--out <dir>] "
-                   "[--algo <tag-or-name>] [--list]\n",
+                   "[--algo <tag-or-name>] [--repeat <n>] [--list]\n",
                    argc > 0 ? argv[0] : "bench");
       std::exit(exit_code);
     };
@@ -85,6 +89,12 @@ struct BenchOptions {
         opts.out = value(i, "--out");
       } else if (matches(arg, "--algo")) {
         opts.algo = value(i, "--algo");
+      } else if (matches(arg, "--repeat")) {
+        opts.repeat = static_cast<int>(number(i, "--repeat"));
+        if (opts.repeat < 1) {
+          std::fprintf(stderr, "--repeat must be >= 1\n");
+          usage(stderr, 2);
+        }
       } else if (arg == "--list") {
         opts.list = true;
       } else {
@@ -190,6 +200,36 @@ inline void note_algo_inapplicable(const BenchOptions& opts,
   }
 }
 
+/// Git revision baked in at configure time (CMake passes CFC_GIT_SHA to
+/// every bench target); "unknown" on builds outside a git checkout.
+inline const char* git_sha() {
+#ifdef CFC_GIT_SHA
+  return CFC_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Min-of-N timing: runs `body` `repeat` times and returns the fastest
+/// wall time in milliseconds. The minimum is the noise-robust estimator
+/// for "how fast does this code run" on shared machines — every slower
+/// sample is the same work plus interference.
+template <class F>
+inline double min_ms_of(int repeat, F&& body) {
+  double best = -1.0;
+  for (int r = 0; r < (repeat < 1 ? 1 : repeat); ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (best < 0.0 || ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
 /// Truncation warning shared by benches (the ComplexityReport::truncated
 /// satellite): prints a warning when a measurement was cut off and returns
 /// the flag as a JSON-ready 0/1.
@@ -241,10 +281,15 @@ using JsonValue = std::variant<std::string, long long, double>;
 ///   {
 ///     "schema": "cfc.bench.v1",
 ///     "bench": "<name>",
+///     "context": {"git_sha": "<rev>", ...},
 ///     "studies": [{"context": {...}, "study": <cfc.study.v1 object>}, ...],
 ///     "rows": [{...flat key/value row...}, ...],
 ///     "summary": {"checks_total": T, "checks_failed": F, "elapsed_ms": MS}
 ///   }
+///
+/// The top-level context records the provenance every perf-trajectory
+/// consumer needs (which revision produced these numbers); benches add
+/// run parameters via context().
 ///
 /// Study measurements go through study() — the canonical Study serializer
 /// from analysis/study.h, with an optional flat context object (section
@@ -264,7 +309,15 @@ class JsonReport {
   explicit JsonReport(std::string bench_name, std::string out_dir = ".")
       : name_(std::move(bench_name)),
         out_dir_(std::move(out_dir)),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    context_.emplace_back("git_sha", std::string(git_sha()));
+  }
+
+  /// Adds a key to the top-level context object (run parameters that
+  /// apply to the whole bench, e.g. --repeat).
+  void context(std::string key, JsonValue value) {
+    context_.emplace_back(std::move(key), std::move(value));
+  }
 
   void row(std::vector<Field> fields) { rows_.push_back(std::move(fields)); }
 
@@ -346,7 +399,9 @@ class JsonReport {
   void write_file(const Verifier& verify, long long elapsed_ms) const {
     std::string out = "{\n  \"schema\": \"cfc.bench.v1\",\n  \"bench\": \"";
     append_escaped(out, name_);
-    out += "\",\n  \"studies\": [";
+    out += "\",\n  \"context\": ";
+    append_row(out, context_);
+    out += ",\n  \"studies\": [";
     for (std::size_t i = 0; i < studies_.size(); ++i) {
       out += (i == 0) ? "\n" : ",\n";
       out += studies_[i];
@@ -375,6 +430,7 @@ class JsonReport {
   std::string name_;
   std::string out_dir_;
   std::chrono::steady_clock::time_point start_;
+  std::vector<Field> context_;
   std::vector<std::string> studies_;
   std::vector<std::vector<Field>> rows_;
 };

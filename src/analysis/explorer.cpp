@@ -1,10 +1,12 @@
 #include "analysis/explorer.h"
 
 #include <algorithm>
+#include <array>
+#include <span>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
+#include "analysis/visited_table.h"
 #include "core/state_fingerprint.h"
 
 namespace cfc {
@@ -26,12 +28,21 @@ void ExploreStats::merge(const ExploreStats& o) {
   runs_completed += o.runs_completed;
   runs_truncated += o.runs_truncated;
   pruned_visited += o.pruned_visited;
+  pruned_independent += o.pruned_independent;
   violations += o.violations;
+  restores += o.restores;
+  replayed_steps += o.replayed_steps;
+  sims_built += o.sims_built;
+  visited_bytes += o.visited_bytes;
   truncated = truncated || o.truncated;
   state_budget_hit = state_budget_hit || o.state_budget_hit;
 }
 
 namespace {
+
+/// Sleep sets are process bitmasks; plenty for every algorithm in the
+/// registry and checked by the Explorer constructor.
+constexpr int kMaxReduceProcs = 32;
 
 /// Index-wise max_with reduction of objective report vectors (the single
 /// definition behind leaf accumulation and the cell reductions).
@@ -60,13 +71,44 @@ struct CellResult {
   }
 };
 
+/// What a process is about to do, captured once per branching node for the
+/// independence test of reduce_independent.
+struct PendInfo {
+  bool known = false;  ///< started, not crash-armed, suspended at an access
+  bool yield = false;  ///< a local step: touches no shared register
+  RegId reg = -1;
+};
+
+/// Two next-steps are independent iff they commute as operations from the
+/// current state: a local yield touches nothing; otherwise the accesses
+/// must hit disjoint registers (one atomic access per step, so disjoint
+/// registers cannot conflict — the paper's notion of contention). Unknown
+/// pendings (unstarted or crash-armed processes) are conservatively
+/// dependent with everything.
+bool independent(const PendInfo& a, const PendInfo& b) {
+  if (!a.known || !b.known) {
+    return false;
+  }
+  if (a.yield || b.yield) {
+    return true;
+  }
+  return a.reg != b.reg;
+}
+
 /// One frontier cell's DFS: owns the live simulation, the live accumulator,
-/// and the per-cell visited cache. Descends by stepping the live sim;
-/// backtracks by fork-by-replay plus an accumulator snapshot restore.
+/// the per-cell visited table, and the recycled scratch pools (branch
+/// stack, per-depth accumulator snapshots). Descends by stepping the live
+/// sim; backtracks in place via Sim::rewind_to (or the legacy
+/// fork-by-replay when ExploreLimits::restore_by_fork is set).
 class CellExplorer {
  public:
   CellExplorer(const Explorer::Config& cfg, CellResult& out)
-      : cfg_(cfg), out_(out), acc_(cfg.nprocs) {}
+      : cfg_(cfg),
+        out_(out),
+        acc_(cfg.nprocs),
+        reduce_(cfg.limits.reduce_independent) {}
+
+  ~CellExplorer() { out_.stats.visited_bytes += visited_.bytes(); }
 
   void run(const std::vector<Pid>& prefix) {
     reset_sim();
@@ -114,7 +156,7 @@ class CellExplorer {
       }
       last = p;
     }
-    dfs(static_cast<int>(prefix.size()), preempt, last);
+    dfs(static_cast<int>(prefix.size()), preempt, last, /*sleep=*/0);
   }
 
  private:
@@ -143,32 +185,49 @@ class CellExplorer {
     sim_ = std::make_unique<Sim>();
     owner_ = cfg_.setup(*sim_);
     sim_->set_trace_recording(false);
+    if (!cfg_.limits.restore_by_fork) {
+      sim_->mark_rewind_base();
+    }
+    ++out_.stats.sims_built;
     acc_ = MeasureAccumulator(cfg_.nprocs);
     sim_->add_sink(acc_);
   }
 
-  /// Fork-by-replay back to a prefix of the live sim's own schedule log,
-  /// re-attaching the node's accumulator snapshot.
+  /// Repositions the cell at a prefix of the live sim's own schedule log,
+  /// restoring the node's accumulator snapshot. Default: in-place recycled
+  /// rewind — the live Sim object, its coroutine frame arena, and its
+  /// schedule log are all reused, so steady state this performs zero Sim
+  /// heap allocation. Legacy (restore_by_fork): fork-by-replay against a
+  /// freshly built simulation, borrowing the live log as a span (never
+  /// copying it into a SimCheckpoint).
   void restore(std::size_t sched_len, const MeasureAccumulator& snap,
-               std::uint64_t mem_fp, Seq seq) {
-    SimCheckpoint cp;
-    const auto& log = sim_->schedule_log();
-    cp.schedule.assign(log.begin(),
-                       log.begin() + static_cast<std::ptrdiff_t>(sched_len));
-    cp.memory_fingerprint = mem_fp;
-    cp.next_seq = seq;
-    std::shared_ptr<void> owner;
-    const SimBuilder rebuild = [&](Sim& s) {
-      owner = cfg_.setup(s);
-      s.set_trace_recording(false);
-    };
-    sim_ = Sim::fork(cp, rebuild);
-    owner_ = std::move(owner);
-    acc_ = snap;
-    sim_->add_sink(acc_);
+               std::uint64_t mem_fp, Seq seq, const MemorySnapshot* memsnap) {
+    ++out_.stats.restores;
+    out_.stats.replayed_steps += sched_len;
+    if (cfg_.limits.restore_by_fork) {
+      const auto& log = sim_->schedule_log();
+      std::shared_ptr<void> owner;
+      const SimBuilder rebuild = [&](Sim& s) {
+        owner = cfg_.setup(s);
+        s.set_trace_recording(false);
+      };
+      // The old sim_ stays alive (and its log unmodified) until the fork's
+      // replay of the borrowed span completes.
+      std::unique_ptr<Sim> fresh =
+          Sim::fork(std::span(log.data(), sched_len), mem_fp, seq, rebuild,
+                    memsnap);
+      ++out_.stats.sims_built;
+      sim_ = std::move(fresh);
+      owner_ = std::move(owner);
+      acc_ = snap;
+      sim_->add_sink(acc_);
+    } else {
+      sim_->rewind_to(sched_len, mem_fp, seq, memsnap);
+      acc_ = snap;  // the sink stays attached; plain-data restore
+    }
   }
 
-  [[nodiscard]] std::uint64_t state_key(Pid last) const {
+  [[nodiscard]] std::uint64_t state_key(Pid last, std::uint32_t sleep) const {
     std::uint64_t h = state_fingerprint(*sim_);
     if (cfg_.objective.eval) {
       h = fingerprint_combine(h, cfg_.objective.digest
@@ -181,31 +240,14 @@ class CellExplorer {
       // so merging across different `last` would prune feasible subtrees.
       h = fingerprint_combine(h, static_cast<std::uint64_t>(last) + 1);
     }
-    return h;
-  }
-
-  /// Prune iff the state was already explored with at least as much
-  /// remaining budget: a stored visit at (depth', preempt') dominates when
-  /// depth' <= depth and preempt' <= preempt (leaf evaluations are monotone
-  /// along a run, so the dominating subtree's leaves subsume this one's).
-  [[nodiscard]] bool visited_dominated(std::uint64_t key, int depth,
-                                       int preempt) const {
-    const auto it = visited_.find(key);
-    if (it == visited_.end()) {
-      return false;
+    if (reduce_) {
+      // A sleeping process shrinks the subtree explored from here, so a
+      // visit with one sleep set must not stand in for a visit with
+      // another (classic sleep-set/state-cache interaction).
+      h = fingerprint_combine(h, static_cast<std::uint64_t>(sleep) |
+                                     0x100000000ULL);
     }
-    return std::any_of(it->second.begin(), it->second.end(),
-                       [&](const std::pair<int, int>& v) {
-                         return v.first <= depth && v.second <= preempt;
-                       });
-  }
-
-  void visited_insert(std::uint64_t key, int depth, int preempt) {
-    std::vector<std::pair<int, int>>& v = visited_[key];
-    std::erase_if(v, [&](const std::pair<int, int>& e) {
-      return e.first >= depth && e.second >= preempt;
-    });
-    v.emplace_back(depth, preempt);
+    return h;
   }
 
   void eval_leaf(bool truncated) {
@@ -229,7 +271,37 @@ class CellExplorer {
     eval_leaf(true);
   }
 
-  void dfs(int depth, int preempt, Pid last) {
+  /// Grows the per-depth scratch pools to cover `depth`.
+  void ensure_pools(int depth) {
+    const auto need = static_cast<std::size_t>(depth) + 1;
+    while (acc_pool_.size() < need) {
+      acc_pool_.emplace_back(cfg_.nprocs);
+    }
+    if (cfg_.limits.verify_restore_snapshot) {
+      while (mem_pool_.size() < need) {
+        mem_pool_.emplace_back();
+      }
+    }
+  }
+
+  void capture_pendings(std::array<PendInfo, kMaxReduceProcs>& pend) const {
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      PendInfo& info = pend[static_cast<std::size_t>(p)];
+      info = PendInfo{};
+      if (sim_->status(p) != ProcStatus::Runnable || sim_->crash_pending(p)) {
+        continue;  // unknown next step: dependent with everything
+      }
+      const std::optional<PendingAccess> pa = sim_->pending(p);
+      if (!pa.has_value()) {
+        continue;
+      }
+      info.known = true;
+      info.yield = pa->local_yield;
+      info.reg = pa->reg;
+    }
+  }
+
+  void dfs(int depth, int preempt, Pid last, std::uint32_t sleep) {
     ++nodes_;
     ++out_.stats.states_visited;
     if (!sim_->any_runnable()) {
@@ -247,63 +319,117 @@ class CellExplorer {
       return;
     }
     const int eff_preempt = cfg_.limits.max_preemptions < 0 ? 0 : preempt;
-    if (cfg_.limits.prune_visited) {
-      const std::uint64_t key = state_key(last);
-      if (visited_dominated(key, depth, eff_preempt)) {
-        ++out_.stats.pruned_visited;
-        return;
-      }
-      visited_insert(key, depth, eff_preempt);
+    if (cfg_.limits.prune_visited &&
+        visited_.check_and_insert(state_key(last, sleep), depth,
+                                  eff_preempt)) {
+      ++out_.stats.pruned_visited;
+      return;
     }
 
-    std::vector<Pid> branches;
-    branches.reserve(static_cast<std::size_t>(cfg_.nprocs));
-    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+    // Collect branches into the shared scratch stack (zero per-node
+    // allocation), continue-last-pid-first: the first branch descends the
+    // live sim with no restore at all, so leading with the running process
+    // makes that free descent the preemption-free spine.
+    const std::size_t base = branch_buf_.size();
+    bool skipped_sleeping = false;
+    const auto admit = [&](Pid p) {
       if (!sim_->runnable(p)) {
-        continue;
+        return;
       }
       const int switch_cost = (last != -1 && p != last) ? 1 : 0;
       if (cfg_.limits.max_preemptions >= 0 &&
           preempt + switch_cost > cfg_.limits.max_preemptions) {
-        continue;
+        return;
       }
-      branches.push_back(p);
+      if (reduce_ && ((sleep >> p) & 1u) != 0) {
+        // Asleep: every schedule starting here is a reordering of one
+        // already explored through an earlier sibling.
+        skipped_sleeping = true;
+        ++out_.stats.pruned_independent;
+        return;
+      }
+      branch_buf_.push_back(p);
+    };
+    if (last != -1) {
+      admit(last);
     }
-    if (branches.empty()) {
-      // Runnable processes exist but every switch is over the preemption
-      // budget: the bounded space ends here.
-      leaf_truncated();
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      if (p != last) {
+        admit(p);
+      }
+    }
+
+    const std::size_t nb = branch_buf_.size() - base;
+    if (nb == 0) {
+      if (!skipped_sleeping) {
+        // Runnable processes exist but every switch is over the preemption
+        // budget: the bounded space ends here.
+        leaf_truncated();
+      }
+      // All-asleep nodes are covered elsewhere: not a leaf of the reduced
+      // tree, nothing to do.
       return;
     }
 
     // Node checkpoint for sibling restores (skipped for single branches:
-    // the parent restores for us).
-    const bool need_restore = branches.size() > 1;
+    // the parent restores for us). Scratch pools, not fresh allocations.
+    const bool need_restore = nb > 1;
     const std::size_t sched_len = sim_->schedule_log().size();
     const std::uint64_t mem_fp = sim_->memory().fingerprint();
     const Seq seq = sim_->next_seq();
-    std::unique_ptr<MeasureAccumulator> acc_snap;
     if (need_restore) {
-      acc_snap = std::make_unique<MeasureAccumulator>(acc_);
+      ensure_pools(depth);
+      acc_pool_[static_cast<std::size_t>(depth)] = acc_;
+      if (cfg_.limits.verify_restore_snapshot) {
+        mem_pool_[static_cast<std::size_t>(depth)] =
+            sim_->memory().snapshot();
+      }
     }
 
-    for (std::size_t b = 0; b < branches.size(); ++b) {
+    std::array<PendInfo, kMaxReduceProcs> pend;
+    if (reduce_) {
+      capture_pendings(pend);  // single-branch nodes still inherit sleepers
+    }
+
+    std::uint32_t explored = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
       if (stop_) {
-        return;
+        break;
       }
+      const Pid p = branch_buf_[base + b];
       if (b > 0) {
-        restore(sched_len, *acc_snap, mem_fp, seq);
+        restore(sched_len, acc_pool_[static_cast<std::size_t>(depth)],
+                mem_fp, seq,
+                cfg_.limits.verify_restore_snapshot
+                    ? &mem_pool_[static_cast<std::size_t>(depth)]
+                    : nullptr);
       }
-      const Pid p = branches[b];
       try {
         sim_->step(p);
       } catch (const MutualExclusionViolation&) {
         ++out_.stats.violations;
         continue;  // sim is poisoned; the next iteration restores it
       }
+      std::uint32_t child_sleep = 0;
+      if (reduce_) {
+        // The child keeps asleep every earlier-explored or inherited
+        // process whose next access is independent of the step just
+        // taken; a conflicting access wakes it.
+        const std::uint32_t candidates =
+            (sleep | explored) & ~(1u << static_cast<unsigned>(p));
+        const PendInfo& taken = pend[static_cast<std::size_t>(p)];
+        for (Pid q = 0; q < cfg_.nprocs; ++q) {
+          if (((candidates >> q) & 1u) != 0 &&
+              independent(pend[static_cast<std::size_t>(q)], taken)) {
+            child_sleep |= 1u << static_cast<unsigned>(q);
+          }
+        }
+      }
       const int switch_cost = (last != -1 && p != last) ? 1 : 0;
-      dfs(depth + 1, preempt + switch_cost, p);
+      dfs(depth + 1, preempt + switch_cost, p, child_sleep);
+      explored |= 1u << static_cast<unsigned>(p);
     }
+    branch_buf_.resize(base);
   }
 
   const Explorer::Config& cfg_;
@@ -311,10 +437,13 @@ class CellExplorer {
   std::unique_ptr<Sim> sim_;
   std::shared_ptr<void> owner_;
   MeasureAccumulator acc_;
-  std::unordered_map<std::uint64_t, std::vector<std::pair<int, int>>>
-      visited_;
+  VisitedTable visited_;
+  std::vector<Pid> branch_buf_;  ///< shared branch scratch stack
+  std::vector<MeasureAccumulator> acc_pool_;  ///< per-depth node snapshots
+  std::vector<MemorySnapshot> mem_pool_;  ///< per-depth debug snapshots
   std::uint64_t nodes_ = 0;
   bool stop_ = false;
+  bool reduce_ = false;
 };
 
 }  // namespace
@@ -339,6 +468,50 @@ Explorer::Explorer(Config cfg) : cfg_(std::move(cfg)) {
     throw std::invalid_argument(
         "Explorer: Bounded strategy requires limits.max_preemptions >= 0");
   }
+  if (cfg_.limits.reduce_independent) {
+    if (cfg_.strategy != SearchStrategy::Exhaustive) {
+      // Under a preemption budget a sleeping branch's covering reordering
+      // may itself be out of budget, so the reduction would cut feasible
+      // space; restrict it to the strategy it is defined for.
+      throw std::invalid_argument(
+          "Explorer: reduce_independent requires the Exhaustive strategy");
+    }
+    if (cfg_.nprocs > kMaxReduceProcs) {
+      throw std::invalid_argument(
+          "Explorer: reduce_independent supports at most 32 processes");
+    }
+  }
+}
+
+namespace {
+
+/// Frontier split depth f: prefixes of f picks form the cell grid of
+/// n^f cells, capped so wide process counts do not explode it. Depends
+/// only on (n, frontier_depth): thread-count invariant.
+int frontier_split_depth(int nprocs, const ExploreLimits& limits) {
+  const int want_f = std::clamp(limits.frontier_depth, 0, limits.max_depth);
+  std::size_t cells = 1;
+  int f = 0;
+  while (f < want_f && cells * static_cast<std::size_t>(nprocs) <= 4096) {
+    cells *= static_cast<std::size_t>(nprocs);
+    ++f;
+  }
+  return f;
+}
+
+std::size_t cells_for_depth(int nprocs, int f) {
+  std::size_t cells = 1;
+  for (int i = 0; i < f; ++i) {
+    cells *= static_cast<std::size_t>(nprocs);
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::size_t Explorer::frontier_cells(int nprocs,
+                                     const ExploreLimits& limits) {
+  return cells_for_depth(nprocs, frontier_split_depth(nprocs, limits));
 }
 
 Explorer::Result Explorer::run(ExperimentRunner* runner) const {
@@ -347,16 +520,8 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
   }
 
   const int n = cfg_.nprocs;
-  const int want_f =
-      std::clamp(cfg_.limits.frontier_depth, 0, cfg_.limits.max_depth);
-  // Frontier size n^f, capped so wide process counts do not explode the
-  // cell grid. Depends only on (n, frontier_depth): thread-count invariant.
-  std::size_t cells = 1;
-  int f = 0;
-  while (f < want_f && cells * static_cast<std::size_t>(n) <= 4096) {
-    cells *= static_cast<std::size_t>(n);
-    ++f;
-  }
+  const int f = frontier_split_depth(n, cfg_.limits);
+  const std::size_t cells = cells_for_depth(n, f);
 
   std::vector<CellResult> slots(cells);
   runner_or_shared(runner).parallel_for(cells, [&](std::size_t c) {
@@ -393,6 +558,7 @@ Explorer::Result Explorer::run_random_strategy(
         const RunOutcome out =
             drive(sim, rnd, RunLimits{cfg_.random_budget});
         CellResult& slot = slots[i];
+        slot.stats.sims_built += 1;
         slot.stats.states_visited += sim.schedule_log().size();
         if (out == RunOutcome::BudgetExhausted) {
           acc.mark_truncated();

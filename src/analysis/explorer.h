@@ -45,6 +45,30 @@ struct ExploreLimits {
   /// Visited-state pruning (on by default). The cache is per frontier
   /// cell; keys combine core/state_fingerprint with the objective digest.
   bool prune_visited = true;
+  /// Restore mechanics for sibling backtracks. Off (default): the recycled
+  /// in-place rewind (Sim::rewind_to — zero Sim construction, pooled
+  /// coroutine frames, the schedule log borrowed in place). On: the legacy
+  /// fork-by-replay (a fresh Sim built and replayed per sibling), kept for
+  /// the differential tests. The traversal is identical either way, so
+  /// results — reports, fingerprints, every stat except sims_built — are
+  /// bit-identical between the two paths.
+  bool restore_by_fork = false;
+  /// Debug: verify every restore against a full MemorySnapshot value
+  /// compare in addition to the fingerprint/event-counter check. Costs a
+  /// snapshot copy per branching node and a compare per restore.
+  bool verify_restore_snapshot = false;
+  /// Opt-in sleep-set-lite partial-order reduction (conflict-aware
+  /// branching): skips sibling orderings whose next accesses touch
+  /// disjoint registers — after exploring sibling p, a later sibling's
+  /// subtree does not re-explore schedules that merely run p's
+  /// independent access on the other side of it. Sound for objectives
+  /// that are invariant under commuting disjoint-register accesses
+  /// (per-process totals; safety reachability at hashed-state fidelity);
+  /// the paper's *window* measures additionally observe section timing,
+  /// so for certified window searches this stays OFF by default and is
+  /// differentially validated against the exhaustive explorer in the
+  /// tests. Exhaustive strategy only.
+  bool reduce_independent = false;
 };
 
 struct ExploreStats {
@@ -52,7 +76,12 @@ struct ExploreStats {
   std::uint64_t runs_completed = 0;  ///< leaves with no runnable process
   std::uint64_t runs_truncated = 0;  ///< leaves cut by depth/preemption/state budget
   std::uint64_t pruned_visited = 0;  ///< subtrees skipped by the state cache
+  std::uint64_t pruned_independent = 0;  ///< branches skipped by sleep sets
   std::uint64_t violations = 0;      ///< MutualExclusionViolations found
+  std::uint64_t restores = 0;        ///< sibling backtracks performed
+  std::uint64_t replayed_steps = 0;  ///< schedule units re-executed by restores
+  std::uint64_t sims_built = 0;      ///< Sim constructions + setup executions
+  std::uint64_t visited_bytes = 0;   ///< bytes held by the visited tables
   /// True iff some path was cut off before terminating: the objective max
   /// is certified only over the explored bounded space. (For waiting
   /// algorithms, whose schedule space is infinite, this is unavoidable.)
@@ -83,17 +112,25 @@ struct ExploreObjective {
   std::function<std::uint64_t(const MeasureAccumulator&)> digest;
 };
 
-/// A DFS over scheduler choices with configurable budgets, checkpoint-based
+/// A DFS over scheduler choices with configurable budgets, recycled-rewind
 /// backtracking, and visited-state pruning — the schedule-space exploration
 /// engine behind the certified worst-case searches.
 ///
 /// Mechanics: the explorer keeps ONE live simulation per frontier cell and
-/// descends by stepping it. Coroutine frames cannot be copied, so
-/// backtracking restores the parent node by fork-by-replay (Sim::fork): the
-/// node's schedule prefix is replayed against a freshly built simulation
-/// with sinks and invariant checks suppressed, and the node's
-/// MeasureAccumulator snapshot (plain data, checkpointed by copy) is
-/// re-attached — reusing the shared prefix instead of re-measuring it.
+/// descends by stepping it, ordering branches continue-last-pid-first so
+/// the restore-free first descent walks the preemption-free spine.
+/// Coroutine frames cannot be copied, so backtracking re-executes the
+/// node's schedule prefix — but in place (Sim::rewind_to): the live Sim is
+/// reset to its post-setup baseline (registers restored from a
+/// once-per-cell snapshot, coroutine frames recycled through the per-Sim
+/// arena, the schedule log borrowed where it sits) and quietly replayed,
+/// with the node's MeasureAccumulator snapshot (plain data, held in a
+/// per-depth scratch pool) restored by assignment. Steady state, a restore
+/// performs zero Sim heap allocation; restores are verified by memory
+/// fingerprint and event counter (full snapshot compare behind
+/// ExploreLimits::verify_restore_snapshot). The legacy fork-by-replay
+/// restore is retained behind ExploreLimits::restore_by_fork and is
+/// bit-identical in results.
 ///
 /// Parallelism: prefixes of frontier_depth picks partition the tree into
 /// independent subtrees, fanned over an ExperimentRunner; per-cell results
@@ -125,6 +162,13 @@ class Explorer {
   };
 
   explicit Explorer(Config cfg);
+
+  /// Number of frontier cells a DFS run partitions into: n^f with f the
+  /// (clamped, cap-limited) frontier depth. The single definition behind
+  /// run()'s cell grid — with the rewind restore, it is also exactly
+  /// ExploreStats::sims_built, which benches and tests assert against.
+  [[nodiscard]] static std::size_t frontier_cells(int nprocs,
+                                                  const ExploreLimits& limits);
 
   /// Runs the exploration. `runner == nullptr` uses the shared pool.
   [[nodiscard]] Result run(ExperimentRunner* runner = nullptr) const;

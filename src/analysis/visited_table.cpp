@@ -1,0 +1,167 @@
+#include "analysis/visited_table.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cfc {
+
+namespace {
+
+constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+/// (depth, preempt) packed as depth<<16 | preempt.
+constexpr std::uint32_t pack(int depth, int preempt) {
+  return (static_cast<std::uint32_t>(depth) << 16) |
+         static_cast<std::uint32_t>(preempt);
+}
+constexpr int unpack_depth(std::uint32_t p) { return static_cast<int>(p >> 16); }
+constexpr int unpack_preempt(std::uint32_t p) {
+  return static_cast<int>(p & 0xffffu);
+}
+
+}  // namespace
+
+std::uint64_t VisitedTable::normalize(std::uint64_t key) {
+  // Key 0 marks an empty slot; remap the (astronomically unlikely)
+  // fingerprint 0 to a fixed constant — the cache is already approximate
+  // at 64-bit-collision fidelity.
+  return key == 0 ? 0x9e3779b97f4a7c15ULL : key;
+}
+
+std::size_t VisitedTable::find_slot(std::uint64_t key) const {
+  // Power-of-two capacity: mask instead of modulo, linear probing. The
+  // caller guarantees a free or matching slot exists (load factor < 1).
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = (key * 0x9e3779b97f4a7c15ULL) & mask;
+  while (slots_[i].key != 0 && slots_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void VisitedTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? kInitialCapacity : old.size() * 2, Slot{});
+  for (const Slot& s : old) {
+    if (s.key != 0) {
+      slots_[find_slot(s.key)] = s;  // spill chains move with the slot
+    }
+  }
+}
+
+void VisitedTable::spill_push(Slot& slot, std::uint32_t pair) {
+  std::uint32_t idx;
+  if (spill_free_ != kNil) {
+    idx = spill_free_;
+    spill_free_ = spill_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(spill_.size());
+    spill_.push_back(SpillNode{});
+  }
+  spill_[idx] = SpillNode{pair, slot.spill_head};
+  slot.spill_head = idx;
+}
+
+bool VisitedTable::slot_dominates(const Slot& slot, int depth,
+                                  int preempt) const {
+  const auto dominates = [&](std::uint32_t p) {
+    return p != kNoPair && unpack_depth(p) <= depth &&
+           unpack_preempt(p) <= preempt;
+  };
+  for (const std::uint32_t p : slot.inline_pairs) {
+    if (dominates(p)) {
+      return true;
+    }
+  }
+  for (std::uint32_t i = slot.spill_head; i != kNil; i = spill_[i].next) {
+    if (dominates(spill_[i].pair)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool VisitedTable::dominated(std::uint64_t raw_key, int depth,
+                             int preempt) const {
+  if (slots_.empty()) {
+    return false;
+  }
+  const std::uint64_t key = normalize(raw_key);
+  const Slot& slot = slots_[find_slot(key)];
+  return slot.key == key && slot_dominates(slot, depth, preempt);
+}
+
+void VisitedTable::insert(std::uint64_t raw_key, int depth, int preempt) {
+  if (depth < 0 || depth > 0xffff || preempt < 0 || preempt > 0xffff) {
+    throw std::out_of_range("VisitedTable: depth/preempt must fit 16 bits");
+  }
+  if (slots_.empty() || used_ * 10 >= slots_.size() * 7) {
+    grow();
+  }
+  const std::uint64_t key = normalize(raw_key);
+  insert_into(slots_[find_slot(key)], key, depth, preempt);
+}
+
+bool VisitedTable::check_and_insert(std::uint64_t raw_key, int depth,
+                                    int preempt) {
+  if (depth < 0 || depth > 0xffff || preempt < 0 || preempt > 0xffff) {
+    throw std::out_of_range("VisitedTable: depth/preempt must fit 16 bits");
+  }
+  if (slots_.empty() || used_ * 10 >= slots_.size() * 7) {
+    grow();
+  }
+  const std::uint64_t key = normalize(raw_key);
+  Slot& slot = slots_[find_slot(key)];
+  if (slot.key == key && slot_dominates(slot, depth, preempt)) {
+    return true;
+  }
+  insert_into(slot, key, depth, preempt);
+  return false;
+}
+
+void VisitedTable::insert_into(Slot& slot, std::uint64_t key, int depth,
+                               int preempt) {
+  if (slot.key == 0) {
+    slot.key = key;
+    ++used_;
+  }
+
+  // Drop stored pairs the new visit dominates (depth' >= depth and
+  // preempt' >= preempt) so the antichain stays minimal.
+  const std::uint32_t fresh = pack(depth, preempt);
+  const auto is_dominated = [&](std::uint32_t p) {
+    return unpack_depth(p) >= depth && unpack_preempt(p) >= preempt;
+  };
+  for (std::uint32_t& p : slot.inline_pairs) {
+    if (p != kNoPair && is_dominated(p)) {
+      p = kNoPair;
+    }
+  }
+  std::uint32_t* link = &slot.spill_head;
+  while (*link != kNil) {
+    SpillNode& node = spill_[*link];
+    if (is_dominated(node.pair)) {
+      const std::uint32_t freed = *link;
+      *link = node.next;
+      spill_[freed].next = spill_free_;
+      spill_free_ = freed;
+    } else {
+      link = &node.next;
+    }
+  }
+
+  for (std::uint32_t& p : slot.inline_pairs) {
+    if (p == kNoPair) {
+      p = fresh;
+      return;
+    }
+  }
+  spill_push(slot, fresh);
+}
+
+std::size_t VisitedTable::bytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         spill_.capacity() * sizeof(SpillNode);
+}
+
+}  // namespace cfc

@@ -1,0 +1,83 @@
+#ifndef CFC_ANALYSIS_VISITED_TABLE_H
+#define CFC_ANALYSIS_VISITED_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfc {
+
+/// Flat visited-state cache for the explorer's dominance pruning.
+///
+/// Maps a 64-bit state fingerprint to the antichain of (depth, preemptions)
+/// budgets it was already explored with; a new visit is redundant iff some
+/// stored visit had at least as much remaining budget (depth' <= depth and
+/// preempt' <= preempt — leaf objectives are monotone along a run, so the
+/// dominating subtree's leaves subsume the dominated one's).
+///
+/// The representation replaces the former
+/// unordered_map<u64, vector<pair<int,int>>>: open addressing with linear
+/// probing over a power-of-two slot array, each slot holding the key and up
+/// to two dominance pairs inline (exhaustive searches keep exactly one —
+/// preemptions are constant 0, so the antichain is a singleton); longer
+/// antichains spill into a shared free-listed node pool instead of a
+/// per-key heap vector. One lookup is one hash, a handful of contiguous
+/// probes, and zero allocation; bytes() surfaces the exact footprint for
+/// ExploreStats accounting.
+class VisitedTable {
+ public:
+  VisitedTable() = default;
+
+  /// True iff a stored visit of `key` dominates (depth, preempt).
+  [[nodiscard]] bool dominated(std::uint64_t key, int depth,
+                               int preempt) const;
+
+  /// Records a visit of `key` at (depth, preempt), dropping stored pairs
+  /// the new one dominates. Values must fit 16 bits (the explorer's depth
+  /// budgets are far below that; throws std::out_of_range otherwise).
+  void insert(std::uint64_t key, int depth, int preempt);
+
+  /// dominated() + insert() in one probe — the explorer's per-node call:
+  /// returns true (and stores nothing) when a stored visit dominates,
+  /// otherwise records the visit and returns false.
+  bool check_and_insert(std::uint64_t key, int depth, int preempt);
+
+  /// Distinct keys stored.
+  [[nodiscard]] std::size_t size() const { return used_; }
+
+  /// Bytes held by the table (slot array + spill pool capacities).
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kNoPair = 0xffffffffu;
+  static constexpr std::size_t kInlinePairs = 2;
+
+  struct Slot {
+    std::uint64_t key = 0;  ///< 0 = empty (real key 0 is remapped)
+    std::uint32_t inline_pairs[kInlinePairs] = {kNoPair, kNoPair};
+    std::uint32_t spill_head = kNil;
+  };
+
+  struct SpillNode {
+    std::uint32_t pair = kNoPair;
+    std::uint32_t next = kNil;
+  };
+
+  [[nodiscard]] static std::uint64_t normalize(std::uint64_t key);
+  [[nodiscard]] bool slot_dominates(const Slot& slot, int depth,
+                                    int preempt) const;
+  [[nodiscard]] std::size_t find_slot(std::uint64_t key) const;
+  void grow();
+  void insert_into(Slot& slot, std::uint64_t key, int depth, int preempt);
+  void spill_push(Slot& slot, std::uint32_t pair);
+
+  std::vector<Slot> slots_;
+  std::vector<SpillNode> spill_;
+  std::uint32_t spill_free_ = kNil;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_ANALYSIS_VISITED_TABLE_H

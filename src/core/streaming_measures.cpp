@@ -19,6 +19,13 @@ void MeasureAccumulator::ReportAcc::add(const Access& a) {
     write_regs.insert(a.reg);
   }
   rep.atomicity = std::max(rep.atomicity, a.width);
+  // Everything counted above is a function of (reg, kind, bit_op, width);
+  // summing their mixes gives an order-independent, repetition-sensitive
+  // state hash maintained O(1) per access.
+  multiset_hash += fp_mix((static_cast<std::uint64_t>(a.reg) << 24) |
+                          (static_cast<std::uint64_t>(a.width) << 16) |
+                          (static_cast<std::uint64_t>(a.bit_op) << 8) |
+                          static_cast<std::uint64_t>(a.kind));
 }
 
 void MeasureAccumulator::ReportAcc::reset() {
@@ -26,6 +33,7 @@ void MeasureAccumulator::ReportAcc::reset() {
   regs.clear();
   read_regs.clear();
   write_regs.clear();
+  multiset_hash = 0;
 }
 
 ComplexityReport MeasureAccumulator::ReportAcc::report() const {
@@ -50,10 +58,12 @@ std::uint64_t report_digest(const ComplexityReport& r) {
   return h;
 }
 
-std::uint64_t set_digest(const std::set<RegId>& s) {
-  std::uint64_t h = fp_mix(0x7a11ULL);
-  for (const RegId r : s) {  // std::set: deterministic iteration order
-    h = fp_push(h, static_cast<std::uint64_t>(r));
+std::uint64_t window_state_digest(bool open, bool clean,
+                                  std::uint64_t acc_digest) {
+  std::uint64_t h = fp_mix(0x77a1ULL);
+  h = fp_push(h, (open ? 2u : 0u) | (clean ? 1u : 0u));
+  if (open) {
+    h = fp_push(h, acc_digest);
   }
   return h;
 }
@@ -61,11 +71,7 @@ std::uint64_t set_digest(const std::set<RegId>& s) {
 }  // namespace
 
 std::uint64_t MeasureAccumulator::ReportAcc::digest() const {
-  std::uint64_t h = report_digest(rep);
-  h = fp_push(h, set_digest(regs));
-  h = fp_push(h, set_digest(read_regs));
-  h = fp_push(h, set_digest(write_regs));
-  return h;
+  return fp_push(fp_mix(0x5e9047c3ULL), multiset_hash);
 }
 
 namespace {
@@ -79,9 +85,31 @@ std::size_t checked_nprocs(int nprocs) {
 
 }  // namespace
 
+namespace {
+
+// Slot namespaces for the XOR-combined digest contributions: windows,
+// totals, and sections must not cancel against each other.
+constexpr std::uint64_t kWindowSlot = 0x10000;
+constexpr std::uint64_t kTotalSlot = 0x20000;
+constexpr std::uint64_t kSectionSlot = 0x30000;
+
+std::uint64_t section_slot(Pid pid, Section s) {
+  return fp_slot(kSectionSlot + static_cast<std::uint64_t>(pid),
+                 static_cast<std::uint64_t>(s));
+}
+
+}  // namespace
+
 MeasureAccumulator::MeasureAccumulator(int nprocs)
     : per_pid_(checked_nprocs(nprocs)),
-      section_(static_cast<std::size_t>(nprocs), Section::Remainder) {}
+      section_(static_cast<std::size_t>(nprocs), Section::Remainder) {
+  for (Pid pid = 0; pid < nprocs; ++pid) {
+    refresh_max_hash(pid);
+    refresh_window_contrib(pid);
+    refresh_total_contrib(pid);
+    section_hash_ ^= section_slot(pid, Section::Remainder);
+  }
+}
 
 const MeasureAccumulator::PerPid& MeasureAccumulator::at(Pid pid) const {
   if (pid < 0 || pid >= process_count()) {
@@ -133,6 +161,7 @@ void MeasureAccumulator::on_event(const TraceEvent& ev) {
 void MeasureAccumulator::on_access(const TraceEvent& ev) {
   PerPid& pp = at(ev.pid);
   pp.total.add(ev.access);
+  pp.total_dirty = true;
   if (pp.cf_session.open) {
     pp.cf_session.acc.add(ev.access);
   }
@@ -141,6 +170,9 @@ void MeasureAccumulator::on_access(const TraceEvent& ev) {
   }
   if (pp.exit.open) {
     pp.exit.acc.add(ev.access);
+  }
+  if (pp.cf_session.open || pp.clean_entry.open || pp.exit.open) {
+    pp.window_dirty = true;
   }
 }
 
@@ -166,6 +198,7 @@ void MeasureAccumulator::on_section_change(const TraceEvent& ev) {
         if (w.clean && others_in_remainder(q)) {
           pp.cf_session_max = pp.cf_session_max.max_with(w.acc.report());
           pp.cf_sessions_completed += 1;
+          refresh_max_hash(q);
         }
         w.open = false;
       }
@@ -174,6 +207,8 @@ void MeasureAccumulator::on_section_change(const TraceEvent& ev) {
     }
   }
 
+  section_hash_ ^= section_slot(p, section_[static_cast<std::size_t>(p)]) ^
+                   section_slot(p, to);
   section_[static_cast<std::size_t>(p)] = to;
 
   // --- Clean entry windows (measures.h clean_entry_windows): open at
@@ -190,6 +225,7 @@ void MeasureAccumulator::on_section_change(const TraceEvent& ev) {
       if (w.clean) {
         PerPid& pp = per_pid_[static_cast<std::size_t>(q)];
         pp.clean_entry_max = pp.clean_entry_max.max_with(w.acc.report());
+        refresh_max_hash(q);
       }
       w.open = false;
     } else if (w.open &&
@@ -208,9 +244,49 @@ void MeasureAccumulator::on_section_change(const TraceEvent& ev) {
     } else if (to == Section::Remainder && w.open) {
       PerPid& pp = at(p);
       pp.exit_max = pp.exit_max.max_with(w.acc.report());
+      refresh_max_hash(p);
       w.open = false;
     }
   }
+
+  // A section change can flip window/clean state for any process (the
+  // loops above observe every q); flag all contributions. Rare next to
+  // accesses, so even the eager alternative would be off the hot path.
+  for (PerPid& pp : per_pid_) {
+    pp.window_dirty = true;
+  }
+}
+
+void MeasureAccumulator::refresh_window_contrib(Pid pid) const {
+  const PerPid& pp = per_pid_[static_cast<std::size_t>(pid)];
+  std::uint64_t h = fp_mix(0x77bdc211ULL);
+  h = fp_push(h, window_state_digest(pp.cf_session.open, pp.cf_session.clean,
+                                     pp.cf_session.acc.digest()));
+  h = fp_push(h, window_state_digest(pp.clean_entry.open,
+                                     pp.clean_entry.clean,
+                                     pp.clean_entry.acc.digest()));
+  h = fp_push(h, window_state_digest(pp.exit.open, pp.exit.clean,
+                                     pp.exit.acc.digest()));
+  h = fp_push(h, pp.max_hash);
+  pp.window_contrib =
+      fp_slot(kWindowSlot + static_cast<std::uint64_t>(pid), h);
+  pp.window_dirty = false;
+}
+
+void MeasureAccumulator::refresh_total_contrib(Pid pid) const {
+  const PerPid& pp = per_pid_[static_cast<std::size_t>(pid)];
+  pp.total_contrib = fp_slot(kTotalSlot + static_cast<std::uint64_t>(pid),
+                             pp.total.digest());
+  pp.total_dirty = false;
+}
+
+void MeasureAccumulator::refresh_max_hash(Pid pid) {
+  PerPid& pp = per_pid_[static_cast<std::size_t>(pid)];
+  std::uint64_t h = report_digest(pp.cf_session_max);
+  h = fp_push(h, report_digest(pp.clean_entry_max));
+  h = fp_push(h, report_digest(pp.exit_max));
+  h = fp_push(h, static_cast<std::uint64_t>(pp.cf_sessions_completed));
+  pp.max_hash = h;
 }
 
 ComplexityReport MeasureAccumulator::total(Pid pid) const {
@@ -242,46 +318,28 @@ int MeasureAccumulator::contention_free_session_count(Pid pid) const {
   return at(pid).cf_sessions_completed;
 }
 
-namespace {
-
-std::uint64_t window_state_digest(bool open, bool clean,
-                                  std::uint64_t acc_digest) {
-  std::uint64_t h = fp_mix(0x77a1ULL);
-  h = fp_push(h, (open ? 2u : 0u) | (clean ? 1u : 0u));
-  if (open) {
-    h = fp_push(h, acc_digest);
-  }
-  return h;
-}
-
-}  // namespace
-
 std::uint64_t MeasureAccumulator::window_digest() const {
-  std::uint64_t h = fp_mix(0x3a17bd02ULL);
-  for (const PerPid& pp : per_pid_) {
-    h = fp_push(h, window_state_digest(pp.cf_session.open,
-                                       pp.cf_session.clean,
-                                       pp.cf_session.acc.digest()));
-    h = fp_push(h, window_state_digest(pp.clean_entry.open,
-                                       pp.clean_entry.clean,
-                                       pp.clean_entry.acc.digest()));
-    h = fp_push(h, window_state_digest(pp.exit.open, pp.exit.clean,
-                                       pp.exit.acc.digest()));
-    h = fp_push(h, report_digest(pp.cf_session_max));
-    h = fp_push(h, report_digest(pp.clean_entry_max));
-    h = fp_push(h, report_digest(pp.exit_max));
-    h = fp_push(h, static_cast<std::uint64_t>(pp.cf_sessions_completed));
-  }
-  for (const Section s : section_) {
-    h = fp_push(h, static_cast<std::uint64_t>(s));
+  // Near-read: between two explorer nodes one access happened, so at most
+  // one contribution (plus section changes, rare) needs a refresh.
+  std::uint64_t h = fp_mix(0x3a17bd02ULL) ^ section_hash_;
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    const PerPid& pp = per_pid_[static_cast<std::size_t>(pid)];
+    if (pp.window_dirty) {
+      refresh_window_contrib(pid);
+    }
+    h ^= pp.window_contrib;
   }
   return h;
 }
 
 std::uint64_t MeasureAccumulator::digest() const {
   std::uint64_t h = window_digest();
-  for (const PerPid& pp : per_pid_) {
-    h = fp_push(h, pp.total.digest());
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    const PerPid& pp = per_pid_[static_cast<std::size_t>(pid)];
+    if (pp.total_dirty) {
+      refresh_total_contrib(pid);
+    }
+    h ^= pp.total_contrib;
   }
   return h;
 }

@@ -1,7 +1,7 @@
 #ifndef CFC_CORE_STREAMING_MEASURES_H
 #define CFC_CORE_STREAMING_MEASURES_H
 
-#include <set>
+#include <algorithm>
 #include <vector>
 
 #include "core/measures.h"
@@ -9,6 +9,34 @@
 #include "sched/event_sink.h"
 
 namespace cfc {
+
+/// Sorted-unique flat set of register ids, backing the register-complexity
+/// counts. A vector rather than a node-based std::set: the explorer copies
+/// accumulator snapshots on every branching DFS node and every sibling
+/// restore, and vector copy-assignment reuses the destination's capacity —
+/// steady-state allocation-free — where std::set would allocate one node
+/// per element per copy. Windows touch few registers, so the ordered
+/// insert's linear shift is cheaper than chasing tree nodes anyway.
+class RegIdSet {
+ public:
+  void insert(RegId r) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), r);
+    if (it == ids_.end() || *it != r) {
+      ids_.insert(it, r);
+    }
+  }
+  void clear() { ids_.clear(); }  // keeps capacity
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] std::vector<RegId>::const_iterator begin() const {
+    return ids_.begin();
+  }
+  [[nodiscard]] std::vector<RegId>::const_iterator end() const {
+    return ids_.end();
+  }
+
+ private:
+  std::vector<RegId> ids_;
+};
 
 /// Streaming replacement for the offline trace measurement: an EventSink
 /// that computes, online and per process,
@@ -74,9 +102,15 @@ class MeasureAccumulator final : public EventSink {
   /// sets backing the register-complexity components.
   struct ReportAcc {
     ComplexityReport rep;
-    std::set<RegId> regs;
-    std::set<RegId> read_regs;
-    std::set<RegId> write_regs;
+    RegIdSet regs;
+    RegIdSet read_regs;
+    RegIdSet write_regs;
+    /// Order-independent multiset hash of every access added since the
+    /// last reset (summed, so repetitions count). Every other field is a
+    /// function of that multiset, so this single word is a sound state
+    /// digest — and it makes digest() an O(1) read where iterating the
+    /// register sets per explorer node would dominate the search.
+    std::uint64_t multiset_hash = 0;
 
     void add(const Access& a);
     void reset();
@@ -100,10 +134,26 @@ class MeasureAccumulator final : public EventSink {
     ComplexityReport clean_entry_max;
     ComplexityReport exit_max;
     int cf_sessions_completed = 0;
+    /// XOR-combinable digest contributions, maintained lazily: the
+    /// explorer hashes the accumulator at EVERY DFS node for its
+    /// visited-state key, so digest()/window_digest() must be near-reads.
+    /// Event handlers only set the dirty flags (between two explorer
+    /// nodes exactly one access happened, so at most one pid is dirty);
+    /// the digest getters refresh flagged contributions and cache them.
+    /// max_hash covers the window maxima + session count and is refreshed
+    /// eagerly at window closes (rare).
+    mutable std::uint64_t window_contrib = 0;
+    mutable std::uint64_t total_contrib = 0;
+    std::uint64_t max_hash = 0;
+    mutable bool window_dirty = false;
+    mutable bool total_dirty = false;
   };
 
   void on_access(const TraceEvent& ev);
   void on_section_change(const TraceEvent& ev);
+  void refresh_window_contrib(Pid pid) const;
+  void refresh_total_contrib(Pid pid) const;
+  void refresh_max_hash(Pid pid);
 
   [[nodiscard]] bool others_in_remainder(Pid pid) const;
   [[nodiscard]] bool nobody_in_cs_or_exit() const;
@@ -113,6 +163,7 @@ class MeasureAccumulator final : public EventSink {
 
   std::vector<PerPid> per_pid_;
   std::vector<Section> section_;
+  std::uint64_t section_hash_ = 0;  ///< XOR of per-pid section slots
   bool truncated_ = false;
 };
 

@@ -16,6 +16,12 @@ constexpr std::uint64_t kDigestYield = 0x9c0e8b5d47f3a2e7ULL;
 constexpr std::uint64_t kDigestCrash = 0xc4a51fd2387b6e09ULL;
 constexpr std::uint64_t kDigestFinish = 0xf1f0c2d9e8b7a6c5ULL;
 
+/// A process's observation digest before it observes anything; spawn and
+/// rewind_to must agree on it.
+std::uint64_t initial_digest(Pid pid) {
+  return fp_mix(0x5eedULL ^ static_cast<std::uint64_t>(pid));
+}
+
 }  // namespace
 
 void Sim::remove_sink(EventSink& sink) {
@@ -35,16 +41,6 @@ void Sim::emit(const TraceEvent& ev) {
   }
 }
 
-void ProcessContext::post(const PendingAccess& req, std::coroutine_handle<> h) {
-  Sim::Proc& pr = sim_->proc(pid_);
-  pr.pending = req;
-  pr.resume_point = h;
-}
-
-Value ProcessContext::last_result() const noexcept {
-  return sim_->proc(pid_).last_result;
-}
-
 void ProcessContext::set_section(Section s) { sim_->on_section_change(pid_, s); }
 
 void ProcessContext::set_output(int value) { sim_->on_output(pid_, value); }
@@ -56,7 +52,12 @@ int ProcessContext::process_count() const noexcept {
 Pid Sim::spawn(std::string proc_name, BodyFactory factory) {
   const Pid pid = static_cast<Pid>(procs_.size());
   procs_.emplace_back(*this, pid, std::move(proc_name), std::move(factory));
-  procs_.back().digest = fp_mix(0x5eedULL ^ static_cast<std::uint64_t>(pid));
+  Proc& pr = procs_.back();
+  pr.digest = initial_digest(pid);
+  // Wire the context's fast-path slots (deque: addresses are stable).
+  pr.ctx.pending_slot_ = &pr.pending;
+  pr.ctx.resume_slot_ = &pr.resume_point;
+  pr.ctx.last_result_slot_ = &pr.last_result;
   return pid;
 }
 
@@ -110,7 +111,15 @@ void Sim::ensure_started(Pid pid) {
   if (pr.status != ProcStatus::NotStarted) {
     return;
   }
-  sched_log_.push_back({pid, /*start_only=*/true});
+  // Rewindable simulations route frames through the per-Sim arena (the
+  // body here, subtask frames during any resume), so the rewind-replay
+  // restore recycles them instead of hitting the heap. Ordinary
+  // simulations skip the arena: their frames never get a second life, so
+  // the global heap is the better allocator for them.
+  const FrameArena::Scope frame_scope(rewind_base_set_ ? &arena_ : nullptr);
+  if (!bulk_replay_) {
+    sched_log_.push_back({pid, /*start_only=*/true});
+  }
   pr.digest = fp_push(pr.digest, kDigestStart);
   pr.status = ProcStatus::Runnable;
   pr.root = pr.factory(pr.ctx);
@@ -135,6 +144,7 @@ Sim::StepResult Sim::step(Pid pid) {
   if (pr.status == ProcStatus::Done || pr.status == ProcStatus::Crashed) {
     return StepResult::NotRunnable;
   }
+  const FrameArena::Scope frame_scope(rewind_base_set_ ? &arena_ : nullptr);
 
   if (pr.status == ProcStatus::NotStarted) {
     ensure_started(pid);
@@ -143,7 +153,9 @@ Sim::StepResult Sim::step(Pid pid) {
     }
   }
 
-  sched_log_.push_back({pid, /*start_only=*/false});
+  if (!bulk_replay_) {
+    sched_log_.push_back({pid, /*start_only=*/false});
+  }
 
   // Crash injection fires when the process attempts one access too many.
   if (pr.crash_after.has_value() && pr.naccesses >= *pr.crash_after) {
@@ -163,7 +175,7 @@ Sim::StepResult Sim::step(Pid pid) {
   if (req.local_yield) {
     pr.digest = fp_push(pr.digest, kDigestYield);
   }
-  pr.last_result = req.local_yield ? 0 : execute(pid, req);
+  pr.last_result = req.local_yield ? 0 : execute(pr, pid, req);
   const std::coroutine_handle<> h = pr.resume_point;
   h.resume();
   if (pr.root.done()) {
@@ -176,9 +188,12 @@ Sim::StepResult Sim::step(Pid pid) {
   return req.local_yield ? StepResult::LocalStep : StepResult::Access;
 }
 
-Value Sim::execute(Pid pid, const PendingAccess& req) {
-  Proc& pr = proc(pid);
-  const int w = mem_.width(req.reg);
+Value Sim::execute(Proc& pr, Pid pid, const PendingAccess& req) {
+  // Hot path: one bounds-checked slot lookup serves the width read, the
+  // value read, and the committed write below (Sim is a RegisterFile
+  // friend exactly for this).
+  RegisterFile::Slot& sl = mem_.slot(req.reg);
+  const int w = sl.width;
 
   Access a;
   a.seq = next_seq_;
@@ -186,7 +201,7 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
   a.reg = req.reg;
   a.kind = req.kind;
   a.width = w;
-  a.before = mem_.peek(req.reg);
+  a.before = sl.value;
 
   switch (req.kind) {
     case AccessKind::Read: {
@@ -221,7 +236,8 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
         a.written = a.after;
         break;
       }
-      if (!mem_.fits(req.reg, req.to_write)) {
+      if (w < RegisterFile::kMaxWidth &&
+          req.to_write > ((Value{1} << w) - 1)) {
         throw std::invalid_argument("written value does not fit register");
       }
       a.written = req.to_write;
@@ -251,25 +267,36 @@ Value Sim::execute(Pid pid, const PendingAccess& req) {
     }
   }
 
-  mem_.poke(req.reg, a.after);
+  if (a.after != a.before) {  // commit; a no-op write keeps fp_ unchanged
+    const auto ur = static_cast<std::uint64_t>(req.reg);
+    mem_.fp_ ^= fp_slot(ur, sl.value) ^ fp_slot(ur, a.after);
+    sl.value = a.after;
+  }
   pr.naccesses += 1;
   // Fold the full observation into the process digest: what was done and
   // what came back. A deterministic coroutine's local state is a function
   // of its observation history, so equal digests mean equal local states.
-  std::uint64_t h = pr.digest;
-  h = fp_push(h, static_cast<std::uint64_t>(a.reg));
-  h = fp_push(h, (static_cast<std::uint64_t>(a.kind) << 8) |
-                     static_cast<std::uint64_t>(a.bit_op));
-  h = fp_push(h, a.before);
-  h = fp_push(h, a.after);
-  h = fp_push(h, a.returned.has_value() ? fp_mix(*a.returned) | 1u : 0u);
-  pr.digest = h;
-  TraceEvent ev;
-  ev.seq = next_seq_++;
-  ev.pid = pid;
-  ev.kind = TraceEvent::Kind::Access;
-  ev.access = a;
-  emit(ev);
+  // (Mixed down to one fp_push: this runs once per simulated access,
+  // including every replayed one.)
+  const std::uint64_t meta = (static_cast<std::uint64_t>(a.reg) << 16) |
+                             (static_cast<std::uint64_t>(a.kind) << 8) |
+                             static_cast<std::uint64_t>(a.bit_op);
+  std::uint64_t obs =
+      fp_mix(meta ^ (a.before * 0x9e3779b97f4a7c15ULL));
+  obs ^= fp_mix(a.after + 0x7f4a7c159e3779b9ULL);
+  if (a.returned.has_value()) {
+    obs ^= fp_mix(*a.returned ^ 0xd6e8feb86659fd93ULL) | 1u;
+  }
+  pr.digest = fp_push(pr.digest, obs);
+  const Seq seq = next_seq_++;
+  if (!quiet_replay_) {  // replayed events were already published once:
+    TraceEvent ev;       // skip even constructing them
+    ev.seq = seq;
+    ev.pid = pid;
+    ev.kind = TraceEvent::Kind::Access;
+    ev.access = a;
+    emit(ev);
+  }
   return a.returned.value_or(0);
 }
 
@@ -296,10 +323,12 @@ void Sim::on_section_change(Pid pid, Section s) {
 
 void Sim::on_output(Pid pid, int value) { proc(pid).output = value; }
 
-SimCheckpoint Sim::checkpoint() const {
+SimCheckpoint Sim::checkpoint(bool with_memory) const {
   SimCheckpoint cp;
   cp.schedule = sched_log_;
-  cp.memory = mem_.snapshot();
+  if (with_memory) {
+    cp.memory = mem_.snapshot();
+  }
   cp.memory_fingerprint = mem_.fingerprint();
   cp.next_seq = next_seq_;
   return cp;
@@ -307,6 +336,14 @@ SimCheckpoint Sim::checkpoint() const {
 
 std::unique_ptr<Sim> Sim::fork(const SimCheckpoint& cp,
                                const SimBuilder& rebuild) {
+  return fork(cp.schedule, cp.memory_fingerprint, cp.next_seq, rebuild,
+              cp.memory.empty() ? nullptr : &cp.memory);
+}
+
+std::unique_ptr<Sim> Sim::fork(std::span<const SimCheckpoint::Unit> schedule,
+                               std::uint64_t expect_fingerprint,
+                               Seq expect_seq, const SimBuilder& rebuild,
+                               const MemorySnapshot* expect_memory) {
   if (!rebuild) {
     throw std::invalid_argument("Sim::fork needs a rebuild callback");
   }
@@ -314,7 +351,7 @@ std::unique_ptr<Sim> Sim::fork(const SimCheckpoint& cp,
   rebuild(*sim);
   sim->quiet_replay_ = true;
   try {
-    for (const SimCheckpoint::Unit& u : cp.schedule) {
+    for (const SimCheckpoint::Unit& u : schedule) {
       if (u.start_only) {
         sim->ensure_started(u.pid);
       } else {
@@ -327,16 +364,112 @@ std::unique_ptr<Sim> Sim::fork(const SimCheckpoint& cp,
   }
   sim->quiet_replay_ = false;
   const bool diverged =
-      (cp.memory_fingerprint != 0 &&
-       (sim->next_seq_ != cp.next_seq ||
-        sim->mem_.fingerprint() != cp.memory_fingerprint)) ||
-      (!cp.memory.empty() && sim->mem_.snapshot() != cp.memory);
+      (expect_fingerprint != 0 &&
+       (sim->next_seq_ != expect_seq ||
+        sim->mem_.fingerprint() != expect_fingerprint)) ||
+      (expect_memory != nullptr && sim->mem_.snapshot() != *expect_memory);
   if (diverged) {
     throw std::logic_error(
         "Sim::fork: replay diverged from the checkpoint (non-deterministic "
         "SimBuilder?)");
   }
   return sim;
+}
+
+void Sim::mark_rewind_base() {
+  if (!sched_log_.empty()) {
+    throw std::logic_error(
+        "Sim::mark_rewind_base: must be called before any unit executes "
+        "(right after setup)");
+  }
+  base_memory_ = mem_.snapshot();
+  base_seq_ = next_seq_;
+  base_crash_.clear();
+  base_crash_.reserve(procs_.size());
+  for (const Proc& pr : procs_) {
+    base_crash_.push_back(pr.crash_after);
+  }
+  rewind_base_set_ = true;
+}
+
+void Sim::rewind_to(std::size_t prefix_len, std::uint64_t expect_fingerprint,
+                    Seq expect_seq, const MemorySnapshot* expect_memory) {
+  if (!rewind_base_set_) {
+    throw std::logic_error("Sim::rewind_to: mark_rewind_base was not called");
+  }
+  if (prefix_len > sched_log_.size()) {
+    throw std::out_of_range(
+        "Sim::rewind_to: prefix exceeds the schedule log");
+  }
+  if (quiet_replay_) {
+    throw std::logic_error("Sim::rewind_to: already replaying");
+  }
+  if (procs_.size() != base_crash_.size()) {
+    throw std::logic_error(
+        "Sim::rewind_to: processes were spawned after mark_rewind_base");
+  }
+
+  // Borrow the previous run's log as the replay source: swap it into the
+  // scratch buffer (no copy; both vectors keep their capacity). The log is
+  // bulk-restored from the buffer after the replay instead of re-appending
+  // unit by unit.
+  replay_buf_.swap(sched_log_);
+  sched_log_.clear();
+
+  // Reset every process to its pre-start state. Destroying the root task
+  // frees the whole coroutine frame chain into the per-Sim arena, where
+  // the replay's recreations will recycle it.
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    Proc& pr = procs_[static_cast<std::size_t>(pid)];
+    pr.root = Task<void>{};
+    pr.resume_point = {};
+    pr.pending.reset();
+    pr.last_result = 0;
+    pr.status = ProcStatus::NotStarted;
+    pr.section = Section::Remainder;
+    pr.output.reset();
+    pr.naccesses = 0;
+    pr.crash_after = base_crash_[static_cast<std::size_t>(pid)];
+    pr.digest = initial_digest(pid);
+  }
+  mem_.restore(base_memory_);
+  next_seq_ = base_seq_;
+  recorder_.clear();  // like a fork, the rewound run's trace starts empty
+
+  quiet_replay_ = true;
+  bulk_replay_ = true;
+  try {
+    for (std::size_t i = 0; i < prefix_len; ++i) {
+      const SimCheckpoint::Unit u = replay_buf_[i];
+      if (u.start_only) {
+        ensure_started(u.pid);
+      } else {
+        step(u.pid);
+      }
+    }
+  } catch (...) {
+    quiet_replay_ = false;
+    bulk_replay_ = false;
+    throw;
+  }
+  quiet_replay_ = false;
+  bulk_replay_ = false;
+  sched_log_.assign(replay_buf_.begin(),
+                    replay_buf_.begin() +
+                        static_cast<std::ptrdiff_t>(prefix_len));
+
+  rewind_stats_.rewinds += 1;
+  rewind_stats_.replayed_units += prefix_len;
+
+  const bool diverged =
+      (expect_fingerprint != 0 &&
+       (next_seq_ != expect_seq || mem_.fingerprint() != expect_fingerprint)) ||
+      (expect_memory != nullptr && mem_.snapshot() != *expect_memory);
+  if (diverged) {
+    throw std::logic_error(
+        "Sim::rewind_to: replay diverged from the expected state "
+        "(non-deterministic process body?)");
+  }
 }
 
 void Sim::record_terminal(Pid pid, TraceEvent::Kind kind) {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -17,6 +18,7 @@
 #include "memory/register_file.h"
 #include "memory/types.h"
 #include "sched/event_sink.h"
+#include "sched/frame_arena.h"
 #include "sched/run.h"
 #include "sched/task.h"
 
@@ -205,11 +207,24 @@ class ProcessContext {
   friend class Sim;
 
   ProcessContext(Sim& sim, Pid pid) : sim_(&sim), pid_(pid) {}
-  void post(const PendingAccess& req, std::coroutine_handle<> h);
-  [[nodiscard]] Value last_result() const noexcept;
+  void post(const PendingAccess& req, std::coroutine_handle<> h) {
+    // Hot path (once per access request): write straight into the
+    // process record through slots cached at spawn, skipping the
+    // bounds-checked process lookup.
+    *pending_slot_ = req;
+    *resume_slot_ = h;
+  }
+  [[nodiscard]] Value last_result() const noexcept {
+    return *last_result_slot_;
+  }
 
   Sim* sim_;
   Pid pid_;
+  // Stable addresses into this process's Sim record (procs_ is a deque),
+  // wired by Sim::spawn.
+  std::optional<PendingAccess>* pending_slot_ = nullptr;
+  std::coroutine_handle<>* resume_slot_ = nullptr;
+  const Value* last_result_slot_ = nullptr;
 };
 
 /// Lifecycle state of a simulated process.
@@ -297,10 +312,14 @@ class Sim {
 
   /// --- Checkpointing (fork-by-replay). ---
 
-  /// Captures the current point of the run: the full schedule log plus a
-  /// memory snapshot. O(picks + registers). See SimCheckpoint for the exact
-  /// restore semantics.
-  [[nodiscard]] SimCheckpoint checkpoint() const;
+  /// Captures the current point of the run: the full schedule log plus (by
+  /// default) a memory snapshot. O(picks + registers). See SimCheckpoint for
+  /// the exact restore semantics. `with_memory = false` skips the deep copy
+  /// of the register values and leaves `cp.memory` empty — fork() then
+  /// verifies the replay by fingerprint and event counter only, which is
+  /// what fingerprint-tracking callers (the explorer) need; keep the
+  /// default when the checkpoint should be self-verifying value-for-value.
+  [[nodiscard]] SimCheckpoint checkpoint(bool with_memory = true) const;
 
   /// Restores a checkpoint into a fresh simulation: `rebuild` reconstructs
   /// the static setup, then the schedule prefix is replayed with event
@@ -317,9 +336,69 @@ class Sim {
   [[nodiscard]] static std::unique_ptr<Sim> fork(const SimCheckpoint& cp,
                                                  const SimBuilder& rebuild);
 
+  /// Zero-copy fork: replays a borrowed schedule span (typically a prefix
+  /// of a live simulation's own schedule_log(), which must stay alive and
+  /// unmodified until this returns) without materializing a SimCheckpoint.
+  /// `expect_fingerprint == 0` skips verification; `expect_memory`, when
+  /// non-null, additionally compares the full register values (debug).
+  [[nodiscard]] static std::unique_ptr<Sim> fork(
+      std::span<const SimCheckpoint::Unit> schedule,
+      std::uint64_t expect_fingerprint, Seq expect_seq,
+      const SimBuilder& rebuild, const MemorySnapshot* expect_memory = nullptr);
+
   /// checkpoint() + fork(): a second simulation positioned exactly here.
   [[nodiscard]] std::unique_ptr<Sim> fork(const SimBuilder& rebuild) const {
     return fork(checkpoint(), rebuild);
+  }
+
+  /// --- In-place rewind (recycled restore; the explorer's hot path). ---
+
+  /// Captures the post-setup baseline rewind_to() restores: the register
+  /// values, the event counter, and each process's crash plan. Must be
+  /// called before any unit executes (schedule log empty) — i.e. right
+  /// after the static setup — and marks this simulation as rewindable.
+  void mark_rewind_base();
+  [[nodiscard]] bool rewind_base_marked() const { return rewind_base_set_; }
+
+  /// Repositions THIS simulation at `prefix_len` units of its own schedule
+  /// log, in place: destroys every coroutine frame (recycled through the
+  /// per-Sim frame arena), resets processes and registers to the
+  /// mark_rewind_base() baseline, and quietly re-executes the first
+  /// `prefix_len` units of the previous run — the schedule log is reused
+  /// where it sits, never copied. Equivalent to fork()-ing a checkpoint
+  /// taken at that point, but with zero Sim construction, zero setup
+  /// re-execution, and (steady-state) zero heap allocation.
+  ///
+  /// Like fork(), the replay runs with sinks, trace materialization, and
+  /// invariant checks suppressed; any materialized trace is cleared.
+  /// Attached sinks stay attached and see only post-rewind events — reset
+  /// their state alongside (the explorer restores its accumulator by
+  /// assignment). Verification: `expect_fingerprint == 0` skips it;
+  /// otherwise the memory fingerprint and event counter must match or the
+  /// rewind throws std::logic_error. `expect_memory`, when non-null, also
+  /// compares full register values (debug; costs a snapshot per call).
+  void rewind_to(std::size_t prefix_len, std::uint64_t expect_fingerprint = 0,
+                 Seq expect_seq = 0,
+                 const MemorySnapshot* expect_memory = nullptr);
+
+  struct RewindStats {
+    std::uint64_t rewinds = 0;         ///< rewind_to() calls completed
+    std::uint64_t replayed_units = 0;  ///< schedule units re-executed by them
+  };
+  [[nodiscard]] const RewindStats& rewind_stats() const {
+    return rewind_stats_;
+  }
+
+  /// Allocation counters of the per-Sim coroutine frame arena.
+  [[nodiscard]] const FrameArena::Stats& frame_arena_stats() const {
+    return arena_.stats();
+  }
+
+  /// True iff the next step(pid) fires the injected stopping failure
+  /// instead of performing the pending access.
+  [[nodiscard]] bool crash_pending(Pid pid) const {
+    const Proc& pr = proc(pid);
+    return pr.crash_after.has_value() && pr.naccesses >= *pr.crash_after;
   }
 
   /// The schedule log backing checkpoint(): every step()/ensure_started()
@@ -410,7 +489,7 @@ class Sim {
 
   /// Performs the access atomically against the register file, enforcing the
   /// access policy, and appends the event to the trace.
-  Value execute(Pid pid, const PendingAccess& req);
+  Value execute(Proc& pr, Pid pid, const PendingAccess& req);
 
   void on_section_change(Pid pid, Section s);
   void on_output(Pid pid, int value);
@@ -421,10 +500,24 @@ class Sim {
   void emit(const TraceEvent& ev);
 
   RegisterFile mem_;
+  FrameArena arena_;  // declared before procs_: frames die before the arena
   std::deque<Proc> procs_;  // deque: stable addresses for ProcessContext
   TraceRecorder recorder_;
   std::vector<EventSink*> sinks_;
   std::vector<SimCheckpoint::Unit> sched_log_;
+  /// Recycled scratch for rewind_to: the old schedule log is swapped here
+  /// and replayed from, so the log is never copied and both buffers keep
+  /// their capacity across rewinds (steady-state allocation-free).
+  std::vector<SimCheckpoint::Unit> replay_buf_;
+  /// mark_rewind_base() baseline.
+  bool rewind_base_set_ = false;
+  MemorySnapshot base_memory_;
+  Seq base_seq_ = 0;
+  std::vector<std::optional<std::uint64_t>> base_crash_;
+  RewindStats rewind_stats_;
+  /// True only inside rewind_to's replay: step/ensure_started skip the
+  /// per-unit log append (the log is bulk-restored from replay_buf_ after).
+  bool bulk_replay_ = false;
   bool quiet_replay_ = false;
   bool record_trace_ = true;
   Seq next_seq_ = 0;

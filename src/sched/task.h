@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "sched/frame_arena.h"
+
 namespace cfc {
 
 /// Lazy coroutine task with continuation chaining.
@@ -28,6 +30,17 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr exception;
+
+  /// Coroutine frames route through the frame arena (sched/frame_arena.h):
+  /// when a Sim has installed its arena for the current thread, frames are
+  /// recycled across the explorer's rewind-replay restores instead of
+  /// hitting the global heap; with no arena installed this is one
+  /// thread-local read over plain operator new.
+  static void* operator new(std::size_t size) { return frame_alloc(size); }
+  static void operator delete(void* p) noexcept { frame_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    frame_free(p);
+  }
 
   struct FinalAwaiter {
     [[nodiscard]] bool await_ready() const noexcept { return false; }

@@ -127,6 +127,35 @@ TEST(Checkpoint, ForkVerifiesMemoryFingerprint) {
   EXPECT_THROW((void)Sim::fork(cp, rebuild), std::logic_error);
 }
 
+TEST(Checkpoint, MemorySnapshotIsOptIn) {
+  // checkpoint(false) skips the deep MemorySnapshot copy; the checkpoint
+  // still replays and verifies by fingerprint + event counter. The
+  // default stays value-verifying (cp.memory populated).
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  const SimBuilder rebuild = mutex_builder(factory, 2, 1, {});
+  Sim sim;
+  rebuild(sim);
+  RandomScheduler rnd(5);
+  drive(sim, rnd, RunLimits{12});
+
+  const SimCheckpoint full = sim.checkpoint();
+  EXPECT_FALSE(full.memory.empty());
+  SimCheckpoint light = sim.checkpoint(/*with_memory=*/false);
+  EXPECT_TRUE(light.memory.empty());
+  EXPECT_EQ(light.memory_fingerprint, full.memory_fingerprint);
+  EXPECT_EQ(light.next_seq, full.next_seq);
+  EXPECT_EQ(light.schedule.size(), full.schedule.size());
+
+  const std::unique_ptr<Sim> from_light = Sim::fork(light, rebuild);
+  const std::unique_ptr<Sim> from_full = Sim::fork(full, rebuild);
+  expect_same_state(*from_light, *from_full);
+
+  // Fingerprint verification still guards the memory-free checkpoint.
+  light.memory_fingerprint ^= 1;
+  EXPECT_THROW((void)Sim::fork(light, rebuild), std::logic_error);
+}
+
 TEST(Checkpoint, ForkSuppressesSinksDuringReplayThenReattaches) {
   const MutexFactory factory =
       AlgorithmRegistry::instance().mutex("peterson-2p").factory;

@@ -1,0 +1,329 @@
+// Recycled-rewind fidelity: Sim::rewind_to must reposition the LIVE
+// simulation at any prefix of its own schedule log indistinguishably from
+// Sim::fork of a checkpoint taken there — across every registry algorithm,
+// including crash injection — and the Explorer's rewind restore path must
+// produce bit-identical search results to the retained legacy
+// fork-by-replay path, with zero Sim constructions per restore and frame
+// recreation served entirely from the arena pool after warm-up.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "core/algorithm_registry.h"
+#include "core/state_fingerprint.h"
+#include "mutex/mutex_algorithm.h"
+#include "sched/sched.h"
+
+namespace cfc {
+namespace {
+
+struct CrashPlan {
+  Pid pid;
+  std::uint64_t after_accesses;
+};
+
+SimBuilder mutex_builder(const MutexFactory& factory, int n, int sessions,
+                         std::vector<CrashPlan> crashes) {
+  auto keep =
+      std::make_shared<std::vector<std::unique_ptr<MutexAlgorithm>>>();
+  return [factory, n, sessions, crashes, keep](Sim& sim) {
+    keep->push_back(setup_mutex(sim, factory, n, sessions));
+    for (const CrashPlan& c : crashes) {
+      sim.crash_after(c.pid, c.after_accesses);
+    }
+  };
+}
+
+void expect_same_state(const Sim& a, const Sim& b) {
+  ASSERT_EQ(a.process_count(), b.process_count());
+  EXPECT_EQ(a.next_seq(), b.next_seq());
+  EXPECT_EQ(a.memory().fingerprint(), b.memory().fingerprint());
+  EXPECT_EQ(a.memory().snapshot(), b.memory().snapshot());
+  EXPECT_EQ(state_fingerprint(a), state_fingerprint(b));
+  for (Pid p = 0; p < a.process_count(); ++p) {
+    EXPECT_EQ(a.status(p), b.status(p)) << "pid " << p;
+    EXPECT_EQ(a.section(p), b.section(p)) << "pid " << p;
+    EXPECT_EQ(a.output(p), b.output(p)) << "pid " << p;
+    EXPECT_EQ(a.access_count(p), b.access_count(p)) << "pid " << p;
+    EXPECT_EQ(a.process_digest(p), b.process_digest(p)) << "pid " << p;
+  }
+}
+
+/// Runs a random schedule on a rewindable live sim, rewinds it to a
+/// prefix, and differential-tests the result against a fork of the same
+/// prefix — then drives both onward with identical schedulers and
+/// compares again (the rewound sim must behave like the fork forever
+/// after, crash plans included).
+void rewind_and_compare(const MutexFactory& factory, int n,
+                        const std::vector<CrashPlan>& crashes,
+                        std::uint64_t seed) {
+  const SimBuilder rebuild = mutex_builder(factory, n, 1, crashes);
+
+  Sim live;
+  rebuild(live);
+  live.mark_rewind_base();
+  RandomScheduler rnd(seed);
+  drive(live, rnd, RunLimits{60});
+  const std::size_t full_len = live.schedule_log().size();
+  ASSERT_GT(full_len, 0u);
+  const std::size_t prefix_len = full_len / 2;
+
+  const std::unique_ptr<Sim> reference =
+      Sim::fork(std::span(live.schedule_log().data(), prefix_len),
+                /*expect_fingerprint=*/0, /*expect_seq=*/0, rebuild);
+  live.rewind_to(prefix_len);
+  ASSERT_EQ(live.schedule_log().size(), prefix_len);
+  expect_same_state(live, *reference);
+
+  RandomScheduler cont_a(seed + 17);
+  RandomScheduler cont_b(seed + 17);
+  drive(live, cont_a, RunLimits{40});
+  drive(*reference, cont_b, RunLimits{40});
+  expect_same_state(live, *reference);
+}
+
+TEST(Rewind, MatchesForkAcrossAllRegistryMutexAlgorithms) {
+  for (const MutexAlgorithmEntry* e :
+       AlgorithmRegistry::instance().mutex_for_n(2)) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(e->info.name);
+      rewind_and_compare(e->factory, 2, {}, seed);
+    }
+  }
+}
+
+TEST(Rewind, MatchesForkUnderCrashInjection) {
+  for (const MutexAlgorithmEntry* e :
+       AlgorithmRegistry::instance().mutex_for_n(4)) {
+    SCOPED_TRACE(e->info.name);
+    rewind_and_compare(e->factory, 4, {{0, 3}, {2, 1}}, 5);
+  }
+}
+
+TEST(Rewind, RewindToZeroAndFullLengthAreExact) {
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  const SimBuilder rebuild = mutex_builder(factory, 2, 1, {});
+  Sim live;
+  rebuild(live);
+  live.mark_rewind_base();
+  RandomScheduler rnd(9);
+  drive(live, rnd, RunLimits{30});
+  const std::size_t full_len = live.schedule_log().size();
+  const std::uint64_t fp = live.memory().fingerprint();
+  const Seq seq = live.next_seq();
+
+  // Full-length rewind: a complete in-place re-execution of the same run.
+  live.rewind_to(full_len, fp, seq);
+  EXPECT_EQ(live.memory().fingerprint(), fp);
+  EXPECT_EQ(live.next_seq(), seq);
+
+  // Rewind to zero: back to the post-setup baseline.
+  live.rewind_to(0);
+  EXPECT_TRUE(live.schedule_log().empty());
+  for (Pid p = 0; p < live.process_count(); ++p) {
+    EXPECT_EQ(live.status(p), ProcStatus::NotStarted);
+  }
+}
+
+TEST(Rewind, VerifiesFingerprintAndSeq) {
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  const SimBuilder rebuild = mutex_builder(factory, 2, 1, {});
+  Sim live;
+  rebuild(live);
+  live.mark_rewind_base();
+  RandomScheduler rnd(3);
+  drive(live, rnd, RunLimits{20});
+  const std::size_t len = live.schedule_log().size();
+  const std::uint64_t fp = live.memory().fingerprint();
+  const Seq seq = live.next_seq();
+
+  live.rewind_to(len, fp, seq);  // correct expectation: accepted
+  EXPECT_THROW(live.rewind_to(len, fp ^ 1, seq), std::logic_error);
+}
+
+TEST(Rewind, RequiresBaselineAndValidPrefix) {
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  const SimBuilder rebuild = mutex_builder(factory, 2, 1, {});
+  Sim unmarked;
+  rebuild(unmarked);
+  EXPECT_THROW(unmarked.rewind_to(0), std::logic_error);
+
+  Sim live;
+  rebuild(live);
+  live.mark_rewind_base();
+  RandomScheduler rnd(4);
+  drive(live, rnd, RunLimits{10});
+  EXPECT_THROW(live.rewind_to(live.schedule_log().size() + 1),
+               std::out_of_range);
+
+  // The baseline must be captured before any unit executes.
+  Sim late;
+  rebuild(late);
+  RandomScheduler rnd2(4);
+  drive(late, rnd2, RunLimits{2});
+  EXPECT_THROW(late.mark_rewind_base(), std::logic_error);
+}
+
+TEST(Rewind, FrameRecreationIsServedFromThePoolAfterWarmup) {
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("lamport-fast").factory;
+  const SimBuilder rebuild = mutex_builder(factory, 3, 1, {});
+  Sim live;
+  rebuild(live);
+  live.mark_rewind_base();
+  RandomScheduler rnd(11);
+  drive(live, rnd, RunLimits{40});
+  const std::size_t len = live.schedule_log().size() / 2;
+
+  live.rewind_to(len);  // warm-up: frees + recreates every frame once
+  const std::uint64_t fresh_after_first = live.frame_arena_stats().fresh;
+  ASSERT_GT(live.frame_arena_stats().reused + fresh_after_first, 0u);
+  for (int i = 0; i < 5; ++i) {
+    live.rewind_to(len);
+  }
+  // Identical replays recreate identical frames: all of them recycled,
+  // zero fresh arena growth, zero heap fallbacks.
+  EXPECT_EQ(live.frame_arena_stats().fresh, fresh_after_first);
+  EXPECT_EQ(live.frame_arena_stats().fallback, 0u);
+  EXPECT_GT(live.frame_arena_stats().reused, 0u);
+}
+
+/// The Explorer-level differential: identical traversal, reports, and
+/// stats (except Sim constructions) between the recycled rewind and the
+/// legacy fork-by-replay restore paths.
+WorstCaseSearchOptions exhaustive_opts(int depth, bool by_fork,
+                                       bool verify_snapshot = false) {
+  WorstCaseSearchOptions o;
+  o.strategy = SearchStrategy::Exhaustive;
+  o.limits.max_depth = depth;
+  o.limits.restore_by_fork = by_fork;
+  o.limits.verify_restore_snapshot = verify_snapshot;
+  return o;
+}
+
+void expect_same_report(const ComplexityReport& a, const ComplexityReport& b) {
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.registers, b.registers);
+  EXPECT_EQ(a.read_steps, b.read_steps);
+  EXPECT_EQ(a.write_steps, b.write_steps);
+  EXPECT_EQ(a.read_registers, b.read_registers);
+  EXPECT_EQ(a.write_registers, b.write_registers);
+  EXPECT_EQ(a.atomicity, b.atomicity);
+  EXPECT_EQ(a.truncated, b.truncated);
+}
+
+TEST(Rewind, ExplorerPathsBitIdenticalAcrossAllRegistryMutexAlgorithms) {
+  for (const MutexAlgorithmEntry* e :
+       AlgorithmRegistry::instance().mutex_for_n(2)) {
+    SCOPED_TRACE(e->info.name);
+    const MutexWcSearchResult rewind = search_mutex_worst_case(
+        e->factory, 2, 1, exhaustive_opts(10, /*by_fork=*/false));
+    const MutexWcSearchResult fork = search_mutex_worst_case(
+        e->factory, 2, 1, exhaustive_opts(10, /*by_fork=*/true));
+    expect_same_report(rewind.entry, fork.entry);
+    expect_same_report(rewind.exit, fork.exit);
+    EXPECT_EQ(rewind.schedules_tried, fork.schedules_tried);
+    EXPECT_EQ(rewind.states_visited, fork.states_visited);
+    EXPECT_EQ(rewind.violations, fork.violations);
+    EXPECT_EQ(rewind.truncated, fork.truncated);
+    EXPECT_EQ(rewind.certified, fork.certified);
+  }
+}
+
+TEST(Rewind, ExplorerPathsBitIdenticalForDetectors) {
+  for (const DetectorAlgorithmEntry* e :
+       AlgorithmRegistry::instance().detector_algorithms()) {
+    SCOPED_TRACE(e->info.name);
+    const DetectorWcSearchResult rewind = search_detector_worst_case(
+        e->factory, 2, exhaustive_opts(14, /*by_fork=*/false));
+    const DetectorWcSearchResult fork = search_detector_worst_case(
+        e->factory, 2, exhaustive_opts(14, /*by_fork=*/true));
+    expect_same_report(rewind.best, fork.best);
+    EXPECT_EQ(rewind.schedules_tried, fork.schedules_tried);
+    EXPECT_EQ(rewind.states_visited, fork.states_visited);
+    EXPECT_EQ(rewind.certified, fork.certified);
+  }
+}
+
+TEST(Rewind, ExplorerPathsBitIdenticalUnderCrashInjection) {
+  // Crash plans set at setup are part of the rewind baseline; both restore
+  // paths must reproduce crashes identically mid-search.
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("lamport-fast").factory;
+  auto run = [&](bool by_fork) {
+    Explorer::Config cfg;
+    cfg.nprocs = 2;
+    cfg.strategy = SearchStrategy::Exhaustive;
+    cfg.limits.max_depth = 12;
+    cfg.limits.restore_by_fork = by_fork;
+    cfg.setup = [&factory](Sim& sim) -> std::shared_ptr<void> {
+      auto alg = setup_mutex(sim, factory, 2, 1);
+      sim.crash_after(1, 2);
+      return std::shared_ptr<void>(std::move(alg));
+    };
+    return Explorer(cfg).run();
+  };
+  const Explorer::Result rewind = run(false);
+  const Explorer::Result fork = run(true);
+  EXPECT_EQ(rewind.stats.states_visited, fork.stats.states_visited);
+  EXPECT_EQ(rewind.stats.runs_completed, fork.stats.runs_completed);
+  EXPECT_EQ(rewind.stats.runs_truncated, fork.stats.runs_truncated);
+  EXPECT_EQ(rewind.stats.pruned_visited, fork.stats.pruned_visited);
+  EXPECT_EQ(rewind.stats.violations, fork.stats.violations);
+  EXPECT_EQ(rewind.stats.restores, fork.stats.restores);
+  EXPECT_EQ(rewind.stats.replayed_steps, fork.stats.replayed_steps);
+}
+
+TEST(Rewind, DebugSnapshotVerificationPasses) {
+  // verify_restore_snapshot compares full register values on every
+  // restore; on a deterministic setup it must change nothing.
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  const MutexWcSearchResult plain = search_mutex_worst_case(
+      factory, 2, 1, exhaustive_opts(10, /*by_fork=*/false));
+  const MutexWcSearchResult checked = search_mutex_worst_case(
+      factory, 2, 1,
+      exhaustive_opts(10, /*by_fork=*/false, /*verify_snapshot=*/true));
+  expect_same_report(plain.entry, checked.entry);
+  EXPECT_EQ(plain.states_visited, checked.states_visited);
+}
+
+TEST(Rewind, RestoresPerformZeroSimConstructions) {
+  // The acceptance assertion: with the recycled rewind, Sim construction
+  // count equals the frontier cell count no matter how many restores ran;
+  // the legacy path builds one extra Sim per restore.
+  WorstCaseSearchOptions rewind_opts = exhaustive_opts(14, false);
+  WorstCaseSearchOptions fork_opts = exhaustive_opts(14, true);
+  const MutexFactory factory =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  Explorer::Config cfg;
+  cfg.nprocs = 2;
+  cfg.strategy = SearchStrategy::Exhaustive;
+  cfg.limits = rewind_opts.limits;
+  cfg.setup = [&factory](Sim& sim) -> std::shared_ptr<void> {
+    return setup_mutex(sim, factory, 2, 1);
+  };
+  const Explorer::Result rewind = Explorer(cfg).run();
+  cfg.limits = fork_opts.limits;
+  const Explorer::Result fork = Explorer(cfg).run();
+
+  ASSERT_GT(rewind.stats.restores, 0u);
+  EXPECT_EQ(rewind.stats.restores, fork.stats.restores);
+  // One Sim per frontier cell — and not one more, however many restores
+  // happened; the legacy path builds one extra per restore.
+  const std::size_t cells =
+      Explorer::frontier_cells(cfg.nprocs, rewind_opts.limits);
+  EXPECT_EQ(rewind.stats.sims_built, cells);
+  EXPECT_EQ(fork.stats.sims_built, cells + fork.stats.restores);
+  EXPECT_GT(rewind.stats.replayed_steps, 0u);
+  EXPECT_EQ(rewind.stats.replayed_steps, fork.stats.replayed_steps);
+}
+
+}  // namespace
+}  // namespace cfc
