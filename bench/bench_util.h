@@ -31,6 +31,12 @@ namespace cfc::bench {
 ///   --repeat <n>     repetitions for timed sections; benches report the
 ///                    min-of-N (the noise-robust estimator on shared CI
 ///                    machines). Default 1.
+///   --reduction <p>  partial-order-reduction policy for the benches'
+///                    Exhaustive searches: off | sleep-lite | source-dpor
+///                    (default off — the unreduced tree, comparable with
+///                    pre-POR baselines)
+///   --baseline <f>   committed BENCH_<name>.json to compare against
+///                    (explorer_scaling's reduction-factor rows)
 ///   --list           print the registry algorithms this bench can target
 ///                    (after --algo filtering) and exit
 struct BenchOptions {
@@ -39,6 +45,8 @@ struct BenchOptions {
   std::string out = ".";
   std::string algo;
   int repeat = 1;
+  ReductionPolicy reduction = ReductionPolicy::Off;
+  std::string baseline;
   bool list = false;
 
   static BenchOptions parse(int argc, char** argv) {
@@ -46,7 +54,9 @@ struct BenchOptions {
     const auto usage = [&](std::FILE* to, int exit_code) {
       std::fprintf(to,
                    "usage: %s [--seed <base>] [--threads <k>] [--out <dir>] "
-                   "[--algo <tag-or-name>] [--repeat <n>] [--list]\n",
+                   "[--algo <tag-or-name>] [--repeat <n>] "
+                   "[--reduction off|sleep-lite|source-dpor] "
+                   "[--baseline <json>] [--list]\n",
                    argc > 0 ? argv[0] : "bench");
       std::exit(exit_code);
     };
@@ -95,6 +105,20 @@ struct BenchOptions {
           std::fprintf(stderr, "--repeat must be >= 1\n");
           usage(stderr, 2);
         }
+      } else if (matches(arg, "--reduction")) {
+        const std::string v = value(i, "--reduction");
+        const std::optional<ReductionPolicy> policy =
+            reduction_policy_from(v);
+        if (!policy.has_value()) {
+          std::fprintf(stderr,
+                       "invalid --reduction '%s' (off | sleep-lite | "
+                       "source-dpor)\n",
+                       v.c_str());
+          usage(stderr, 2);
+        }
+        opts.reduction = *policy;
+      } else if (matches(arg, "--baseline")) {
+        opts.baseline = value(i, "--baseline");
       } else if (arg == "--list") {
         opts.list = true;
       } else {

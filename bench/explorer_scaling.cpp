@@ -11,6 +11,7 @@
 // in the context); CI runs this in Release as the perf smoke.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,7 +38,9 @@ StudySpec peterson_exhaustive(int depth) {
 /// directly so this bench can drive the Explorer itself and read the
 /// restore-cost counters that StudyResult does not carry.
 Explorer::Config peterson_config(int depth, bool restore_by_fork,
-                                 bool reduce_independent = false) {
+                                 bool reduce_independent = false,
+                                 ReductionPolicy reduction =
+                                     ReductionPolicy::Off) {
   const MutexFactory make =
       AlgorithmRegistry::instance().mutex("peterson-2p").factory;
   Explorer::Config cfg;
@@ -46,6 +49,7 @@ Explorer::Config peterson_config(int depth, bool restore_by_fork,
   cfg.limits.max_depth = depth;
   cfg.limits.restore_by_fork = restore_by_fork;
   cfg.limits.reduce_independent = reduce_independent;
+  cfg.limits.reduction = reduction;
   cfg.setup = [make](Sim& sim) -> std::shared_ptr<void> {
     return setup_mutex(sim, make, 2, 1);
   };
@@ -62,6 +66,42 @@ Explorer::Config peterson_config(int depth, bool restore_by_fork,
     return acc.window_digest();
   };
   return cfg;
+}
+
+/// Reads the committed baseline's unreduced throughput states per depth
+/// (the `{"section": "throughput", "depth": D, "states": N, ...}` rows of
+/// a BENCH_explorer_scaling.json this bench itself wrote). A targeted text
+/// scan, not a JSON parser: the row shape is owned by this file.
+long long baseline_states_at_depth(const std::string& json, int depth) {
+  const std::string sect = "\"section\": \"throughput\"";
+  const std::string want_depth = "\"depth\": " + std::to_string(depth);
+  for (std::size_t at = json.find(sect); at != std::string::npos;
+       at = json.find(sect, at + 1)) {
+    const std::size_t row_end = json.find('}', at);
+    const std::size_t d = json.find(want_depth, at);
+    if (d == std::string::npos || d > row_end) {
+      continue;
+    }
+    const std::size_t s = json.find("\"states\": ", at);
+    if (s == std::string::npos || s > row_end) {
+      continue;
+    }
+    return std::strtoll(json.c_str() + s + 10, nullptr, 10);
+  }
+  return -1;
+}
+
+std::string read_file(const std::string& path) {
+  std::string out;
+  if (std::FILE* fp = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+      out.append(buf, got);
+    }
+    std::fclose(fp);
+  }
+  return out;
 }
 
 bool same_best(const std::vector<ComplexityReport>& a,
@@ -103,16 +143,24 @@ int main(int argc, char** argv) {
   // schedule prefix in place — replayed-steps-per-node is the knob that
   // perf work on the restore path moves.
   std::printf(
-      "Exhaustive exploration throughput (Peterson, n=2, min of %d):\n\n",
-      opts.repeat);
+      "Exhaustive exploration throughput (Peterson, n=2, reduction=%s, "
+      "min of %d):\n\n",
+      name(opts.reduction), opts.repeat);
+  json.context("reduction", std::string(name(opts.reduction)));
   TextTable thr({"depth", "states", "leaves", "ms", "states/sec",
                  "restores", "replayed/node", "visited KiB", "entry steps"});
+  // Section 3b reuses these as its "unreduced" side when the throughput
+  // section already ran unreduced (the default --reduction=off), so the
+  // heaviest searches are not repeated per invocation.
+  std::vector<std::pair<Explorer::Result, double>> throughput_runs;
   for (const int depth : {12, 16, 20}) {
     Explorer::Result res;
     const double ms = cfc::bench::min_ms_of(opts.repeat, [&] {
-      const Explorer explorer(peterson_config(depth, false));
+      const Explorer explorer(
+          peterson_config(depth, false, false, opts.reduction));
       res = explorer.run(runner.get());
     });
+    throughput_runs.emplace_back(res, ms);
     const double rate =
         ms > 0 ? 1000.0 * static_cast<double>(res.stats.states_visited) / ms
                : 0.0;
@@ -248,6 +296,106 @@ int main(int argc, char** argv) {
     verify.check(pruned.stats.states_visited <=
                      unpruned.stats.states_visited,
                  "pruning never visits more states");
+  }
+
+  // --- 3b. The POR reduction rows: source-dpor vs the unreduced search
+  // on the same cells, per depth — states explored, the in-run reduction
+  // factor, and (when --baseline names the committed
+  // BENCH_explorer_scaling.json) the factor against the baseline's
+  // recorded unreduced states. Hard gate: the reduced search must never
+  // explore more states than the unreduced search on the same cell, and
+  // must certify identical values.
+  {
+    const std::string baseline_json =
+        opts.baseline.empty() ? std::string() : read_file(opts.baseline);
+    if (!opts.baseline.empty() && baseline_json.empty()) {
+      std::printf("  [warn] --baseline %s not readable; factors vs "
+                  "baseline omitted\n",
+                  opts.baseline.c_str());
+    }
+    std::printf("Source-DPOR reduction vs the unreduced search:\n\n");
+    TextTable red({"depth", "unreduced", "source-dpor", "factor", "races",
+                   "backtracks", "sleep-blocked", "vs baseline"});
+    const int depths[] = {12, 16, 20};
+    for (std::size_t di = 0; di < 3; ++di) {
+      const int depth = depths[di];
+      Explorer::Result off;
+      double ms_off = 0.0;
+      if (opts.reduction == ReductionPolicy::Off) {
+        off = throughput_runs[di].first;  // already measured in section 1
+        ms_off = throughput_runs[di].second;
+      } else {
+        ms_off = cfc::bench::min_ms_of(opts.repeat, [&] {
+          off = Explorer(peterson_config(depth, false)).run(runner.get());
+        });
+      }
+      Explorer::Result dpor;
+      double ms_dpor = 0.0;
+      if (opts.reduction == ReductionPolicy::SourceDpor) {
+        dpor = throughput_runs[di].first;  // already measured in section 1
+        ms_dpor = throughput_runs[di].second;
+      } else {
+        ms_dpor = cfc::bench::min_ms_of(opts.repeat, [&] {
+          dpor = Explorer(peterson_config(depth, false, false,
+                                          ReductionPolicy::SourceDpor))
+                     .run(runner.get());
+        });
+      }
+      const double factor =
+          dpor.stats.states_visited
+              ? static_cast<double>(off.stats.states_visited) /
+                    static_cast<double>(dpor.stats.states_visited)
+              : 0.0;
+      const long long base_states =
+          baseline_json.empty()
+              ? -1
+              : baseline_states_at_depth(baseline_json, depth);
+      const double base_factor =
+          base_states > 0 && dpor.stats.states_visited
+              ? static_cast<double>(base_states) /
+                    static_cast<double>(dpor.stats.states_visited)
+              : 0.0;
+      red.add_row({std::to_string(depth),
+                   std::to_string(off.stats.states_visited),
+                   std::to_string(dpor.stats.states_visited),
+                   std::to_string(factor).substr(0, 5),
+                   std::to_string(dpor.stats.races_detected),
+                   std::to_string(dpor.stats.backtrack_points),
+                   std::to_string(dpor.stats.sleep_blocked),
+                   base_states > 0
+                       ? std::to_string(base_factor).substr(0, 5)
+                       : std::string("n/a")});
+      json.row({{"section", std::string("reduction")},
+                {"depth", cfc::bench::jv(depth)},
+                {"states_unreduced",
+                 cfc::bench::jv(off.stats.states_visited)},
+                {"states_source_dpor",
+                 cfc::bench::jv(dpor.stats.states_visited)},
+                {"reduction_factor", cfc::bench::jv(factor)},
+                {"baseline_states", cfc::bench::jv(base_states)},
+                {"reduction_factor_vs_baseline",
+                 cfc::bench::jv(base_factor)},
+                {"races_detected",
+                 cfc::bench::jv(dpor.stats.races_detected)},
+                {"backtrack_points",
+                 cfc::bench::jv(dpor.stats.backtrack_points)},
+                {"sleep_blocked", cfc::bench::jv(dpor.stats.sleep_blocked)},
+                {"ms_unreduced", cfc::bench::jv(ms_off)},
+                {"ms_source_dpor", cfc::bench::jv(ms_dpor)}});
+      verify.check(same_best(off.best, dpor.best),
+                   "source-dpor certifies the unreduced values at depth " +
+                       std::to_string(depth));
+      verify.check(
+          dpor.stats.states_visited <= off.stats.states_visited,
+          "source-dpor explores no more states than the unreduced search "
+          "at depth " +
+              std::to_string(depth));
+      verify.check(dpor.stats.races_detected > 0 &&
+                       dpor.stats.backtrack_points > 0,
+                   "reduction counters populated at depth " +
+                       std::to_string(depth));
+    }
+    std::printf("%s\n", red.render().c_str());
   }
 
   // --- 4. Sim-level restore mechanics: reposition a measured run K times

@@ -1,9 +1,5 @@
 #include "analysis/experiment.h"
 
-#include <optional>
-
-#include "sched/sched.h"
-
 namespace cfc {
 
 // Every adapter here builds a StudySpec with an ad-hoc factory (the legacy
@@ -53,17 +49,6 @@ MutexWcSearchResult search_mutex_worst_case(
   return res;
 }
 
-MutexWcSearchResult search_mutex_worst_case(
-    const MutexFactory& make, int n, int sessions,
-    const std::vector<std::uint64_t>& seeds, std::uint64_t budget_per_run,
-    ExperimentRunner* runner) {
-  WorstCaseSearchOptions options;
-  options.strategy = SearchStrategy::Random;
-  options.seeds = seeds;
-  options.budget_per_run = budget_per_run;
-  return search_mutex_worst_case(make, n, sessions, options, runner);
-}
-
 ComplexityReport measure_detector_contention_free(const DetectorFactory& make,
                                                   int n,
                                                   ExperimentRunner* runner) {
@@ -88,33 +73,6 @@ DetectorWcSearchResult search_detector_worst_case(
   res.violations = r.violations;
   res.truncated = r.truncated;
   res.certified = r.certified;
-  return res;
-}
-
-DetectorWcSearchResult search_detector_worst_case(
-    const DetectorFactory& make, int n,
-    const std::vector<std::uint64_t>& seeds, ExperimentRunner* runner) {
-  // The historical battery: cell 0 is the round-robin schedule, cells 1..k
-  // the seeded randoms. Kept as its own cell grid (the options overload's
-  // Random strategy omits the round-robin run) so legacy callers see
-  // bit-identical maxima; the full result type now carries the run
-  // statistics the old bare-ComplexityReport return silently dropped.
-  std::vector<ComplexityReport> cells(seeds.size() + 1);
-  runner_or_shared(runner).parallel_for(cells.size(), [&](std::size_t i) {
-    if (i == 0) {
-      RoundRobinScheduler rr;
-      cells[i] = detail::run_detector_cell(make, n, rr, std::nullopt);
-    } else {
-      RandomScheduler rnd(seeds[i - 1]);
-      cells[i] = detail::run_detector_cell(make, n, rnd, std::nullopt);
-    }
-  });
-  DetectorWcSearchResult res;
-  for (const ComplexityReport& cell : cells) {
-    res.best = res.best.max_with(cell);
-  }
-  res.schedules_tried = cells.size();
-  res.truncated = res.best.truncated;
   return res;
 }
 

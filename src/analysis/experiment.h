@@ -67,19 +67,13 @@ struct MutexWcSearchResult {
   bool certified = false;
 };
 
+/// (The redundant seed-list overload — Random strategy over bare seeds —
+/// was deprecated in PR 3 and removed per the ROADMAP deprecation plan:
+/// set strategy/seeds/budget on WorstCaseSearchOptions, or use
+/// StudySpec::worst_case.)
 [[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
     const MutexFactory& make, int n, int sessions,
     const WorstCaseSearchOptions& options, ExperimentRunner* runner = nullptr);
-
-/// Legacy entry point: Random strategy over `seeds`. Redundant with the
-/// options overload (set strategy/seeds/budget there, or use StudySpec).
-[[deprecated(
-    "use the WorstCaseSearchOptions overload or StudySpec::worst_case")]]
-[[nodiscard]] MutexWcSearchResult search_mutex_worst_case(
-    const MutexFactory& make, int n, int sessions,
-    const std::vector<std::uint64_t>& seeds,
-    std::uint64_t budget_per_run = 200'000,
-    ExperimentRunner* runner = nullptr);
 
 /// Contention-free complexity of a contention detector: solo run per
 /// process, maximum over processes. Also verifies the solo process outputs
@@ -100,19 +94,13 @@ struct DetectorWcSearchResult {
   bool certified = false;
 };
 
+/// (The redundant seed-list overload — round-robin plus seeded randoms —
+/// was deprecated in PR 3 and removed per the ROADMAP deprecation plan.
+/// The battery shape is now a StudySpec option: Random strategy with
+/// WorstCaseSearchOptions::detector_round_robin, or fluently
+/// StudySpec::detector_battery().)
 [[nodiscard]] DetectorWcSearchResult search_detector_worst_case(
     const DetectorFactory& make, int n, const WorstCaseSearchOptions& options,
-    ExperimentRunner* runner = nullptr);
-
-/// Legacy entry point: seeded random schedules plus the round-robin
-/// schedule. Returns the full DetectorWcSearchResult (historically a bare
-/// ComplexityReport, which silently dropped the truncated/violations run
-/// statistics).
-[[deprecated(
-    "use the WorstCaseSearchOptions overload or StudySpec::worst_case")]]
-[[nodiscard]] DetectorWcSearchResult search_detector_worst_case(
-    const DetectorFactory& make, int n,
-    const std::vector<std::uint64_t>& seeds,
     ExperimentRunner* runner = nullptr);
 
 }  // namespace cfc

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <span>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/visited_table.h"
 #include "core/state_fingerprint.h"
+#include "por/dependence.h"
+#include "por/sleep_sets.h"
+#include "por/source_dpor.h"
 
 namespace cfc {
 
@@ -23,6 +27,37 @@ const char* name(SearchStrategy s) {
   return "unknown";
 }
 
+const char* name(ReductionPolicy p) {
+  switch (p) {
+    case ReductionPolicy::Off:
+      return "off";
+    case ReductionPolicy::SleepLite:
+      return "sleep-lite";
+    case ReductionPolicy::SourceDpor:
+      return "source-dpor";
+  }
+  return "unknown";
+}
+
+std::optional<ReductionPolicy> reduction_policy_from(std::string_view s) {
+  if (s == "off") {
+    return ReductionPolicy::Off;
+  }
+  if (s == "sleep-lite") {
+    return ReductionPolicy::SleepLite;
+  }
+  if (s == "source-dpor") {
+    return ReductionPolicy::SourceDpor;
+  }
+  return std::nullopt;
+}
+
+ReductionPolicy effective_reduction(const ExploreLimits& l) {
+  return l.reduction == ReductionPolicy::Off && l.reduce_independent
+             ? ReductionPolicy::SleepLite
+             : l.reduction;
+}
+
 void ExploreStats::merge(const ExploreStats& o) {
   states_visited += o.states_visited;
   runs_completed += o.runs_completed;
@@ -30,6 +65,9 @@ void ExploreStats::merge(const ExploreStats& o) {
   pruned_visited += o.pruned_visited;
   pruned_independent += o.pruned_independent;
   violations += o.violations;
+  races_detected += o.races_detected;
+  backtrack_points += o.backtrack_points;
+  sleep_blocked += o.sleep_blocked;
   restores += o.restores;
   replayed_steps += o.replayed_steps;
   sims_built += o.sims_built;
@@ -39,10 +77,6 @@ void ExploreStats::merge(const ExploreStats& o) {
 }
 
 namespace {
-
-/// Sleep sets are process bitmasks; plenty for every algorithm in the
-/// registry and checked by the Explorer constructor.
-constexpr int kMaxReduceProcs = 32;
 
 /// Index-wise max_with reduction of objective report vectors (the single
 /// definition behind leaf accumulation and the cell reductions).
@@ -71,44 +105,34 @@ struct CellResult {
   }
 };
 
-/// What a process is about to do, captured once per branching node for the
-/// independence test of reduce_independent.
-struct PendInfo {
-  bool known = false;  ///< started, not crash-armed, suspended at an access
-  bool yield = false;  ///< a local step: touches no shared register
-  RegId reg = -1;
-};
-
-/// Two next-steps are independent iff they commute as operations from the
-/// current state: a local yield touches nothing; otherwise the accesses
-/// must hit disjoint registers (one atomic access per step, so disjoint
-/// registers cannot conflict — the paper's notion of contention). Unknown
-/// pendings (unstarted or crash-armed processes) are conservatively
-/// dependent with everything.
-bool independent(const PendInfo& a, const PendInfo& b) {
-  if (!a.known || !b.known) {
-    return false;
-  }
-  if (a.yield || b.yield) {
-    return true;
-  }
-  return a.reg != b.reg;
-}
-
 /// One frontier cell's DFS: owns the live simulation, the live accumulator,
-/// the per-cell visited table, and the recycled scratch pools (branch
-/// stack, per-depth accumulator snapshots). Descends by stepping the live
-/// sim; backtracks in place via Sim::rewind_to (or the legacy
-/// fork-by-replay when ExploreLimits::restore_by_fork is set).
+/// the per-cell visited table, the recycled scratch pools (branch stack,
+/// per-depth accumulator snapshots), and — under ReductionPolicy::SourceDpor
+/// — the per-path race detector and the per-depth backtrack masks. Descends
+/// by stepping the live sim; backtracks in place via Sim::rewind_to (or the
+/// legacy fork-by-replay when ExploreLimits::restore_by_fork is set).
 class CellExplorer {
  public:
   CellExplorer(const Explorer::Config& cfg, CellResult& out)
       : cfg_(cfg),
         out_(out),
         acc_(cfg.nprocs),
-        reduce_(cfg.limits.reduce_independent) {}
+        policy_(cfg.limits.reduction) {
+    if (policy_ == ReductionPolicy::SourceDpor) {
+      dpor_.emplace(cfg.nprocs);
+      backtrack_.assign(
+          static_cast<std::size_t>(cfg.limits.max_depth) + 1,
+          SourceDpor::kForeignNode);
+    }
+  }
 
-  ~CellExplorer() { out_.stats.visited_bytes += visited_.bytes(); }
+  ~CellExplorer() {
+    out_.stats.visited_bytes += visited_.bytes();
+    if (dpor_.has_value()) {
+      out_.stats.races_detected += dpor_->stats().races_detected;
+      out_.stats.backtrack_points += dpor_->stats().backtrack_points;
+    }
+  }
 
   void run(const std::vector<Pid>& prefix) {
     reset_sim();
@@ -154,9 +178,22 @@ class CellExplorer {
         }
         return;
       }
+      if (dpor_.has_value()) {
+        // Prefix units join the race detector's trace (subtree units race
+        // against them); their nodes are foreign — every alternative
+        // ordering inside the prefix is its own frontier cell — so the
+        // kForeignNode masks suppress insertion there.
+        dpor_->push_step(static_cast<int>(i), sim_->last_step_summary(),
+                         backtrack_);
+      }
       last = p;
     }
-    dfs(static_cast<int>(prefix.size()), preempt, last, /*sleep=*/0);
+    const int depth = static_cast<int>(prefix.size());
+    if (policy_ == ReductionPolicy::SourceDpor) {
+      dfs_source(depth, last, /*sleep=*/0);
+    } else {
+      dfs(depth, preempt, last, /*sleep=*/0);
+    }
   }
 
  private:
@@ -240,7 +277,7 @@ class CellExplorer {
       // so merging across different `last` would prune feasible subtrees.
       h = fingerprint_combine(h, static_cast<std::uint64_t>(last) + 1);
     }
-    if (reduce_) {
+    if (policy_ != ReductionPolicy::Off) {
       // A sleeping process shrinks the subtree explored from here, so a
       // visit with one sleep set must not stand in for a visit with
       // another (classic sleep-set/state-cache interaction).
@@ -284,40 +321,67 @@ class CellExplorer {
     }
   }
 
-  void capture_pendings(std::array<PendInfo, kMaxReduceProcs>& pend) const {
+  void capture_pendings(std::array<NextStep, kMaxPorProcs>& pend) const {
     for (Pid p = 0; p < cfg_.nprocs; ++p) {
-      PendInfo& info = pend[static_cast<std::size_t>(p)];
-      info = PendInfo{};
-      if (sim_->status(p) != ProcStatus::Runnable || sim_->crash_pending(p)) {
-        continue;  // unknown next step: dependent with everything
-      }
-      const std::optional<PendingAccess> pa = sim_->pending(p);
-      if (!pa.has_value()) {
-        continue;
-      }
-      info.known = true;
-      info.yield = pa->local_yield;
-      info.reg = pa->reg;
+      pend[static_cast<std::size_t>(p)] = next_step_of(*sim_, p);
     }
   }
 
-  void dfs(int depth, int preempt, Pid last, std::uint32_t sleep) {
+  /// SourceDpor: placement-bucket and droppable-unit insertions for a
+  /// depth-horizon cut (SourceDpor::note_cut).
+  void cut_point_insertions(std::uint32_t sleep) {
+    std::array<NextStep, kMaxPorProcs> pend;
+    capture_pendings(pend);
+    std::uint32_t enabled = 0;
+    for (Pid q = 0; q < cfg_.nprocs; ++q) {
+      if (sim_->runnable(q) && ((sleep >> q) & 1u) == 0) {
+        enabled |= 1u << static_cast<unsigned>(q);
+      }
+    }
+    dpor_->note_cut(enabled,
+                    std::span<const NextStep>(
+                        pend.data(), static_cast<std::size_t>(cfg_.nprocs)),
+                    backtrack_);
+  }
+
+  /// Node-entry outcome of classify_node: the leaf accounting shared by
+  /// every policy's DFS, with the depth-horizon cut distinguished so the
+  /// source-DPOR path can attach its cut-point insertions to it.
+  enum class NodeEntry : std::uint8_t {
+    Interior,  ///< explore branches
+    Leaf,      ///< completed run, or cut by the state budget
+    DepthCut,  ///< truncated by the depth horizon
+  };
+
+  /// Leaf and budget checks shared by every policy's node entry (the
+  /// single definition of the nodes_/states_visited/leaf accounting the
+  /// reduced-vs-unreduced stat comparisons rely on).
+  [[nodiscard]] NodeEntry classify_node(int depth) {
     ++nodes_;
     ++out_.stats.states_visited;
     if (!sim_->any_runnable()) {
       leaf_completed();
-      return;
+      return NodeEntry::Leaf;
     }
     if (depth >= cfg_.limits.max_depth) {
       leaf_truncated();
-      return;
+      return NodeEntry::DepthCut;
     }
     if (cfg_.limits.max_states != 0 && nodes_ >= cfg_.limits.max_states) {
       stop_ = true;
       out_.stats.state_budget_hit = true;
       leaf_truncated();  // the cut path counts like any truncated leaf
+      return NodeEntry::Leaf;
+    }
+    return NodeEntry::Interior;
+  }
+
+  /// The unreduced / sleep-lite DFS (policies Off and SleepLite).
+  void dfs(int depth, int preempt, Pid last, std::uint32_t sleep) {
+    if (classify_node(depth) != NodeEntry::Interior) {
       return;
     }
+    const bool reduce = policy_ == ReductionPolicy::SleepLite;
     const int eff_preempt = cfg_.limits.max_preemptions < 0 ? 0 : preempt;
     if (cfg_.limits.prune_visited &&
         visited_.check_and_insert(state_key(last, sleep), depth,
@@ -341,11 +405,12 @@ class CellExplorer {
           preempt + switch_cost > cfg_.limits.max_preemptions) {
         return;
       }
-      if (reduce_ && ((sleep >> p) & 1u) != 0) {
+      if (reduce && ((sleep >> p) & 1u) != 0) {
         // Asleep: every schedule starting here is a reordering of one
         // already explored through an earlier sibling.
         skipped_sleeping = true;
         ++out_.stats.pruned_independent;
+        ++out_.stats.sleep_blocked;
         return;
       }
       branch_buf_.push_back(p);
@@ -386,8 +451,8 @@ class CellExplorer {
       }
     }
 
-    std::array<PendInfo, kMaxReduceProcs> pend;
-    if (reduce_) {
+    std::array<NextStep, kMaxPorProcs> pend;
+    if (reduce) {
       capture_pendings(pend);  // single-branch nodes still inherit sleepers
     }
 
@@ -411,25 +476,146 @@ class CellExplorer {
         continue;  // sim is poisoned; the next iteration restores it
       }
       std::uint32_t child_sleep = 0;
-      if (reduce_) {
+      if (reduce) {
         // The child keeps asleep every earlier-explored or inherited
         // process whose next access is independent of the step just
-        // taken; a conflicting access wakes it.
-        const std::uint32_t candidates =
-            (sleep | explored) & ~(1u << static_cast<unsigned>(p));
-        const PendInfo& taken = pend[static_cast<std::size_t>(p)];
-        for (Pid q = 0; q < cfg_.nprocs; ++q) {
-          if (((candidates >> q) & 1u) != 0 &&
-              independent(pend[static_cast<std::size_t>(q)], taken)) {
-            child_sleep |= 1u << static_cast<unsigned>(q);
-          }
-        }
+        // taken (PR 4's register-only lite relation, preserved verbatim).
+        const SleepSet candidates(
+            (sleep | explored) & ~(1u << static_cast<unsigned>(p)));
+        child_sleep =
+            transfer_sleep_lite(candidates, pend[static_cast<std::size_t>(p)],
+                                std::span(pend.data(),
+                                          static_cast<std::size_t>(
+                                              cfg_.nprocs)))
+                .mask();
       }
       const int switch_cost = (last != -1 && p != last) ? 1 : 0;
       dfs(depth + 1, preempt + switch_cost, p, child_sleep);
       explored |= 1u << static_cast<unsigned>(p);
     }
     branch_buf_.resize(base);
+  }
+
+  /// The source-DPOR DFS (policy SourceDpor; Exhaustive only, so there is
+  /// no preemption accounting). Instead of branching on every enabled
+  /// process, the node starts from ONE seed branch and grows its backtrack
+  /// mask on demand: the race detector (por/source_dpor.h) watches every
+  /// executed unit and inserts, per race against the current path, a
+  /// source-set process at the ancestor node that ran the raced-with unit.
+  /// Sleep sets (full, measurement-aware transfer) prune the redundant
+  /// reorderings exactly as in the classic combination: explored branches
+  /// join the node's sleep mask, and the child keeps asleep every sleeper
+  /// whose captured next step is independent of the unit just taken.
+  void dfs_source(int depth, Pid last, std::uint32_t sleep) {
+    switch (classify_node(depth)) {
+      case NodeEntry::Leaf:
+        // Completed, or cut by the state budget — a budget cut leaves the
+        // result uncertified anyway, so there is nothing for cut-point
+        // insertions to protect.
+        return;
+      case NodeEntry::DepthCut:
+        // Bounded-search soundness (SourceDpor::note_cut): the units
+        // beyond the horizon never execute, so their races never seed the
+        // reorderings that run the cut-off processes earlier. Insert each
+        // enabled process's captured pending unit at its placement
+        // buckets along the path instead. Sleeping processes are covered
+        // by reorderings of equal length, so the sleep argument stands
+        // and they are skipped.
+        cut_point_insertions(sleep);
+        return;
+      case NodeEntry::Interior:
+        break;
+    }
+    std::uint32_t enabled = 0;
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      if (sim_->runnable(p)) {
+        enabled |= 1u << static_cast<unsigned>(p);
+      }
+    }
+    const std::uint32_t asleep = enabled & sleep;
+    if (asleep != 0) {
+      const auto blocked =
+          static_cast<std::uint64_t>(std::popcount(asleep));
+      out_.stats.sleep_blocked += blocked;
+      out_.stats.pruned_independent += blocked;
+    }
+    const std::uint32_t avail = enabled & ~sleep;
+    if (avail == 0) {
+      // Every enabled branch is asleep: each is a reordering of an
+      // explored schedule — not a leaf of the reduced tree.
+      return;
+    }
+
+    // Seed the backtrack set with one branch, continue-last-pid-first so
+    // the restore-free first descent stays on the preemption-free spine;
+    // race insertions from the subtree grow the mask while this node's
+    // loop is suspended in recursion.
+    const Pid seed = (last != -1 && ((avail >> last) & 1u) != 0)
+                         ? last
+                         : static_cast<Pid>(std::countr_zero(avail));
+    backtrack_[static_cast<std::size_t>(depth)] =
+        1u << static_cast<unsigned>(seed);
+
+    // Node checkpoint: unlike the full-branching DFS, the branch count is
+    // not known up front (insertions arrive later), so capture always.
+    const std::size_t sched_len = sim_->schedule_log().size();
+    const std::uint64_t mem_fp = sim_->memory().fingerprint();
+    const Seq seq = sim_->next_seq();
+    ensure_pools(depth);
+    acc_pool_[static_cast<std::size_t>(depth)] = acc_;
+    if (cfg_.limits.verify_restore_snapshot) {
+      mem_pool_[static_cast<std::size_t>(depth)] = sim_->memory().snapshot();
+    }
+
+    std::array<NextStep, kMaxPorProcs> pend;
+    capture_pendings(pend);
+    const std::span<const NextStep> pend_span(
+        pend.data(), static_cast<std::size_t>(cfg_.nprocs));
+
+    bool first = true;
+    while (!stop_) {
+      const std::uint32_t todo =
+          backtrack_[static_cast<std::size_t>(depth)] & enabled & ~sleep;
+      if (todo == 0) {
+        break;
+      }
+      const Pid p = (last != -1 && ((todo >> last) & 1u) != 0)
+                        ? last
+                        : static_cast<Pid>(std::countr_zero(todo));
+      if (!first) {
+        restore(sched_len, acc_pool_[static_cast<std::size_t>(depth)],
+                mem_fp, seq,
+                cfg_.limits.verify_restore_snapshot
+                    ? &mem_pool_[static_cast<std::size_t>(depth)]
+                    : nullptr);
+      }
+      first = false;
+      const std::size_t trace_len = dpor_->size();
+      bool violated = false;
+      try {
+        sim_->step(p);
+      } catch (const MutualExclusionViolation&) {
+        ++out_.stats.violations;
+        violated = true;  // sim is poisoned; the next iteration restores it
+      }
+      // Race-detect even the violating unit (its partial summary covers
+      // everything that took effect): the reorderings its races demand
+      // may be perfectly safe schedules.
+      dpor_->push_step(depth, sim_->last_step_summary(), backtrack_);
+      if (!violated) {
+        const std::uint32_t candidates =
+            sleep & ~(1u << static_cast<unsigned>(p));
+        const std::uint32_t child_sleep =
+            transfer_sleep(SleepSet(candidates), sim_->last_step_summary(),
+                           pend_span)
+                .mask();
+        dfs_source(depth + 1, p, child_sleep);
+      }
+      dpor_->pop_to(trace_len);
+      // The explored (or excluded-violating) branch goes to sleep for its
+      // later siblings: schedules starting with it here are covered.
+      sleep |= 1u << static_cast<unsigned>(p);
+    }
   }
 
   const Explorer::Config& cfg_;
@@ -443,7 +629,12 @@ class CellExplorer {
   std::vector<MemorySnapshot> mem_pool_;  ///< per-depth debug snapshots
   std::uint64_t nodes_ = 0;
   bool stop_ = false;
-  bool reduce_ = false;
+  ReductionPolicy policy_ = ReductionPolicy::Off;
+  /// SourceDpor only: the race detector over the current path and the
+  /// per-depth node backtrack masks it inserts into (prefix depths hold
+  /// the foreign-node sentinel).
+  std::optional<SourceDpor> dpor_;
+  std::vector<std::uint32_t> backtrack_;
 };
 
 }  // namespace
@@ -468,17 +659,36 @@ Explorer::Explorer(Config cfg) : cfg_(std::move(cfg)) {
     throw std::invalid_argument(
         "Explorer: Bounded strategy requires limits.max_preemptions >= 0");
   }
-  if (cfg_.limits.reduce_independent) {
+  // Normalize the legacy sleep-set-lite flag into the policy field (and
+  // back, so introspection through either agrees).
+  cfg_.limits.reduction = effective_reduction(cfg_.limits);
+  cfg_.limits.reduce_independent =
+      cfg_.limits.reduction == ReductionPolicy::SleepLite;
+  if (cfg_.limits.reduction == ReductionPolicy::SourceDpor) {
+    // Source-DPOR replaces the visited-state cache rather than composing
+    // with it: its backtrack insertions are *path-dependent* (races and
+    // cut-point placements target the current path's ancestor nodes), so
+    // skipping a revisited state would silently drop the insertions that
+    // subtree owes the current path — the coverage proofs for dominance
+    // pruning and for source sets are each sound alone but mutually
+    // circular together. Measured on the registry workloads the reduced
+    // tree without the cache beats the cached unreduced tree where
+    // interleaving explosion (not state re-convergence) dominates, which
+    // is exactly where certified searches need help.
+    cfg_.limits.prune_visited = false;
+  }
+  if (cfg_.limits.reduction != ReductionPolicy::Off) {
     if (cfg_.strategy != SearchStrategy::Exhaustive) {
       // Under a preemption budget a sleeping branch's covering reordering
       // may itself be out of budget, so the reduction would cut feasible
       // space; restrict it to the strategy it is defined for.
       throw std::invalid_argument(
-          "Explorer: reduce_independent requires the Exhaustive strategy");
+          "Explorer: partial-order reduction requires the Exhaustive "
+          "strategy");
     }
-    if (cfg_.nprocs > kMaxReduceProcs) {
+    if (cfg_.nprocs > kMaxPorProcs) {
       throw std::invalid_argument(
-          "Explorer: reduce_independent supports at most 32 processes");
+          "Explorer: partial-order reduction supports at most 32 processes");
     }
   }
 }

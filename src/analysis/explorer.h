@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "analysis/experiment_runner.h"
@@ -27,6 +29,46 @@ enum class SearchStrategy : std::uint8_t {
 };
 
 [[nodiscard]] const char* name(SearchStrategy s);
+
+/// How an Exhaustive DFS reduces the schedule tree (src/por/). Every
+/// policy certifies the same objective maxima — the reductions only skip
+/// schedules whose values are provably duplicated by an explored one —
+/// which the POR differential suite asserts for every registry algorithm.
+enum class ReductionPolicy : std::uint8_t {
+  /// No reduction: every interleaving within the bounds (the pre-POR
+  /// explorer).
+  Off,
+  /// PR 4's sleep-set-lite (register-only independence, local yields
+  /// independent of everything). NOT measurement-aware: sound for totals
+  /// and safety, validated-but-not-proven for the paper's window
+  /// objectives, so certified window searches do not default to it.
+  /// Selected by the legacy ExploreLimits::reduce_independent flag.
+  SleepLite,
+  /// Source-DPOR (por/source_dpor.h): full sleep sets under the
+  /// measurement-aware dependence relation (por/dependence.h — register
+  /// conflicts + section-change adjacency, which makes the cf-session /
+  /// clean-entry / exit window objectives trace-invariant), with
+  /// race-driven source-set backtracking instead of full sibling
+  /// branching. The default for certified Exhaustive searches built
+  /// through StudySpec.
+  SourceDpor,
+};
+
+[[nodiscard]] const char* name(ReductionPolicy p);
+
+/// Parses "off" | "sleep-lite" | "source-dpor" (the bench --reduction
+/// flag's vocabulary); nullopt on anything else.
+[[nodiscard]] std::optional<ReductionPolicy> reduction_policy_from(
+    std::string_view s);
+
+struct ExploreLimits;
+
+/// The single definition of the legacy-flag normalization: the policy a
+/// limits struct effectively selects — `reduction`, except that the PR 4
+/// compatibility flag `reduce_independent` maps Off to SleepLite. Used by
+/// the Explorer constructor, the Study result filling, and the campaign
+/// dedup key, so they can never disagree.
+[[nodiscard]] ReductionPolicy effective_reduction(const ExploreLimits& l);
 
 /// Budgets for a DFS exploration.
 struct ExploreLimits {
@@ -57,17 +99,23 @@ struct ExploreLimits {
   /// compare in addition to the fingerprint/event-counter check. Costs a
   /// snapshot copy per branching node and a compare per restore.
   bool verify_restore_snapshot = false;
-  /// Opt-in sleep-set-lite partial-order reduction (conflict-aware
-  /// branching): skips sibling orderings whose next accesses touch
-  /// disjoint registers — after exploring sibling p, a later sibling's
-  /// subtree does not re-explore schedules that merely run p's
-  /// independent access on the other side of it. Sound for objectives
-  /// that are invariant under commuting disjoint-register accesses
-  /// (per-process totals; safety reachability at hashed-state fidelity);
-  /// the paper's *window* measures additionally observe section timing,
-  /// so for certified window searches this stays OFF by default and is
-  /// differentially validated against the exhaustive explorer in the
-  /// tests. Exhaustive strategy only.
+  /// The partial-order reduction applied to Exhaustive searches (src/por/;
+  /// see ReductionPolicy). Off by default at this layer; the Study layer
+  /// defaults its certified Exhaustive searches to SourceDpor. Visited
+  /// pruning interplay: under SleepLite the sleep mask is folded into the
+  /// visited-state key and dominance pruning composes; under SourceDpor
+  /// the Explorer constructor forces prune_visited OFF — the engine's
+  /// backtrack insertions are path-dependent, so a skipped revisit would
+  /// drop insertions the current path still needs (the reduction replaces
+  /// the cache; pruned_visited stays 0 and visited_bytes counts nothing).
+  ReductionPolicy reduction = ReductionPolicy::Off;
+  /// Compatibility alias (pre-POR flag, PR 4): setting it selects the
+  /// `sleep-lite` policy — skip sibling orderings whose next accesses
+  /// touch disjoint registers, with local yields independent of
+  /// everything. Kept so existing bench flags and JSON stay meaningful;
+  /// the Explorer constructor normalizes it into `reduction` (and sets it
+  /// back whenever reduction == SleepLite, so introspection through
+  /// either field agrees). Exhaustive strategy only, like every policy.
   bool reduce_independent = false;
 };
 
@@ -78,6 +126,11 @@ struct ExploreStats {
   std::uint64_t pruned_visited = 0;  ///< subtrees skipped by the state cache
   std::uint64_t pruned_independent = 0;  ///< branches skipped by sleep sets
   std::uint64_t violations = 0;      ///< MutualExclusionViolations found
+  /// --- Reduction counters (zero when reduction == Off). ---
+  std::uint64_t races_detected = 0;   ///< SourceDpor: races found in traces
+  std::uint64_t backtrack_points = 0; ///< SourceDpor: source-set insertions
+  std::uint64_t sleep_blocked = 0;    ///< enabled branches skipped asleep
+                                      ///< (== pruned_independent, new name)
   std::uint64_t restores = 0;        ///< sibling backtracks performed
   std::uint64_t replayed_steps = 0;  ///< schedule units re-executed by restores
   std::uint64_t sims_built = 0;      ///< Sim constructions + setup executions

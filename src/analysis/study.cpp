@@ -79,12 +79,30 @@ StudySpec& StudySpec::worst_case() {
 StudySpec& StudySpec::worst_case(SearchStrategy s) {
   want_wc = true;
   search.strategy = s;
+  if (s == SearchStrategy::Exhaustive) {
+    // Certified searches default to the reduced tree: source-DPOR under
+    // the measurement-aware dependence relation is value-preserving for
+    // every objective the studies maximize (the POR differential suite
+    // pins it to the unreduced search), and it reaches depths/process
+    // counts the unreduced tree cannot. reduction() overrides.
+    search.limits.reduction = ReductionPolicy::SourceDpor;
+  }
   return *this;
 }
 
 StudySpec& StudySpec::worst_case(const WorstCaseSearchOptions& options) {
   want_wc = true;
   search = options;
+  return *this;
+}
+
+StudySpec& StudySpec::reduction(ReductionPolicy policy) {
+  search.limits.reduction = policy;
+  return *this;
+}
+
+StudySpec& StudySpec::detector_battery() {
+  search.detector_round_robin = true;
   return *this;
 }
 
@@ -99,7 +117,17 @@ StudySpec& StudySpec::budget(std::uint64_t per_run) {
 }
 
 StudySpec& StudySpec::limits(const ExploreLimits& l) {
+  // Replacing the budget struct must not silently revert the reduction
+  // policy a prior worst_case(Exhaustive) defaulted (the builder stays
+  // order-independent): a struct that names no policy keeps the current
+  // one. An explicit choice — reduction() before/after, or a struct
+  // carrying a policy / the legacy sleep-lite flag — always wins; to
+  // force the unreduced tree, call reduction(ReductionPolicy::Off).
+  const ReductionPolicy keep = search.limits.reduction;
   search.limits = l;
+  if (effective_reduction(l) == ReductionPolicy::Off) {
+    search.limits.reduction = keep;
+  }
   return *this;
 }
 
@@ -154,14 +182,22 @@ class MeasureTask {
 /// Copies the Explorer run statistics shared by every worst-case task —
 /// including the single definition of the `certified` invariant.
 void fill_search_stats(StudyResult& out, const Explorer::Result& r,
-                       SearchStrategy strategy) {
-  out.wc_strategy = strategy;
+                       const WorstCaseSearchOptions& options) {
+  out.wc_strategy = options.strategy;
+  // Random runs no DFS and hence no reduction; otherwise report the same
+  // effective policy the Explorer constructor normalizes to.
+  out.wc_reduction = options.strategy == SearchStrategy::Random
+                         ? ReductionPolicy::Off
+                         : effective_reduction(options.limits);
+  out.races_detected = r.stats.races_detected;
+  out.backtrack_points = r.stats.backtrack_points;
+  out.sleep_blocked = r.stats.sleep_blocked;
   out.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
   out.states_visited = r.stats.states_visited;
   out.violations = r.stats.violations;
   out.truncated = out.truncated || r.stats.truncated;
-  out.certified =
-      strategy != SearchStrategy::Random && !r.stats.state_budget_hit;
+  out.certified = options.strategy != SearchStrategy::Random &&
+                  !r.stats.state_budget_hit;
 }
 
 /// Mutex contention-free measurement (Section 2.2): one solo session per
@@ -292,7 +328,7 @@ class MutexWcTask final : public MeasureTask {
       out.wc_exit = result_.best[1];
     }
     out.wc = out.wc_entry.plus(out.wc_exit);
-    fill_search_stats(out, result_, options_.strategy);
+    fill_search_stats(out, result_, options_);
   }
 
  private:
@@ -402,6 +438,14 @@ class DetectorWcTask final : public MeasureTask {
     // covers the totals) is the sound pruning key, so leave it unset.
     const Explorer explorer(std::move(cfg));
     result_ = explorer.run(&runner);
+    if (options_.detector_round_robin &&
+        options_.strategy == SearchStrategy::Random) {
+      // The historical battery's deterministic round-robin schedule,
+      // folded into the spec (StudySpec::detector_battery).
+      RoundRobinScheduler rr;
+      round_robin_ = detail::run_detector_cell(make_, n_, rr, std::nullopt);
+      ran_round_robin_ = true;
+    }
   }
 
   void reduce() override {}
@@ -411,7 +455,12 @@ class DetectorWcTask final : public MeasureTask {
     if (!result_.best.empty()) {
       out.wc = result_.best[0];
     }
-    fill_search_stats(out, result_, options_.strategy);
+    fill_search_stats(out, result_, options_);
+    if (ran_round_robin_) {
+      out.wc = out.wc.max_with(round_robin_);
+      out.schedules_tried += 1;
+      out.truncated = out.truncated || round_robin_.truncated;
+    }
   }
 
  private:
@@ -419,6 +468,8 @@ class DetectorWcTask final : public MeasureTask {
   int n_;
   WorstCaseSearchOptions options_;
   Explorer::Result result_;
+  ComplexityReport round_robin_;
+  bool ran_round_robin_ = false;
 };
 
 /// Naming measurement battery. Cell 0 is the sequential (contention-free)
@@ -612,13 +663,19 @@ std::string seeds_key(const std::vector<std::uint64_t>& seeds) {
 }
 
 std::string search_key(const WorstCaseSearchOptions& o) {
+  // The reduction key uses the *effective* policy, so a spec selecting
+  // sleep-lite through the legacy reduce_independent flag dedups with one
+  // naming it directly.
+  const ReductionPolicy effective = effective_reduction(o.limits);
   return std::string(name(o.strategy)) + "|seeds=" + seeds_key(o.seeds) +
          "|budget=" + std::to_string(o.budget_per_run) +
          "|depth=" + std::to_string(o.limits.max_depth) +
          "|preempt=" + std::to_string(o.limits.max_preemptions) +
          "|states=" + std::to_string(o.limits.max_states) +
          "|frontier=" + std::to_string(o.limits.frontier_depth) +
-         "|prune=" + std::to_string(o.limits.prune_visited ? 1 : 0);
+         "|prune=" + std::to_string(o.limits.prune_visited ? 1 : 0) +
+         "|reduction=" + name(effective) +
+         "|rr=" + std::to_string(o.detector_round_robin ? 1 : 0);
 }
 
 int effective_pid_limit(const StudySpec& spec) {
@@ -887,7 +944,12 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
   if (r.has_wc) {
     out += "  \"wc\": {\n    \"strategy\": \"";
     out += name(r.wc_strategy);
-    out += "\",\n    \"total\": ";
+    out += "\",\n    \"reduction\": {\"policy\": \"";
+    out += name(r.wc_reduction);
+    out += "\", \"races_detected\": " + std::to_string(r.races_detected) +
+           ", \"backtrack_points\": " + std::to_string(r.backtrack_points) +
+           ", \"sleep_blocked\": " + std::to_string(r.sleep_blocked) + "}";
+    out += ",\n    \"total\": ";
     append_report(out, r.wc);
     out += ",\n    \"entry\": ";
     append_report(out, r.wc_entry);
@@ -1250,6 +1312,15 @@ SearchStrategy strategy_from(const std::string& s) {
   throw std::invalid_argument("study JSON: unknown strategy '" + s + "'");
 }
 
+ReductionPolicy reduction_from(const std::string& s) {
+  const std::optional<ReductionPolicy> policy = reduction_policy_from(s);
+  if (!policy.has_value()) {
+    throw std::invalid_argument("study JSON: unknown reduction policy '" +
+                                s + "'");
+  }
+  return *policy;
+}
+
 }  // namespace
 
 StudyResult study_from_json(const std::string& json) {
@@ -1280,6 +1351,20 @@ StudyResult study_from_json(const std::string& json) {
   if (wc.type == JsonNode::Type::Object) {
     r.has_wc = true;
     r.wc_strategy = strategy_from(to_string_field(member(wc, "strategy")));
+    // "reduction" is optional so pre-POR cfc.study.v1 payloads still
+    // parse (they carry policy off / zero counters implicitly).
+    const auto reduction = wc.object.find("reduction");
+    if (reduction != wc.object.end()) {
+      const JsonNode& red = reduction->second;
+      if (red.type != JsonNode::Type::Object) {
+        fail_type("a reduction object");
+      }
+      r.wc_reduction =
+          reduction_from(to_string_field(member(red, "policy")));
+      r.races_detected = to_u64(member(red, "races_detected"));
+      r.backtrack_points = to_u64(member(red, "backtrack_points"));
+      r.sleep_blocked = to_u64(member(red, "sleep_blocked"));
+    }
     r.wc = report_from(member(wc, "total"));
     r.wc_entry = report_from(member(wc, "entry"));
     r.wc_exit = report_from(member(wc, "exit"));

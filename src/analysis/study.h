@@ -46,9 +46,15 @@ struct WorstCaseSearchOptions {
   /// Random: one run per seed, each `budget_per_run` picks long.
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
   std::uint64_t budget_per_run = 200'000;
-  /// Exhaustive/Bounded: the DFS budgets. Bounded additionally requires
+  /// Exhaustive/Bounded: the DFS budgets (including limits.reduction, the
+  /// partial-order-reduction policy). Bounded additionally requires
   /// limits.max_preemptions >= 0 (Exhaustive ignores it).
   ExploreLimits limits;
+  /// Detector studies under the Random strategy: additionally run the
+  /// deterministic round-robin schedule as part of the battery (the
+  /// historical search_detector_worst_case seeds-overload semantics,
+  /// folded into the spec). Ignored by other kinds and strategies.
+  bool detector_round_robin = false;
 };
 
 /// Declarative description of one study: a subject (an AlgorithmRegistry
@@ -98,10 +104,22 @@ struct StudySpec {
   StudySpec& sample_pids(int max_pids);
   StudySpec& contention_free();
   StudySpec& worst_case();
+  /// Selects the strategy; an Exhaustive search additionally defaults to
+  /// the source-dpor reduction policy (the certified searches' default —
+  /// override with reduction() or a full options struct).
   StudySpec& worst_case(SearchStrategy s);
   StudySpec& worst_case(const WorstCaseSearchOptions& options);
+  /// The partial-order-reduction policy of the DFS strategies.
+  StudySpec& reduction(ReductionPolicy policy);
+  /// Detector + Random only: include the round-robin schedule in the
+  /// battery (the legacy detector worst-case battery shape).
+  StudySpec& detector_battery();
   StudySpec& seeds(std::vector<std::uint64_t> s);
   StudySpec& budget(std::uint64_t per_run);
+  /// Replaces the DFS budgets. A struct that names no reduction policy
+  /// keeps the one already selected (e.g. worst_case(Exhaustive)'s
+  /// source-dpor default), so the fluent order does not matter; use
+  /// reduction(ReductionPolicy::Off) to force the unreduced tree.
   StudySpec& limits(const ExploreLimits& l);
   StudySpec& depth(int max_depth);
   StudySpec& factory(MutexFactory f);
@@ -134,6 +152,15 @@ struct StudyResult {
 
   bool has_wc = false;
   SearchStrategy wc_strategy = SearchStrategy::Random;
+  /// The partial-order-reduction policy the search ran under (DFS
+  /// strategies; Random reports Off), with its counters: races the
+  /// source-DPOR race detector found over executed traces, backtrack
+  /// points it inserted (source-set + cut-point placements), and enabled
+  /// branches the sleep sets skipped.
+  ReductionPolicy wc_reduction = ReductionPolicy::Off;
+  std::uint64_t races_detected = 0;
+  std::uint64_t backtrack_points = 0;
+  std::uint64_t sleep_blocked = 0;
   ComplexityReport wc;
   ComplexityReport wc_entry;
   ComplexityReport wc_exit;

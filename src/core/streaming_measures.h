@@ -91,6 +91,17 @@ class MeasureAccumulator final : public EventSink {
   /// exit maxima, any open windows, the section table) — everything a
   /// window-maxima objective's future values can depend on, excluding the
   /// monotonically growing totals that would defeat pruning.
+  ///
+  /// This digest is also the "objective state" of the partial-order
+  /// reduction's trace-invariance argument (por/dependence.h): an Access
+  /// event updates only its own process's open-window counts and never
+  /// reads the section table, while a SectionChange event drives every
+  /// window predicate through the section table and the clean flags.
+  /// Swapping two adjacent scheduler units therefore leaves this state —
+  /// and with it every future window value — unchanged exactly when the
+  /// units have no register conflict and at most one of them emitted a
+  /// section change, which is the dependence relation the reduced
+  /// certified searches commute under.
   [[nodiscard]] std::uint64_t window_digest() const;
 
   [[nodiscard]] int process_count() const {

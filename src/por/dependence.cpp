@@ -1,0 +1,68 @@
+#include "por/dependence.h"
+
+#include "sched/sim.h"
+
+namespace cfc {
+
+NextStep next_step_of(const Sim& sim, Pid pid) {
+  NextStep info;
+  if (sim.status(pid) != ProcStatus::Runnable || sim.crash_pending(pid)) {
+    return info;  // unknown next unit: dependent with everything
+  }
+  const std::optional<PendingAccess> pa = sim.pending(pid);
+  if (!pa.has_value()) {
+    return info;
+  }
+  info.known = true;
+  info.yield = pa->local_yield;
+  if (!info.yield) {
+    info.reg = pa->reg;
+    // One counted unit is one atomic access: everything but a plain
+    // register read can modify its target (bit ops are conservatively
+    // writes unless BitOp::Read, mirroring Access::is_write()).
+    info.wrote = !(pa->kind == AccessKind::Read ||
+                   (pa->kind == AccessKind::Bit && pa->bit_op == BitOp::Read));
+  }
+  return info;
+}
+
+bool dependent(const StepSummary& a, const StepSummary& b) {
+  if (a.pid == b.pid) {
+    return true;  // program order
+  }
+  if (a.section_changed && b.section_changed) {
+    return true;  // both touch the section table the window predicates read
+  }
+  if (a.accessed && b.accessed && a.reg == b.reg && (a.wrote || b.wrote)) {
+    return true;  // register conflict
+  }
+  return false;
+}
+
+bool dependent(const StepSummary& taken, const NextStep& pend) {
+  if (!pend.known) {
+    return true;
+  }
+  if (taken.section_changed) {
+    // The pending unit might change sections too once it runs; assume the
+    // worst and keep the pair ordered.
+    return true;
+  }
+  if (taken.accessed && !pend.yield && taken.reg == pend.reg &&
+      (taken.wrote || pend.wrote)) {
+    return true;
+  }
+  return false;
+}
+
+bool lite_independent(const NextStep& a, const NextStep& b) {
+  if (!a.known || !b.known) {
+    return false;
+  }
+  if (a.yield || b.yield) {
+    return true;
+  }
+  return a.reg != b.reg;
+}
+
+}  // namespace cfc

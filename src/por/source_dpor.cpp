@@ -1,0 +1,265 @@
+#include "por/source_dpor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cfc {
+
+SourceDpor::SourceDpor(int nprocs) : nprocs_(nprocs) {
+  if (nprocs < 1 || nprocs > kMaxPorProcs) {
+    throw std::invalid_argument(
+        "SourceDpor: nprocs must be in [1, 32] (process-mask sleep sets)");
+  }
+  per_pid_count_.assign(static_cast<std::size_t>(nprocs), 0);
+}
+
+void SourceDpor::push_step(int node_depth, const StepSummary& step,
+                           std::span<std::uint32_t> backtrack_by_depth) {
+  // --- 1. Happens-before clock of the new unit e, one backward walk.
+  // Merging the clocks of dependent events as the walk meets them makes
+  // "already in the clock" exactly "reachable through a chain of later
+  // dependences": a dependent event NOT yet in the clock is concurrent
+  // with e — a race (skipping program-order pairs, which the most recent
+  // same-pid event covers transitively).
+  Event e;
+  e.step = step;
+  e.node_depth = node_depth;
+  e.self_index = per_pid_count_[static_cast<std::size_t>(step.pid)];
+  e.clock.fill(0);
+  races_scratch_.clear();
+  for (std::size_t i = trace_.size(); i-- > 0;) {
+    const Event& d = trace_[i];
+    if (!dependent(d.step, e.step)) {
+      continue;
+    }
+    if (in_clock(e.clock, i)) {
+      continue;  // already ordered before e through a later dependence
+    }
+    if (d.step.pid != e.step.pid) {
+      races_scratch_.push_back(i);
+      ++stats_.races_detected;
+    }
+    merge_clock(e.clock, d);
+  }
+  e.clock[static_cast<std::size_t>(step.pid)] =
+      static_cast<std::uint16_t>(e.self_index + 1);
+  per_pid_count_[static_cast<std::size_t>(step.pid)] += 1;
+  trace_.push_back(e);
+
+  // --- 2. Source-set backtrack insertion per race, most recent race
+  // first (the walk's order; any fixed order is sound and this one is
+  // deterministic). Each resolution sees the previous insertions.
+  for (const std::size_t d_index : races_scratch_) {
+    apply_race(d_index, step.pid, /*virtual_pend=*/nullptr,
+               backtrack_by_depth);
+  }
+}
+
+void SourceDpor::note_cut(std::uint32_t enabled_mask,
+                          std::span<const NextStep> pends,
+                          std::span<std::uint32_t> backtrack_by_depth) {
+  const auto insert = [&](int node_depth, Pid q) {
+    const std::uint32_t mask =
+        backtrack_by_depth[static_cast<std::size_t>(node_depth)];
+    if (((mask >> static_cast<unsigned>(q)) & 1u) == 0) {
+      backtrack_by_depth[static_cast<std::size_t>(node_depth)] |=
+          1u << static_cast<unsigned>(q);
+      ++stats_.backtrack_points;
+    }
+  };
+
+  // --- 1. Pending-placement buckets, per enabled process q. Equivalent
+  // traces carry the same unit multiset, so a class that schedules q's
+  // next unit before the horizon has no representative in which q slips
+  // past it: the placement itself decides which tail unit the bound
+  // truncates. Placements of q's next unit between two consecutive path
+  // units DEPENDENT with it are equivalent (each neighbouring swap
+  // commutes), so one placement per bucket covers that space: insert q at
+  // the node of every path unit dependent with its pending (the placement
+  // just before the bucket boundary) and at the deepest node (the final
+  // bucket). No chain or source-set suppression applies — each bucket
+  // needs its own representative. Placements before q's own last unit are
+  // invalid (program order), so that walk stops there; deeper recursion
+  // re-runs this at the reversals' own cut leaves, which covers q's
+  // subsequent units.
+  for (Pid q = 0; q < static_cast<Pid>(pends.size()); ++q) {
+    if (((enabled_mask >> static_cast<unsigned>(q)) & 1u) == 0) {
+      continue;
+    }
+    const NextStep& pend = pends[static_cast<std::size_t>(q)];
+    for (std::size_t i = trace_.size(); i-- > 0;) {
+      const Event& d = trace_[i];
+      if (d.step.pid == q) {
+        break;
+      }
+      if (i + 1 == trace_.size() || dependent(d.step, pend)) {
+        insert(d.node_depth, q);
+      }
+    }
+  }
+
+  // --- 2. Droppable-unit placements. A path unit u that commutes with its
+  // ENTIRE suffix can be pushed to the very end of an equivalent
+  // linearization — where the horizon truncates *it* instead of the
+  // path's last unit, making room for one more unit of another process q.
+  // Those classes have a different unit multiset than every reordering of
+  // the path (u traded for the extra unit), so the bucket rule above does
+  // not cover them: their representatives branch q exactly at u's node.
+  // The displacement can change an observable value only when
+  //
+  //   * u carries no access at all (a crash unit, a pure local yield):
+  //     its slot is measurement-free, and trading it for a real step
+  //     strictly extends some process's run — the canonical case is a
+  //     crash unit sitting between another process's spin steps; or
+  //   * q's pending conflicts with u: whether q's extra step observes u's
+  //     write (or overwrites the value u read past) depends on the trade.
+  //
+  // When u carries an access and is independent of q's pending as well,
+  // the traded class is value-covered by the bucket placements: q's units
+  // observe identical values with or without u, and u's own process only
+  // loses its final step (every objective is monotone along a run). The
+  // quadratic walk is bounded by the depth budget (tiny) and runs only at
+  // cut points.
+  for (std::size_t i = trace_.size(); i-- > 0;) {
+    const Event& u = trace_[i];
+    bool droppable = true;
+    for (std::size_t j = i + 1; j < trace_.size(); ++j) {
+      if (dependent(u.step, trace_[j].step)) {
+        droppable = false;
+        break;
+      }
+    }
+    if (!droppable) {
+      continue;
+    }
+    for (Pid q = 0; q < static_cast<Pid>(pends.size()); ++q) {
+      if (q != u.step.pid &&
+          ((enabled_mask >> static_cast<unsigned>(q)) & 1u) != 0 &&
+          (!u.step.accessed ||
+           dependent(u.step, pends[static_cast<std::size_t>(q)]))) {
+        insert(u.node_depth, q);
+      }
+    }
+  }
+}
+
+void SourceDpor::merge_clock(Clock& into, const Event& d) const {
+  for (int p = 0; p < nprocs_; ++p) {
+    into[static_cast<std::size_t>(p)] =
+        std::max(into[static_cast<std::size_t>(p)],
+                 d.clock[static_cast<std::size_t>(p)]);
+  }
+  into[static_cast<std::size_t>(d.step.pid)] = std::max(
+      into[static_cast<std::size_t>(d.step.pid)],
+      static_cast<std::uint16_t>(d.self_index + 1));
+}
+
+void SourceDpor::apply_race(std::size_t d_index, Pid q,
+                            const NextStep* virtual_pend,
+                            std::span<std::uint32_t> backtrack_by_depth) {
+  const int target = trace_[d_index].node_depth;
+  const std::uint32_t mask =
+      backtrack_by_depth[static_cast<std::size_t>(target)];
+  const Pid chosen = choose_initial(d_index, q, virtual_pend, mask);
+  if (chosen >= 0) {
+    backtrack_by_depth[static_cast<std::size_t>(target)] |=
+        1u << static_cast<unsigned>(chosen);
+    ++stats_.backtrack_points;
+  }
+}
+
+Pid SourceDpor::choose_initial(std::size_t d_index, Pid q,
+                               const NextStep* virtual_pend,
+                               std::uint32_t backtrack_mask) {
+  const Event& d = trace_[d_index];
+  // For a real race, e = trace_.back() stands as v's final element; for a
+  // virtual (cut-point) race the final element is q's pending unit, which
+  // is not in the trace.
+  const std::size_t v_end =
+      virtual_pend == nullptr ? trace_.size() - 1 : trace_.size();
+
+  // v = notdep(d, E).q: the units after d that do NOT happen-after d, in
+  // trace order, then the racing process q's unit itself (which is by
+  // construction dependent on d, so it is appended explicitly).
+  v_scratch_.clear();
+  for (std::size_t j = d_index + 1; j < v_end; ++j) {
+    const bool after_d =
+        trace_[j].clock[static_cast<std::size_t>(d.step.pid)] >
+        d.self_index;
+    if (!after_d) {
+      v_scratch_.push_back(j);
+    }
+  }
+
+  // I(v): processes whose first unit in v has no dependence predecessor
+  // inside v. The first element of v is always an initial, so I(v) is
+  // never empty.
+  std::uint32_t initials = 0;
+  Pid first_pid = -1;
+  for (std::size_t a = 0; a < v_scratch_.size(); ++a) {
+    const Event& w = trace_[v_scratch_[a]];
+    if (((initials >> static_cast<unsigned>(w.step.pid)) & 1u) != 0) {
+      continue;  // already initial through its first unit
+    }
+    bool initial = true;
+    for (std::size_t b = 0; b < a; ++b) {
+      if (dependent(trace_[v_scratch_[b]].step, w.step)) {
+        initial = false;
+        break;
+      }
+    }
+    if (initial) {
+      initials |= 1u << static_cast<unsigned>(w.step.pid);
+      if (first_pid < 0) {
+        first_pid = w.step.pid;
+      }
+    }
+  }
+  // The final element: q's unit (real or virtual). Initial iff no unit of
+  // v precedes it dependently. (q has no earlier unit in v: its prior
+  // units happen-after d only when... they never are in v for a real race
+  // — see the race definition — and a virtual q contributes no units.)
+  if (((initials >> static_cast<unsigned>(q)) & 1u) == 0) {
+    bool initial = true;
+    for (const std::size_t j : v_scratch_) {
+      const bool dep =
+          virtual_pend == nullptr
+              ? dependent(trace_[j].step, trace_[v_end].step)
+              : dependent(trace_[j].step, *virtual_pend);
+      if (dep) {
+        initial = false;
+        break;
+      }
+    }
+    if (initial) {
+      initials |= 1u << static_cast<unsigned>(q);
+      if (first_pid < 0) {
+        first_pid = q;
+      }
+    }
+  }
+
+  if ((initials & backtrack_mask) != 0) {
+    return -1;  // the race's reversal is already scheduled at d's node
+  }
+  if (((initials >> static_cast<unsigned>(q)) & 1u) != 0) {
+    return q;
+  }
+  return first_pid;
+}
+
+void SourceDpor::pop_to(std::size_t len) {
+  while (trace_.size() > len) {
+    per_pid_count_[static_cast<std::size_t>(trace_.back().step.pid)] -= 1;
+    trace_.pop_back();
+  }
+}
+
+void SourceDpor::clear() {
+  trace_.clear();
+  std::fill(per_pid_count_.begin(), per_pid_count_.end(),
+            static_cast<std::uint16_t>(0));
+  stats_ = Stats{};
+}
+
+}  // namespace cfc

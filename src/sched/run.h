@@ -45,6 +45,29 @@ struct TraceEvent {
   Section to = Section::Remainder;    ///< valid iff kind == SectionChange
 };
 
+/// Summary of one *scheduler unit* — everything a single step()/
+/// ensure_started() call emitted, compressed to what the partial-order
+/// reduction's dependence relation (por/dependence.h) needs. A unit is the
+/// atomic access plus the free local run up to the next access request;
+/// section changes emitted during that local run belong to the unit, which
+/// is exactly the "section-change-adjacent" property the measurement-aware
+/// dependence relation keys on.
+struct StepSummary {
+  Pid pid = -1;
+  /// Performed a counted shared-memory access (false: yield / crash /
+  /// bare body start).
+  bool accessed = false;
+  RegId reg = -1;     ///< valid iff accessed
+  bool wrote = false; ///< the access can modify the register (is_write)
+  /// >= 1 SectionChange event was emitted during the unit (by the body's
+  /// local run before or after the access).
+  bool section_changed = false;
+  /// The injected stopping failure fired instead of the access.
+  bool crashed = false;
+  /// The unit ran the body's start-up prologue (NotStarted -> Runnable).
+  bool started = false;
+};
+
 /// The recorded run sigma = s0 -e0-> s1 -e1-> ... . States are implicit:
 /// the measurement code replays section changes to recover them.
 class Trace {

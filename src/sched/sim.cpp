@@ -111,6 +111,12 @@ void Sim::ensure_started(Pid pid) {
   if (pr.status != ProcStatus::NotStarted) {
     return;
   }
+  // Begin this unit's summary (step() calls this before anything is
+  // recorded, so the re-reset is harmless there): the prologue's section
+  // changes are part of the unit they run in.
+  last_step_ = StepSummary{};
+  last_step_.pid = pid;
+  last_step_.started = true;
   // Rewindable simulations route frames through the per-Sim arena (the
   // body here, subtask frames during any resume), so the rewind-replay
   // restore recycles them instead of hitting the heap. Ordinary
@@ -141,6 +147,11 @@ void Sim::ensure_started(Pid pid) {
 
 Sim::StepResult Sim::step(Pid pid) {
   Proc& pr = proc(pid);
+  // Reset the unit summary even on the no-op path below: a NotRunnable
+  // pick must not leave last_step_summary() reporting the previous unit
+  // under the wrong attribution.
+  last_step_ = StepSummary{};
+  last_step_.pid = pid;
   if (pr.status == ProcStatus::Done || pr.status == ProcStatus::Crashed) {
     return StepResult::NotRunnable;
   }
@@ -159,6 +170,7 @@ Sim::StepResult Sim::step(Pid pid) {
 
   // Crash injection fires when the process attempts one access too many.
   if (pr.crash_after.has_value() && pr.naccesses >= *pr.crash_after) {
+    last_step_.crashed = true;
     pr.status = ProcStatus::Crashed;
     record_terminal(pid, TraceEvent::Kind::Crash);
     return StepResult::CrashedNow;
@@ -272,6 +284,9 @@ Value Sim::execute(Proc& pr, Pid pid, const PendingAccess& req) {
     mem_.fp_ ^= fp_slot(ur, sl.value) ^ fp_slot(ur, a.after);
     sl.value = a.after;
   }
+  last_step_.accessed = true;
+  last_step_.reg = req.reg;
+  last_step_.wrote = a.is_write();
   pr.naccesses += 1;
   // Fold the full observation into the process digest: what was done and
   // what came back. A deterministic coroutine's local state is a function
@@ -302,6 +317,9 @@ Value Sim::execute(Proc& pr, Pid pid, const PendingAccess& req) {
 
 void Sim::on_section_change(Pid pid, Section s) {
   Proc& pr = proc(pid);
+  // Recorded before the mutual-exclusion check: a unit that throws AT a
+  // section change is still section-change-adjacent for the summary.
+  last_step_.section_changed = true;
   if (check_mutex_ && !quiet_replay_ && s == Section::Critical) {
     for (Pid q = 0; q < process_count(); ++q) {
       if (q != pid && proc(q).section == Section::Critical) {

@@ -307,6 +307,19 @@ class Sim {
     return proc(pid).pending;
   }
 
+  /// Summary of the most recent step()/ensure_started() unit: which counted
+  /// access it performed (if any) and whether any section-change event was
+  /// emitted during the unit. This is the per-step access summary the
+  /// partial-order reduction's race detector consumes (por/dependence.h);
+  /// callers that need the whole run's summaries capture one per executed
+  /// unit. Valid after the first unit; reset at the start of each unit (a
+  /// NotRunnable pick resets it to an empty summary for that pid), and
+  /// still filled in when the unit throws (the fields cover everything
+  /// that took effect before the throw).
+  [[nodiscard]] const StepSummary& last_step_summary() const {
+    return last_step_;
+  }
+
   /// The materialized run (empty when trace recording is disabled).
   [[nodiscard]] const Trace& trace() const { return recorder_.trace(); }
 
@@ -515,6 +528,8 @@ class Sim {
   Seq base_seq_ = 0;
   std::vector<std::optional<std::uint64_t>> base_crash_;
   RewindStats rewind_stats_;
+  /// last_step_summary(): rebuilt by every step()/ensure_started() unit.
+  StepSummary last_step_;
   /// True only inside rewind_to's replay: step/ensure_started skip the
   /// per-unit log append (the log is bulk-restored from replay_buf_ after).
   bool bulk_replay_ = false;

@@ -114,25 +114,26 @@ TEST(ParallelDeterminism, MutexContentionFreeIsThreadCountInvariant) {
 }
 
 TEST(ParallelDeterminism, DetectorSearchIsThreadCountInvariant) {
-  const DetectorFactory factory =
-      AlgorithmRegistry::instance().detector("splitter-tree-l2").factory;
+  // The historical round-robin + seeded-randoms battery, now a StudySpec
+  // option (detector_battery; the deprecated seeds overload is gone per
+  // the ROADMAP deprecation plan).
   const std::vector<std::uint64_t> seeds = {3, 1, 4, 1, 5};
+  const StudySpec spec = StudySpec::of("splitter-tree-l2")
+                             .kind(StudyKind::Detector)
+                             .n(16)
+                             .worst_case(SearchStrategy::Random)
+                             .seeds(seeds)
+                             .detector_battery();
   ExperimentRunner seq(1);
   ExperimentRunner pool(3);
-  // The legacy seeds overloads are deprecated but must keep their exact
-  // semantics (round-robin + seeded randoms battery); this is their
-  // deliberate coverage.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const DetectorWcSearchResult a =
-      search_detector_worst_case(factory, 16, seeds, &seq);
-  const DetectorWcSearchResult b =
-      search_detector_worst_case(factory, 16, seeds, &pool);
-#pragma GCC diagnostic pop
-  expect_reports_equal(a.best, b.best, "detector wc");
+  const StudyResult a = run_study(spec, &seq);
+  const StudyResult b = run_study(spec, &pool);
+  expect_reports_equal(a.wc, b.wc, "detector wc");
   EXPECT_EQ(a.schedules_tried, seeds.size() + 1);  // round-robin + seeds
   EXPECT_EQ(a.schedules_tried, b.schedules_tried);
   EXPECT_EQ(a.truncated, b.truncated);
+  const DetectorFactory factory =
+      AlgorithmRegistry::instance().detector("splitter-tree-l2").factory;
   expect_reports_equal(
       measure_detector_contention_free(factory, 16, &seq),
       measure_detector_contention_free(factory, 16, &pool), "detector cf");

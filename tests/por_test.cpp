@@ -1,0 +1,423 @@
+// POR soundness: the source-DPOR policy (measurement-aware dependence,
+// full sleep sets, race-driven source-set backtracking) must certify
+// *bit-identical* report values — whole-run totals, every window maximum,
+// and the violation verdict — to the unreduced exhaustive search, for
+// every registry mutex and detector algorithm at n = 2..3, including
+// crash injection, on the sequential reference engine and a thread pool.
+// This differential is the acceptance gate that lets certified searches
+// default to the reduced tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/explorer.h"
+#include "analysis/study.h"
+#include "core/algorithm_registry.h"
+#include "por/dependence.h"
+#include "por/sleep_sets.h"
+#include "por/source_dpor.h"
+
+namespace cfc {
+namespace {
+
+void expect_reports_equal(const ComplexityReport& a,
+                          const ComplexityReport& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.steps, b.steps) << what;
+  EXPECT_EQ(a.registers, b.registers) << what;
+  EXPECT_EQ(a.read_steps, b.read_steps) << what;
+  EXPECT_EQ(a.write_steps, b.write_steps) << what;
+  EXPECT_EQ(a.read_registers, b.read_registers) << what;
+  EXPECT_EQ(a.write_registers, b.write_registers) << what;
+  EXPECT_EQ(a.atomicity, b.atomicity) << what;
+  EXPECT_EQ(a.truncated, b.truncated) << what;
+}
+
+/// The full-measurement objective: clean-entry, exit, and cf-session
+/// window maxima plus whole-run totals, each the max over processes. Every
+/// field the paper's measures define, so the differential below proves the
+/// reduction value-preserving for all of them at once.
+ExploreObjective all_measures_objective(int n) {
+  ExploreObjective obj;
+  obj.eval = [n](const Sim&, const MeasureAccumulator& acc) {
+    ComplexityReport entry;
+    ComplexityReport exit;
+    ComplexityReport session;
+    ComplexityReport total;
+    for (Pid pid = 0; pid < n; ++pid) {
+      entry = entry.max_with(acc.clean_entry_max(pid));
+      exit = exit.max_with(acc.exit_max(pid));
+      session = session.max_with(acc.contention_free_session_max(pid));
+      total = total.max_with(acc.total(pid));
+    }
+    return std::vector<ComplexityReport>{entry, exit, session, total};
+  };
+  // Totals are part of the objective, so the (weakest, always sound)
+  // default accumulator digest is the pruning key: leave obj.digest unset.
+  return obj;
+}
+
+Explorer::Config explorer_config(const Explorer::SetupFn& setup, int n,
+                                 int depth, ReductionPolicy policy) {
+  Explorer::Config cfg;
+  cfg.nprocs = n;
+  cfg.strategy = SearchStrategy::Exhaustive;
+  cfg.limits.max_depth = depth;
+  cfg.limits.reduction = policy;
+  cfg.setup = setup;
+  cfg.objective = all_measures_objective(n);
+  return cfg;
+}
+
+/// Runs the same exploration unreduced and under source-dpor on the given
+/// runner and asserts the certified values (all four objective reports),
+/// the violation verdict, and the truncation flags agree exactly — while
+/// the reduced search never explores more states.
+void expect_source_dpor_matches_unreduced(const Explorer::SetupFn& setup,
+                                          int n, int depth,
+                                          ExperimentRunner* runner,
+                                          const std::string& what) {
+  const Explorer::Result off =
+      Explorer(explorer_config(setup, n, depth, ReductionPolicy::Off))
+          .run(runner);
+  const Explorer::Result por =
+      Explorer(explorer_config(setup, n, depth, ReductionPolicy::SourceDpor))
+          .run(runner);
+  ASSERT_EQ(off.best.size(), por.best.size()) << what;
+  const char* field[] = {"clean-entry", "exit", "cf-session", "totals"};
+  for (std::size_t i = 0; i < off.best.size(); ++i) {
+    expect_reports_equal(off.best[i], por.best[i],
+                         what + " / " + field[i]);
+  }
+  EXPECT_EQ(off.stats.truncated, por.stats.truncated) << what;
+  EXPECT_EQ(off.stats.state_budget_hit, por.stats.state_budget_hit) << what;
+  // Registry algorithms are safe: the violation count must agree exactly
+  // (0 == 0); for broken algorithms the *verdict* (found / not found) is
+  // what reduction preserves — violating traces violate in every
+  // linearization — which BrokenLock below asserts.
+  EXPECT_EQ(off.stats.violations, por.stats.violations) << what;
+}
+
+/// The reduction claim itself: against the same tree with neither the
+/// visited cache nor the reduction (source-dpor replaces the cache — see
+/// the Explorer constructor), the reduced search must explore a strict
+/// subset of states while certifying the same values.
+void expect_source_dpor_reduces(const Explorer::SetupFn& setup, int n,
+                                int depth, const std::string& what) {
+  Explorer::Config raw = explorer_config(setup, n, depth, ReductionPolicy::Off);
+  raw.limits.prune_visited = false;
+  const Explorer::Result off = Explorer(raw).run();
+  const Explorer::Result por =
+      Explorer(explorer_config(setup, n, depth, ReductionPolicy::SourceDpor))
+          .run();
+  EXPECT_LT(por.stats.states_visited, off.stats.states_visited) << what;
+  ASSERT_EQ(off.best.size(), por.best.size()) << what;
+  for (std::size_t i = 0; i < off.best.size(); ++i) {
+    expect_reports_equal(off.best[i], por.best[i], what);
+  }
+}
+
+Explorer::SetupFn mutex_setup(const MutexFactory& make, int n,
+                              std::vector<std::uint64_t> crash_after = {}) {
+  return [make, n, crash_after](Sim& sim) -> std::shared_ptr<void> {
+    auto alg = setup_mutex(sim, make, n, /*sessions=*/1);
+    for (std::size_t p = 0; p < crash_after.size(); ++p) {
+      sim.crash_after(static_cast<Pid>(p), crash_after[p]);
+    }
+    return alg;
+  };
+}
+
+Explorer::SetupFn detector_setup(const DetectorFactory& make, int n,
+                                 std::vector<std::uint64_t> crash_after = {}) {
+  return [make, n, crash_after](Sim& sim) -> std::shared_ptr<void> {
+    auto det = setup_detection(sim, make, n);
+    for (std::size_t p = 0; p < crash_after.size(); ++p) {
+      sim.crash_after(static_cast<Pid>(p), crash_after[p]);
+    }
+    return det;
+  };
+}
+
+// --- The differential suite: every registry algorithm, n = 2..3,
+// threads 1 and 4. ---
+
+TEST(PorDifferential, MutexRegistryAtN2And3) {
+  ExperimentRunner seq(1);
+  ExperimentRunner pool(4);
+  for (const int n : {2, 3}) {
+    const int depth = n == 2 ? 12 : 8;
+    for (const MutexAlgorithmEntry* e :
+         AlgorithmRegistry::instance().mutex_for_n(n)) {
+      for (ExperimentRunner* runner : {&seq, &pool}) {
+        const std::string what = e->info.name + " n=" + std::to_string(n) +
+                                 " threads=" +
+                                 std::to_string(runner->thread_count());
+        SCOPED_TRACE(what);
+        expect_source_dpor_matches_unreduced(mutex_setup(e->factory, n),
+                                             n, depth, runner, what);
+      }
+    }
+  }
+}
+
+TEST(PorDifferential, DetectorRegistryAtN2And3) {
+  ExperimentRunner seq(1);
+  ExperimentRunner pool(4);
+  for (const int n : {2, 3}) {
+    const int depth = n == 2 ? 14 : 10;
+    for (const DetectorAlgorithmEntry* e :
+         AlgorithmRegistry::instance().detector_algorithms()) {
+      for (ExperimentRunner* runner : {&seq, &pool}) {
+        const std::string what = e->info.name + " n=" + std::to_string(n) +
+                                 " threads=" +
+                                 std::to_string(runner->thread_count());
+        SCOPED_TRACE(what);
+        expect_source_dpor_matches_unreduced(detector_setup(e->factory, n),
+                                             n, depth, runner, what);
+      }
+    }
+  }
+}
+
+TEST(PorDifferential, MutexWithCrashInjection) {
+  // A crash-armed process's next step is unknowable, so the dependence
+  // relation orders it against everything; the differential must still
+  // hold with stopping failures in the space.
+  ExperimentRunner seq(1);
+  ExperimentRunner pool(4);
+  for (const int n : {2, 3}) {
+    const int depth = n == 2 ? 12 : 8;
+    for (const MutexAlgorithmEntry* e :
+         AlgorithmRegistry::instance().mutex_for_n(n)) {
+      // Process 0 crashes at its 3rd access attempt: mid-entry for every
+      // registry algorithm.
+      for (ExperimentRunner* runner : {&seq, &pool}) {
+        const std::string what = e->info.name + " crash n=" +
+                                 std::to_string(n) + " threads=" +
+                                 std::to_string(runner->thread_count());
+        SCOPED_TRACE(what);
+        expect_source_dpor_matches_unreduced(
+            mutex_setup(e->factory, n, {2}), n, depth, runner, what);
+      }
+    }
+  }
+}
+
+TEST(PorDifferential, DetectorWithCrashInjection) {
+  ExperimentRunner seq(1);
+  ExperimentRunner pool(4);
+  for (const int n : {2, 3}) {
+    const int depth = n == 2 ? 14 : 10;
+    for (const DetectorAlgorithmEntry* e :
+         AlgorithmRegistry::instance().detector_algorithms()) {
+      for (ExperimentRunner* runner : {&seq, &pool}) {
+        const std::string what = e->info.name + " crash n=" +
+                                 std::to_string(n) + " threads=" +
+                                 std::to_string(runner->thread_count());
+        SCOPED_TRACE(what);
+        expect_source_dpor_matches_unreduced(
+            detector_setup(e->factory, n, {1}), n, depth, runner, what);
+      }
+    }
+  }
+}
+
+TEST(PorDifferential, SourceDporReducesTheUnprunedTree) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  expect_source_dpor_reduces(
+      mutex_setup(registry.mutex("peterson-2p").factory, 2), 2, 14,
+      "peterson-2p");
+  expect_source_dpor_reduces(
+      mutex_setup(registry.mutex("kessels-2p").factory, 2), 2, 12,
+      "kessels-2p");
+  expect_source_dpor_reduces(
+      detector_setup(registry.detector("splitter-tree-l2").factory, 3), 3,
+      10, "splitter-tree-l2");
+}
+
+// --- Safety under reduction. ---
+
+TEST(PorDifferential, BrokenLockViolationSurvivesReduction) {
+  // Violating traces violate in every linearization (section-change pairs
+  // never commute), so the reduced search must still find the broken
+  // lock's mutual-exclusion violation — fewer violating schedules visited,
+  // but never zero.
+  class NoMutex final : public MutexAlgorithm {
+   public:
+    explicit NoMutex(RegisterFile& mem) { r_ = mem.add_bit("nomutex.r"); }
+    Task<void> enter(ProcessContext& ctx, int) override {
+      co_await ctx.read(r_);
+    }
+    Task<void> exit(ProcessContext& ctx, int) override {
+      co_await ctx.read(r_);
+    }
+    Task<Value> try_enter(ProcessContext& ctx, int slot, RegId) override {
+      co_await enter(ctx, slot);
+      co_return 1;
+    }
+    [[nodiscard]] int capacity() const override { return 2; }
+    [[nodiscard]] int atomicity() const override { return 1; }
+    [[nodiscard]] std::string algorithm_name() const override {
+      return "broken";
+    }
+
+   private:
+    RegId r_;
+  };
+  const MutexFactory broken = [](RegisterFile& mem, int) {
+    return std::make_unique<NoMutex>(mem);
+  };
+  const Explorer::Result por =
+      Explorer(explorer_config(mutex_setup(broken, 2), 2, 10,
+                               ReductionPolicy::SourceDpor))
+          .run();
+  EXPECT_GT(por.stats.violations, 0u);
+}
+
+// --- Reduction counters: populated and thread-count invariant. ---
+
+TEST(PorCounters, PopulatedAndThreadInvariant) {
+  const MutexFactory peterson =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  ExperimentRunner seq(1);
+  ExperimentRunner pool(4);
+  const auto cfg = explorer_config(mutex_setup(peterson, 2), 2, 14,
+                                   ReductionPolicy::SourceDpor);
+  const Explorer::Result a = Explorer(cfg).run(&seq);
+  const Explorer::Result b = Explorer(cfg).run(&pool);
+  EXPECT_GT(a.stats.races_detected, 0u);
+  EXPECT_GT(a.stats.backtrack_points, 0u);
+  EXPECT_EQ(a.stats.sleep_blocked, a.stats.pruned_independent);
+  EXPECT_EQ(a.stats.races_detected, b.stats.races_detected);
+  EXPECT_EQ(a.stats.backtrack_points, b.stats.backtrack_points);
+  EXPECT_EQ(a.stats.sleep_blocked, b.stats.sleep_blocked);
+  EXPECT_EQ(a.stats.states_visited, b.stats.states_visited);
+  EXPECT_EQ(a.stats.pruned_visited, b.stats.pruned_visited);
+
+  // Sleep sets earn their keep where three processes give an inserted
+  // sibling a genuinely independent third party: the blocked-branch
+  // counter must be populated there (at n = 2 a race-inserted sibling
+  // conflicts with the branch it raced, so sleepers rarely survive).
+  const DetectorFactory splitter =
+      AlgorithmRegistry::instance().detector("splitter-tree-l2").factory;
+  const Explorer::Result d =
+      Explorer(explorer_config(detector_setup(splitter, 3), 3, 10,
+                               ReductionPolicy::SourceDpor))
+          .run(&seq);
+  EXPECT_GT(d.stats.sleep_blocked, 0u);
+  EXPECT_EQ(d.stats.sleep_blocked, d.stats.pruned_independent);
+}
+
+// --- The dependence relation's unit semantics. ---
+
+TEST(PorDependence, RegisterConflictAndSectionAdjacency) {
+  StepSummary read_a;   // section-quiet read of register 7 by pid 0
+  read_a.pid = 0;
+  read_a.accessed = true;
+  read_a.reg = 7;
+  StepSummary read_b = read_a;  // same register, other process
+  read_b.pid = 1;
+  StepSummary write_b = read_b;
+  write_b.wrote = true;
+  StepSummary write_other = write_b;
+  write_other.reg = 9;
+  StepSummary section_b;  // section-change-adjacent unit of pid 1
+  section_b.pid = 1;
+  section_b.section_changed = true;
+  StepSummary section_a = section_b;
+  section_a.pid = 0;
+
+  EXPECT_FALSE(dependent(read_a, read_b));   // read/read commutes
+  EXPECT_TRUE(dependent(read_a, write_b));   // read/write conflicts
+  EXPECT_FALSE(dependent(read_a, write_other));
+  EXPECT_TRUE(dependent(section_a, section_b));  // both touch sections
+  EXPECT_FALSE(dependent(read_a, section_b));    // access vs section-change
+  EXPECT_TRUE(dependent(read_a, read_a));        // program order
+
+  // Executed-vs-pending: the pending side's adjacency is unknowable.
+  NextStep pend_read;
+  pend_read.known = true;
+  pend_read.reg = 7;
+  EXPECT_FALSE(dependent(read_a, pend_read));
+  EXPECT_TRUE(dependent(write_b, pend_read));
+  EXPECT_TRUE(dependent(section_b, pend_read));  // worst-case adjacency
+  NextStep unknown;
+  EXPECT_TRUE(dependent(read_a, unknown));
+  NextStep yield;
+  yield.known = true;
+  yield.yield = true;
+  EXPECT_FALSE(dependent(read_a, yield));
+  EXPECT_TRUE(dependent(section_a, yield));  // yields can change sections
+}
+
+TEST(PorSleepSets, TransferWakesOnConflictOnly) {
+  std::array<NextStep, 3> pends{};
+  pends[1].known = true;
+  pends[1].reg = 7;
+  pends[2].known = true;
+  pends[2].reg = 9;
+  SleepSet candidates;
+  candidates.insert(1);
+  candidates.insert(2);
+
+  StepSummary write7;
+  write7.pid = 0;
+  write7.accessed = true;
+  write7.reg = 7;
+  write7.wrote = true;
+  const SleepSet after =
+      transfer_sleep(candidates, write7, std::span(pends.data(), 3));
+  EXPECT_FALSE(after.contains(1));  // conflicting sleeper woke
+  EXPECT_TRUE(after.contains(2));   // disjoint sleeper stays asleep
+
+  StepSummary section_step;
+  section_step.pid = 0;
+  section_step.section_changed = true;
+  const SleepSet woken =
+      transfer_sleep(candidates, section_step, std::span(pends.data(), 3));
+  EXPECT_TRUE(woken.empty());  // section changes wake every sleeper
+}
+
+// --- The legacy sleep-lite alias keeps selecting sleep-lite. ---
+
+TEST(PorPolicy, ReduceIndependentAliasSelectsSleepLite) {
+  // The pre-POR flag must keep its meaning: results identical to asking
+  // for the policy by name, states included.
+  WorstCaseSearchOptions by_flag;
+  by_flag.strategy = SearchStrategy::Exhaustive;
+  by_flag.limits.max_depth = 12;
+  by_flag.limits.reduce_independent = true;
+  WorstCaseSearchOptions by_name = by_flag;
+  by_name.limits.reduce_independent = false;
+  by_name.limits.reduction = ReductionPolicy::SleepLite;
+  const MutexFactory peterson =
+      AlgorithmRegistry::instance().mutex("peterson-2p").factory;
+  const MutexWcSearchResult a =
+      search_mutex_worst_case(peterson, 2, 1, by_flag);
+  const MutexWcSearchResult b =
+      search_mutex_worst_case(peterson, 2, 1, by_name);
+  expect_reports_equal(a.entry, b.entry, "entry");
+  expect_reports_equal(a.exit, b.exit, "exit");
+  EXPECT_EQ(a.states_visited, b.states_visited);
+  EXPECT_EQ(a.schedules_tried, b.schedules_tried);
+}
+
+TEST(PorPolicy, RequiresExhaustiveStrategy) {
+  Explorer::Config cfg;
+  cfg.nprocs = 2;
+  cfg.strategy = SearchStrategy::Bounded;
+  cfg.limits.max_preemptions = 1;
+  cfg.limits.reduction = ReductionPolicy::SourceDpor;
+  cfg.setup = [](Sim& sim) -> std::shared_ptr<void> {
+    return setup_mutex(
+        sim, AlgorithmRegistry::instance().mutex("peterson-2p").factory, 2,
+        1);
+  };
+  EXPECT_THROW((void)Explorer(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cfc

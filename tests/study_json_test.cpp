@@ -45,6 +45,10 @@ StudyResult golden_fixture() {
   r.measured_atomicity = 1;
   r.has_wc = true;
   r.wc_strategy = SearchStrategy::Exhaustive;
+  r.wc_reduction = ReductionPolicy::SourceDpor;
+  r.races_detected = 21;
+  r.backtrack_points = 9;
+  r.sleep_blocked = 4;
   r.wc = report(14, 4, 6, 8, 3, 4, 1, true);
   r.wc_entry = report(12, 3, 6, 6, 3, 3, 1, true);
   r.wc_exit = report(2, 1, 0, 2, 0, 1, 1);
@@ -105,6 +109,10 @@ TEST(StudyJson, RoundTripsByteIdentically) {
   EXPECT_EQ(parsed.measured_atomicity, original.measured_atomicity);
   EXPECT_EQ(parsed.has_wc, original.has_wc);
   EXPECT_EQ(parsed.wc_strategy, original.wc_strategy);
+  EXPECT_EQ(parsed.wc_reduction, original.wc_reduction);
+  EXPECT_EQ(parsed.races_detected, original.races_detected);
+  EXPECT_EQ(parsed.backtrack_points, original.backtrack_points);
+  EXPECT_EQ(parsed.sleep_blocked, original.sleep_blocked);
   expect_reports_equal(parsed.wc, original.wc, "wc");
   expect_reports_equal(parsed.wc_entry, original.wc_entry, "wc_entry");
   expect_reports_equal(parsed.wc_exit, original.wc_exit, "wc_exit");
@@ -145,9 +153,33 @@ TEST(StudyJson, BigCountersSurviveExactly) {
   StudyResult r = golden_fixture();
   r.states_visited = 9'007'199'254'740'993ull;  // 2^53 + 1: breaks doubles
   r.schedules_tried = 18'446'744'073'709'551'615ull;  // 2^64 - 1
+  r.races_detected = 18'446'744'073'709'551'614ull;
+  r.backtrack_points = 9'007'199'254'740'995ull;
   const StudyResult parsed = study_from_json(to_json(r));
   EXPECT_EQ(parsed.states_visited, r.states_visited);
   EXPECT_EQ(parsed.schedules_tried, r.schedules_tried);
+  EXPECT_EQ(parsed.races_detected, r.races_detected);
+  EXPECT_EQ(parsed.backtrack_points, r.backtrack_points);
+}
+
+TEST(StudyJson, ReductionIsOptionalForPrePorPayloads) {
+  // Pre-POR cfc.study.v1 payloads carry no "reduction" member; they must
+  // keep parsing, defaulting to policy off with zero counters.
+  std::string json = to_json(golden_fixture());
+  const std::size_t at = json.find("    \"reduction\": ");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = json.find('\n', at);
+  json.erase(at, end - at + 1);
+  const StudyResult parsed = study_from_json(json);
+  EXPECT_EQ(parsed.wc_reduction, ReductionPolicy::Off);
+  EXPECT_EQ(parsed.races_detected, 0u);
+  EXPECT_EQ(parsed.backtrack_points, 0u);
+  EXPECT_EQ(parsed.sleep_blocked, 0u);
+
+  // A present-but-bogus policy is malformed input, not a silent default.
+  std::string bad = to_json(golden_fixture());
+  bad.replace(bad.find("source-dpor"), 11, "bogus-dpor!");
+  EXPECT_THROW((void)study_from_json(bad), std::invalid_argument);
 }
 
 TEST(StudyJson, EscapesSubjectStrings) {

@@ -294,23 +294,122 @@ TEST(Campaign, ResolutionErrorsSurfaceOnTheCallingThread) {
                std::invalid_argument);
 }
 
-// --- The repaired detector legacy overload (satellite): the seeds form
-// now forwards the full result type instead of a bare ComplexityReport. ---
+// --- The reduction policy at the study level. ---
 
-TEST(DetectorLegacyOverload, ForwardsRunStatistics) {
-  const DetectorFactory splitter =
-      AlgorithmRegistry::instance().detector("splitter-tree-l2").factory;
+TEST(StudyReduction, ExhaustiveDefaultsToSourceDporAndSurfacesCounters) {
+  // StudySpec::worst_case(Exhaustive) selects the reduced certified
+  // search; the reduction identity and counters surface in the result
+  // (and its canonical JSON), and the certified values match the
+  // unreduced tree's — the POR differential suite proves that wholesale,
+  // this spot-checks the study integration.
+  const StudyResult r = run_study(StudySpec::of("peterson-2p")
+                                      .kind(StudyKind::Mutex)
+                                      .n(2)
+                                      .worst_case(SearchStrategy::Exhaustive)
+                                      .depth(14));
+  EXPECT_EQ(r.wc_reduction, ReductionPolicy::SourceDpor);
+  EXPECT_TRUE(r.certified);
+  EXPECT_GT(r.races_detected, 0u);
+  EXPECT_GT(r.backtrack_points, 0u);
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"policy\": \"source-dpor\""), std::string::npos);
+
+  const StudyResult off = run_study(StudySpec::of("peterson-2p")
+                                        .kind(StudyKind::Mutex)
+                                        .n(2)
+                                        .worst_case(SearchStrategy::Exhaustive)
+                                        .depth(14)
+                                        .reduction(ReductionPolicy::Off));
+  EXPECT_EQ(off.wc_reduction, ReductionPolicy::Off);
+  EXPECT_EQ(off.races_detected, 0u);
+  expect_reports_equal(r.wc_entry, off.wc_entry, "entry vs unreduced");
+  expect_reports_equal(r.wc_exit, off.wc_exit, "exit vs unreduced");
+  EXPECT_EQ(r.certified, off.certified);
+  // Distinct reduction policies must not deduplicate into one task.
+  Campaign campaign;
+  campaign.add(StudySpec::of("peterson-2p")
+                   .kind(StudyKind::Mutex)
+                   .n(2)
+                   .worst_case(SearchStrategy::Exhaustive)
+                   .depth(14));
+  campaign.add(StudySpec::of("peterson-2p")
+                   .kind(StudyKind::Mutex)
+                   .n(2)
+                   .worst_case(SearchStrategy::Exhaustive)
+                   .depth(14)
+                   .reduction(ReductionPolicy::Off));
+  CampaignStats stats;
+  (void)campaign.run(nullptr, &stats);
+  EXPECT_EQ(stats.tasks_planned, 2u);
+  EXPECT_EQ(stats.tasks_deduplicated, 0u);
+
+  // The fluent order must not matter: replacing the budget struct after
+  // worst_case(Exhaustive) keeps the reduced default (a limits struct
+  // naming no policy preserves the current one), while a struct that
+  // names one wins.
+  StudySpec reordered = StudySpec::of("peterson-2p")
+                            .kind(StudyKind::Mutex)
+                            .n(2)
+                            .worst_case(SearchStrategy::Exhaustive);
+  ExploreLimits budgets;
+  budgets.max_depth = 14;
+  reordered.limits(budgets);
+  EXPECT_EQ(reordered.search.limits.reduction, ReductionPolicy::SourceDpor);
+  EXPECT_EQ(reordered.search.limits.max_depth, 14);
+  ExploreLimits lite;
+  lite.reduce_independent = true;
+  reordered.limits(lite);
+  EXPECT_EQ(effective_reduction(reordered.search.limits),
+            ReductionPolicy::SleepLite);
+}
+
+// --- The detector round-robin battery, folded into the StudySpec
+// (ROADMAP deprecation-plan step 2: the deprecated seeds overload is
+// deleted; this option is its replacement). ---
+
+TEST(DetectorBattery, RoundRobinOptionReproducesTheLegacyBattery) {
   const std::vector<std::uint64_t> seeds = {1, 2, 3};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const DetectorWcSearchResult r =
-      search_detector_worst_case(splitter, 8, seeds);
-#pragma GCC diagnostic pop
-  EXPECT_GT(r.best.steps, 0);
+  const StudyResult r = run_study(StudySpec::of("splitter-tree-l2")
+                                      .kind(StudyKind::Detector)
+                                      .n(8)
+                                      .worst_case(SearchStrategy::Random)
+                                      .seeds(seeds)
+                                      .detector_battery());
+  EXPECT_GT(r.wc.steps, 0);
   EXPECT_EQ(r.schedules_tried, seeds.size() + 1);  // round-robin + seeds
   EXPECT_FALSE(r.truncated);   // splitter runs terminate within budget
   EXPECT_FALSE(r.certified);   // a sampled battery certifies nothing
   EXPECT_EQ(r.violations, 0u);
+
+  // The battery's maximum dominates the plain Random study's (one more
+  // schedule), and the round-robin cell is what the option adds: the
+  // same spec without it tries exactly one fewer schedule.
+  const StudyResult plain = run_study(StudySpec::of("splitter-tree-l2")
+                                          .kind(StudyKind::Detector)
+                                          .n(8)
+                                          .worst_case(SearchStrategy::Random)
+                                          .seeds(seeds));
+  EXPECT_EQ(plain.schedules_tried + 1, r.schedules_tried);
+  EXPECT_GE(r.wc.steps, plain.wc.steps);
+
+  // Battery and non-battery specs must not deduplicate into one task.
+  Campaign campaign;
+  campaign.add(StudySpec::of("splitter-tree-l2")
+                   .kind(StudyKind::Detector)
+                   .n(8)
+                   .worst_case(SearchStrategy::Random)
+                   .seeds(seeds)
+                   .detector_battery());
+  campaign.add(StudySpec::of("splitter-tree-l2")
+                   .kind(StudyKind::Detector)
+                   .n(8)
+                   .worst_case(SearchStrategy::Random)
+                   .seeds(seeds));
+  CampaignStats stats;
+  const std::vector<StudyResult> results = campaign.run(nullptr, &stats);
+  EXPECT_EQ(stats.tasks_planned, 2u);
+  EXPECT_EQ(stats.tasks_deduplicated, 0u);
+  EXPECT_EQ(results[0].schedules_tried, results[1].schedules_tried + 1);
 }
 
 }  // namespace
