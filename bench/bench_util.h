@@ -37,6 +37,10 @@ namespace cfc::bench {
 ///                    pre-POR baselines)
 ///   --baseline <f>   committed BENCH_<name>.json to compare against
 ///                    (explorer_scaling's reduction-factor rows)
+///   --study-out <f>  write the bench's canonical study payload (a
+///                    cfc.study.v1 array, timing excluded) to <f>; CI runs
+///                    the bench at two thread counts and byte-compares the
+///                    two files as the determinism gate
 ///   --list           print the registry algorithms this bench can target
 ///                    (after --algo filtering) and exit
 struct BenchOptions {
@@ -47,6 +51,7 @@ struct BenchOptions {
   int repeat = 1;
   ReductionPolicy reduction = ReductionPolicy::Off;
   std::string baseline;
+  std::string study_out;
   bool list = false;
 
   static BenchOptions parse(int argc, char** argv) {
@@ -56,7 +61,7 @@ struct BenchOptions {
                    "usage: %s [--seed <base>] [--threads <k>] [--out <dir>] "
                    "[--algo <tag-or-name>] [--repeat <n>] "
                    "[--reduction off|sleep-lite|source-dpor] "
-                   "[--baseline <json>] [--list]\n",
+                   "[--baseline <json>] [--study-out <json>] [--list]\n",
                    argc > 0 ? argv[0] : "bench");
       std::exit(exit_code);
     };
@@ -119,6 +124,8 @@ struct BenchOptions {
         opts.reduction = *policy;
       } else if (matches(arg, "--baseline")) {
         opts.baseline = value(i, "--baseline");
+      } else if (matches(arg, "--study-out")) {
+        opts.study_out = value(i, "--study-out");
       } else if (arg == "--list") {
         opts.list = true;
       } else {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
+#include <cstdio>
 #include <span>
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/slab_arena.h"
 #include "analysis/visited_table.h"
 #include "core/state_fingerprint.h"
 #include "por/dependence.h"
@@ -70,8 +73,13 @@ void ExploreStats::merge(const ExploreStats& o) {
   sleep_blocked += o.sleep_blocked;
   restores += o.restores;
   replayed_steps += o.replayed_steps;
+  value_replayed_steps += o.value_replayed_steps;
+  restore_marks += o.restore_marks;
+  work_items += o.work_items;
+  steals += o.steals;
   sims_built += o.sims_built;
   visited_bytes += o.visited_bytes;
+  visited_live_bytes += o.visited_live_bytes;
   truncated = truncated || o.truncated;
   state_budget_hit = state_budget_hit || o.state_budget_hit;
 }
@@ -95,7 +103,7 @@ void merge_best(std::vector<ComplexityReport>& best,
   }
 }
 
-/// Per-frontier-cell result slot; reduced in index order afterwards.
+/// Per-cell / per-work-item result slot; reduced in index order afterwards.
 struct CellResult {
   ExploreStats stats;
   std::vector<ComplexityReport> best;
@@ -105,19 +113,41 @@ struct CellResult {
   }
 };
 
-/// One frontier cell's DFS: owns the live simulation, the live accumulator,
-/// the per-cell visited table, the recycled scratch pools (branch stack,
-/// per-depth accumulator snapshots), and — under ReductionPolicy::SourceDpor
-/// — the per-path race detector and the per-depth backtrack masks. Descends
-/// by stepping the live sim; backtracks in place via Sim::rewind_to (or the
-/// legacy fork-by-replay when ExploreLimits::restore_by_fork is set).
+/// One unit of the parallel source-DPOR execution: a realizable,
+/// violation-free schedule prefix of planner picks (stored in the plan's
+/// slab arena), the sleep mask at its horizon node, and the last pick.
+/// Self-contained — any worker can claim it, reposition its private Sim,
+/// and run the subtree; race detection below the horizon is per-path
+/// (vector clocks live in the worker's own SourceDpor trace), so items
+/// share no mutable state.
+struct WorkItem {
+  const Pid* prefix = nullptr;
+  std::uint32_t len = 0;
+  std::uint32_t sleep = 0;
+  Pid last = -1;
+};
+
+/// One DFS engine: owns the live simulation, the live accumulator, the
+/// per-cell visited table, the recycled scratch pools (branch stack,
+/// per-depth accumulator snapshots and rewind marks), and — under
+/// ReductionPolicy::SourceDpor — the per-path race detector and the
+/// per-depth backtrack masks. Descends by stepping the live sim; backtracks
+/// via per-depth RewindMarks (Sim::rewind_to_mark, the default), the plain
+/// full-replay rewind (Sim::rewind_to), or the legacy fork-by-replay when
+/// ExploreLimits::restore_by_fork is set.
+///
+/// Three entry points: run() walks one grid cell (policies Off/SleepLite),
+/// plan() is the parallel source-DPOR planner, run_item() executes one
+/// planner work item. A worker reuses one CellExplorer — and its Sim —
+/// across every item it claims.
 class CellExplorer {
  public:
-  CellExplorer(const Explorer::Config& cfg, CellResult& out)
+  explicit CellExplorer(const Explorer::Config& cfg)
       : cfg_(cfg),
-        out_(out),
         acc_(cfg.nprocs),
-        policy_(cfg.limits.reduction) {
+        policy_(cfg.limits.reduction),
+        use_marks_(cfg.limits.restore_marks && !cfg.limits.restore_by_fork &&
+                   !cfg.limits.verify_restore_snapshot) {
     if (policy_ == ReductionPolicy::SourceDpor) {
       dpor_.emplace(cfg.nprocs);
       backtrack_.assign(
@@ -126,15 +156,78 @@ class CellExplorer {
     }
   }
 
-  ~CellExplorer() {
-    out_.stats.visited_bytes += visited_.bytes();
-    if (dpor_.has_value()) {
-      out_.stats.races_detected += dpor_->stats().races_detected;
-      out_.stats.backtrack_points += dpor_->stats().backtrack_points;
-    }
+  /// Grid-cell DFS (policies Off and SleepLite; the source-DPOR policy
+  /// goes through plan()/run_item() instead).
+  void run(const std::vector<Pid>& prefix, CellResult& out) {
+    out_ = &out;
+    run_cell(prefix);
+    out.stats.visited_bytes += visited_.bytes();
+    out.stats.visited_live_bytes += visited_.live_bytes();
   }
 
-  void run(const std::vector<Pid>& prefix) {
+  /// Parallel source-DPOR, phase 1: walks the top `horizon` levels of the
+  /// tree with FULL branching over enabled-and-awake processes plus the
+  /// measurement-aware sleep transfer, emitting one WorkItem per horizon
+  /// node reached (prefix picks copied into `arena`). Runs on the calling
+  /// thread only, so every counter it touches — including the planner
+  /// levels' states/leaves/violations/sleep_blocked — is thread-count
+  /// invariant by construction.
+  ///
+  /// Soundness of stopping worker race insertions at the horizon
+  /// (SourceDpor::kForeignNode masks over prefix depths): full branching
+  /// modulo sleep is a maximal persistent set at every planner node, and
+  /// source sets only ever need a subset of a persistent set — any
+  /// reordering of the prefix a subtree race could demand is already a
+  /// planner branch, or asleep and therefore covered by a same-length
+  /// explored reordering (the classic sleep-set argument).
+  void plan(int horizon, SlabArena& arena, std::vector<WorkItem>& items,
+            CellResult& out) {
+    out_ = &out;
+    reset_sim();
+    plan_dfs(0, /*last=*/-1, /*sleep=*/0, horizon, arena, items);
+  }
+
+  /// Parallel source-DPOR, phase 2: executes one work item. The first item
+  /// builds the worker's private Sim; later items rewind it to the run
+  /// start in place and re-step the prefix live (the planner proved it
+  /// realizable and violation-free). Prefix units join the race detector's
+  /// trace with foreign-node masks, exactly like the pre-parallel grid
+  /// path. Repositioning is part of claiming the item, not a sibling
+  /// backtrack, so it counts into neither restores nor replayed_steps.
+  void run_item(const WorkItem& item, CellResult& out) {
+    out_ = &out;
+    if (!sim_ || cfg_.limits.restore_by_fork) {
+      reset_sim();
+    } else {
+      sim_->rewind_to(0);
+      acc_ = MeasureAccumulator(cfg_.nprocs);  // sink address is stable
+    }
+    dpor_->clear();
+    std::fill(backtrack_.begin(), backtrack_.end(),
+              SourceDpor::kForeignNode);
+    nodes_ = 0;
+    stop_ = false;
+    int depth = 0;
+    for (std::uint32_t i = 0; i < item.len; ++i) {
+      const Pid p = item.prefix[i];
+      if (!sim_->runnable(p)) {
+        throw std::logic_error(
+            "Explorer: work-item prefix diverged from the planner's run");
+      }
+      sim_->step(p);
+      dpor_->push_step(depth, sim_->last_step_summary(), backtrack_);
+      ++depth;
+    }
+    dfs_source(depth, item.last, item.sleep);
+    // Per-item flush of the race detector's counters (clear() resets
+    // them): the deltas land in the item's own slot and merge in item
+    // index order, keeping the totals thread-count invariant.
+    out.stats.races_detected += dpor_->stats().races_detected;
+    out.stats.backtrack_points += dpor_->stats().backtrack_points;
+  }
+
+ private:
+  void run_cell(const std::vector<Pid>& prefix) {
     reset_sim();
     int preempt = 0;
     Pid last = -1;
@@ -145,7 +238,7 @@ class CellExplorer {
         // remaining digits are all zero — owns this leaf.
         if (all_zero_from(prefix, i)) {
           ++nodes_;
-          ++out_.stats.states_visited;
+          ++out_->stats.states_visited;
           leaf_completed();
         }
         return;
@@ -156,7 +249,7 @@ class CellExplorer {
         // ends here, exactly as dfs() records it below the frontier.
         if (all_zero_from(prefix, i)) {
           ++nodes_;
-          ++out_.stats.states_visited;
+          ++out_->stats.states_visited;
           leaf_truncated();
         }
         return;
@@ -174,29 +267,15 @@ class CellExplorer {
         sim_->step(p);
       } catch (const MutualExclusionViolation&) {
         if (all_zero_from(prefix, i + 1)) {
-          ++out_.stats.violations;
+          ++out_->stats.violations;
         }
         return;
       }
-      if (dpor_.has_value()) {
-        // Prefix units join the race detector's trace (subtree units race
-        // against them); their nodes are foreign — every alternative
-        // ordering inside the prefix is its own frontier cell — so the
-        // kForeignNode masks suppress insertion there.
-        dpor_->push_step(static_cast<int>(i), sim_->last_step_summary(),
-                         backtrack_);
-      }
       last = p;
     }
-    const int depth = static_cast<int>(prefix.size());
-    if (policy_ == ReductionPolicy::SourceDpor) {
-      dfs_source(depth, last, /*sleep=*/0);
-    } else {
-      dfs(depth, preempt, last, /*sleep=*/0);
-    }
+    dfs(static_cast<int>(prefix.size()), preempt, last, /*sleep=*/0);
   }
 
- private:
   [[nodiscard]] static bool all_zero_from(const std::vector<Pid>& prefix,
                                           std::size_t from) {
     return std::all_of(prefix.begin() + static_cast<std::ptrdiff_t>(from),
@@ -225,23 +304,43 @@ class CellExplorer {
     if (!cfg_.limits.restore_by_fork) {
       sim_->mark_rewind_base();
     }
-    ++out_.stats.sims_built;
+    ++out_->stats.sims_built;
     acc_ = MeasureAccumulator(cfg_.nprocs);
     sim_->add_sink(acc_);
   }
 
-  /// Repositions the cell at a prefix of the live sim's own schedule log,
-  /// restoring the node's accumulator snapshot. Default: in-place recycled
-  /// rewind — the live Sim object, its coroutine frame arena, and its
-  /// schedule log are all reused, so steady state this performs zero Sim
-  /// heap allocation. Legacy (restore_by_fork): fork-by-replay against a
-  /// freshly built simulation, borrowing the live log as a span (never
-  /// copying it into a SimCheckpoint).
-  void restore(std::size_t sched_len, const MeasureAccumulator& snap,
-               std::uint64_t mem_fp, Seq seq, const MemorySnapshot* memsnap) {
-    ++out_.stats.restores;
-    out_.stats.replayed_steps += sched_len;
+  /// Captures the node checkpoint the siblings restore to: the accumulator
+  /// snapshot, the RewindMark (default restore path), and the debug memory
+  /// snapshot — all held in per-depth pools, so steady state this
+  /// allocates nothing.
+  void capture_node(int depth) {
+    ensure_pools(depth);
+    const auto d = static_cast<std::size_t>(depth);
+    acc_pool_[d] = acc_;
+    if (use_marks_) {
+      sim_->capture_mark(mark_pool_[d]);
+      ++out_->stats.restore_marks;
+    }
+    if (cfg_.limits.verify_restore_snapshot) {
+      mem_pool_[d] = sim_->memory().snapshot();
+    }
+  }
+
+  /// Repositions the engine at the node checkpointed by capture_node at
+  /// `depth`, restoring the node's accumulator snapshot. Default: the
+  /// mark-based partial restore (Sim::rewind_to_mark) — only processes
+  /// that acted below the node are value-replayed, counted in
+  /// value_replayed_steps (replayed_steps stays 0: nothing re-executes
+  /// live on this path). Fallbacks: the full
+  /// in-place rewind (under verify_restore_snapshot or restore_marks
+  /// off), and the legacy fork-by-replay (restore_by_fork) against a
+  /// freshly built simulation; both re-execute the whole prefix.
+  void restore(int depth, std::size_t sched_len, std::uint64_t mem_fp,
+               Seq seq) {
+    ++out_->stats.restores;
+    const auto d = static_cast<std::size_t>(depth);
     if (cfg_.limits.restore_by_fork) {
+      out_->stats.replayed_steps += sched_len;
       const auto& log = sim_->schedule_log();
       std::shared_ptr<void> owner;
       const SimBuilder rebuild = [&](Sim& s) {
@@ -252,15 +351,22 @@ class CellExplorer {
       // replay of the borrowed span completes.
       std::unique_ptr<Sim> fresh =
           Sim::fork(std::span(log.data(), sched_len), mem_fp, seq, rebuild,
-                    memsnap);
-      ++out_.stats.sims_built;
+                    cfg_.limits.verify_restore_snapshot ? &mem_pool_[d]
+                                                        : nullptr);
+      ++out_->stats.sims_built;
       sim_ = std::move(fresh);
       owner_ = std::move(owner);
-      acc_ = snap;
+      acc_ = acc_pool_[d];
       sim_->add_sink(acc_);
+    } else if (use_marks_) {
+      out_->stats.value_replayed_steps += sim_->rewind_to_mark(mark_pool_[d]);
+      acc_ = acc_pool_[d];  // the sink stays attached; plain-data restore
     } else {
-      sim_->rewind_to(sched_len, mem_fp, seq, memsnap);
-      acc_ = snap;  // the sink stays attached; plain-data restore
+      out_->stats.replayed_steps += sched_len;
+      sim_->rewind_to(sched_len, mem_fp, seq,
+                      cfg_.limits.verify_restore_snapshot ? &mem_pool_[d]
+                                                          : nullptr);
+      acc_ = acc_pool_[d];
     }
   }
 
@@ -294,17 +400,17 @@ class CellExplorer {
     if (truncated) {
       acc_.mark_truncated();  // cleared by the next backtrack restore
     }
-    out_.take_leaf(cfg_.objective.eval(*sim_, acc_));
+    out_->take_leaf(cfg_.objective.eval(*sim_, acc_));
   }
 
   void leaf_completed() {
-    ++out_.stats.runs_completed;
+    ++out_->stats.runs_completed;
     eval_leaf(false);
   }
 
   void leaf_truncated() {
-    ++out_.stats.runs_truncated;
-    out_.stats.truncated = true;
+    ++out_->stats.runs_truncated;
+    out_->stats.truncated = true;
     eval_leaf(true);
   }
 
@@ -313,6 +419,9 @@ class CellExplorer {
     const auto need = static_cast<std::size_t>(depth) + 1;
     while (acc_pool_.size() < need) {
       acc_pool_.emplace_back(cfg_.nprocs);
+    }
+    if (use_marks_ && mark_pool_.size() < need) {
+      mark_pool_.resize(need);
     }
     if (cfg_.limits.verify_restore_snapshot) {
       while (mem_pool_.size() < need) {
@@ -355,10 +464,12 @@ class CellExplorer {
 
   /// Leaf and budget checks shared by every policy's node entry (the
   /// single definition of the nodes_/states_visited/leaf accounting the
-  /// reduced-vs-unreduced stat comparisons rely on).
+  /// reduced-vs-unreduced stat comparisons rely on). The nodes_ budget
+  /// (ExploreLimits::max_states) is per engine run: per grid cell, per
+  /// planner walk, per work item.
   [[nodiscard]] NodeEntry classify_node(int depth) {
     ++nodes_;
-    ++out_.stats.states_visited;
+    ++out_->stats.states_visited;
     if (!sim_->any_runnable()) {
       leaf_completed();
       return NodeEntry::Leaf;
@@ -369,7 +480,7 @@ class CellExplorer {
     }
     if (cfg_.limits.max_states != 0 && nodes_ >= cfg_.limits.max_states) {
       stop_ = true;
-      out_.stats.state_budget_hit = true;
+      out_->stats.state_budget_hit = true;
       leaf_truncated();  // the cut path counts like any truncated leaf
       return NodeEntry::Leaf;
     }
@@ -386,7 +497,7 @@ class CellExplorer {
     if (cfg_.limits.prune_visited &&
         visited_.check_and_insert(state_key(last, sleep), depth,
                                   eff_preempt)) {
-      ++out_.stats.pruned_visited;
+      ++out_->stats.pruned_visited;
       return;
     }
 
@@ -409,8 +520,8 @@ class CellExplorer {
         // Asleep: every schedule starting here is a reordering of one
         // already explored through an earlier sibling.
         skipped_sleeping = true;
-        ++out_.stats.pruned_independent;
-        ++out_.stats.sleep_blocked;
+        ++out_->stats.pruned_independent;
+        ++out_->stats.sleep_blocked;
         return;
       }
       branch_buf_.push_back(p);
@@ -437,18 +548,12 @@ class CellExplorer {
     }
 
     // Node checkpoint for sibling restores (skipped for single branches:
-    // the parent restores for us). Scratch pools, not fresh allocations.
-    const bool need_restore = nb > 1;
+    // the parent restores for us).
     const std::size_t sched_len = sim_->schedule_log().size();
     const std::uint64_t mem_fp = sim_->memory().fingerprint();
     const Seq seq = sim_->next_seq();
-    if (need_restore) {
-      ensure_pools(depth);
-      acc_pool_[static_cast<std::size_t>(depth)] = acc_;
-      if (cfg_.limits.verify_restore_snapshot) {
-        mem_pool_[static_cast<std::size_t>(depth)] =
-            sim_->memory().snapshot();
-      }
+    if (nb > 1) {
+      capture_node(depth);
     }
 
     std::array<NextStep, kMaxPorProcs> pend;
@@ -463,16 +568,12 @@ class CellExplorer {
       }
       const Pid p = branch_buf_[base + b];
       if (b > 0) {
-        restore(sched_len, acc_pool_[static_cast<std::size_t>(depth)],
-                mem_fp, seq,
-                cfg_.limits.verify_restore_snapshot
-                    ? &mem_pool_[static_cast<std::size_t>(depth)]
-                    : nullptr);
+        restore(depth, sched_len, mem_fp, seq);
       }
       try {
         sim_->step(p);
       } catch (const MutualExclusionViolation&) {
-        ++out_.stats.violations;
+        ++out_->stats.violations;
         continue;  // sim is poisoned; the next iteration restores it
       }
       std::uint32_t child_sleep = 0;
@@ -536,8 +637,8 @@ class CellExplorer {
     if (asleep != 0) {
       const auto blocked =
           static_cast<std::uint64_t>(std::popcount(asleep));
-      out_.stats.sleep_blocked += blocked;
-      out_.stats.pruned_independent += blocked;
+      out_->stats.sleep_blocked += blocked;
+      out_->stats.pruned_independent += blocked;
     }
     const std::uint32_t avail = enabled & ~sleep;
     if (avail == 0) {
@@ -561,11 +662,7 @@ class CellExplorer {
     const std::size_t sched_len = sim_->schedule_log().size();
     const std::uint64_t mem_fp = sim_->memory().fingerprint();
     const Seq seq = sim_->next_seq();
-    ensure_pools(depth);
-    acc_pool_[static_cast<std::size_t>(depth)] = acc_;
-    if (cfg_.limits.verify_restore_snapshot) {
-      mem_pool_[static_cast<std::size_t>(depth)] = sim_->memory().snapshot();
-    }
+    capture_node(depth);
 
     std::array<NextStep, kMaxPorProcs> pend;
     capture_pendings(pend);
@@ -583,11 +680,7 @@ class CellExplorer {
                         ? last
                         : static_cast<Pid>(std::countr_zero(todo));
       if (!first) {
-        restore(sched_len, acc_pool_[static_cast<std::size_t>(depth)],
-                mem_fp, seq,
-                cfg_.limits.verify_restore_snapshot
-                    ? &mem_pool_[static_cast<std::size_t>(depth)]
-                    : nullptr);
+        restore(depth, sched_len, mem_fp, seq);
       }
       first = false;
       const std::size_t trace_len = dpor_->size();
@@ -595,7 +688,7 @@ class CellExplorer {
       try {
         sim_->step(p);
       } catch (const MutualExclusionViolation&) {
-        ++out_.stats.violations;
+        ++out_->stats.violations;
         violated = true;  // sim is poisoned; the next iteration restores it
       }
       // Race-detect even the violating unit (its partial summary covers
@@ -618,18 +711,126 @@ class CellExplorer {
     }
   }
 
+  /// The planner walk behind plan(): full branching over enabled-and-awake
+  /// processes with the measurement-aware sleep transfer — the same
+  /// reduction dfs_source applies, minus the race-driven narrowing (the
+  /// planner cannot see the workers' races, so it must branch over the
+  /// whole persistent set). Leaves/violations inside the planner levels
+  /// are recorded here, once, ever — no work item re-visits them.
+  void plan_dfs(int depth, Pid last, std::uint32_t sleep, int horizon,
+                SlabArena& arena, std::vector<WorkItem>& items) {
+    if (depth == horizon) {
+      // The horizon node itself belongs to the work item (the worker's
+      // dfs_source classifies it), keeping node accounting disjoint.
+      Pid* stored = arena.alloc<Pid>(path_.size());
+      std::copy(path_.begin(), path_.end(), stored);
+      items.push_back(WorkItem{stored,
+                               static_cast<std::uint32_t>(path_.size()),
+                               sleep, last});
+      ++out_->stats.work_items;
+      return;
+    }
+    switch (classify_node(depth)) {
+      case NodeEntry::Leaf:
+        return;
+      case NodeEntry::DepthCut:
+        // Unreachable (horizon <= max_depth), but keep the cut sound.
+        cut_point_insertions(sleep);
+        return;
+      case NodeEntry::Interior:
+        break;
+    }
+    std::uint32_t enabled = 0;
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      if (sim_->runnable(p)) {
+        enabled |= 1u << static_cast<unsigned>(p);
+      }
+    }
+    const std::uint32_t asleep = enabled & sleep;
+    if (asleep != 0) {
+      const auto blocked =
+          static_cast<std::uint64_t>(std::popcount(asleep));
+      out_->stats.sleep_blocked += blocked;
+      out_->stats.pruned_independent += blocked;
+    }
+    const std::uint32_t avail = enabled & ~sleep;
+    if (avail == 0) {
+      return;  // every enabled branch asleep: covered by reorderings
+    }
+
+    // Full branching, continue-last-pid-first then ascending pid — the
+    // same deterministic order the other walks use.
+    const std::size_t base = branch_buf_.size();
+    if (last != -1 && ((avail >> last) & 1u) != 0) {
+      branch_buf_.push_back(last);
+    }
+    for (Pid p = 0; p < cfg_.nprocs; ++p) {
+      if (p != last && ((avail >> p) & 1u) != 0) {
+        branch_buf_.push_back(p);
+      }
+    }
+    const std::size_t nb = branch_buf_.size() - base;
+
+    const std::size_t sched_len = sim_->schedule_log().size();
+    const std::uint64_t mem_fp = sim_->memory().fingerprint();
+    const Seq seq = sim_->next_seq();
+    if (nb > 1) {
+      capture_node(depth);
+    }
+
+    std::array<NextStep, kMaxPorProcs> pend;
+    capture_pendings(pend);
+    const std::span<const NextStep> pend_span(
+        pend.data(), static_cast<std::size_t>(cfg_.nprocs));
+
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (stop_) {
+        break;
+      }
+      const Pid p = branch_buf_[base + b];
+      if (b > 0) {
+        restore(depth, sched_len, mem_fp, seq);
+      }
+      bool violated = false;
+      try {
+        sim_->step(p);
+      } catch (const MutualExclusionViolation&) {
+        ++out_->stats.violations;
+        violated = true;  // sim is poisoned; the next iteration restores it
+      }
+      if (!violated) {
+        const std::uint32_t candidates =
+            sleep & ~(1u << static_cast<unsigned>(p));
+        const std::uint32_t child_sleep =
+            transfer_sleep(SleepSet(candidates), sim_->last_step_summary(),
+                           pend_span)
+                .mask();
+        path_.push_back(p);
+        plan_dfs(depth + 1, p, child_sleep, horizon, arena, items);
+        path_.pop_back();
+      }
+      // Explored (or excluded-violating) branches sleep for later
+      // siblings, exactly as in dfs_source.
+      sleep |= 1u << static_cast<unsigned>(p);
+    }
+    branch_buf_.resize(base);
+  }
+
   const Explorer::Config& cfg_;
-  CellResult& out_;
+  CellResult* out_ = nullptr;
   std::unique_ptr<Sim> sim_;
   std::shared_ptr<void> owner_;
   MeasureAccumulator acc_;
   VisitedTable visited_;
   std::vector<Pid> branch_buf_;  ///< shared branch scratch stack
+  std::vector<Pid> path_;        ///< planner: picks along the current path
   std::vector<MeasureAccumulator> acc_pool_;  ///< per-depth node snapshots
+  std::vector<Sim::RewindMark> mark_pool_;    ///< per-depth rewind marks
   std::vector<MemorySnapshot> mem_pool_;  ///< per-depth debug snapshots
   std::uint64_t nodes_ = 0;
   bool stop_ = false;
   ReductionPolicy policy_ = ReductionPolicy::Off;
+  bool use_marks_ = false;
   /// SourceDpor only: the race detector over the current path and the
   /// per-depth node backtrack masks it inserts into (prefix depths hold
   /// the foreign-node sentinel).
@@ -695,16 +896,34 @@ Explorer::Explorer(Config cfg) : cfg_(std::move(cfg)) {
 
 namespace {
 
+/// Hard cap on the cell grid / planner fan-out; n^f is clamped under it.
+constexpr std::size_t kFrontierCellCap = 4096;
+
 /// Frontier split depth f: prefixes of f picks form the cell grid of
-/// n^f cells, capped so wide process counts do not explode it. Depends
-/// only on (n, frontier_depth): thread-count invariant.
+/// n^f cells (grid policies) or the planner horizon (source-DPOR), capped
+/// so wide process counts cannot explode — or overflow — the cell count.
+/// Depends only on (n, frontier_depth): thread-count invariant. A clamp
+/// below the requested depth logs a one-shot warning instead of silently
+/// wrapping the grid size.
 int frontier_split_depth(int nprocs, const ExploreLimits& limits) {
   const int want_f = std::clamp(limits.frontier_depth, 0, limits.max_depth);
+  // Division instead of multiplication: overflow-proof for any nprocs.
+  const std::size_t max_cells =
+      kFrontierCellCap / static_cast<std::size_t>(nprocs);
   std::size_t cells = 1;
   int f = 0;
-  while (f < want_f && cells * static_cast<std::size_t>(nprocs) <= 4096) {
+  while (f < want_f && cells <= max_cells) {
     cells *= static_cast<std::size_t>(nprocs);
     ++f;
+  }
+  if (f < want_f) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "cfc: Explorer frontier depth clamped from %d to %d "
+                   "(%d^%d cells would exceed the %zu-cell cap)\n",
+                   want_f, f, nprocs, want_f, kFrontierCellCap);
+    }
   }
   return f;
 }
@@ -728,6 +947,9 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
   if (cfg_.strategy == SearchStrategy::Random) {
     return run_random_strategy(runner);
   }
+  if (cfg_.limits.reduction == ReductionPolicy::SourceDpor) {
+    return run_source_dpor(runner);
+  }
 
   const int n = cfg_.nprocs;
   const int f = frontier_split_depth(n, cfg_.limits);
@@ -742,8 +964,8 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
           x % static_cast<std::size_t>(n));
       x /= static_cast<std::size_t>(n);
     }
-    CellExplorer cell(cfg_, slots[c]);
-    cell.run(prefix);
+    CellExplorer cell(cfg_);
+    cell.run(prefix, slots[c]);
   });
 
   Result res;
@@ -751,6 +973,86 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
     res.stats.merge(slot.stats);
     merge_best(res.best, slot.best);
   }
+  return res;
+}
+
+Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
+  const int f = frontier_split_depth(cfg_.nprocs, cfg_.limits);
+
+  // Phase 1 — sequential planner: full-branching walk (mod sleep) of the
+  // top f levels, emitting one self-contained work item per horizon node.
+  // Everything the planner counts is thread-count invariant because only
+  // the calling thread runs it.
+  SlabArena arena;
+  std::vector<WorkItem> items;
+  CellResult planner_slot;
+  {
+    CellExplorer planner(cfg_);
+    planner.plan(f, arena, items, planner_slot);
+  }
+
+  // Phase 2 — work-stealing execution: items are dealt round-robin into
+  // per-worker queues; a worker drains its own queue first (fetch_add
+  // claims), then sweeps the other queues for leftovers. Each worker owns
+  // one private Sim + CellExplorer reused across its items, and each item
+  // writes its own result slot, so the only shared mutable state is the
+  // queue cursors. The slot merge below runs in item index order — the
+  // totals cannot depend on which worker ran what, only `steals` (and
+  // sims_built) reflect the scheduling.
+  std::vector<CellResult> slots(items.size());
+  std::atomic<std::uint64_t> steals{0};
+  if (!items.empty()) {
+    ExperimentRunner& eng = runner_or_shared(runner);
+    const int workers = static_cast<int>(std::min(
+        items.size(),
+        static_cast<std::size_t>(std::max(1, eng.thread_count()))));
+    struct Queue {
+      std::vector<std::size_t> items;
+      std::atomic<std::size_t> next{0};
+    };
+    std::vector<Queue> queues(static_cast<std::size_t>(workers));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      queues[i % static_cast<std::size_t>(workers)].items.push_back(i);
+    }
+    eng.parallel_for(static_cast<std::size_t>(workers), [&](std::size_t w) {
+      CellExplorer cell(cfg_);
+      std::uint64_t local_steals = 0;
+      for (;;) {
+        std::size_t idx = items.size();
+        Queue& own = queues[w];
+        const std::size_t pos =
+            own.next.fetch_add(1, std::memory_order_relaxed);
+        if (pos < own.items.size()) {
+          idx = own.items[pos];
+        } else {
+          for (std::size_t off = 1;
+               off < queues.size() && idx == items.size(); ++off) {
+            Queue& victim = queues[(w + off) % queues.size()];
+            const std::size_t vpos =
+                victim.next.fetch_add(1, std::memory_order_relaxed);
+            if (vpos < victim.items.size()) {
+              idx = victim.items[vpos];
+              ++local_steals;
+            }
+          }
+        }
+        if (idx == items.size()) {
+          break;  // every queue drained
+        }
+        cell.run_item(items[idx], slots[idx]);
+      }
+      steals.fetch_add(local_steals, std::memory_order_relaxed);
+    });
+  }
+
+  Result res;
+  res.stats.merge(planner_slot.stats);
+  merge_best(res.best, planner_slot.best);
+  for (const CellResult& slot : slots) {  // item index order: deterministic
+    res.stats.merge(slot.stats);
+    merge_best(res.best, slot.best);
+  }
+  res.stats.steals += steals.load(std::memory_order_relaxed);
   return res;
 }
 

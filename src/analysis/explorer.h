@@ -76,8 +76,10 @@ struct ExploreLimits {
   int max_depth = 48;
   /// Context switches per path; -1 = unlimited (Exhaustive).
   int max_preemptions = -1;
-  /// DFS node budget *per frontier cell*; 0 = unlimited. Exceeding it cuts
-  /// the search (result no longer certified; ExploreStats::truncated).
+  /// DFS node budget *per engine run* — per frontier cell, and under the
+  /// parallel source-DPOR path per planner walk / per work item; 0 =
+  /// unlimited. Exceeding it cuts the search (result no longer certified;
+  /// ExploreStats::truncated).
   std::uint64_t max_states = 0;
   /// Depth of the parallel frontier split: prefixes of this many picks are
   /// distributed over the ExperimentRunner as independent cells. Fixed per
@@ -95,6 +97,18 @@ struct ExploreLimits {
   /// results — reports, fingerprints, every stat except sims_built — are
   /// bit-identical between the two paths.
   bool restore_by_fork = false;
+  /// Mark-based partial restore (on by default): every branching node
+  /// captures a Sim::RewindMark (memory + digests, O(registers +
+  /// processes)) into a per-depth pool, and sibling restores value-replay
+  /// ONLY the processes that acted below the node instead of rebuilding
+  /// every process from the run's start (Sim::rewind_to_mark). No
+  /// schedule unit is re-executed live — replayed_steps stays 0 on this
+  /// path and the cheap log re-feed is counted in value_replayed_steps
+  /// instead. The traversal — and with it every stat except those two —
+  /// is bit-identical to the plain rewind. Ignored under restore_by_fork
+  /// and under verify_restore_snapshot (both debug/differential paths
+  /// keep the full-replay restore they verify).
+  bool restore_marks = true;
   /// Debug: verify every restore against a full MemorySnapshot value
   /// compare in addition to the fingerprint/event-counter check. Costs a
   /// snapshot copy per branching node and a compare per restore.
@@ -132,9 +146,34 @@ struct ExploreStats {
   std::uint64_t sleep_blocked = 0;    ///< enabled branches skipped asleep
                                       ///< (== pruned_independent, new name)
   std::uint64_t restores = 0;        ///< sibling backtracks performed
-  std::uint64_t replayed_steps = 0;  ///< schedule units re-executed by restores
+  /// Schedule units re-executed *live* by restores — the full simulation
+  /// replay of the plain rewind and fork-by-replay paths. Mark-based
+  /// restores re-execute nothing live, so this stays 0 under the default
+  /// restore_marks; their cost lives in value_replayed_steps.
+  std::uint64_t replayed_steps = 0;
+  /// Units re-fed from the recorded value log by mark restores
+  /// (Sim::rewind_to_mark): coroutine resumption with recorded values,
+  /// no register traffic, no measurement events — the cheap counterpart
+  /// of replayed_steps, counted separately so the two restore cost models
+  /// stay comparable.
+  std::uint64_t value_replayed_steps = 0;
+  std::uint64_t restore_marks = 0;   ///< RewindMarks captured at branching nodes
+  /// --- Parallel source-DPOR counters. ---
+  /// Work items the planner emitted (horizon subtrees fanned over the
+  /// worker pool). Thread-count invariant, like every counter above.
+  std::uint64_t work_items = 0;
+  /// Work items a worker claimed from another worker's queue. The ONE
+  /// deliberately thread-dependent counter (with sims_built, which counts
+  /// one private Sim per pool worker): it reports scheduler behaviour,
+  /// not search shape, and is excluded from the study JSON and from the
+  /// bit-identity gates.
+  std::uint64_t steals = 0;
   std::uint64_t sims_built = 0;      ///< Sim constructions + setup executions
-  std::uint64_t visited_bytes = 0;   ///< bytes held by the visited tables
+  std::uint64_t visited_bytes = 0;   ///< bytes reserved by the visited tables
+  /// Bytes of *live* visited-table entries (occupied slots + live spill
+  /// nodes); visited_bytes reports reserved capacity, including the spill
+  /// freelist — the bench memory column shows both.
+  std::uint64_t visited_live_bytes = 0;
   /// True iff some path was cut off before terminating: the objective max
   /// is certified only over the explored bounded space. (For waiting
   /// algorithms, whose schedule space is infinite, this is unavoidable.)
@@ -217,9 +256,13 @@ class Explorer {
   explicit Explorer(Config cfg);
 
   /// Number of frontier cells a DFS run partitions into: n^f with f the
-  /// (clamped, cap-limited) frontier depth. The single definition behind
-  /// run()'s cell grid — with the rewind restore, it is also exactly
-  /// ExploreStats::sims_built, which benches and tests assert against.
+  /// (clamped, cap-limited, overflow-guarded) frontier depth. The single
+  /// definition behind run()'s cell grid for the Off/SleepLite policies —
+  /// with the rewind restore those build exactly this many Sims
+  /// (ExploreStats::sims_built). Under SourceDpor the same f is the
+  /// planner horizon instead: work items number at most n^f (sleep
+  /// pruning drops covered prefix orderings) and sims_built is one
+  /// planner Sim plus one per pool worker.
   [[nodiscard]] static std::size_t frontier_cells(int nprocs,
                                                   const ExploreLimits& limits);
 
@@ -228,6 +271,11 @@ class Explorer {
 
  private:
   [[nodiscard]] Result run_random_strategy(ExperimentRunner* runner) const;
+  /// The parallel source-DPOR path: a sequential planner fans the top f
+  /// levels into self-contained work items, executed by a work-stealing
+  /// worker pool; results merge in item index order, so everything except
+  /// steals/sims_built is bit-identical at every thread count.
+  [[nodiscard]] Result run_source_dpor(ExperimentRunner* runner) const;
 
   Config cfg_;
 };

@@ -111,6 +111,11 @@ StudySpec& StudySpec::seeds(std::vector<std::uint64_t> s) {
   return *this;
 }
 
+StudySpec& StudySpec::crash(std::vector<std::uint64_t> after) {
+  search.crash_after = std::move(after);
+  return *this;
+}
+
 StudySpec& StudySpec::budget(std::uint64_t per_run) {
   search.budget_per_run = per_run;
   return *this;
@@ -192,6 +197,8 @@ void fill_search_stats(StudyResult& out, const Explorer::Result& r,
   out.races_detected = r.stats.races_detected;
   out.backtrack_points = r.stats.backtrack_points;
   out.sleep_blocked = r.stats.sleep_blocked;
+  out.work_items = r.stats.work_items;
+  out.restore_marks = r.stats.restore_marks;
   out.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
   out.states_visited = r.stats.states_visited;
   out.violations = r.stats.violations;
@@ -296,8 +303,13 @@ class MutexWcTask final : public MeasureTask {
     const MutexFactory make = make_;
     const int n = n_;
     const int sessions = sessions_;
-    cfg.setup = [make, n, sessions](Sim& sim) -> std::shared_ptr<void> {
-      return setup_mutex(sim, make, n, sessions);
+    const std::vector<std::uint64_t> crash = options_.crash_after;
+    cfg.setup = [make, n, sessions, crash](Sim& sim) -> std::shared_ptr<void> {
+      auto alg = setup_mutex(sim, make, n, sessions);
+      for (std::size_t p = 0; p < crash.size(); ++p) {
+        sim.crash_after(static_cast<Pid>(p), crash[p]);
+      }
+      return alg;
     };
     // Objective: maximize the clean-entry and exit window maxima over all
     // processes. Monotone along a run (window maxima never decrease); its
@@ -424,8 +436,13 @@ class DetectorWcTask final : public MeasureTask {
     cfg.random_budget = options_.budget_per_run;
     const DetectorFactory make = make_;
     const int n = n_;
-    cfg.setup = [make, n](Sim& sim) -> std::shared_ptr<void> {
-      return setup_detection(sim, make, n);
+    const std::vector<std::uint64_t> crash = options_.crash_after;
+    cfg.setup = [make, n, crash](Sim& sim) -> std::shared_ptr<void> {
+      auto alg = setup_detection(sim, make, n);
+      for (std::size_t p = 0; p < crash.size(); ++p) {
+        sim.crash_after(static_cast<Pid>(p), crash[p]);
+      }
+      return alg;
     };
     cfg.objective.eval = [n](const Sim&, const MeasureAccumulator& acc) {
       ComplexityReport best;
@@ -675,7 +692,8 @@ std::string search_key(const WorstCaseSearchOptions& o) {
          "|frontier=" + std::to_string(o.limits.frontier_depth) +
          "|prune=" + std::to_string(o.limits.prune_visited ? 1 : 0) +
          "|reduction=" + name(effective) +
-         "|rr=" + std::to_string(o.detector_round_robin ? 1 : 0);
+         "|rr=" + std::to_string(o.detector_round_robin ? 1 : 0) +
+         "|crash=" + seeds_key(o.crash_after);
 }
 
 int effective_pid_limit(const StudySpec& spec) {
@@ -948,7 +966,9 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
     out += name(r.wc_reduction);
     out += "\", \"races_detected\": " + std::to_string(r.races_detected) +
            ", \"backtrack_points\": " + std::to_string(r.backtrack_points) +
-           ", \"sleep_blocked\": " + std::to_string(r.sleep_blocked) + "}";
+           ", \"sleep_blocked\": " + std::to_string(r.sleep_blocked) +
+           ", \"work_items\": " + std::to_string(r.work_items) +
+           ", \"restore_marks\": " + std::to_string(r.restore_marks) + "}";
     out += ",\n    \"total\": ";
     append_report(out, r.wc);
     out += ",\n    \"entry\": ";
@@ -1364,6 +1384,12 @@ StudyResult study_from_json(const std::string& json) {
       r.races_detected = to_u64(member(red, "races_detected"));
       r.backtrack_points = to_u64(member(red, "backtrack_points"));
       r.sleep_blocked = to_u64(member(red, "sleep_blocked"));
+      // Added by the parallel-DPOR work: optional, so payloads written by
+      // earlier versions keep parsing (they default to zero).
+      const auto wi = red.object.find("work_items");
+      r.work_items = wi == red.object.end() ? 0 : to_u64(wi->second);
+      const auto rm = red.object.find("restore_marks");
+      r.restore_marks = rm == red.object.end() ? 0 : to_u64(rm->second);
     }
     r.wc = report_from(member(wc, "total"));
     r.wc_entry = report_from(member(wc, "entry"));

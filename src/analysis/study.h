@@ -55,6 +55,11 @@ struct WorstCaseSearchOptions {
   /// historical search_detector_worst_case seeds-overload semantics,
   /// folded into the spec). Ignored by other kinds and strategies.
   bool detector_round_robin = false;
+  /// Crash injection, applied after the subject's setup: process p crashes
+  /// at its crash_after[p]-th access attempt (Sim::crash_after). An empty
+  /// vector injects nothing; entries past n-1 are ignored by the sim.
+  /// Part of the measurement identity, so it feeds the campaign dedup key.
+  std::vector<std::uint64_t> crash_after;
 };
 
 /// Declarative description of one study: a subject (an AlgorithmRegistry
@@ -115,6 +120,9 @@ struct StudySpec {
   /// battery (the legacy detector worst-case battery shape).
   StudySpec& detector_battery();
   StudySpec& seeds(std::vector<std::uint64_t> s);
+  /// Crash injection for the worst-case search (per-pid access thresholds;
+  /// see WorstCaseSearchOptions::crash_after).
+  StudySpec& crash(std::vector<std::uint64_t> after);
   StudySpec& budget(std::uint64_t per_run);
   /// Replaces the DFS budgets. A struct that names no reduction policy
   /// keeps the one already selected (e.g. worst_case(Exhaustive)'s
@@ -161,6 +169,13 @@ struct StudyResult {
   std::uint64_t races_detected = 0;
   std::uint64_t backtrack_points = 0;
   std::uint64_t sleep_blocked = 0;
+  /// Parallel source-DPOR: work items the planner emitted and rewind
+  /// marks the engines captured at branching nodes. Thread-count
+  /// invariant, like every counter here (the deliberately thread-DEPENDENT
+  /// counters — steals, sims_built — are excluded from study results, so
+  /// the canonical JSON stays byte-identical at every thread count).
+  std::uint64_t work_items = 0;
+  std::uint64_t restore_marks = 0;
   ComplexityReport wc;
   ComplexityReport wc_entry;
   ComplexityReport wc_exit;

@@ -44,22 +44,25 @@ void VisitedTable::grow() {
   slots_.assign(old.empty() ? kInitialCapacity : old.size() * 2, Slot{});
   for (const Slot& s : old) {
     if (s.key != 0) {
-      slots_[find_slot(s.key)] = s;  // spill chains move with the slot
+      // Spill chains move with the slot: the nodes live in the arena, so
+      // their addresses survive the rehash.
+      slots_[find_slot(s.key)] = s;
     }
   }
 }
 
 void VisitedTable::spill_push(Slot& slot, std::uint32_t pair) {
-  std::uint32_t idx;
-  if (spill_free_ != kNil) {
-    idx = spill_free_;
-    spill_free_ = spill_[idx].next;
+  SpillNode* node;
+  if (spill_free_ != nullptr) {
+    node = spill_free_;
+    spill_free_ = node->next;
   } else {
-    idx = static_cast<std::uint32_t>(spill_.size());
-    spill_.push_back(SpillNode{});
+    node = spill_arena_.alloc<SpillNode>(1);
   }
-  spill_[idx] = SpillNode{pair, slot.spill_head};
-  slot.spill_head = idx;
+  node->pair = pair;
+  node->next = slot.spill_head;
+  slot.spill_head = node;
+  ++spill_live_;
 }
 
 bool VisitedTable::slot_dominates(const Slot& slot, int depth,
@@ -73,8 +76,8 @@ bool VisitedTable::slot_dominates(const Slot& slot, int depth,
       return true;
     }
   }
-  for (std::uint32_t i = slot.spill_head; i != kNil; i = spill_[i].next) {
-    if (dominates(spill_[i].pair)) {
+  for (const SpillNode* n = slot.spill_head; n != nullptr; n = n->next) {
+    if (dominates(n->pair)) {
       return true;
     }
   }
@@ -137,16 +140,16 @@ void VisitedTable::insert_into(Slot& slot, std::uint64_t key, int depth,
       p = kNoPair;
     }
   }
-  std::uint32_t* link = &slot.spill_head;
-  while (*link != kNil) {
-    SpillNode& node = spill_[*link];
-    if (is_dominated(node.pair)) {
-      const std::uint32_t freed = *link;
-      *link = node.next;
-      spill_[freed].next = spill_free_;
-      spill_free_ = freed;
+  SpillNode** link = &slot.spill_head;
+  while (*link != nullptr) {
+    SpillNode* node = *link;
+    if (is_dominated(node->pair)) {
+      *link = node->next;
+      node->next = spill_free_;
+      spill_free_ = node;
+      --spill_live_;
     } else {
-      link = &node.next;
+      link = &node->next;
     }
   }
 
@@ -161,7 +164,11 @@ void VisitedTable::insert_into(Slot& slot, std::uint64_t key, int depth,
 
 std::size_t VisitedTable::bytes() const {
   return slots_.capacity() * sizeof(Slot) +
-         spill_.capacity() * sizeof(SpillNode);
+         static_cast<std::size_t>(spill_arena_.bytes_reserved());
+}
+
+std::size_t VisitedTable::live_bytes() const {
+  return used_ * sizeof(Slot) + spill_live_ * sizeof(SpillNode);
 }
 
 }  // namespace cfc

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/slab_arena.h"
+
 namespace cfc {
 
 /// Flat visited-state cache for the explorer's dominance pruning.
@@ -20,10 +22,12 @@ namespace cfc {
 /// probing over a power-of-two slot array, each slot holding the key and up
 /// to two dominance pairs inline (exhaustive searches keep exactly one —
 /// preemptions are constant 0, so the antichain is a singleton); longer
-/// antichains spill into a shared free-listed node pool instead of a
-/// per-key heap vector. One lookup is one hash, a handful of contiguous
-/// probes, and zero allocation; bytes() surfaces the exact footprint for
-/// ExploreStats accounting.
+/// antichains spill into pointer-linked nodes carved from a SlabArena
+/// (stable addresses, geometric blocks, no realloc copying) and recycled
+/// through a free list. One lookup is one hash, a handful of contiguous
+/// probes, and zero allocation steady-state; bytes() surfaces the reserved
+/// footprint and live_bytes() the occupied subset for ExploreStats
+/// accounting.
 class VisitedTable {
  public:
   VisitedTable() = default;
@@ -45,23 +49,29 @@ class VisitedTable {
   /// Distinct keys stored.
   [[nodiscard]] std::size_t size() const { return used_; }
 
-  /// Bytes held by the table (slot array + spill pool capacities).
+  /// Bytes *reserved* by the table: slot-array capacity plus every spill
+  /// slab, including freelisted nodes — the number that tracks the actual
+  /// memory footprint.
   [[nodiscard]] std::size_t bytes() const;
 
+  /// Bytes of *live* entries: occupied slots plus in-chain spill nodes.
+  /// Always <= bytes(); the gap is growth headroom plus the spill
+  /// freelist.
+  [[nodiscard]] std::size_t live_bytes() const;
+
  private:
-  static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::uint32_t kNoPair = 0xffffffffu;
   static constexpr std::size_t kInlinePairs = 2;
+
+  struct SpillNode {
+    std::uint32_t pair = kNoPair;
+    SpillNode* next = nullptr;
+  };
 
   struct Slot {
     std::uint64_t key = 0;  ///< 0 = empty (real key 0 is remapped)
     std::uint32_t inline_pairs[kInlinePairs] = {kNoPair, kNoPair};
-    std::uint32_t spill_head = kNil;
-  };
-
-  struct SpillNode {
-    std::uint32_t pair = kNoPair;
-    std::uint32_t next = kNil;
+    SpillNode* spill_head = nullptr;
   };
 
   [[nodiscard]] static std::uint64_t normalize(std::uint64_t key);
@@ -73,8 +83,9 @@ class VisitedTable {
   void spill_push(Slot& slot, std::uint32_t pair);
 
   std::vector<Slot> slots_;
-  std::vector<SpillNode> spill_;
-  std::uint32_t spill_free_ = kNil;
+  SlabArena spill_arena_{1024};
+  SpillNode* spill_free_ = nullptr;  ///< recycled nodes, linked via next
+  std::size_t spill_live_ = 0;       ///< nodes currently in some chain
   std::size_t used_ = 0;
 };
 

@@ -125,6 +125,9 @@ void Sim::ensure_started(Pid pid) {
   const FrameArena::Scope frame_scope(rewind_base_set_ ? &arena_ : nullptr);
   if (!bulk_replay_) {
     sched_log_.push_back({pid, /*start_only=*/true});
+    if (rewind_base_set_) {
+      value_log_.push_back(0);  // start units deliver no value
+    }
   }
   pr.digest = fp_push(pr.digest, kDigestStart);
   pr.status = ProcStatus::Runnable;
@@ -166,6 +169,13 @@ Sim::StepResult Sim::step(Pid pid) {
 
   if (!bulk_replay_) {
     sched_log_.push_back({pid, /*start_only=*/false});
+    if (rewind_base_set_) {
+      // Placeholder, filled after the delivered value is known. Crash
+      // units and units that throw before delivering keep the 0 — both
+      // only ever occupy suffixes a rewind discards (a crashed process
+      // never acts again; a violating unit is backtracked past).
+      value_log_.push_back(0);
+    }
   }
 
   // Crash injection fires when the process attempts one access too many.
@@ -188,6 +198,12 @@ Sim::StepResult Sim::step(Pid pid) {
     pr.digest = fp_push(pr.digest, kDigestYield);
   }
   pr.last_result = req.local_yield ? 0 : execute(pr, pid, req);
+  if (!bulk_replay_ && rewind_base_set_) {
+    // Before the resume: a unit that throws during its local run (e.g. a
+    // mutual-exclusion violation at a section change) still records the
+    // value it delivered.
+    value_log_.back() = pr.last_result;
+  }
   const std::coroutine_handle<> h = pr.resume_point;
   h.resume();
   if (pr.root.done()) {
@@ -475,6 +491,7 @@ void Sim::rewind_to(std::size_t prefix_len, std::uint64_t expect_fingerprint,
   sched_log_.assign(replay_buf_.begin(),
                     replay_buf_.begin() +
                         static_cast<std::ptrdiff_t>(prefix_len));
+  value_log_.resize(prefix_len);  // prefix values are unchanged
 
   rewind_stats_.rewinds += 1;
   rewind_stats_.replayed_units += prefix_len;
@@ -488,6 +505,144 @@ void Sim::rewind_to(std::size_t prefix_len, std::uint64_t expect_fingerprint,
         "Sim::rewind_to: replay diverged from the expected state "
         "(non-deterministic process body?)");
   }
+}
+
+void Sim::capture_mark(RewindMark& mark) const {
+  if (!rewind_base_set_) {
+    throw std::logic_error("Sim::capture_mark: mark_rewind_base was not called");
+  }
+  const std::size_t nregs = static_cast<std::size_t>(mem_.size());
+  mark.memory.resize(nregs);
+  for (std::size_t r = 0; r < nregs; ++r) {
+    mark.memory[r] = mem_.slots_[r].value;  // friend access: no realloc
+  }
+  mark.fingerprint = mem_.fingerprint();
+  mark.seq = next_seq_;
+  mark.prefix_len = sched_log_.size();
+  mark.digests.resize(procs_.size());
+  mark.naccesses.resize(procs_.size());
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    mark.digests[p] = procs_[p].digest;
+    mark.naccesses[p] = procs_[p].naccesses;
+  }
+}
+
+std::size_t Sim::rewind_to_mark(const RewindMark& mark) {
+  if (!rewind_base_set_) {
+    throw std::logic_error(
+        "Sim::rewind_to_mark: mark_rewind_base was not called");
+  }
+  if (mark.prefix_len > sched_log_.size()) {
+    throw std::out_of_range(
+        "Sim::rewind_to_mark: mark prefix exceeds the schedule log");
+  }
+  if (quiet_replay_) {
+    throw std::logic_error("Sim::rewind_to_mark: already replaying");
+  }
+  if (mark.digests.size() != procs_.size() ||
+      procs_.size() != base_crash_.size()) {
+    throw std::logic_error(
+        "Sim::rewind_to_mark: process set changed since the mark/base");
+  }
+  if (value_log_.size() != sched_log_.size()) {
+    throw std::logic_error(
+        "Sim::rewind_to_mark: value log out of sync with the schedule log");
+  }
+
+  // Which processes acted past the mark? Only they diverged from it.
+  touched_buf_.assign(procs_.size(), 0);
+  for (std::size_t i = mark.prefix_len; i < sched_log_.size(); ++i) {
+    touched_buf_[static_cast<std::size_t>(sched_log_[i].pid)] = 1;
+  }
+
+  // Reset every touched process to its pre-start state (frames recycle
+  // through the arena) and value-replay it over its own prefix units.
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    if (touched_buf_[static_cast<std::size_t>(pid)] == 0) {
+      continue;
+    }
+    Proc& pr = procs_[static_cast<std::size_t>(pid)];
+    pr.root = Task<void>{};
+    pr.resume_point = {};
+    pr.pending.reset();
+    pr.last_result = 0;
+    pr.status = ProcStatus::NotStarted;
+    pr.section = Section::Remainder;
+    pr.output.reset();
+    pr.naccesses = 0;
+    pr.crash_after = base_crash_[static_cast<std::size_t>(pid)];
+    pr.digest = initial_digest(pid);
+  }
+
+  std::size_t fed = 0;
+  quiet_replay_ = true;
+  bulk_replay_ = true;
+  try {
+    const FrameArena::Scope frame_scope(&arena_);
+    for (std::size_t i = 0; i < mark.prefix_len; ++i) {
+      const SimCheckpoint::Unit u = sched_log_[i];
+      if (touched_buf_[static_cast<std::size_t>(u.pid)] == 0) {
+        continue;
+      }
+      ++fed;
+      if (u.start_only) {
+        ensure_started(u.pid);
+        continue;
+      }
+      Proc& pr = procs_[static_cast<std::size_t>(u.pid)];
+      if (pr.status == ProcStatus::NotStarted) {
+        ensure_started(u.pid);  // step() units fold the implicit start
+      }
+      // A touched process was runnable at the mark, so its prefix units
+      // contain no crash/finish: every one feeds a live suspension.
+      if (pr.status != ProcStatus::Runnable || !pr.pending.has_value()) {
+        throw std::logic_error(
+            "Sim::rewind_to_mark: touched process not suspended at an "
+            "access during value replay (log/mark mismatch?)");
+      }
+      pr.pending.reset();
+      pr.last_result = value_log_[i];
+      const std::coroutine_handle<> h = pr.resume_point;
+      h.resume();
+      if (pr.root.done() || !pr.pending.has_value()) {
+        throw std::logic_error(
+            "Sim::rewind_to_mark: value replay diverged (process finished "
+            "before its mark position)");
+      }
+    }
+  } catch (...) {
+    quiet_replay_ = false;
+    bulk_replay_ = false;
+    throw;
+  }
+  quiet_replay_ = false;
+  bulk_replay_ = false;
+
+  // Shared state comes from the mark by assignment; per-process digests
+  // and access counts too (they fold memory values the value replay never
+  // sees). Untouched processes already carry the mark's values.
+  mem_.restore(mark.memory);
+  next_seq_ = mark.seq;
+  for (Pid pid = 0; pid < process_count(); ++pid) {
+    if (touched_buf_[static_cast<std::size_t>(pid)] != 0) {
+      Proc& pr = procs_[static_cast<std::size_t>(pid)];
+      pr.digest = mark.digests[static_cast<std::size_t>(pid)];
+      pr.naccesses = mark.naccesses[static_cast<std::size_t>(pid)];
+    }
+  }
+  sched_log_.resize(mark.prefix_len);
+  value_log_.resize(mark.prefix_len);
+  recorder_.clear();  // like any rewind, the restored run's trace is empty
+
+  rewind_stats_.rewinds += 1;
+  rewind_stats_.replayed_units += fed;
+
+  if (mem_.fingerprint() != mark.fingerprint) {
+    throw std::logic_error(
+        "Sim::rewind_to_mark: restored memory does not match the mark's "
+        "fingerprint (corrupted mark?)");
+  }
+  return fed;
 }
 
 void Sim::record_terminal(Pid pid, TraceEvent::Kind kind) {

@@ -395,9 +395,55 @@ class Sim {
                  const MemorySnapshot* expect_memory = nullptr);
 
   struct RewindStats {
-    std::uint64_t rewinds = 0;         ///< rewind_to() calls completed
+    std::uint64_t rewinds = 0;         ///< rewind/rewind-to-mark calls completed
     std::uint64_t replayed_units = 0;  ///< schedule units re-executed by them
   };
+
+  /// --- Mark-based partial rewind (the explorer's restore round 3). ---
+
+  /// A restore point along the current run: shared memory, the event
+  /// counter, and each process's observation digest and access count at a
+  /// schedule-log prefix. A mark does NOT capture coroutine frames (they
+  /// cannot be copied); rewind_to_mark() instead *value-replays* only the
+  /// processes that executed units past the mark, feeding each unit the
+  /// Value the original execution delivered (value_log_) so the coroutine
+  /// re-reaches its suspension point without touching memory. Processes
+  /// with no units past the mark are left entirely alone — the savings
+  /// over rewind_to(), which resets and replays every process.
+  struct RewindMark {
+    MemorySnapshot memory;
+    std::uint64_t fingerprint = 0;  ///< RegisterFile::fingerprint() at capture
+    Seq seq = 0;                    ///< event counter at capture
+    std::size_t prefix_len = 0;     ///< schedule-log length at capture
+    std::vector<std::uint64_t> digests;    ///< per-pid process_digest()
+    std::vector<std::uint64_t> naccesses;  ///< per-pid access_count()
+  };
+
+  /// Captures a RewindMark at the current point of the run, reusing the
+  /// mark's buffers (steady-state allocation-free when the caller recycles
+  /// marks, as the explorer's per-depth mark pool does). Requires
+  /// mark_rewind_base(); O(registers + processes).
+  void capture_mark(RewindMark& mark) const;
+
+  /// Repositions THIS simulation at `mark` (which must have been captured
+  /// on this simulation, at a prefix of the CURRENT schedule log — i.e. no
+  /// rewind past the mark happened in between; the explorer's DFS restores
+  /// only to ancestors of the current path, which guarantees it). Touched
+  /// processes — those with schedule units in [mark.prefix_len, log size)
+  /// — are reset to their pre-start state and value-replayed over their
+  /// own units of the prefix: each access is fed the recorded delivered
+  /// value instead of re-executing against memory, so shared memory is
+  /// restored by assignment from the mark and untouched processes keep
+  /// their live coroutines as-is. Digests and access counts of touched
+  /// processes are restored from the mark (they fold memory values a
+  /// value-replay cannot see). Sinks/trace semantics match rewind_to().
+  ///
+  /// Sound because a process with units past the mark was runnable at the
+  /// mark, so its prefix units contain no crash/finish and every recorded
+  /// value feeds a live suspension. Returns the number of units actually
+  /// value-replayed (<= prefix units of touched processes; the traversal-
+  /// observable state is identical to rewind_to(mark.prefix_len)).
+  std::size_t rewind_to_mark(const RewindMark& mark);
   [[nodiscard]] const RewindStats& rewind_stats() const {
     return rewind_stats_;
   }
@@ -522,6 +568,13 @@ class Sim {
   /// and replayed from, so the log is never copied and both buffers keep
   /// their capacity across rewinds (steady-state allocation-free).
   std::vector<SimCheckpoint::Unit> replay_buf_;
+  /// Parallel to sched_log_ (rewindable simulations only): the Value each
+  /// unit delivered to its process (Proc::last_result after the unit; 0
+  /// for start/yield/crash units). rewind_to_mark() feeds these back to
+  /// touched coroutines instead of re-executing their accesses.
+  std::vector<Value> value_log_;
+  /// Scratch for rewind_to_mark's touched-process scan (recycled).
+  std::vector<char> touched_buf_;
   /// mark_rewind_base() baseline.
   bool rewind_base_set_ = false;
   MemorySnapshot base_memory_;

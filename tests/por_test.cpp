@@ -311,6 +311,111 @@ TEST(PorCounters, PopulatedAndThreadInvariant) {
   EXPECT_EQ(d.stats.sleep_blocked, d.stats.pruned_independent);
 }
 
+// --- The parallel work-stealing path: canonical JSON is byte-identical
+// at every thread count, and a steal-heavy fan-out matches sequential. ---
+
+std::string study_json_at(const StudySpec& spec, int threads) {
+  ExperimentRunner runner(threads);
+  const StudyResult r = run_study(spec, &runner);
+  return to_json(r, StudyJsonOptions{.include_timing = false});
+}
+
+/// Runs the spec at threads 1 (the reference engine) and 2/4/8 and
+/// asserts the timing-free cfc.study.v1 payloads are byte-identical —
+/// the determinism contract of the work-stealing source-DPOR path.
+void expect_json_thread_invariant(const StudySpec& spec,
+                                  const std::string& what) {
+  const std::string reference = study_json_at(spec, 1);
+  // The reference payload really exercised the reduced parallel path.
+  EXPECT_NE(reference.find("\"policy\": \"source-dpor\""), std::string::npos)
+      << what;
+  EXPECT_NE(reference.find("\"work_items\":"), std::string::npos) << what;
+  EXPECT_NE(reference.find("\"restore_marks\":"), std::string::npos) << what;
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(study_json_at(spec, threads), reference)
+        << what << " threads=" << threads;
+  }
+}
+
+TEST(PorStudyJson, MutexByteIdenticalAcrossThreadCounts) {
+  for (const int n : {2, 3}) {
+    const int depth = n == 2 ? 12 : 8;
+    for (const MutexAlgorithmEntry* e :
+         AlgorithmRegistry::instance().mutex_for_n(n)) {
+      for (const bool crash : {false, true}) {
+        StudySpec spec = StudySpec::of(e->info.name)
+                             .kind(StudyKind::Mutex)
+                             .n(n)
+                             .worst_case(SearchStrategy::Exhaustive)
+                             .depth(depth);
+        if (crash) {
+          // Process 0 crashes at its 3rd access attempt (mid-entry).
+          spec.crash({2});
+        }
+        const std::string what = e->info.name + " n=" + std::to_string(n) +
+                                 (crash ? " crash" : "");
+        SCOPED_TRACE(what);
+        expect_json_thread_invariant(spec, what);
+      }
+    }
+  }
+}
+
+TEST(PorStudyJson, DetectorByteIdenticalAcrossThreadCounts) {
+  for (const int n : {2, 3}) {
+    const int depth = n == 2 ? 14 : 10;
+    for (const DetectorAlgorithmEntry* e :
+         AlgorithmRegistry::instance().detector_algorithms()) {
+      for (const bool crash : {false, true}) {
+        StudySpec spec = StudySpec::of(e->info.name)
+                             .kind(StudyKind::Detector)
+                             .n(n)
+                             .worst_case(SearchStrategy::Exhaustive)
+                             .depth(depth);
+        if (crash) {
+          spec.crash({1});
+        }
+        const std::string what = e->info.name + " n=" + std::to_string(n) +
+                                 (crash ? " crash" : "");
+        SCOPED_TRACE(what);
+        expect_json_thread_invariant(spec, what);
+      }
+    }
+  }
+}
+
+TEST(PorStress, StealHeavyFanOutMatchesSequential) {
+  // A deep three-process detector tree gives the planner a wide frontier
+  // of long work items — the steal-heavy shape. Run it on an 8-thread
+  // pool (more workers than cores on most CI boxes, so queues drain
+  // unevenly and steals actually happen) and on the sequential reference,
+  // and require identical certified values and thread-invariant counters.
+  // CI additionally runs this test under ThreadSanitizer.
+  const DetectorFactory splitter =
+      AlgorithmRegistry::instance().detector("splitter-tree-l2").factory;
+  const auto cfg = explorer_config(detector_setup(splitter, 3), 3, 12,
+                                   ReductionPolicy::SourceDpor);
+  ExperimentRunner seq(1);
+  ExperimentRunner pool(8);
+  const Explorer::Result a = Explorer(cfg).run(&seq);
+  const Explorer::Result b = Explorer(cfg).run(&pool);
+  ASSERT_EQ(a.best.size(), b.best.size());
+  for (std::size_t i = 0; i < a.best.size(); ++i) {
+    expect_reports_equal(a.best[i], b.best[i], "steal-heavy");
+  }
+  EXPECT_GT(a.stats.work_items, 1u);  // the planner genuinely fanned out
+  EXPECT_EQ(a.stats.work_items, b.stats.work_items);
+  EXPECT_EQ(a.stats.states_visited, b.stats.states_visited);
+  EXPECT_EQ(a.stats.races_detected, b.stats.races_detected);
+  EXPECT_EQ(a.stats.backtrack_points, b.stats.backtrack_points);
+  EXPECT_EQ(a.stats.sleep_blocked, b.stats.sleep_blocked);
+  EXPECT_EQ(a.stats.restore_marks, b.stats.restore_marks);
+  EXPECT_EQ(a.stats.violations, b.stats.violations);
+  // Thread-dependent observability: the pool built one sim per worker
+  // (plus the planner's), never more than items + 1.
+  EXPECT_LE(b.stats.sims_built, a.stats.work_items + 1);
+}
+
 // --- The dependence relation's unit semantics. ---
 
 TEST(PorDependence, RegisterConflictAndSectionAdjacency) {

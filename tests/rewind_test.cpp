@@ -204,6 +204,10 @@ WorstCaseSearchOptions exhaustive_opts(int depth, bool by_fork,
   o.limits.max_depth = depth;
   o.limits.restore_by_fork = by_fork;
   o.limits.verify_restore_snapshot = verify_snapshot;
+  // These are full-replay differentials: disable the mark-based partial
+  // restore so replayed_steps stays comparable between the paths (the
+  // mark path is differential-tested separately below).
+  o.limits.restore_marks = false;
   return o;
 }
 
@@ -262,6 +266,7 @@ TEST(Rewind, ExplorerPathsBitIdenticalUnderCrashInjection) {
     cfg.strategy = SearchStrategy::Exhaustive;
     cfg.limits.max_depth = 12;
     cfg.limits.restore_by_fork = by_fork;
+    cfg.limits.restore_marks = false;  // full-replay differential
     cfg.setup = [&factory](Sim& sim) -> std::shared_ptr<void> {
       auto alg = setup_mutex(sim, factory, 2, 1);
       sim.crash_after(1, 2);
@@ -323,6 +328,102 @@ TEST(Rewind, RestoresPerformZeroSimConstructions) {
   EXPECT_EQ(fork.stats.sims_built, cells + fork.stats.restores);
   EXPECT_GT(rewind.stats.replayed_steps, 0u);
   EXPECT_EQ(rewind.stats.replayed_steps, fork.stats.replayed_steps);
+}
+
+/// Mark-based partial restore, sim level: capture a RewindMark mid-run,
+/// run on, rewind back to the mark, and differential-test against a fork
+/// of the same prefix — then drive both onward identically (the restored
+/// sim must behave like the fork forever after, crash plans included).
+void mark_rewind_and_compare(const MutexFactory& factory, int n,
+                             const std::vector<CrashPlan>& crashes,
+                             std::uint64_t seed) {
+  const SimBuilder rebuild = mutex_builder(factory, n, 1, crashes);
+
+  Sim live;
+  rebuild(live);
+  live.mark_rewind_base();
+  RandomScheduler rnd(seed);
+  drive(live, rnd, RunLimits{30});
+  Sim::RewindMark mark;
+  live.capture_mark(mark);
+  const std::size_t prefix_len = live.schedule_log().size();
+  RandomScheduler more(seed + 99);
+  drive(live, more, RunLimits{30});
+
+  const std::unique_ptr<Sim> reference =
+      Sim::fork(std::span(live.schedule_log().data(), prefix_len),
+                /*expect_fingerprint=*/0, /*expect_seq=*/0, rebuild);
+  const std::size_t fed = live.rewind_to_mark(mark);
+  ASSERT_EQ(live.schedule_log().size(), prefix_len);
+  // Only processes that acted past the mark are value-replayed, so the
+  // fed-unit count never exceeds the full-replay cost.
+  EXPECT_LE(fed, prefix_len);
+  expect_same_state(live, *reference);
+
+  RandomScheduler cont_a(seed + 17);
+  RandomScheduler cont_b(seed + 17);
+  drive(live, cont_a, RunLimits{40});
+  drive(*reference, cont_b, RunLimits{40});
+  expect_same_state(live, *reference);
+}
+
+TEST(Rewind, MarkRestoreMatchesForkAcrossAllRegistryMutexAlgorithms) {
+  for (const MutexAlgorithmEntry* e :
+       AlgorithmRegistry::instance().mutex_for_n(2)) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE(e->info.name);
+      mark_rewind_and_compare(e->factory, 2, {}, seed);
+    }
+  }
+}
+
+TEST(Rewind, MarkRestoreMatchesForkUnderCrashInjection) {
+  for (const MutexAlgorithmEntry* e :
+       AlgorithmRegistry::instance().mutex_for_n(4)) {
+    SCOPED_TRACE(e->info.name);
+    mark_rewind_and_compare(e->factory, 4, {{0, 3}, {2, 1}}, 5);
+  }
+}
+
+TEST(Rewind, MarkRestoreKeepsExplorerBitIdentical) {
+  // The explorer with restore_marks on must traverse the identical tree —
+  // every stat equal except the restore cost counters: mark restores
+  // re-execute nothing live (replayed_steps 0, the log re-feed counted
+  // in value_replayed_steps) where the full-replay rewind re-executes
+  // the whole prefix per sibling.
+  for (const MutexAlgorithmEntry* e :
+       AlgorithmRegistry::instance().mutex_for_n(2)) {
+    SCOPED_TRACE(e->info.name);
+    const MutexFactory factory = e->factory;
+    Explorer::Config cfg;
+    cfg.nprocs = 2;
+    cfg.strategy = SearchStrategy::Exhaustive;
+    cfg.limits.max_depth = 12;
+    cfg.setup = [&factory](Sim& sim) -> std::shared_ptr<void> {
+      return setup_mutex(sim, factory, 2, 1);
+    };
+    cfg.limits.restore_marks = true;
+    const Explorer::Result marked = Explorer(cfg).run();
+    cfg.limits.restore_marks = false;
+    const Explorer::Result plain = Explorer(cfg).run();
+
+    EXPECT_EQ(marked.stats.states_visited, plain.stats.states_visited);
+    EXPECT_EQ(marked.stats.runs_completed, plain.stats.runs_completed);
+    EXPECT_EQ(marked.stats.runs_truncated, plain.stats.runs_truncated);
+    EXPECT_EQ(marked.stats.pruned_visited, plain.stats.pruned_visited);
+    EXPECT_EQ(marked.stats.violations, plain.stats.violations);
+    EXPECT_EQ(marked.stats.restores, plain.stats.restores);
+    EXPECT_EQ(marked.stats.sims_built, plain.stats.sims_built);
+    ASSERT_GT(marked.stats.restore_marks, 0u);
+    EXPECT_EQ(plain.stats.restore_marks, 0u);
+    ASSERT_GT(plain.stats.replayed_steps, 0u);
+    EXPECT_EQ(plain.stats.value_replayed_steps, 0u);
+    EXPECT_EQ(marked.stats.replayed_steps, 0u);
+    ASSERT_GT(marked.stats.value_replayed_steps, 0u);
+    // The partial restore's whole point: the cheap re-feed touches no
+    // more units than the full replay re-executed, usually far fewer.
+    EXPECT_LE(marked.stats.value_replayed_steps, plain.stats.replayed_steps);
+  }
 }
 
 }  // namespace

@@ -49,6 +49,8 @@ StudyResult golden_fixture() {
   r.races_detected = 21;
   r.backtrack_points = 9;
   r.sleep_blocked = 4;
+  r.work_items = 6;
+  r.restore_marks = 33;
   r.wc = report(14, 4, 6, 8, 3, 4, 1, true);
   r.wc_entry = report(12, 3, 6, 6, 3, 3, 1, true);
   r.wc_exit = report(2, 1, 0, 2, 0, 1, 1);
@@ -113,6 +115,8 @@ TEST(StudyJson, RoundTripsByteIdentically) {
   EXPECT_EQ(parsed.races_detected, original.races_detected);
   EXPECT_EQ(parsed.backtrack_points, original.backtrack_points);
   EXPECT_EQ(parsed.sleep_blocked, original.sleep_blocked);
+  EXPECT_EQ(parsed.work_items, original.work_items);
+  EXPECT_EQ(parsed.restore_marks, original.restore_marks);
   expect_reports_equal(parsed.wc, original.wc, "wc");
   expect_reports_equal(parsed.wc_entry, original.wc_entry, "wc_entry");
   expect_reports_equal(parsed.wc_exit, original.wc_exit, "wc_exit");
@@ -175,11 +179,29 @@ TEST(StudyJson, ReductionIsOptionalForPrePorPayloads) {
   EXPECT_EQ(parsed.races_detected, 0u);
   EXPECT_EQ(parsed.backtrack_points, 0u);
   EXPECT_EQ(parsed.sleep_blocked, 0u);
+  EXPECT_EQ(parsed.work_items, 0u);
+  EXPECT_EQ(parsed.restore_marks, 0u);
 
   // A present-but-bogus policy is malformed input, not a silent default.
   std::string bad = to_json(golden_fixture());
   bad.replace(bad.find("source-dpor"), 11, "bogus-dpor!");
   EXPECT_THROW((void)study_from_json(bad), std::invalid_argument);
+}
+
+TEST(StudyJson, ParallelCountersOptionalForPreParallelPayloads) {
+  // Payloads written before the parallel-DPOR counters carry a reduction
+  // object without work_items/restore_marks; they parse with zeros while
+  // the pre-existing counters survive untouched.
+  std::string json = to_json(golden_fixture());
+  const std::string added = ", \"work_items\": 6, \"restore_marks\": 33";
+  const std::size_t at = json.find(added);
+  ASSERT_NE(at, std::string::npos);
+  json.erase(at, added.size());
+  const StudyResult parsed = study_from_json(json);
+  EXPECT_EQ(parsed.wc_reduction, ReductionPolicy::SourceDpor);
+  EXPECT_EQ(parsed.races_detected, 21u);
+  EXPECT_EQ(parsed.work_items, 0u);
+  EXPECT_EQ(parsed.restore_marks, 0u);
 }
 
 TEST(StudyJson, EscapesSubjectStrings) {
