@@ -47,6 +47,14 @@ int main() {
       {"peterson-tree", 4, 10},
       {"tas-lock", 4, 10},
       {"kessels-tree", 4, 10},
+      // PR 7's frontier: n = 5 under STATEFUL source-dpor — the
+      // sleep-set-aware visited cache collapses the re-convergent
+      // lattices these algorithms produce, so the whole bounded space
+      // certifies in seconds where stateless source-dpor alone churned
+      // through millions of redundant re-explorations.
+      {"peterson-tree", 5, 12},
+      {"tas-lock", 5, 12},
+      {"kessels-tree", 5, 12},
   };
 
   const auto exhaustive_spec = [](const std::string& name, int n, int depth) {
@@ -136,13 +144,15 @@ int main() {
     }
   }
 
-  // The POR payoff: every n = 4 configuration above must come back
-  // certified (the whole bounded space covered, no state-budget cut)
+  // The POR payoff: every n = 4 and n = 5 configuration above must come
+  // back certified (the whole bounded space covered, no state-budget cut)
   // under the source-dpor reduction, with the reduction counters
-  // populated — the headline this example exists to demonstrate.
-  std::printf("\nn = 4 certification under source-dpor:\n");
+  // populated — the headline this example exists to demonstrate. At n = 5
+  // the stateful cache does the heavy lifting: cache_hits counts the
+  // re-convergent subtrees it refused to re-explore.
+  std::printf("\nn = 4 / n = 5 certification under stateful source-dpor:\n");
   for (std::size_t i = 0; i < cases.size(); ++i) {
-    if (cases[i].n != 4) {
+    if (cases[i].n < 4) {
       continue;
     }
     const StudyResult& ex = results[2 * i];
@@ -150,13 +160,14 @@ int main() {
                     ex.wc_reduction == ReductionPolicy::SourceDpor &&
                     ex.races_detected > 0;
     std::printf(
-        "  %-14s n=4 depth=%2d certified=%s reduction=%s states=%llu "
-        "races=%llu backtracks=%llu %s\n",
-        cases[i].name.c_str(), cases[i].depth,
+        "  %-14s n=%d depth=%2d certified=%s reduction=%s states=%llu "
+        "races=%llu backtracks=%llu cache_hits=%llu %s\n",
+        cases[i].name.c_str(), cases[i].n, cases[i].depth,
         ex.certified ? "true" : "false", name(ex.wc_reduction),
         static_cast<unsigned long long>(ex.states_visited),
         static_cast<unsigned long long>(ex.races_detected),
         static_cast<unsigned long long>(ex.backtrack_points),
+        static_cast<unsigned long long>(ex.cache_hits),
         ok ? "ok" : "NOT CERTIFIED");
     all_ok = all_ok && ok;
   }

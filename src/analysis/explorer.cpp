@@ -1,7 +1,6 @@
 #include "analysis/explorer.h"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <bit>
 #include <cstdio>
@@ -38,6 +37,8 @@ const char* name(ReductionPolicy p) {
       return "sleep-lite";
     case ReductionPolicy::SourceDpor:
       return "source-dpor";
+    case ReductionPolicy::Hybrid:
+      return "hybrid";
   }
   return "unknown";
 }
@@ -51,6 +52,9 @@ std::optional<ReductionPolicy> reduction_policy_from(std::string_view s) {
   }
   if (s == "source-dpor") {
     return ReductionPolicy::SourceDpor;
+  }
+  if (s == "hybrid") {
+    return ReductionPolicy::Hybrid;
   }
   return std::nullopt;
 }
@@ -82,6 +86,7 @@ void ExploreStats::merge(const ExploreStats& o) {
   visited_live_bytes += o.visited_live_bytes;
   truncated = truncated || o.truncated;
   state_budget_hit = state_budget_hit || o.state_budget_hit;
+  frontier_clamped = frontier_clamped || o.frontier_clamped;
 }
 
 namespace {
@@ -147,7 +152,9 @@ class CellExplorer {
         acc_(cfg.nprocs),
         policy_(cfg.limits.reduction),
         use_marks_(cfg.limits.restore_marks && !cfg.limits.restore_by_fork &&
-                   !cfg.limits.verify_restore_snapshot) {
+                   !cfg.limits.verify_restore_snapshot),
+        use_scache_(cfg.limits.reduction == ReductionPolicy::SourceDpor &&
+                    cfg.limits.prune_visited) {
     if (policy_ == ReductionPolicy::SourceDpor) {
       dpor_.emplace(cfg.nprocs);
       backtrack_.assign(
@@ -185,6 +192,15 @@ class CellExplorer {
     out_ = &out;
     reset_sim();
     plan_dfs(0, /*last=*/-1, /*sleep=*/0, horizon, arena, items);
+    // The planner's sleep cache lives for the whole walk (it is what makes
+    // horizon-level re-convergence prune whole work items), so its
+    // footprint is deterministic — account it here. Worker caches are
+    // cleared per item and deliberately left out of the byte counters:
+    // their reserved capacity depends on which items a worker happened to
+    // claim, and every stat except steals/sims_built must stay
+    // thread-count invariant.
+    out.stats.visited_bytes += scache_.bytes();
+    out.stats.visited_live_bytes += scache_.live_bytes();
   }
 
   /// Parallel source-DPOR, phase 2: executes one work item. The first item
@@ -203,6 +219,11 @@ class CellExplorer {
       acc_ = MeasureAccumulator(cfg_.nprocs);  // sink address is stable
     }
     dpor_->clear();
+    // A fresh sleep cache per item (capacity kept): cache hits must depend
+    // only on the item's own subtree, never on which items this worker ran
+    // before — that per-item scoping is what keeps every counter derived
+    // from the pruning identical at every thread count.
+    scache_.clear();
     std::fill(backtrack_.begin(), backtrack_.end(),
               SourceDpor::kForeignNode);
     nodes_ = 0;
@@ -393,6 +414,21 @@ class CellExplorer {
     return h;
   }
 
+  /// Key for the sleep-set-aware cache (stateful source-DPOR): state
+  /// fingerprint x objective digest, WITHOUT the sleep mask — the mask is
+  /// the cache's value dimension (SleepCache subsumption), not part of the
+  /// key. No last-pid fold either: source-DPOR is Exhaustive-only, so
+  /// there is no preemption budget to make `last` state.
+  [[nodiscard]] std::uint64_t scache_key() const {
+    std::uint64_t h = state_fingerprint(*sim_);
+    if (cfg_.objective.eval) {
+      h = fingerprint_combine(h, cfg_.objective.digest
+                                     ? cfg_.objective.digest(acc_)
+                                     : acc_.digest());
+    }
+    return h;
+  }
+
   void eval_leaf(bool truncated) {
     if (!cfg_.objective.eval) {
       return;
@@ -430,27 +466,42 @@ class CellExplorer {
     }
   }
 
-  void capture_pendings(std::array<NextStep, kMaxPorProcs>& pend) const {
+  /// Captures every process's NextStep into the flat per-depth pend pool
+  /// (hot-path round 4): slot [depth*nprocs, (depth+1)*nprocs) replaces a
+  /// kMaxPorProcs array in every recursion frame. Descendants only write
+  /// deeper slots, so a frame's capture survives its recursive calls;
+  /// frames re-derive the pointer via pend_at() after recursing, so pool
+  /// growth never dangles a span.
+  void capture_pendings(int depth) {
+    const auto np = static_cast<std::size_t>(cfg_.nprocs);
+    const std::size_t base = static_cast<std::size_t>(depth) * np;
+    if (pend_pool_.size() < base + np) {
+      pend_pool_.resize(base + np);
+    }
+    NextStep* out = pend_pool_.data() + base;
     for (Pid p = 0; p < cfg_.nprocs; ++p) {
-      pend[static_cast<std::size_t>(p)] = next_step_of(*sim_, p);
+      out[static_cast<std::size_t>(p)] = next_step_of(*sim_, p);
     }
   }
 
+  [[nodiscard]] std::span<const NextStep> pend_at(int depth) const {
+    const auto np = static_cast<std::size_t>(cfg_.nprocs);
+    return {pend_pool_.data() + static_cast<std::size_t>(depth) * np, np};
+  }
+
   /// SourceDpor: placement-bucket and droppable-unit insertions for a
-  /// depth-horizon cut (SourceDpor::note_cut).
-  void cut_point_insertions(std::uint32_t sleep) {
-    std::array<NextStep, kMaxPorProcs> pend;
-    capture_pendings(pend);
+  /// depth-horizon cut (SourceDpor::note_cut). Uses the cut node's own
+  /// pool slot — nothing else captured at this depth (the node returns
+  /// without branching).
+  void cut_point_insertions(int depth, std::uint32_t sleep) {
+    capture_pendings(depth);
     std::uint32_t enabled = 0;
     for (Pid q = 0; q < cfg_.nprocs; ++q) {
       if (sim_->runnable(q) && ((sleep >> q) & 1u) == 0) {
         enabled |= 1u << static_cast<unsigned>(q);
       }
     }
-    dpor_->note_cut(enabled,
-                    std::span<const NextStep>(
-                        pend.data(), static_cast<std::size_t>(cfg_.nprocs)),
-                    backtrack_);
+    dpor_->note_cut(enabled, pend_at(depth), backtrack_);
   }
 
   /// Node-entry outcome of classify_node: the leaf accounting shared by
@@ -556,9 +607,8 @@ class CellExplorer {
       capture_node(depth);
     }
 
-    std::array<NextStep, kMaxPorProcs> pend;
     if (reduce) {
-      capture_pendings(pend);  // single-branch nodes still inherit sleepers
+      capture_pendings(depth);  // single-branch nodes still inherit sleepers
     }
 
     std::uint32_t explored = 0;
@@ -583,11 +633,10 @@ class CellExplorer {
         // taken (PR 4's register-only lite relation, preserved verbatim).
         const SleepSet candidates(
             (sleep | explored) & ~(1u << static_cast<unsigned>(p)));
+        const std::span<const NextStep> pends = pend_at(depth);
         child_sleep =
-            transfer_sleep_lite(candidates, pend[static_cast<std::size_t>(p)],
-                                std::span(pend.data(),
-                                          static_cast<std::size_t>(
-                                              cfg_.nprocs)))
+            transfer_sleep_lite(candidates, pends[static_cast<std::size_t>(p)],
+                                pends)
                 .mask();
       }
       const int switch_cost = (last != -1 && p != last) ? 1 : 0;
@@ -622,10 +671,24 @@ class CellExplorer {
         // buckets along the path instead. Sleeping processes are covered
         // by reorderings of equal length, so the sleep argument stands
         // and they are skipped.
-        cut_point_insertions(sleep);
+        cut_point_insertions(depth, sleep);
         return;
       case NodeEntry::Interior:
         break;
+    }
+    // Stateful DPOR: skip the subtree when a stored visit of this state
+    // subsumes it — equal fingerprint implies equal per-process histories
+    // (so equal remaining depth and equal accumulator), and a stored sleep
+    // set S that is a subset of the current one means the stored subtree
+    // covered every behavior this visit could, so its leaves already
+    // contributed the same objective values. The one thing the skipped
+    // subtree still owes the *current* path is its race-driven backtrack
+    // insertions (they are path-dependent); the bounded-horizon cut-point
+    // insertions conservatively re-place them, exactly as at a DepthCut.
+    if (use_scache_ && scache_.check_and_insert(scache_key(), sleep)) {
+      ++out_->stats.pruned_visited;
+      cut_point_insertions(depth, sleep);
+      return;
     }
     std::uint32_t enabled = 0;
     for (Pid p = 0; p < cfg_.nprocs; ++p) {
@@ -663,11 +726,7 @@ class CellExplorer {
     const std::uint64_t mem_fp = sim_->memory().fingerprint();
     const Seq seq = sim_->next_seq();
     capture_node(depth);
-
-    std::array<NextStep, kMaxPorProcs> pend;
-    capture_pendings(pend);
-    const std::span<const NextStep> pend_span(
-        pend.data(), static_cast<std::size_t>(cfg_.nprocs));
+    capture_pendings(depth);
 
     bool first = true;
     while (!stop_) {
@@ -700,7 +759,7 @@ class CellExplorer {
             sleep & ~(1u << static_cast<unsigned>(p));
         const std::uint32_t child_sleep =
             transfer_sleep(SleepSet(candidates), sim_->last_step_summary(),
-                           pend_span)
+                           pend_at(depth))
                 .mask();
         dfs_source(depth + 1, p, child_sleep);
       }
@@ -720,6 +779,17 @@ class CellExplorer {
   void plan_dfs(int depth, Pid last, std::uint32_t sleep, int horizon,
                 SlabArena& arena, std::vector<WorkItem>& items) {
     if (depth == horizon) {
+      // Stateful pruning across work items: when an equal horizon state
+      // was already emitted under a subset sleep mask, that item's subtree
+      // covers this one — skip emitting it entirely. No insertions are
+      // owed: every planner node full-branches over enabled-and-awake
+      // processes (a maximal persistent set), so any prefix reordering a
+      // skipped subtree's race could demand is already a planner branch,
+      // and the planner's own backtrack masks are never consulted.
+      if (use_scache_ && scache_.check_and_insert(scache_key(), sleep)) {
+        ++out_->stats.pruned_visited;
+        return;
+      }
       // The horizon node itself belongs to the work item (the worker's
       // dfs_source classifies it), keeping node accounting disjoint.
       Pid* stored = arena.alloc<Pid>(path_.size());
@@ -735,10 +805,18 @@ class CellExplorer {
         return;
       case NodeEntry::DepthCut:
         // Unreachable (horizon <= max_depth), but keep the cut sound.
-        cut_point_insertions(sleep);
+        cut_point_insertions(depth, sleep);
         return;
       case NodeEntry::Interior:
         break;
+    }
+    // Stateful pruning of planner-level re-convergence: same subsumption
+    // rule as dfs_source, same no-insertions-owed argument as the horizon
+    // check above (planner nodes full-branch over a maximal persistent
+    // set). A hit prunes every work item the subtree would have emitted.
+    if (use_scache_ && scache_.check_and_insert(scache_key(), sleep)) {
+      ++out_->stats.pruned_visited;
+      return;
     }
     std::uint32_t enabled = 0;
     for (Pid p = 0; p < cfg_.nprocs; ++p) {
@@ -777,11 +855,7 @@ class CellExplorer {
     if (nb > 1) {
       capture_node(depth);
     }
-
-    std::array<NextStep, kMaxPorProcs> pend;
-    capture_pendings(pend);
-    const std::span<const NextStep> pend_span(
-        pend.data(), static_cast<std::size_t>(cfg_.nprocs));
+    capture_pendings(depth);
 
     for (std::size_t b = 0; b < nb; ++b) {
       if (stop_) {
@@ -803,7 +877,7 @@ class CellExplorer {
             sleep & ~(1u << static_cast<unsigned>(p));
         const std::uint32_t child_sleep =
             transfer_sleep(SleepSet(candidates), sim_->last_step_summary(),
-                           pend_span)
+                           pend_at(depth))
                 .mask();
         path_.push_back(p);
         plan_dfs(depth + 1, p, child_sleep, horizon, arena, items);
@@ -822,8 +896,14 @@ class CellExplorer {
   std::shared_ptr<void> owner_;
   MeasureAccumulator acc_;
   VisitedTable visited_;
+  /// Stateful source-DPOR only (use_scache_): the sleep-set-aware cache.
+  /// Planner: one cache across the whole walk. Worker: cleared per item.
+  SleepCache scache_;
   std::vector<Pid> branch_buf_;  ///< shared branch scratch stack
   std::vector<Pid> path_;        ///< planner: picks along the current path
+  /// Flat per-depth pending captures (capture_pendings / pend_at): one
+  /// contiguous slab instead of a kMaxPorProcs array per recursion frame.
+  std::vector<NextStep> pend_pool_;
   std::vector<MeasureAccumulator> acc_pool_;  ///< per-depth node snapshots
   std::vector<Sim::RewindMark> mark_pool_;    ///< per-depth rewind marks
   std::vector<MemorySnapshot> mem_pool_;  ///< per-depth debug snapshots
@@ -831,6 +911,7 @@ class CellExplorer {
   bool stop_ = false;
   ReductionPolicy policy_ = ReductionPolicy::Off;
   bool use_marks_ = false;
+  bool use_scache_ = false;
   /// SourceDpor only: the race detector over the current path and the
   /// per-depth node backtrack masks it inserts into (prefix depths hold
   /// the foreign-node sentinel).
@@ -865,19 +946,6 @@ Explorer::Explorer(Config cfg) : cfg_(std::move(cfg)) {
   cfg_.limits.reduction = effective_reduction(cfg_.limits);
   cfg_.limits.reduce_independent =
       cfg_.limits.reduction == ReductionPolicy::SleepLite;
-  if (cfg_.limits.reduction == ReductionPolicy::SourceDpor) {
-    // Source-DPOR replaces the visited-state cache rather than composing
-    // with it: its backtrack insertions are *path-dependent* (races and
-    // cut-point placements target the current path's ancestor nodes), so
-    // skipping a revisited state would silently drop the insertions that
-    // subtree owes the current path — the coverage proofs for dominance
-    // pruning and for source sets are each sound alone but mutually
-    // circular together. Measured on the registry workloads the reduced
-    // tree without the cache beats the cached unreduced tree where
-    // interleaving explosion (not state re-convergence) dominates, which
-    // is exactly where certified searches need help.
-    cfg_.limits.prune_visited = false;
-  }
   if (cfg_.limits.reduction != ReductionPolicy::Off) {
     if (cfg_.strategy != SearchStrategy::Exhaustive) {
       // Under a preemption budget a sleeping branch's covering reordering
@@ -903,9 +971,11 @@ constexpr std::size_t kFrontierCellCap = 4096;
 /// n^f cells (grid policies) or the planner horizon (source-DPOR), capped
 /// so wide process counts cannot explode — or overflow — the cell count.
 /// Depends only on (n, frontier_depth): thread-count invariant. A clamp
-/// below the requested depth logs a one-shot warning instead of silently
-/// wrapping the grid size.
-int frontier_split_depth(int nprocs, const ExploreLimits& limits) {
+/// below the requested depth logs a one-shot warning AND reports through
+/// `clamped` so ExploreStats::frontier_clamped (and the study JSON) make
+/// the coarser fan-out machine-readable.
+int frontier_split_depth(int nprocs, const ExploreLimits& limits,
+                         bool* clamped = nullptr) {
   const int want_f = std::clamp(limits.frontier_depth, 0, limits.max_depth);
   // Division instead of multiplication: overflow-proof for any nprocs.
   const std::size_t max_cells =
@@ -917,6 +987,9 @@ int frontier_split_depth(int nprocs, const ExploreLimits& limits) {
     ++f;
   }
   if (f < want_f) {
+    if (clamped != nullptr) {
+      *clamped = true;
+    }
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
@@ -947,12 +1020,16 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
   if (cfg_.strategy == SearchStrategy::Random) {
     return run_random_strategy(runner);
   }
+  if (cfg_.limits.reduction == ReductionPolicy::Hybrid) {
+    return run_hybrid(runner);
+  }
   if (cfg_.limits.reduction == ReductionPolicy::SourceDpor) {
     return run_source_dpor(runner);
   }
 
   const int n = cfg_.nprocs;
-  const int f = frontier_split_depth(n, cfg_.limits);
+  bool clamped = false;
+  const int f = frontier_split_depth(n, cfg_.limits, &clamped);
   const std::size_t cells = cells_for_depth(n, f);
 
   std::vector<CellResult> slots(cells);
@@ -969,6 +1046,8 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
   });
 
   Result res;
+  res.reduction_used = cfg_.limits.reduction;
+  res.stats.frontier_clamped = clamped;
   for (const CellResult& slot : slots) {  // index order: deterministic
     res.stats.merge(slot.stats);
     merge_best(res.best, slot.best);
@@ -977,7 +1056,8 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
 }
 
 Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
-  const int f = frontier_split_depth(cfg_.nprocs, cfg_.limits);
+  bool clamped = false;
+  const int f = frontier_split_depth(cfg_.nprocs, cfg_.limits, &clamped);
 
   // Phase 1 — sequential planner: full-branching walk (mod sleep) of the
   // top f levels, emitting one self-contained work item per horizon node.
@@ -991,14 +1071,21 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
     planner.plan(f, arena, items, planner_slot);
   }
 
-  // Phase 2 — work-stealing execution: items are dealt round-robin into
-  // per-worker queues; a worker drains its own queue first (fetch_add
-  // claims), then sweeps the other queues for leftovers. Each worker owns
-  // one private Sim + CellExplorer reused across its items, and each item
-  // writes its own result slot, so the only shared mutable state is the
-  // queue cursors. The slot merge below runs in item index order — the
-  // totals cannot depend on which worker ran what, only `steals` (and
-  // sims_built) reflect the scheduling.
+  // Phase 2 — work-stealing execution: items are dealt in contiguous
+  // blocks into per-worker queues; a worker drains its own queue first
+  // (fetch_add claims), then sweeps the other queues for leftovers. Each
+  // worker owns one private Sim + CellExplorer reused across its items and
+  // accumulates each item into a worker-LOCAL result, published to the
+  // item's shared slot once at item end: the per-node stat increments were
+  // previously direct writes through the slots array, whose adjacent
+  // ~200-byte entries share cache lines — under the old round-robin deal
+  // every neighbour belonged to a different worker, and the resulting
+  // false sharing on the hottest counters (states_visited bumps on every
+  // DFS node) cost more than the parallelism bought back (the measured
+  // threads=4 < threads=1 regression on the scaling bench). The slot
+  // merge below runs in item index order — the totals cannot depend on
+  // which worker ran what, only `steals` (and sims_built) reflect the
+  // scheduling.
   std::vector<CellResult> slots(items.size());
   std::atomic<std::uint64_t> steals{0};
   if (!items.empty()) {
@@ -1011,11 +1098,21 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
       std::atomic<std::size_t> next{0};
     };
     std::vector<Queue> queues(static_cast<std::size_t>(workers));
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      queues[i % static_cast<std::size_t>(workers)].items.push_back(i);
+    {
+      const std::size_t nw = static_cast<std::size_t>(workers);
+      const std::size_t per = items.size() / nw;
+      const std::size_t rem = items.size() % nw;
+      std::size_t next_item = 0;
+      for (std::size_t w = 0; w < nw; ++w) {
+        const std::size_t take = per + (w < rem ? 1 : 0);
+        for (std::size_t k = 0; k < take; ++k) {
+          queues[w].items.push_back(next_item++);
+        }
+      }
     }
     eng.parallel_for(static_cast<std::size_t>(workers), [&](std::size_t w) {
       CellExplorer cell(cfg_);
+      CellResult local;  // worker-local: one hot cache line per worker
       std::uint64_t local_steals = 0;
       for (;;) {
         std::size_t idx = items.size();
@@ -1039,13 +1136,19 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
         if (idx == items.size()) {
           break;  // every queue drained
         }
-        cell.run_item(items[idx], slots[idx]);
+        local.stats = ExploreStats{};
+        local.best.clear();
+        cell.run_item(items[idx], local);
+        slots[idx].stats = local.stats;
+        slots[idx].best.swap(local.best);
       }
       steals.fetch_add(local_steals, std::memory_order_relaxed);
     });
   }
 
   Result res;
+  res.reduction_used = ReductionPolicy::SourceDpor;
+  res.stats.frontier_clamped = clamped;
   res.stats.merge(planner_slot.stats);
   merge_best(res.best, planner_slot.best);
   for (const CellResult& slot : slots) {  // item index order: deterministic
@@ -1054,6 +1157,48 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
   }
   res.stats.steals += steals.load(std::memory_order_relaxed);
   return res;
+}
+
+Explorer::Result Explorer::run_hybrid(ExperimentRunner* runner) const {
+  // Probe budget per engine run (per cell / per work item, like
+  // ExploreLimits::max_states): small enough that a losing probe is cheap
+  // next to the real search, large enough that registry-scale spaces
+  // complete inside it and the probe IS the final run.
+  constexpr std::uint64_t kProbeBudget = 32768;
+
+  Config probe = cfg_;
+  probe.limits.prune_visited = true;
+  probe.limits.max_states =
+      cfg_.limits.max_states == 0
+          ? kProbeBudget
+          : std::min<std::uint64_t>(kProbeBudget, cfg_.limits.max_states);
+
+  probe.limits.reduction = ReductionPolicy::Off;
+  probe.limits.reduce_independent = false;
+  const Result off_probe = Explorer(probe).run(runner);
+
+  probe.limits.reduction = ReductionPolicy::SourceDpor;
+  const Result dpor_probe = Explorer(probe).run(runner);
+
+  const bool off_done = !off_probe.stats.state_budget_hit;
+  const bool dpor_done = !dpor_probe.stats.state_budget_hit;
+  if (off_done || dpor_done) {
+    // A probe that finished under the budget IS the complete search (the
+    // budget only ever cuts, never reorders): keep the cheaper complete
+    // one, preferring source-DPOR on a tie. The loser's cost is discarded
+    // with its stats — the result describes the winning run only.
+    const bool pick_off =
+        off_done && (!dpor_done || off_probe.stats.states_visited <
+                                       dpor_probe.stats.states_visited);
+    return pick_off ? off_probe : dpor_probe;
+  }
+
+  // Both probes exhausted the budget: fall back to a full source-DPOR run
+  // under the caller's own limits — the policy certified searches default
+  // to. Probe stats are discarded here too.
+  Config full = cfg_;
+  full.limits.reduction = ReductionPolicy::SourceDpor;
+  return Explorer(full).run(runner);
 }
 
 Explorer::Result Explorer::run_random_strategy(

@@ -50,14 +50,23 @@ enum class ReductionPolicy : std::uint8_t {
   /// clean-entry / exit window objectives trace-invariant), with
   /// race-driven source-set backtracking instead of full sibling
   /// branching. The default for certified Exhaustive searches built
-  /// through StudySpec.
+  /// through StudySpec. Composes with the sleep-set-aware visited cache
+  /// (stateful DPOR) when ExploreLimits::prune_visited is on.
   SourceDpor,
+  /// Per-search hybrid: probes the configuration under both the cached
+  /// unreduced tree (Off + prune_visited) and SourceDpor with a small
+  /// per-engine state budget and keeps the winner — the cheaper complete
+  /// probe, or a full SourceDpor run when both probes hit the budget.
+  /// The policy actually used is reported in Explorer::Result /
+  /// StudyResult::wc_reduction, so the choice is auditable. Exhaustive
+  /// only, like every reduction.
+  Hybrid,
 };
 
 [[nodiscard]] const char* name(ReductionPolicy p);
 
-/// Parses "off" | "sleep-lite" | "source-dpor" (the bench --reduction
-/// flag's vocabulary); nullopt on anything else.
+/// Parses "off" | "sleep-lite" | "source-dpor" | "hybrid" (the bench
+/// --reduction flag's vocabulary); nullopt on anything else.
 [[nodiscard]] std::optional<ReductionPolicy> reduction_policy_from(
     std::string_view s);
 
@@ -88,6 +97,8 @@ struct ExploreLimits {
   int frontier_depth = 4;
   /// Visited-state pruning (on by default). The cache is per frontier
   /// cell; keys combine core/state_fingerprint with the objective digest.
+  /// Under SourceDpor this selects the sleep-set-aware cache instead
+  /// (stateful DPOR — see ReductionPolicy::SourceDpor and SleepCache).
   bool prune_visited = true;
   /// Restore mechanics for sibling backtracks. Off (default): the recycled
   /// in-place rewind (Sim::rewind_to — zero Sim construction, pooled
@@ -118,10 +129,12 @@ struct ExploreLimits {
   /// defaults its certified Exhaustive searches to SourceDpor. Visited
   /// pruning interplay: under SleepLite the sleep mask is folded into the
   /// visited-state key and dominance pruning composes; under SourceDpor
-  /// the Explorer constructor forces prune_visited OFF — the engine's
-  /// backtrack insertions are path-dependent, so a skipped revisit would
-  /// drop insertions the current path still needs (the reduction replaces
-  /// the cache; pruned_visited stays 0 and visited_bytes counts nothing).
+  /// prune_visited selects the *sleep-set-aware* cache (stateful DPOR): a
+  /// revisit is skipped only when a stored visit's sleep set is a subset
+  /// of the current one, and every skip still runs the bounded-horizon
+  /// cut-point insertions (SourceDpor::note_cut) at the pruned node, so
+  /// the path-dependent backtrack insertions the skipped subtree owes the
+  /// current path are conservatively re-placed.
   ReductionPolicy reduction = ReductionPolicy::Off;
   /// Compatibility alias (pre-POR flag, PR 4): setting it selects the
   /// `sleep-lite` policy — skip sibling orderings whose next accesses
@@ -181,6 +194,12 @@ struct ExploreStats {
   /// True iff a cell hit max_states: the *bounded* space itself was not
   /// fully covered, so the result is not certified even within the bounds.
   bool state_budget_hit = false;
+  /// True iff the frontier split depth was clamped below the requested
+  /// frontier_depth by the cell cap (n^f would exceed it). Advisory — the
+  /// search is still complete, just with a coarser parallel fan-out — but
+  /// machine-readable here and in the study JSON instead of only a
+  /// one-shot stderr warning.
+  bool frontier_clamped = false;
 
   void merge(const ExploreStats& o);
 };
@@ -251,6 +270,11 @@ class Explorer {
     /// vector; empty when no leaf was evaluated or eval is null. Reports
     /// carry truncated=true when any contributing run was cut off.
     std::vector<ComplexityReport> best;
+    /// The reduction policy that actually produced `best`. Equal to the
+    /// configured effective policy except under Hybrid, where it reports
+    /// the probe winner (Off or SourceDpor) — the auditable choice
+    /// surfaced through StudyResult::wc_reduction.
+    ReductionPolicy reduction_used = ReductionPolicy::Off;
   };
 
   explicit Explorer(Config cfg);
@@ -271,6 +295,12 @@ class Explorer {
 
  private:
   [[nodiscard]] Result run_random_strategy(ExperimentRunner* runner) const;
+  /// The Hybrid dispatch: probes the configuration under Off+cache and
+  /// SourceDpor with a small shared state budget, keeps the cheaper
+  /// complete probe, and falls back to a full SourceDpor run when both
+  /// probes exhaust the budget. Probe stats are discarded — the returned
+  /// stats describe only the winning (or fallback) run.
+  [[nodiscard]] Result run_hybrid(ExperimentRunner* runner) const;
   /// The parallel source-DPOR path: a sequential planner fans the top f
   /// levels into self-contained work items, executed by a work-stealing
   /// worker pool; results merge in item index order, so everything except

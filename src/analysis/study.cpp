@@ -189,16 +189,23 @@ class MeasureTask {
 void fill_search_stats(StudyResult& out, const Explorer::Result& r,
                        const WorstCaseSearchOptions& options) {
   out.wc_strategy = options.strategy;
-  // Random runs no DFS and hence no reduction; otherwise report the same
-  // effective policy the Explorer constructor normalizes to.
+  // Random runs no DFS and hence no reduction; otherwise the requested
+  // field reports the effective configured policy and wc_reduction the one
+  // the run actually used (they differ only under Hybrid, where the
+  // Explorer reports the probe winner).
+  out.wc_reduction_requested = options.strategy == SearchStrategy::Random
+                                   ? ReductionPolicy::Off
+                                   : effective_reduction(options.limits);
   out.wc_reduction = options.strategy == SearchStrategy::Random
                          ? ReductionPolicy::Off
-                         : effective_reduction(options.limits);
+                         : r.reduction_used;
   out.races_detected = r.stats.races_detected;
   out.backtrack_points = r.stats.backtrack_points;
   out.sleep_blocked = r.stats.sleep_blocked;
+  out.cache_hits = r.stats.pruned_visited;
   out.work_items = r.stats.work_items;
   out.restore_marks = r.stats.restore_marks;
+  out.frontier_clamped = r.stats.frontier_clamped;
   out.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
   out.states_visited = r.stats.states_visited;
   out.violations = r.stats.violations;
@@ -964,9 +971,12 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
     out += name(r.wc_strategy);
     out += "\",\n    \"reduction\": {\"policy\": \"";
     out += name(r.wc_reduction);
+    out += "\", \"requested\": \"";
+    out += name(r.wc_reduction_requested);
     out += "\", \"races_detected\": " + std::to_string(r.races_detected) +
            ", \"backtrack_points\": " + std::to_string(r.backtrack_points) +
            ", \"sleep_blocked\": " + std::to_string(r.sleep_blocked) +
+           ", \"cache_hits\": " + std::to_string(r.cache_hits) +
            ", \"work_items\": " + std::to_string(r.work_items) +
            ", \"restore_marks\": " + std::to_string(r.restore_marks) + "}";
     out += ",\n    \"total\": ";
@@ -982,7 +992,8 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
            ",\n    \"truncated\": " +
            (r.truncated ? "true" : "false") +
            ",\n    \"certified\": " + (r.certified ? "true" : "false") +
-           "\n  }";
+           ",\n    \"frontier_clamped\": " +
+           (r.frontier_clamped ? "true" : "false") + "\n  }";
   } else {
     out += "  \"wc\": null";
   }
@@ -1390,6 +1401,16 @@ StudyResult study_from_json(const std::string& json) {
       r.work_items = wi == red.object.end() ? 0 : to_u64(wi->second);
       const auto rm = red.object.find("restore_marks");
       r.restore_marks = rm == red.object.end() ? 0 : to_u64(rm->second);
+      // Added by stateful/hybrid DPOR: optional for the same reason.
+      // "requested" defaults to the used policy (pre-hybrid payloads
+      // never had the two diverge).
+      const auto req = red.object.find("requested");
+      r.wc_reduction_requested =
+          req == red.object.end()
+              ? r.wc_reduction
+              : reduction_from(to_string_field(req->second));
+      const auto ch = red.object.find("cache_hits");
+      r.cache_hits = ch == red.object.end() ? 0 : to_u64(ch->second);
     }
     r.wc = report_from(member(wc, "total"));
     r.wc_entry = report_from(member(wc, "entry"));
@@ -1399,6 +1420,9 @@ StudyResult study_from_json(const std::string& json) {
     r.violations = to_u64(member(wc, "violations"));
     r.truncated = to_bool(member(wc, "truncated"));
     r.certified = to_bool(member(wc, "certified"));
+    // Optional (added with the frontier-clamp surfacing).
+    const auto fc = wc.object.find("frontier_clamped");
+    r.frontier_clamped = fc != wc.object.end() && to_bool(fc->second);
   }
 
   const auto wall = root.object.find("wall_ms");

@@ -160,15 +160,21 @@ struct StudyResult {
 
   bool has_wc = false;
   SearchStrategy wc_strategy = SearchStrategy::Random;
-  /// The partial-order-reduction policy the search ran under (DFS
-  /// strategies; Random reports Off), with its counters: races the
-  /// source-DPOR race detector found over executed traces, backtrack
-  /// points it inserted (source-set + cut-point placements), and enabled
-  /// branches the sleep sets skipped.
+  /// The partial-order-reduction policy the search actually ran under
+  /// (DFS strategies; Random reports Off). Under ReductionPolicy::Hybrid
+  /// this is the probe winner — Off or SourceDpor — so the per-cell
+  /// choice is auditable; wc_reduction_requested keeps the configured
+  /// policy. Counters: races the source-DPOR race detector found over
+  /// executed traces, backtrack points it inserted (source-set +
+  /// cut-point placements), enabled branches the sleep sets skipped, and
+  /// subtrees the visited caches pruned (under SourceDpor: the
+  /// sleep-set-aware SleepCache hits of stateful DPOR).
   ReductionPolicy wc_reduction = ReductionPolicy::Off;
+  ReductionPolicy wc_reduction_requested = ReductionPolicy::Off;
   std::uint64_t races_detected = 0;
   std::uint64_t backtrack_points = 0;
   std::uint64_t sleep_blocked = 0;
+  std::uint64_t cache_hits = 0;
   /// Parallel source-DPOR: work items the planner emitted and rewind
   /// marks the engines captured at branching nodes. Thread-count
   /// invariant, like every counter here (the deliberately thread-DEPENDENT
@@ -192,6 +198,10 @@ struct StudyResult {
   /// Exhaustive/Bounded only: the whole bounded schedule space was covered
   /// (no max_states cut) — the values are the exact maxima over it.
   bool certified = false;
+  /// The parallel frontier split was clamped below the requested depth by
+  /// the cell cap (ExploreStats::frontier_clamped). Advisory — coverage is
+  /// unaffected — but surfaced so the coarser fan-out is machine-readable.
+  bool frontier_clamped = false;
 
   /// Wall-clock measurement time attributed to this study: the summed
   /// durations of its cells (a shared, deduplicated measurement counts

@@ -1,5 +1,6 @@
 #include "analysis/visited_table.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +9,12 @@ namespace cfc {
 namespace {
 
 constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+/// Key 0 marks an empty slot in both tables; remap the (astronomically
+/// unlikely) fingerprint 0 to a fixed constant.
+constexpr std::uint64_t normalize_key(std::uint64_t key) {
+  return key == 0 ? 0x9e3779b97f4a7c15ULL : key;
+}
 
 /// (depth, preempt) packed as depth<<16 | preempt.
 constexpr std::uint32_t pack(int depth, int preempt) {
@@ -160,6 +167,144 @@ void VisitedTable::insert_into(Slot& slot, std::uint64_t key, int depth,
     }
   }
   spill_push(slot, fresh);
+}
+
+// ----------------------------------------------------------- SleepCache
+
+std::size_t SleepCache::find_slot(std::uint64_t key) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = (key * 0x9e3779b97f4a7c15ULL) & mask;
+  while (slots_[i].key != 0 && slots_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void SleepCache::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? kInitialCapacity : old.size() * 2, Slot{});
+  for (const Slot& s : old) {
+    if (s.key != 0) {
+      // Spill chains move with the slot: arena addresses survive rehash.
+      slots_[find_slot(s.key)] = s;
+    }
+  }
+}
+
+bool SleepCache::subsumed(std::uint64_t raw_key, std::uint32_t sleep) const {
+  if (slots_.empty()) {
+    return false;
+  }
+  const std::uint64_t key = normalize_key(raw_key);
+  const Slot& slot = slots_[find_slot(key)];
+  if (slot.key != key) {
+    return false;
+  }
+  for (std::uint8_t i = 0; i < slot.inline_count; ++i) {
+    if ((slot.inline_masks[i] & ~sleep) == 0) {
+      return true;
+    }
+  }
+  for (const SpillNode* n = slot.spill_head; n != nullptr; n = n->next) {
+    if ((n->mask & ~sleep) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SleepCache::insert(std::uint64_t raw_key, std::uint32_t sleep) {
+  if (slots_.empty() || used_ * 10 >= slots_.size() * 7) {
+    grow();
+  }
+  const std::uint64_t key = normalize_key(raw_key);
+  insert_into(slots_[find_slot(key)], key, sleep);
+}
+
+bool SleepCache::check_and_insert(std::uint64_t raw_key,
+                                  std::uint32_t sleep) {
+  if (slots_.empty() || used_ * 10 >= slots_.size() * 7) {
+    grow();
+  }
+  const std::uint64_t key = normalize_key(raw_key);
+  Slot& slot = slots_[find_slot(key)];
+  if (slot.key == key) {
+    for (std::uint8_t i = 0; i < slot.inline_count; ++i) {
+      if ((slot.inline_masks[i] & ~sleep) == 0) {
+        return true;
+      }
+    }
+    for (const SpillNode* n = slot.spill_head; n != nullptr; n = n->next) {
+      if ((n->mask & ~sleep) == 0) {
+        return true;
+      }
+    }
+  }
+  insert_into(slot, key, sleep);
+  return false;
+}
+
+void SleepCache::insert_into(Slot& slot, std::uint64_t key,
+                             std::uint32_t sleep) {
+  if (slot.key == 0) {
+    slot.key = key;
+    ++used_;
+  }
+
+  // Drop stored supersets of the new mask: the new visit explores at
+  // least every branch they did, so the antichain stays minimal.
+  std::uint8_t kept = 0;
+  for (std::uint8_t i = 0; i < slot.inline_count; ++i) {
+    if ((sleep & ~slot.inline_masks[i]) != 0) {
+      slot.inline_masks[kept++] = slot.inline_masks[i];
+    }
+  }
+  slot.inline_count = kept;
+  SpillNode** link = &slot.spill_head;
+  while (*link != nullptr) {
+    SpillNode* node = *link;
+    if ((sleep & ~node->mask) == 0) {
+      *link = node->next;
+      node->next = spill_free_;
+      spill_free_ = node;
+      --spill_live_;
+    } else {
+      link = &node->next;
+    }
+  }
+
+  if (slot.inline_count < 2) {
+    slot.inline_masks[slot.inline_count++] = sleep;
+    return;
+  }
+  SpillNode* node;
+  if (spill_free_ != nullptr) {
+    node = spill_free_;
+    spill_free_ = node->next;
+  } else {
+    node = spill_arena_.alloc<SpillNode>(1);
+  }
+  node->mask = sleep;
+  node->next = slot.spill_head;
+  slot.spill_head = node;
+  ++spill_live_;
+}
+
+void SleepCache::clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  spill_arena_.reset();
+  spill_free_ = nullptr;
+  spill_live_ = 0;
+  used_ = 0;
+}
+
+std::size_t SleepCache::bytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         static_cast<std::size_t>(spill_arena_.bytes_reserved());
+}
+
+std::size_t SleepCache::live_bytes() const {
+  return used_ * sizeof(Slot) + spill_live_ * sizeof(SpillNode);
 }
 
 std::size_t VisitedTable::bytes() const {

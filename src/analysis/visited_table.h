@@ -89,6 +89,79 @@ class VisitedTable {
   std::size_t used_ = 0;
 };
 
+/// Sleep-set-aware visited cache for *stateful* source-DPOR.
+///
+/// Maps a state key (state fingerprint x objective digest — the sleep mask
+/// is NOT folded into the key) to the antichain of sleep masks the state
+/// was already explored under. The subsumption rule: a stored visit with
+/// sleep set S covers a new visit with sleep set S' iff S is a subset of
+/// S' — the stored subtree explored every branch outside S, a superset of
+/// the branches outside S', and leaf objectives are monotone, so every
+/// value the new visit could certify was already merged by the stored one.
+/// Depth needs no explicit dimension: process digests fold the full
+/// per-process unit history, so equal fingerprints imply equal schedule
+/// length (equal remaining depth budget) automatically.
+///
+/// Same layout discipline as VisitedTable: open addressing over a
+/// power-of-two slot array, two inline masks per key, longer antichains
+/// spilled into arena-backed nodes recycled through a free list. clear()
+/// keeps every reservation (slot array, slabs) so a worker can reuse one
+/// cache across work items with zero steady-state allocation — and the
+/// per-item clearing is what keeps the pruning (and every counter derived
+/// from it) thread-count invariant under the work-stealing executor.
+class SleepCache {
+ public:
+  SleepCache() = default;
+
+  /// True iff a stored visit of `key` subsumes a visit under `sleep`
+  /// (some stored mask is a subset of `sleep`).
+  [[nodiscard]] bool subsumed(std::uint64_t key, std::uint32_t sleep) const;
+
+  /// Records a visit of `key` under `sleep`, dropping stored supersets
+  /// (they are subsumed by the new, wider exploration).
+  void insert(std::uint64_t key, std::uint32_t sleep);
+
+  /// subsumed() + insert() in one probe — the explorer's per-node call.
+  bool check_and_insert(std::uint64_t key, std::uint32_t sleep);
+
+  /// Drops every entry but keeps the reserved capacity (slot array and
+  /// spill slabs) for reuse.
+  void clear();
+
+  /// Distinct keys stored.
+  [[nodiscard]] std::size_t size() const { return used_; }
+
+  /// Bytes reserved (slot capacity + spill slabs, freelist included).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Bytes of live entries (occupied slots + in-chain spill nodes).
+  [[nodiscard]] std::size_t live_bytes() const;
+
+ private:
+  struct SpillNode {
+    std::uint32_t mask = 0;
+    SpillNode* next = nullptr;
+  };
+
+  struct Slot {
+    std::uint64_t key = 0;  ///< 0 = empty (real key 0 is remapped)
+    std::uint32_t inline_masks[2] = {0, 0};
+    std::uint8_t inline_count = 0;  ///< masks are arbitrary: count, not
+                                    ///< sentinel, marks the used slots
+    SpillNode* spill_head = nullptr;
+  };
+
+  [[nodiscard]] std::size_t find_slot(std::uint64_t key) const;
+  void grow();
+  void insert_into(Slot& slot, std::uint64_t key, std::uint32_t sleep);
+
+  std::vector<Slot> slots_;
+  SlabArena spill_arena_{1024};
+  SpillNode* spill_free_ = nullptr;
+  std::size_t spill_live_ = 0;
+  std::size_t used_ = 0;
+};
+
 }  // namespace cfc
 
 #endif  // CFC_ANALYSIS_VISITED_TABLE_H

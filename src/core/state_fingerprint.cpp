@@ -9,13 +9,11 @@ std::uint64_t fingerprint_combine(std::uint64_t h, std::uint64_t v) {
 }
 
 std::uint64_t state_fingerprint(const Sim& sim) {
-  std::uint64_t h = fp_push(fp_mix(0x5f17e0ULL), sim.memory().fingerprint());
-  for (Pid p = 0; p < sim.process_count(); ++p) {
-    h = fp_push(h, sim.process_digest(p));
-    h = fp_push(h, (static_cast<std::uint64_t>(sim.status(p)) << 8) |
-                       static_cast<std::uint64_t>(sim.section(p)));
-  }
-  return h;
+  // O(1): the per-process half is Sim::proc_state_fp(), an XOR of slot
+  // hashes the simulator maintains with one batched update per unit — no
+  // per-node walk over the process table.
+  return fp_push(fp_mix(0x5f17e0ULL), sim.memory().fingerprint()) ^
+         sim.proc_state_fp();
 }
 
 }  // namespace cfc

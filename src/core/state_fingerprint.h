@@ -15,7 +15,9 @@ namespace cfc {
 
 /// 64-bit fingerprint of the global simulation state: the memory hash
 /// (RegisterFile::fingerprint) folded with every process's observation
-/// digest, status, and section.
+/// digest, status, and section. O(1) per call — both halves are
+/// incrementally maintained by the simulator (the per-process half with
+/// one batched update per scheduler unit, Sim::proc_state_fp).
 ///
 /// Soundness for visited-state pruning: a process body is a deterministic
 /// coroutine, so its local state (control point, locals, loop counters) is

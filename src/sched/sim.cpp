@@ -22,7 +22,22 @@ std::uint64_t initial_digest(Pid pid) {
   return fp_mix(0x5eedULL ^ static_cast<std::uint64_t>(pid));
 }
 
+/// Slot-id base separating per-process state-fingerprint contributions
+/// (Sim::procs_fp_) from RegisterFile slot ids in fp_slot's domain.
+constexpr std::uint64_t kProcFpSalt = 0x70c5a17e00ULL;
+
 }  // namespace
+
+void Sim::refresh_proc_fp(Pid pid) {
+  Proc& pr = procs_[static_cast<std::size_t>(pid)];
+  const std::uint64_t meta = (static_cast<std::uint64_t>(pr.status) << 8) |
+                             static_cast<std::uint64_t>(pr.section);
+  const std::uint64_t c =
+      fp_slot(kProcFpSalt + static_cast<std::uint64_t>(pid),
+              pr.digest ^ fp_mix(meta));
+  procs_fp_ ^= pr.fp_contrib ^ c;
+  pr.fp_contrib = c;
+}
 
 void Sim::remove_sink(EventSink& sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), &sink),
@@ -58,6 +73,8 @@ Pid Sim::spawn(std::string proc_name, BodyFactory factory) {
   pr.ctx.pending_slot_ = &pr.pending;
   pr.ctx.resume_slot_ = &pr.resume_point;
   pr.ctx.last_result_slot_ = &pr.last_result;
+  tape_.emplace_back();  // the pid's value tape (filled once rewindable)
+  refresh_proc_fp(pid);
   return pid;
 }
 
@@ -124,10 +141,9 @@ void Sim::ensure_started(Pid pid) {
   // the global heap is the better allocator for them.
   const FrameArena::Scope frame_scope(rewind_base_set_ ? &arena_ : nullptr);
   if (!bulk_replay_) {
+    // Start units deliver no value, so they have no tape entry: a pid's
+    // tape holds exactly its non-start units.
     sched_log_.push_back({pid, /*start_only=*/true});
-    if (rewind_base_set_) {
-      value_log_.push_back(0);  // start units deliver no value
-    }
   }
   pr.digest = fp_push(pr.digest, kDigestStart);
   pr.status = ProcStatus::Runnable;
@@ -141,11 +157,13 @@ void Sim::ensure_started(Pid pid) {
     pr.root.rethrow_if_exception();
     pr.status = ProcStatus::Done;
     record_terminal(pid, TraceEvent::Kind::Finish);
+    refresh_proc_fp(pid);  // batched: digest + status in one update
     return;
   }
   if (!pr.pending.has_value()) {
     throw std::logic_error("live process is not suspended at an access");
   }
+  refresh_proc_fp(pid);  // batched: start mark + prologue section changes
 }
 
 Sim::StepResult Sim::step(Pid pid) {
@@ -170,11 +188,11 @@ Sim::StepResult Sim::step(Pid pid) {
   if (!bulk_replay_) {
     sched_log_.push_back({pid, /*start_only=*/false});
     if (rewind_base_set_) {
-      // Placeholder, filled after the delivered value is known. Crash
+      // Tape placeholder, filled after the delivered value is known. Crash
       // units and units that throw before delivering keep the 0 — both
       // only ever occupy suffixes a rewind discards (a crashed process
       // never acts again; a violating unit is backtracked past).
-      value_log_.push_back(0);
+      tape_[static_cast<std::size_t>(pid)].push_back(0);
     }
   }
 
@@ -183,6 +201,7 @@ Sim::StepResult Sim::step(Pid pid) {
     last_step_.crashed = true;
     pr.status = ProcStatus::Crashed;
     record_terminal(pid, TraceEvent::Kind::Crash);
+    refresh_proc_fp(pid);  // batched: digest + status in one update
     return StepResult::CrashedNow;
   }
 
@@ -202,7 +221,7 @@ Sim::StepResult Sim::step(Pid pid) {
     // Before the resume: a unit that throws during its local run (e.g. a
     // mutual-exclusion violation at a section change) still records the
     // value it delivered.
-    value_log_.back() = pr.last_result;
+    tape_[static_cast<std::size_t>(pid)].back() = pr.last_result;
   }
   const std::coroutine_handle<> h = pr.resume_point;
   h.resume();
@@ -213,6 +232,10 @@ Sim::StepResult Sim::step(Pid pid) {
   } else if (!pr.pending.has_value()) {
     throw std::logic_error("live process is not suspended at an access");
   }
+  // ONE fingerprint update for the whole unit's write set: the access's
+  // digest fold, every section change the resume made, and any terminal
+  // status — instead of a procs_-wide rehash per explored node.
+  refresh_proc_fp(pid);
   return req.local_yield ? StepResult::LocalStep : StepResult::Access;
 }
 
@@ -465,6 +488,8 @@ void Sim::rewind_to(std::size_t prefix_len, std::uint64_t expect_fingerprint,
     pr.naccesses = 0;
     pr.crash_after = base_crash_[static_cast<std::size_t>(pid)];
     pr.digest = initial_digest(pid);
+    refresh_proc_fp(pid);  // replayed units re-refresh; unstepped pids
+                           // need the reset folded in here
   }
   mem_.restore(base_memory_);
   next_seq_ = base_seq_;
@@ -491,7 +516,19 @@ void Sim::rewind_to(std::size_t prefix_len, std::uint64_t expect_fingerprint,
   sched_log_.assign(replay_buf_.begin(),
                     replay_buf_.begin() +
                         static_cast<std::ptrdiff_t>(prefix_len));
-  value_log_.resize(prefix_len);  // prefix values are unchanged
+  // Truncate each pid's value tape to its unit count within the prefix
+  // (a per-pid subsequence of a log prefix is a prefix of the pid's tape,
+  // so the surviving values are unchanged).
+  unit_count_buf_.assign(procs_.size(), 0);
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    const SimCheckpoint::Unit u = replay_buf_[i];
+    if (!u.start_only) {
+      ++unit_count_buf_[static_cast<std::size_t>(u.pid)];
+    }
+  }
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    tape_[p].resize(unit_count_buf_[p]);
+  }
 
   rewind_stats_.rewinds += 1;
   rewind_stats_.replayed_units += prefix_len;
@@ -521,9 +558,14 @@ void Sim::capture_mark(RewindMark& mark) const {
   mark.prefix_len = sched_log_.size();
   mark.digests.resize(procs_.size());
   mark.naccesses.resize(procs_.size());
+  mark.pid_units.resize(procs_.size());
   for (std::size_t p = 0; p < procs_.size(); ++p) {
     mark.digests[p] = procs_[p].digest;
     mark.naccesses[p] = procs_[p].naccesses;
+    // Tape length + the start unit (in the log iff the process started).
+    mark.pid_units[p] = static_cast<std::uint32_t>(
+        tape_[p].size() +
+        (procs_[p].status != ProcStatus::NotStarted ? 1u : 0u));
   }
 }
 
@@ -540,13 +582,20 @@ std::size_t Sim::rewind_to_mark(const RewindMark& mark) {
     throw std::logic_error("Sim::rewind_to_mark: already replaying");
   }
   if (mark.digests.size() != procs_.size() ||
+      mark.pid_units.size() != procs_.size() ||
       procs_.size() != base_crash_.size()) {
     throw std::logic_error(
         "Sim::rewind_to_mark: process set changed since the mark/base");
   }
-  if (value_log_.size() != sched_log_.size()) {
+  std::size_t tape_units = 0;
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    tape_units += tape_[p].size() +
+                  (procs_[p].status != ProcStatus::NotStarted ? 1u : 0u);
+  }
+  if (tape_units != sched_log_.size()) {
     throw std::logic_error(
-        "Sim::rewind_to_mark: value log out of sync with the schedule log");
+        "Sim::rewind_to_mark: value tapes out of sync with the schedule "
+        "log");
   }
 
   // Which processes acted past the mark? Only they diverged from it.
@@ -579,35 +628,40 @@ std::size_t Sim::rewind_to_mark(const RewindMark& mark) {
   bulk_replay_ = true;
   try {
     const FrameArena::Scope frame_scope(&arena_);
-    for (std::size_t i = 0; i < mark.prefix_len; ++i) {
-      const SimCheckpoint::Unit u = sched_log_[i];
-      if (touched_buf_[static_cast<std::size_t>(u.pid)] == 0) {
+    // Per-pid replay off each touched process's own value tape: the units
+    // fed are exactly the ones owed, with no scan over the global schedule
+    // prefix (cross-pid order is irrelevant — a value replay reads no
+    // shared memory, only the recorded values). mark.pid_units == 0 means
+    // the process had not started at the mark: the reset above already put
+    // it in that state.
+    for (Pid pid = 0; pid < process_count(); ++pid) {
+      const auto up = static_cast<std::size_t>(pid);
+      if (touched_buf_[up] == 0 || mark.pid_units[up] == 0) {
         continue;
       }
-      ++fed;
-      if (u.start_only) {
-        ensure_started(u.pid);
-        continue;
-      }
-      Proc& pr = procs_[static_cast<std::size_t>(u.pid)];
-      if (pr.status == ProcStatus::NotStarted) {
-        ensure_started(u.pid);  // step() units fold the implicit start
-      }
-      // A touched process was runnable at the mark, so its prefix units
-      // contain no crash/finish: every one feeds a live suspension.
-      if (pr.status != ProcStatus::Runnable || !pr.pending.has_value()) {
-        throw std::logic_error(
-            "Sim::rewind_to_mark: touched process not suspended at an "
-            "access during value replay (log/mark mismatch?)");
-      }
-      pr.pending.reset();
-      pr.last_result = value_log_[i];
-      const std::coroutine_handle<> h = pr.resume_point;
-      h.resume();
-      if (pr.root.done() || !pr.pending.has_value()) {
-        throw std::logic_error(
-            "Sim::rewind_to_mark: value replay diverged (process finished "
-            "before its mark position)");
+      ++fed;  // the start unit
+      ensure_started(pid);
+      Proc& pr = procs_[up];
+      const Value* vals = tape_[up].data();
+      const std::uint32_t nvals = mark.pid_units[up] - 1;
+      for (std::uint32_t k = 0; k < nvals; ++k) {
+        // A touched process was runnable at the mark, so its prefix units
+        // contain no crash/finish: every one feeds a live suspension.
+        if (pr.status != ProcStatus::Runnable || !pr.pending.has_value()) {
+          throw std::logic_error(
+              "Sim::rewind_to_mark: touched process not suspended at an "
+              "access during value replay (log/mark mismatch?)");
+        }
+        ++fed;
+        pr.pending.reset();
+        pr.last_result = vals[k];
+        const std::coroutine_handle<> h = pr.resume_point;
+        h.resume();
+        if (pr.root.done() || !pr.pending.has_value()) {
+          throw std::logic_error(
+              "Sim::rewind_to_mark: value replay diverged (process "
+              "finished before its mark position)");
+        }
       }
     }
   } catch (...) {
@@ -624,14 +678,19 @@ std::size_t Sim::rewind_to_mark(const RewindMark& mark) {
   mem_.restore(mark.memory);
   next_seq_ = mark.seq;
   for (Pid pid = 0; pid < process_count(); ++pid) {
-    if (touched_buf_[static_cast<std::size_t>(pid)] != 0) {
-      Proc& pr = procs_[static_cast<std::size_t>(pid)];
-      pr.digest = mark.digests[static_cast<std::size_t>(pid)];
-      pr.naccesses = mark.naccesses[static_cast<std::size_t>(pid)];
+    const auto up = static_cast<std::size_t>(pid);
+    if (touched_buf_[up] != 0) {
+      Proc& pr = procs_[up];
+      pr.digest = mark.digests[up];
+      pr.naccesses = mark.naccesses[up];
+      refresh_proc_fp(pid);  // batched: mark digest + replayed status
+      // The pid's suffix tape entries die with the suffix; untouched
+      // processes have none, so their tapes are already at mark length.
+      const std::uint32_t nu = mark.pid_units[up];
+      tape_[up].resize(nu == 0 ? 0 : nu - 1);
     }
   }
   sched_log_.resize(mark.prefix_len);
-  value_log_.resize(mark.prefix_len);
   recorder_.clear();  // like any rewind, the restored run's trace is empty
 
   rewind_stats_.rewinds += 1;

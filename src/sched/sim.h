@@ -406,10 +406,10 @@ class Sim {
   /// schedule-log prefix. A mark does NOT capture coroutine frames (they
   /// cannot be copied); rewind_to_mark() instead *value-replays* only the
   /// processes that executed units past the mark, feeding each unit the
-  /// Value the original execution delivered (value_log_) so the coroutine
-  /// re-reaches its suspension point without touching memory. Processes
-  /// with no units past the mark are left entirely alone — the savings
-  /// over rewind_to(), which resets and replays every process.
+  /// Value the original execution delivered (its per-pid value tape) so the
+  /// coroutine re-reaches its suspension point without touching memory.
+  /// Processes with no units past the mark are left entirely alone — the
+  /// savings over rewind_to(), which resets and replays every process.
   struct RewindMark {
     MemorySnapshot memory;
     std::uint64_t fingerprint = 0;  ///< RegisterFile::fingerprint() at capture
@@ -417,6 +417,10 @@ class Sim {
     std::size_t prefix_len = 0;     ///< schedule-log length at capture
     std::vector<std::uint64_t> digests;    ///< per-pid process_digest()
     std::vector<std::uint64_t> naccesses;  ///< per-pid access_count()
+    /// Per-pid schedule-unit counts within the prefix (start unit
+    /// included): rewind_to_mark() walks each touched pid's own value tape
+    /// up to this count instead of scanning the whole schedule prefix.
+    std::vector<std::uint32_t> pid_units;
   };
 
   /// Captures a RewindMark at the current point of the run, reusing the
@@ -479,6 +483,17 @@ class Sim {
     return proc(pid).digest;
   }
 
+  /// Order-independent XOR of per-process (digest, status, section) slot
+  /// hashes, maintained with ONE batched update at the end of each unit —
+  /// covering every write the unit made (digest pushes, section changes,
+  /// status transitions) instead of hashing all processes per query. Makes
+  /// core/state_fingerprint O(1) per explored node. A unit that throws
+  /// leaves the value stale until the next rewind — the same
+  /// poisoned-until-restored contract the schedule log already has.
+  [[nodiscard]] std::uint64_t proc_state_fp() const noexcept {
+    return procs_fp_;
+  }
+
   /// --- Event sinks (observer interface). ---
 
   /// Subscribes a sink to the event stream. The sink must outlive the
@@ -538,6 +553,9 @@ class Sim {
     std::uint64_t naccesses = 0;
     std::optional<std::uint64_t> crash_after;
     std::uint64_t digest = 0;  ///< observation-history hash (process_digest)
+    /// This process's current contribution to Sim::procs_fp_ (the batched
+    /// per-unit state-fingerprint update swaps it out by XOR).
+    std::uint64_t fp_contrib = 0;
 
     Proc(Sim& sim, Pid pid, std::string n, BodyFactory f)
         : name(std::move(n)), factory(std::move(f)), ctx(sim, pid) {}
@@ -554,6 +572,10 @@ class Sim {
   void on_output(Pid pid, int value);
   void record_terminal(Pid pid, TraceEvent::Kind kind);
 
+  /// The batched per-unit fingerprint update: recomputes `pid`'s slot hash
+  /// over its (digest, status, section) and swaps it into procs_fp_.
+  void refresh_proc_fp(Pid pid);
+
   /// Publishes the event: materializes it when recording is on, then
   /// notifies every subscribed sink.
   void emit(const TraceEvent& ev);
@@ -568,13 +590,19 @@ class Sim {
   /// and replayed from, so the log is never copied and both buffers keep
   /// their capacity across rewinds (steady-state allocation-free).
   std::vector<SimCheckpoint::Unit> replay_buf_;
-  /// Parallel to sched_log_ (rewindable simulations only): the Value each
-  /// unit delivered to its process (Proc::last_result after the unit; 0
-  /// for start/yield/crash units). rewind_to_mark() feeds these back to
-  /// touched coroutines instead of re-executing their accesses.
-  std::vector<Value> value_log_;
+  /// Per-pid value tapes (rewindable simulations only): for each process,
+  /// the Value each of its non-start units delivered (Proc::last_result
+  /// after the unit; 0 for yield/crash units), in its own program order.
+  /// rewind_to_mark() feeds a touched process its own tape back instead of
+  /// re-executing accesses — and, because the tape is already per-pid, it
+  /// never scans the global schedule prefix for the process's units.
+  std::vector<std::vector<Value>> tape_;
   /// Scratch for rewind_to_mark's touched-process scan (recycled).
   std::vector<char> touched_buf_;
+  /// Scratch for rewind_to's per-pid tape truncation (recycled).
+  std::vector<std::uint32_t> unit_count_buf_;
+  /// XOR accumulator behind proc_state_fp().
+  std::uint64_t procs_fp_ = 0;
   /// mark_rewind_base() baseline.
   bool rewind_base_set_ = false;
   MemorySnapshot base_memory_;

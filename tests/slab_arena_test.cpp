@@ -1,0 +1,97 @@
+// SlabArena mechanics: geometric block growth, pointer stability across
+// growth, reset/reuse of the reserved blocks, and the reserved-footprint
+// accounting the visited caches report through their bytes() methods.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "analysis/slab_arena.h"
+
+namespace cfc {
+namespace {
+
+TEST(SlabArena, GrowsGeometrically) {
+  SlabArena arena(64);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  (void)arena.alloc<char>(1);
+  EXPECT_EQ(arena.bytes_reserved(), 64u);
+  // Fill the first block, then force a second and a third: each block
+  // doubles the previous one's size.
+  (void)arena.alloc<char>(63);
+  (void)arena.alloc<char>(100);  // does not fit 64: new 128-byte block
+  EXPECT_EQ(arena.bytes_reserved(), 64u + 128u);
+  (void)arena.alloc<char>(200);  // does not fit 128: new 256-byte block
+  EXPECT_EQ(arena.bytes_reserved(), 64u + 128u + 256u);
+}
+
+TEST(SlabArena, OversizeAllocationGetsABigEnoughBlock) {
+  SlabArena arena(64);
+  char* p = arena.alloc<char>(1000);
+  ASSERT_NE(p, nullptr);
+  // The block doubles from the base size until the request fits.
+  EXPECT_EQ(arena.bytes_reserved(), 1024u);
+  std::memset(p, 0x5a, 1000);  // the whole span is writable
+}
+
+TEST(SlabArena, TinyFirstBlockIsClampedUp) {
+  SlabArena arena(1);
+  (void)arena.alloc<char>(1);
+  EXPECT_EQ(arena.bytes_reserved(), 64u);
+}
+
+TEST(SlabArena, PointersSurviveGrowth) {
+  SlabArena arena(64);
+  std::uint64_t* first = arena.alloc<std::uint64_t>(4);
+  for (int i = 0; i < 4; ++i) {
+    first[i] = 0x1234567800ULL + static_cast<std::uint64_t>(i);
+  }
+  // Force several new blocks: earlier blocks are never moved or freed.
+  for (int i = 0; i < 8; ++i) {
+    (void)arena.alloc<char>(512);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(first[i], 0x1234567800ULL + static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(SlabArena, ResetReusesBlocksWithoutReallocating) {
+  SlabArena arena(64);
+  char* first = arena.alloc<char>(32);
+  (void)arena.alloc<char>(100);  // second block
+  (void)arena.alloc<char>(300);  // third block
+  const std::uint64_t reserved = arena.bytes_reserved();
+  EXPECT_EQ(reserved, 64u + 128u + 512u);
+
+  arena.reset();
+  // The footprint is unchanged and the cursor is back at the first block:
+  // the same allocation pattern lands on the same storage.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  char* again = arena.alloc<char>(32);
+  EXPECT_EQ(again, first);
+  (void)arena.alloc<char>(100);
+  (void)arena.alloc<char>(300);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(SlabArena, RespectsAlignment) {
+  SlabArena arena(64);
+  (void)arena.alloc<char>(3);  // misalign the cursor
+  std::uint64_t* p = arena.alloc<std::uint64_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t),
+            0u);
+  *p = ~0ULL;  // writable at the aligned address
+}
+
+TEST(SlabArena, ZeroCountAllocationIsNonNullAndDistinct) {
+  SlabArena arena(64);
+  char* a = arena.alloc<char>(0);
+  char* b = arena.alloc<char>(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace cfc

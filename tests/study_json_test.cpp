@@ -45,10 +45,14 @@ StudyResult golden_fixture() {
   r.measured_atomicity = 1;
   r.has_wc = true;
   r.wc_strategy = SearchStrategy::Exhaustive;
+  // requested != used: the hybrid probe picked source-dpor — exercises
+  // the auditable-choice pair of the stateful/hybrid schema extension.
   r.wc_reduction = ReductionPolicy::SourceDpor;
+  r.wc_reduction_requested = ReductionPolicy::Hybrid;
   r.races_detected = 21;
   r.backtrack_points = 9;
   r.sleep_blocked = 4;
+  r.cache_hits = 17;
   r.work_items = 6;
   r.restore_marks = 33;
   r.wc = report(14, 4, 6, 8, 3, 4, 1, true);
@@ -59,6 +63,7 @@ StudyResult golden_fixture() {
   r.violations = 0;
   r.truncated = true;
   r.certified = true;
+  r.frontier_clamped = true;
   r.wall_ms = 1.5;
   return r;
 }
@@ -112,9 +117,11 @@ TEST(StudyJson, RoundTripsByteIdentically) {
   EXPECT_EQ(parsed.has_wc, original.has_wc);
   EXPECT_EQ(parsed.wc_strategy, original.wc_strategy);
   EXPECT_EQ(parsed.wc_reduction, original.wc_reduction);
+  EXPECT_EQ(parsed.wc_reduction_requested, original.wc_reduction_requested);
   EXPECT_EQ(parsed.races_detected, original.races_detected);
   EXPECT_EQ(parsed.backtrack_points, original.backtrack_points);
   EXPECT_EQ(parsed.sleep_blocked, original.sleep_blocked);
+  EXPECT_EQ(parsed.cache_hits, original.cache_hits);
   EXPECT_EQ(parsed.work_items, original.work_items);
   EXPECT_EQ(parsed.restore_marks, original.restore_marks);
   expect_reports_equal(parsed.wc, original.wc, "wc");
@@ -125,6 +132,7 @@ TEST(StudyJson, RoundTripsByteIdentically) {
   EXPECT_EQ(parsed.violations, original.violations);
   EXPECT_EQ(parsed.truncated, original.truncated);
   EXPECT_EQ(parsed.certified, original.certified);
+  EXPECT_EQ(parsed.frontier_clamped, original.frontier_clamped);
   EXPECT_DOUBLE_EQ(parsed.wall_ms, original.wall_ms);
 }
 
@@ -202,6 +210,32 @@ TEST(StudyJson, ParallelCountersOptionalForPreParallelPayloads) {
   EXPECT_EQ(parsed.races_detected, 21u);
   EXPECT_EQ(parsed.work_items, 0u);
   EXPECT_EQ(parsed.restore_marks, 0u);
+}
+
+TEST(StudyJson, StatefulCountersOptionalForPreStatefulPayloads) {
+  // Payloads written before stateful/hybrid DPOR carry a reduction object
+  // without requested/cache_hits and a wc object without frontier_clamped;
+  // they parse with requested defaulting to the used policy (the two never
+  // diverged before hybrid), zero cache hits, and an unclamped frontier.
+  std::string json = to_json(golden_fixture());
+  const std::string req = ", \"requested\": \"hybrid\"";
+  const std::size_t rat = json.find(req);
+  ASSERT_NE(rat, std::string::npos);
+  json.erase(rat, req.size());
+  const std::string ch = ", \"cache_hits\": 17";
+  const std::size_t cat = json.find(ch);
+  ASSERT_NE(cat, std::string::npos);
+  json.erase(cat, ch.size());
+  const std::string fc = ",\n    \"frontier_clamped\": true";
+  const std::size_t fat = json.find(fc);
+  ASSERT_NE(fat, std::string::npos);
+  json.erase(fat, fc.size());
+  const StudyResult parsed = study_from_json(json);
+  EXPECT_EQ(parsed.wc_reduction, ReductionPolicy::SourceDpor);
+  EXPECT_EQ(parsed.wc_reduction_requested, ReductionPolicy::SourceDpor);
+  EXPECT_EQ(parsed.cache_hits, 0u);
+  EXPECT_FALSE(parsed.frontier_clamped);
+  EXPECT_EQ(parsed.races_detected, 21u);
 }
 
 TEST(StudyJson, EscapesSubjectStrings) {
