@@ -75,6 +75,7 @@ void ExploreStats::merge(const ExploreStats& o) {
   races_detected += o.races_detected;
   backtrack_points += o.backtrack_points;
   sleep_blocked += o.sleep_blocked;
+  static_refined_pairs += o.static_refined_pairs;
   restores += o.restores;
   replayed_steps += o.replayed_steps;
   value_replayed_steps += o.value_replayed_steps;
@@ -245,6 +246,7 @@ class CellExplorer {
     // index order, keeping the totals thread-count invariant.
     out.stats.races_detected += dpor_->stats().races_detected;
     out.stats.backtrack_points += dpor_->stats().backtrack_points;
+    out.stats.static_refined_pairs += dpor_->stats().static_refined_pairs;
   }
 
  private:
@@ -480,7 +482,7 @@ class CellExplorer {
     }
     NextStep* out = pend_pool_.data() + base;
     for (Pid p = 0; p < cfg_.nprocs; ++p) {
-      out[static_cast<std::size_t>(p)] = next_step_of(*sim_, p);
+      out[static_cast<std::size_t>(p)] = next_step_of(*sim_, p, cfg_.statics.get());
     }
   }
 
@@ -636,7 +638,7 @@ class CellExplorer {
         const std::span<const NextStep> pends = pend_at(depth);
         child_sleep =
             transfer_sleep_lite(candidates, pends[static_cast<std::size_t>(p)],
-                                pends)
+                                pends, &out_->stats.static_refined_pairs)
                 .mask();
       }
       const int switch_cost = (last != -1 && p != last) ? 1 : 0;
@@ -759,7 +761,7 @@ class CellExplorer {
             sleep & ~(1u << static_cast<unsigned>(p));
         const std::uint32_t child_sleep =
             transfer_sleep(SleepSet(candidates), sim_->last_step_summary(),
-                           pend_at(depth))
+                           pend_at(depth), &out_->stats.static_refined_pairs)
                 .mask();
         dfs_source(depth + 1, p, child_sleep);
       }
@@ -877,7 +879,7 @@ class CellExplorer {
             sleep & ~(1u << static_cast<unsigned>(p));
         const std::uint32_t child_sleep =
             transfer_sleep(SleepSet(candidates), sim_->last_step_summary(),
-                           pend_at(depth))
+                           pend_at(depth), &out_->stats.static_refined_pairs)
                 .mask();
         path_.push_back(p);
         plan_dfs(depth + 1, p, child_sleep, horizon, arena, items);
@@ -959,6 +961,16 @@ Explorer::Explorer(Config cfg) : cfg_(std::move(cfg)) {
       throw std::invalid_argument(
           "Explorer: partial-order reduction supports at most 32 processes");
     }
+  }
+  // Static refinement (src/sa/): build the footprint/conflict model once,
+  // here — run() is const and every walk (grid cells, planner, workers,
+  // hybrid probes via Config copies) must share one deterministic model.
+  // Random search never consults pending-side dependence, so the flag is
+  // inert there and the analysis cost is skipped.
+  if (cfg_.limits.static_refine &&
+      cfg_.strategy != SearchStrategy::Random && !cfg_.statics) {
+    cfg_.statics = std::make_shared<const StaticModel>(
+        StaticModel::analyze(cfg_.setup, cfg_.nprocs));
   }
 }
 

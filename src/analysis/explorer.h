@@ -10,6 +10,7 @@
 
 #include "analysis/experiment_runner.h"
 #include "core/streaming_measures.h"
+#include "sa/static_summary.h"
 #include "sched/sched.h"
 #include "sched/sim.h"
 
@@ -144,6 +145,16 @@ struct ExploreLimits {
   /// back whenever reduction == SleepLite, so introspection through
   /// either field agrees). Exhaustive strategy only, like every policy.
   bool reduce_independent = false;
+  /// Static dependence refinement (src/sa/): the Explorer dry-runs the
+  /// configuration's footprint pass once up front (StaticModel::analyze)
+  /// and the DFS strategies consult the resulting may-conflict table to
+  /// refine the worst-case pending-side dependence checks — unstarted
+  /// first units, armed crash units, and statically section-quiet plain
+  /// writes (see por/dependence.h for the refinement and its soundness
+  /// split). Value-preserving by construction/gating: the sa differential
+  /// suite pins refined results bit-identical to unrefined ones. Off by
+  /// default (opt-in per search); ignored by the Random strategy.
+  bool static_refine = false;
 };
 
 struct ExploreStats {
@@ -158,6 +169,14 @@ struct ExploreStats {
   std::uint64_t backtrack_points = 0; ///< SourceDpor: source-set insertions
   std::uint64_t sleep_blocked = 0;    ///< enabled branches skipped asleep
                                       ///< (== pruned_independent, new name)
+  /// Pending-side dependence pairs the static refinement
+  /// (ExploreLimits::static_refine, src/sa/) flipped from worst-case
+  /// dependent to independent — each one a sleep transfer kept, a
+  /// cut-point bucket not placed, or an initial-set membership granted
+  /// that the unrefined relation would have denied. Zero when the
+  /// refinement is off. Thread-count invariant, like every counter here
+  /// except steals/sims_built.
+  std::uint64_t static_refined_pairs = 0;
   std::uint64_t restores = 0;        ///< sibling backtracks performed
   /// Schedule units re-executed *live* by restores — the full simulation
   /// replay of the plain rewind and fork-by-replay paths. Mark-based
@@ -262,6 +281,11 @@ class Explorer {
     std::vector<std::uint64_t> seeds;  ///< Random: one run per seed
     std::uint64_t random_budget = 200'000;  ///< Random: steps per run
     ExploreObjective objective;
+    /// The static may-conflict table (limits.static_refine): built once
+    /// by the Explorer constructor from `setup`, shared read-only across
+    /// every cell/worker (and inherited by Hybrid's probe Explorers, so
+    /// the pass runs once per search). Null when refinement is off.
+    std::shared_ptr<const StaticModel> statics;
   };
 
   struct Result {

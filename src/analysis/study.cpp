@@ -101,6 +101,11 @@ StudySpec& StudySpec::reduction(ReductionPolicy policy) {
   return *this;
 }
 
+StudySpec& StudySpec::static_refine(bool on) {
+  search.limits.static_refine = on;
+  return *this;
+}
+
 StudySpec& StudySpec::detector_battery() {
   search.detector_round_robin = true;
   return *this;
@@ -129,10 +134,14 @@ StudySpec& StudySpec::limits(const ExploreLimits& l) {
   // carrying a policy / the legacy sleep-lite flag — always wins; to
   // force the unreduced tree, call reduction(ReductionPolicy::Off).
   const ReductionPolicy keep = search.limits.reduction;
+  // static_refine() is sticky the same way: a struct that leaves the flag
+  // at its (false) default keeps an earlier opt-in.
+  const bool keep_sa = search.limits.static_refine;
   search.limits = l;
   if (effective_reduction(l) == ReductionPolicy::Off) {
     search.limits.reduction = keep;
   }
+  search.limits.static_refine = search.limits.static_refine || keep_sa;
   return *this;
 }
 
@@ -205,6 +214,7 @@ void fill_search_stats(StudyResult& out, const Explorer::Result& r,
   out.cache_hits = r.stats.pruned_visited;
   out.work_items = r.stats.work_items;
   out.restore_marks = r.stats.restore_marks;
+  out.static_refined_pairs = r.stats.static_refined_pairs;
   out.frontier_clamped = r.stats.frontier_clamped;
   out.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
   out.states_visited = r.stats.states_visited;
@@ -699,6 +709,7 @@ std::string search_key(const WorstCaseSearchOptions& o) {
          "|frontier=" + std::to_string(o.limits.frontier_depth) +
          "|prune=" + std::to_string(o.limits.prune_visited ? 1 : 0) +
          "|reduction=" + name(effective) +
+         "|sa=" + std::to_string(o.limits.static_refine ? 1 : 0) +
          "|rr=" + std::to_string(o.detector_round_robin ? 1 : 0) +
          "|crash=" + seeds_key(o.crash_after);
 }
@@ -978,7 +989,9 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
            ", \"sleep_blocked\": " + std::to_string(r.sleep_blocked) +
            ", \"cache_hits\": " + std::to_string(r.cache_hits) +
            ", \"work_items\": " + std::to_string(r.work_items) +
-           ", \"restore_marks\": " + std::to_string(r.restore_marks) + "}";
+           ", \"restore_marks\": " + std::to_string(r.restore_marks) +
+           ", \"static_refined_pairs\": " +
+           std::to_string(r.static_refined_pairs) + "}";
     out += ",\n    \"total\": ";
     append_report(out, r.wc);
     out += ",\n    \"entry\": ";
@@ -1411,6 +1424,11 @@ StudyResult study_from_json(const std::string& json) {
               : reduction_from(to_string_field(req->second));
       const auto ch = red.object.find("cache_hits");
       r.cache_hits = ch == red.object.end() ? 0 : to_u64(ch->second);
+      // Added by the static model analysis (src/sa/): optional, so
+      // pre-SA payloads keep parsing (they default to zero).
+      const auto sr = red.object.find("static_refined_pairs");
+      r.static_refined_pairs =
+          sr == red.object.end() ? 0 : to_u64(sr->second);
     }
     r.wc = report_from(member(wc, "total"));
     r.wc_entry = report_from(member(wc, "entry"));

@@ -33,6 +33,33 @@ const auto& find_or_throw(const MapT& map, std::string_view name,
   return it->second;
 }
 
+/// Registration-time metadata validation (shared by every kind): the
+/// registry is the single source the linter, the benches, and the
+/// experiment engine trust, so structurally impossible metadata is
+/// rejected at self-registration instead of surfacing as a confusing
+/// downstream failure. Runs before the emplace — a rejected entry never
+/// becomes visible.
+void validate_info(const AlgorithmInfo& info, const char* kind) {
+  if (info.name.empty()) {
+    throw std::logic_error(std::string(kind) +
+                           " registration with an empty name");
+  }
+  if (info.max_n != 0 && info.max_n < 2) {
+    // Every problem here is a multi-process coordination problem; a
+    // capacity below two processes can only be a typo.
+    throw std::logic_error(std::string(kind) + " algorithm '" + info.name +
+                           "' declares max_n=" + std::to_string(info.max_n) +
+                           " (capacities must allow at least 2 processes)");
+  }
+  if (info.pow2_n_only && info.max_n != 0 &&
+      !bounds::is_power_of_two(info.max_n)) {
+    throw std::logic_error(
+        std::string(kind) + " algorithm '" + info.name +
+        "' sets pow2_n_only but declares non-power-of-two max_n=" +
+        std::to_string(info.max_n));
+  }
+}
+
 }  // namespace
 
 bool AlgorithmInfo::has_tag(std::string_view tag) const {
@@ -82,6 +109,7 @@ AlgorithmRegistry& AlgorithmRegistry::instance() {
 }
 
 void AlgorithmRegistry::add_mutex(AlgorithmInfo info, MutexFactory factory) {
+  validate_info(info, "mutex");
   const std::string name = info.name;
   if (!mutex_.emplace(name, MutexAlgorithmEntry{std::move(info),
                                                 std::move(factory)})
@@ -92,6 +120,7 @@ void AlgorithmRegistry::add_mutex(AlgorithmInfo info, MutexFactory factory) {
 
 void AlgorithmRegistry::add_naming(AlgorithmInfo info,
                                    NamingFactory factory) {
+  validate_info(info, "naming");
   const std::string name = info.name;
   if (!naming_.emplace(name, NamingAlgorithmEntry{std::move(info),
                                                   std::move(factory)})
@@ -103,6 +132,7 @@ void AlgorithmRegistry::add_naming(AlgorithmInfo info,
 
 void AlgorithmRegistry::add_detector(AlgorithmInfo info,
                                      DetectorFactory factory) {
+  validate_info(info, "detector");
   const std::string name = info.name;
   if (!detector_.emplace(name, DetectorAlgorithmEntry{std::move(info),
                                                       std::move(factory)})

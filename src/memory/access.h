@@ -34,6 +34,10 @@ struct Access {
   Value before = 0;               ///< register value before the access
   Value after = 0;                ///< register value after the access
   int width = 1;                  ///< register width (atomicity bookkeeping)
+  /// Multi-grain sub-word store (write_field): the written window. A plain
+  /// whole-register write records field_width == 0.
+  int field_shift = 0;
+  int field_width = 0;
 
   /// True iff the access is a read in the read/write-step refinement used by
   /// Lemma 3 (read-step vs write-step complexity). For bit ops, only
@@ -57,6 +61,19 @@ struct Access {
       return can_modify(bit_op);
     }
     return false;
+  }
+
+  /// Bit mask of the register the access may modify: the field window for
+  /// a sub-word store, the full register width for every other write, and
+  /// 0 for a pure read.
+  [[nodiscard]] Value written_mask() const {
+    if (!is_write()) {
+      return 0;
+    }
+    const int w = field_width > 0 ? field_width : width;
+    const Value mask = w >= 64 ? ~Value{0} : ((Value{1} << w) - 1);
+    return field_width > 0 ? mask << static_cast<unsigned>(field_shift)
+                           : mask;
   }
 };
 

@@ -45,17 +45,20 @@ class SleepSet {
 /// wakes the sleeper. `pends` holds every process's NextStep captured at
 /// the parent node, indexed by pid; the executing process itself must not
 /// be in `candidates`.
+/// `refined_pairs`, when non-null, accumulates the statically refined
+/// pairs the transfer kept asleep (por/dependence.h counter overloads).
 [[nodiscard]] SleepSet transfer_sleep(SleepSet candidates,
                                       const StepSummary& taken,
-                                      std::span<const NextStep> pends);
+                                      std::span<const NextStep> pends,
+                                      std::uint64_t* refined_pairs = nullptr);
 
 /// PR 4's sleep-set-lite transfer, kept verbatim for the `sleep-lite`
 /// compatibility policy: both sides are the *pending* captures from the
 /// parent node, compared under the register-only lite_independent
 /// relation.
-[[nodiscard]] SleepSet transfer_sleep_lite(SleepSet candidates,
-                                           const NextStep& taken,
-                                           std::span<const NextStep> pends);
+[[nodiscard]] SleepSet transfer_sleep_lite(
+    SleepSet candidates, const NextStep& taken,
+    std::span<const NextStep> pends, std::uint64_t* refined_pairs = nullptr);
 
 }  // namespace cfc
 

@@ -1,0 +1,301 @@
+#include "sa/lint.h"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/contention_detection.h"
+#include "memory/register_file.h"
+#include "mutex/mutex_algorithm.h"
+#include "naming/naming_algorithm.h"
+#include "sa/static_summary.h"
+#include "sched/sim.h"
+
+namespace cfc {
+
+const char* name(LintSeverity s) {
+  return s == LintSeverity::Error ? "error" : "warning";
+}
+
+std::string LintDiagnostic::format() const {
+  std::string out = name(severity);
+  out += '[';
+  out += rule;
+  out += "] ";
+  out += kind;
+  out += '/';
+  out += subject;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+bool has_errors(const std::vector<LintDiagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [](const LintDiagnostic& d) {
+                       return d.severity == LintSeverity::Error;
+                     });
+}
+
+namespace {
+
+/// Largest declared max_n the capacity rule instantiates at (every current
+/// entry declares 0 or 2; the cap keeps a future mis-declared huge max_n
+/// from turning the lint into a stress test).
+constexpr int kMaxDeclaredProbe = 16;
+
+int default_probe_n(const AlgorithmInfo& info) {
+  // 2 is within every declared capacity (registration validates max_n >= 2
+  // when set) and is a power of two, so the pow2 flag never blocks it.
+  return info.max_n != 0 ? std::min(2, info.max_n) : 2;
+}
+
+void add(std::vector<LintDiagnostic>& out, LintSeverity sev,
+         std::string rule, std::string kind, const std::string& subject,
+         std::string message) {
+  out.push_back(LintDiagnostic{sev, std::move(rule), std::move(kind),
+                               subject, std::move(message)});
+}
+
+/// capacity-metadata: declared AlgorithmInfo vs the instances it builds.
+/// `capacity_at` instantiates the factory at a given n and reports the
+/// instance's capacity() (instantiation happens inside, per kind).
+template <typename CapacityAt>
+void lint_capacity(std::vector<LintDiagnostic>& out, const AlgorithmInfo& info,
+                   const std::string& kind, int probe_n, int probe_capacity,
+                   const CapacityAt& capacity_at) {
+  if (probe_capacity < probe_n) {
+    add(out, LintSeverity::Error, "capacity-metadata", kind, info.name,
+        "capacity() at probe n=" + std::to_string(probe_n) + " is " +
+            std::to_string(probe_capacity) + " < n");
+  }
+  if (info.pow2_n_only && info.max_n != 0 &&
+      !std::has_single_bit(static_cast<unsigned>(info.max_n))) {
+    add(out, LintSeverity::Error, "capacity-metadata", kind, info.name,
+        "pow2_n_only is set but declared max_n=" +
+            std::to_string(info.max_n) + " is not a power of two");
+  }
+  if (info.max_n > probe_n && info.max_n <= kMaxDeclaredProbe) {
+    const int cap = capacity_at(info.max_n);
+    if (cap < info.max_n) {
+      add(out, LintSeverity::Error, "capacity-metadata", kind, info.name,
+          "declared max_n=" + std::to_string(info.max_n) +
+              " but capacity() at that size is " + std::to_string(cap));
+    }
+  }
+}
+
+/// dead-register: allocated but never touched by any collected unit.
+/// Aggregated into one diagnostic per subject — tree algorithms allocate
+/// their full structural layout and leave most of it untouched at a small
+/// probe n, and a per-register warning would drown the report in hundreds
+/// of lines.
+void lint_dead_registers(std::vector<LintDiagnostic>& out,
+                         const StaticModel& model, const RegisterFile& mem,
+                         const std::string& kind,
+                         const std::string& subject) {
+  constexpr std::size_t kNamesShown = 4;
+  std::vector<std::string> dead;
+  for (RegId r = 0; r < static_cast<RegId>(mem.size()); ++r) {
+    if (!model.facts(r).observed) {
+      dead.emplace_back(mem.reg_name(r));
+    }
+  }
+  if (dead.empty()) {
+    return;
+  }
+  std::string msg = std::to_string(dead.size()) +
+                    " register(s) never accessed by any collected unit at "
+                    "probe n=" +
+                    std::to_string(model.nprocs()) + ":";
+  for (std::size_t i = 0; i < dead.size() && i < kNamesShown; ++i) {
+    msg += " '" + dead[i] + "'";
+  }
+  if (dead.size() > kNamesShown) {
+    msg += " (+" + std::to_string(dead.size() - kNamesShown) + " more)";
+  }
+  add(out, LintSeverity::Warning, "dead-register", kind, subject,
+      std::move(msg));
+}
+
+/// atomicity-mismatch: some observed register is wider than the declared l.
+void lint_atomicity(std::vector<LintDiagnostic>& out,
+                    const StaticModel& model, const RegisterFile& mem,
+                    int declared, const std::string& kind,
+                    const std::string& subject) {
+  for (RegId r = 0; r < static_cast<RegId>(mem.size()); ++r) {
+    if (model.facts(r).observed && mem.width(r) > declared) {
+      add(out, LintSeverity::Error, "atomicity-mismatch", kind, subject,
+          "register '" + std::string(mem.reg_name(r)) + "' is " +
+              std::to_string(mem.width(r)) +
+              " bits wide but the declared atomicity is " +
+              std::to_string(declared));
+    }
+  }
+}
+
+/// field-overlap: two write_field windows on one register that partially
+/// overlap (identical or disjoint windows are the two sound layouts).
+void lint_field_overlap(std::vector<LintDiagnostic>& out,
+                        const StaticModel& model, const RegisterFile& mem,
+                        const std::string& kind, const std::string& subject) {
+  for (RegId r = 0; r < static_cast<RegId>(mem.size()); ++r) {
+    const RegisterFacts& f = model.facts(r);
+    for (std::size_t i = 0; i < f.field_windows.size(); ++i) {
+      for (std::size_t j = i + 1; j < f.field_windows.size(); ++j) {
+        const auto [s1, w1] = f.field_windows[i];
+        const auto [s2, w2] = f.field_windows[j];
+        const bool identical = s1 == s2 && w1 == w2;
+        const bool disjoint = s1 + w1 <= s2 || s2 + w2 <= s1;
+        if (!identical && !disjoint) {
+          add(out, LintSeverity::Error, "field-overlap", kind, subject,
+              "register '" + std::string(mem.reg_name(r)) +
+                  "' has partially overlapping write_field windows [" +
+                  std::to_string(s1) + "+" + std::to_string(w1) + ") and [" +
+                  std::to_string(s2) + "+" + std::to_string(w2) + ")");
+        }
+      }
+    }
+  }
+}
+
+/// section-protocol: every solo run must terminate in Remainder/Done, and a
+/// mutex solo run that entered its entry section must reach its exit
+/// section (the windowed measures hang off that pairing).
+void lint_sections(std::vector<LintDiagnostic>& out, const StaticModel& model,
+                   bool expect_entry_exit, const std::string& kind,
+                   const std::string& subject) {
+  for (Pid p = 0; p < static_cast<Pid>(model.nprocs()); ++p) {
+    const SoloOutcome& solo = model.solo_outcome(p);
+    if (!solo.completed) {
+      add(out, LintSeverity::Error, "section-protocol", kind, subject,
+          "pid " + std::to_string(p) +
+              " did not complete its solo run within the unit budget "
+              "(stuck in section '" + std::string(name(solo.final_section)) +
+              "' after " + std::to_string(solo.units) + " units)");
+      continue;
+    }
+    if (solo.final_section != Section::Remainder &&
+        solo.final_section != Section::Done) {
+      add(out, LintSeverity::Error, "section-protocol", kind, subject,
+          "pid " + std::to_string(p) + " terminated in section '" +
+              std::string(name(solo.final_section)) +
+              "' instead of Remainder/Done");
+    }
+    if (expect_entry_exit && solo.entered_entry && !solo.entered_exit) {
+      add(out, LintSeverity::Error, "section-protocol", kind, subject,
+          "pid " + std::to_string(p) +
+              " entered its entry section but never reached the exit "
+              "section");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintDiagnostic> lint_mutex(const MutexAlgorithmEntry& entry,
+                                       int probe_n) {
+  std::vector<LintDiagnostic> out;
+  const int n = probe_n > 0 ? probe_n : default_probe_n(entry.info);
+  Sim probe;
+  const auto alg = entry.factory(probe.memory(), n);
+  const MutexFactory make = entry.factory;
+  const StaticModel model = StaticModel::analyze(
+      [make, n](Sim& sim) -> std::shared_ptr<void> {
+        return setup_mutex(sim, make, n, /*sessions=*/1);
+      },
+      n);
+  lint_capacity(out, entry.info, "mutex", n, alg->capacity(),
+                [&](int at) {
+                  Sim big;
+                  return entry.factory(big.memory(), at)->capacity();
+                });
+  lint_dead_registers(out, model, probe.memory(), "mutex", entry.info.name);
+  lint_atomicity(out, model, probe.memory(), alg->atomicity(), "mutex",
+                 entry.info.name);
+  lint_field_overlap(out, model, probe.memory(), "mutex", entry.info.name);
+  lint_sections(out, model, /*expect_entry_exit=*/true, "mutex",
+                entry.info.name);
+  return out;
+}
+
+std::vector<LintDiagnostic> lint_naming(const NamingAlgorithmEntry& entry,
+                                        int probe_n) {
+  std::vector<LintDiagnostic> out;
+  const int n = probe_n > 0 ? probe_n : default_probe_n(entry.info);
+  Sim probe;
+  const auto alg = entry.factory(probe.memory(), n);
+  const NamingFactory make = entry.factory;
+  const StaticModel model = StaticModel::analyze(
+      [make, n](Sim& sim) -> std::shared_ptr<void> {
+        return setup_naming(sim, make, n);
+      },
+      n);
+  lint_capacity(out, entry.info, "naming", n, alg->capacity(),
+                [&](int at) {
+                  Sim big;
+                  return entry.factory(big.memory(), at)->capacity();
+                });
+  lint_dead_registers(out, model, probe.memory(), "naming", entry.info.name);
+  // Naming runs under the bit-model discipline: every register is one bit,
+  // so there is no declared atomicity to cross-check.
+  lint_field_overlap(out, model, probe.memory(), "naming", entry.info.name);
+  lint_sections(out, model, /*expect_entry_exit=*/false, "naming",
+                entry.info.name);
+  return out;
+}
+
+std::vector<LintDiagnostic> lint_detector(const DetectorAlgorithmEntry& entry,
+                                          int probe_n) {
+  std::vector<LintDiagnostic> out;
+  const int n = probe_n > 0 ? probe_n : default_probe_n(entry.info);
+  Sim probe;
+  const auto alg = entry.factory(probe.memory(), n);
+  const DetectorFactory make = entry.factory;
+  const StaticModel model = StaticModel::analyze(
+      [make, n](Sim& sim) -> std::shared_ptr<void> {
+        return setup_detection(sim, make, n);
+      },
+      n);
+  lint_capacity(out, entry.info, "detector", n, alg->capacity(),
+                [&](int at) {
+                  Sim big;
+                  return entry.factory(big.memory(), at)->capacity();
+                });
+  lint_dead_registers(out, model, probe.memory(), "detector",
+                      entry.info.name);
+  lint_atomicity(out, model, probe.memory(), alg->atomicity(), "detector",
+                 entry.info.name);
+  lint_field_overlap(out, model, probe.memory(), "detector",
+                     entry.info.name);
+  lint_sections(out, model, /*expect_entry_exit=*/false, "detector",
+                entry.info.name);
+  return out;
+}
+
+std::vector<LintDiagnostic> lint_registry() {
+  std::vector<LintDiagnostic> out;
+  const AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+  for (const MutexAlgorithmEntry* e : reg.mutex_algorithms()) {
+    auto diags = lint_mutex(*e);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  for (const NamingAlgorithmEntry* e : reg.naming_algorithms()) {
+    auto diags = lint_naming(*e);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  for (const DetectorAlgorithmEntry* e : reg.detector_algorithms()) {
+    auto diags = lint_detector(*e);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  return out;
+}
+
+}  // namespace cfc

@@ -1,0 +1,153 @@
+#ifndef CFC_SA_STATIC_SUMMARY_H
+#define CFC_SA_STATIC_SUMMARY_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "memory/types.h"
+#include "sched/run.h"
+
+namespace cfc {
+
+class Sim;
+
+/// --- Static model analysis (the sa/ footprint pass). ---
+///
+/// The paper's contention-free structure makes the configured models highly
+/// analyzable before the schedule-space search starts: each process's solo
+/// execution enumerates its contention-free program points exactly, and a
+/// small battery of prefix-perturbed two-process runs surfaces the
+/// contended branches (spin loops, fast-path fallbacks) those solo runs
+/// never reach. The pass dry-runs the exact configuration the Explorer
+/// will search (same setup function, crash injection included) under an
+/// instrumented recording sink and distills the observed scheduler units
+/// into:
+///
+///  * per-register facts (RegisterFacts): which pids were seen reading /
+///    writing, the union of written-bit masks per pid, and whether any
+///    collected read/write unit on the register carried a section change;
+///
+///  * per-process first units (FirstUnit): the deterministic prologue of a
+///    NotStarted process performs no shared access (it ends exactly at the
+///    first access request), so its statically recorded first access is
+///    exact — the refinement the POR layer uses for unstarted processes;
+///
+///  * per-process solo outcomes (SoloOutcome): protocol bookkeeping the
+///    registry linter (sa/lint.h) reports on.
+///
+/// The merged table is the *static may-conflict table* consumed by
+/// por/dependence.h's refined next_step_of: see the soundness discussion
+/// there for which facts are provable (first units, crash units) and which
+/// are empirically gated (section-quiet plain writes).
+
+/// Statically recorded first scheduler unit of one process: prologue plus
+/// first posted access (or prologue-only completion).
+struct FirstUnit {
+  bool known = false;
+  /// The body completed (or posted a local yield) during its prologue:
+  /// the first unit performs no shared-memory access.
+  bool yield = false;
+  /// The deterministic prologue emitted no section change. Load-bearing
+  /// for soundness: a prologue that changes sections (e.g. the mutex
+  /// session driver entering Entry) is observationally dependent with any
+  /// concurrently *measured* step — the peer's section change flips the
+  /// step's window cleanliness — which the register+section relation
+  /// cannot see on the pending side. R1 therefore refines only
+  /// quiet-prologue first units (see por/dependence.h).
+  bool prologue_quiet = false;
+  RegId reg = -1;      ///< valid iff known && !yield
+  bool wrote = false;  ///< the first access can modify the register
+};
+
+/// Facts about one register, merged over every collected unit.
+struct RegisterFacts {
+  bool observed = false;          ///< some collected unit accessed it
+  std::uint32_t reader_pids = 0;  ///< pids observed reading (bitmask)
+  std::uint32_t writer_pids = 0;  ///< pids observed writing (bitmask)
+  /// Some collected read / write unit on this register emitted a section
+  /// change during its local run.
+  bool read_section_adjacent = false;
+  bool write_section_adjacent = false;
+  /// Per-pid union of written-bit masks (Access::written_mask); sized
+  /// nprocs. Sub-word stores contribute their field window only.
+  std::vector<Value> written_fields_by_pid;
+  /// Some write on this register was a sub-word (write_field) store.
+  bool field_written = false;
+  /// Observed write_field windows as (shift, width) pairs, deduplicated.
+  std::vector<std::pair<int, int>> field_windows;
+};
+
+/// Protocol bookkeeping of one process's solo dry-run, for the linter.
+struct SoloOutcome {
+  bool completed = false;       ///< body finished within the unit budget
+  bool entered_entry = false;   ///< was ever observed in Section::Entry
+  bool entered_exit = false;    ///< was ever observed in Section::Exit
+  Section final_section = Section::Remainder;
+  std::uint64_t units = 0;      ///< scheduler units the solo run took
+  int max_width_accessed = 0;   ///< widest register touched (atomicity)
+};
+
+/// The static may-conflict table for one Explorer configuration. Built
+/// once per search (deterministically — same setup, same table); shared
+/// read-only across worker threads.
+class StaticModel {
+ public:
+  using SetupFn = std::function<std::shared_ptr<void>(Sim&)>;
+
+  /// Runs the footprint pass over `setup` for `nprocs` processes: one
+  /// bounded solo run per pid, plus, for every ordered pid pair (p, q),
+  /// one bounded run of p against each frozen prefix of q's solo
+  /// schedule. Mutual-exclusion violations during perturbed runs stop
+  /// that run but keep the facts collected so far.
+  [[nodiscard]] static StaticModel analyze(const SetupFn& setup, int nprocs);
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] int register_count() const {
+    return static_cast<int>(facts_.size());
+  }
+
+  [[nodiscard]] const RegisterFacts& facts(RegId reg) const {
+    return facts_[static_cast<std::size_t>(reg)];
+  }
+  [[nodiscard]] const FirstUnit& first_unit(Pid pid) const {
+    return first_units_[static_cast<std::size_t>(pid)];
+  }
+  [[nodiscard]] const SoloOutcome& solo_outcome(Pid pid) const {
+    return solo_[static_cast<std::size_t>(pid)];
+  }
+
+  /// R3 query (por/dependence.h): true unless every collected write unit
+  /// on `reg` ran section-quiet. A register with no collected write at
+  /// all answers true — absence of facts is a coverage hole, never a
+  /// license to refine.
+  [[nodiscard]] bool write_may_change_section(RegId reg) const;
+
+  /// The static may-conflict relation: units of pids `a` and `b` were
+  /// observed accessing `reg` with a write on either side. Computed
+  /// strictly from collected facts — the over-approximation suite pins
+  /// every dynamically observed conflict to this table, so a coverage
+  /// hole in the pass fails that suite instead of hiding behind a
+  /// conservative fallback.
+  [[nodiscard]] bool may_conflict(RegId reg, Pid a, Pid b) const;
+
+  /// Total scheduler units the pass collected (observability / tests).
+  [[nodiscard]] std::uint64_t units_collected() const {
+    return units_collected_;
+  }
+
+ private:
+  StaticModel() = default;
+
+  int nprocs_ = 0;
+  std::vector<RegisterFacts> facts_;
+  std::vector<FirstUnit> first_units_;
+  std::vector<SoloOutcome> solo_;
+  std::uint64_t units_collected_ = 0;
+};
+
+}  // namespace cfc
+
+#endif  // CFC_SA_STATIC_SUMMARY_H

@@ -285,6 +285,8 @@ Value Sim::execute(Proc& pr, Pid pid, const PendingAccess& req) {
         const auto shift = static_cast<unsigned>(req.field_shift);
         a.after = (a.before & ~(mask << shift)) | (req.to_write << shift);
         a.written = a.after;
+        a.field_shift = req.field_shift;
+        a.field_width = req.field_width;
         break;
       }
       if (w < RegisterFile::kMaxWidth &&

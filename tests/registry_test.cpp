@@ -122,5 +122,40 @@ TEST(Registry, DuplicateRegistrationThrows) {
       std::logic_error);
 }
 
+TEST(Registry, RegistrationValidatesMetadata) {
+  auto& registry = AlgorithmRegistry::instance();
+  const MutexFactory factory = registry.mutex("lamport-fast").factory;
+  const std::size_t before = registry.mutex_algorithms().size();
+
+  // Empty names can never be looked up or reported on.
+  EXPECT_THROW(registry.add_mutex(AlgorithmInfo::named(""), factory),
+               std::logic_error);
+  // Every problem here coordinates >= 2 processes; max_n = 1 is a typo.
+  EXPECT_THROW(
+      registry.add_mutex(
+          AlgorithmInfo::named("bogus-max-n").capacity_limit(1), factory),
+      std::logic_error);
+  // The pow2 restriction contradicts a non-power-of-two declared capacity.
+  EXPECT_THROW(
+      registry.add_mutex(
+          AlgorithmInfo::named("bogus-pow2").capacity_limit(6).pow2_only(),
+          factory),
+      std::logic_error);
+  // Same validation guards the other kinds.
+  EXPECT_THROW(registry.add_naming(AlgorithmInfo::named(""),
+                                   registry.naming("tas-scan").factory),
+               std::logic_error);
+  EXPECT_THROW(
+      registry.add_detector(
+          AlgorithmInfo::named("bogus-detector").capacity_limit(1),
+          registry.detector_algorithms().front()->factory),
+      std::logic_error);
+
+  // Rejection happens before the emplace: the registry is untouched.
+  EXPECT_EQ(registry.mutex_algorithms().size(), before);
+  EXPECT_THROW((void)registry.mutex("bogus-max-n"), std::out_of_range);
+  EXPECT_THROW((void)registry.mutex("bogus-pow2"), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace cfc

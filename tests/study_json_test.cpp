@@ -55,6 +55,7 @@ StudyResult golden_fixture() {
   r.cache_hits = 17;
   r.work_items = 6;
   r.restore_marks = 33;
+  r.static_refined_pairs = 5;
   r.wc = report(14, 4, 6, 8, 3, 4, 1, true);
   r.wc_entry = report(12, 3, 6, 6, 3, 3, 1, true);
   r.wc_exit = report(2, 1, 0, 2, 0, 1, 1);
@@ -124,6 +125,7 @@ TEST(StudyJson, RoundTripsByteIdentically) {
   EXPECT_EQ(parsed.cache_hits, original.cache_hits);
   EXPECT_EQ(parsed.work_items, original.work_items);
   EXPECT_EQ(parsed.restore_marks, original.restore_marks);
+  EXPECT_EQ(parsed.static_refined_pairs, original.static_refined_pairs);
   expect_reports_equal(parsed.wc, original.wc, "wc");
   expect_reports_equal(parsed.wc_entry, original.wc_entry, "wc_entry");
   expect_reports_equal(parsed.wc_exit, original.wc_exit, "wc_exit");
@@ -236,6 +238,21 @@ TEST(StudyJson, StatefulCountersOptionalForPreStatefulPayloads) {
   EXPECT_EQ(parsed.cache_hits, 0u);
   EXPECT_FALSE(parsed.frontier_clamped);
   EXPECT_EQ(parsed.races_detected, 21u);
+}
+
+TEST(StudyJson, StaticRefineCounterOptionalForPreSaPayloads) {
+  // Payloads written before the static model analysis (src/sa/) carry a
+  // reduction object without static_refined_pairs; they parse with zero
+  // while every other counter survives untouched.
+  std::string json = to_json(golden_fixture());
+  const std::string added = ", \"static_refined_pairs\": 5";
+  const std::size_t at = json.find(added);
+  ASSERT_NE(at, std::string::npos);
+  json.erase(at, added.size());
+  const StudyResult parsed = study_from_json(json);
+  EXPECT_EQ(parsed.static_refined_pairs, 0u);
+  EXPECT_EQ(parsed.races_detected, 21u);
+  EXPECT_EQ(parsed.restore_marks, 33u);
 }
 
 TEST(StudyJson, EscapesSubjectStrings) {

@@ -1,0 +1,42 @@
+// cfc_lint: the sa/ registry linter as a CLI. Dry-runs every registered
+// algorithm through the static footprint pass (src/sa/static_summary.h)
+// and reports metadata/protocol contradictions as structured diagnostics
+// (src/sa/lint.h). Exit status 0 when no Error-severity diagnostic fired,
+// 1 otherwise — warnings print but do not fail the run, so CI can gate on
+// the exit status alone.
+//
+// Usage: cfc_lint [--quiet]
+//   --quiet   print only Error diagnostics (warnings still counted in the
+//             summary line).
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "sa/lint.h"
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "cfc_lint: unknown option '%s'\n", argv[i]);
+      std::fprintf(stderr, "usage: cfc_lint [--quiet]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<cfc::LintDiagnostic> diags = cfc::lint_registry();
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const cfc::LintDiagnostic& d : diags) {
+    const bool is_error = d.severity == cfc::LintSeverity::Error;
+    (is_error ? errors : warnings) += 1;
+    if (is_error || !quiet) {
+      std::fprintf(stderr, "%s\n", d.format().c_str());
+    }
+  }
+  std::printf("cfc_lint: %zu error(s), %zu warning(s)\n", errors, warnings);
+  return errors == 0 ? 0 : 1;
+}
