@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -41,6 +43,9 @@ namespace cfc::bench {
 ///                    cfc.study.v1 array, timing excluded) to <f>; CI runs
 ///                    the bench at two thread counts and byte-compares the
 ///                    two files as the determinism gate
+///   --trace-out <f>  record a Chrome trace-event JSON (obs/trace.h) of
+///                    the whole bench run to <f>; loadable in Perfetto.
+///                    Observability only — never changes any reported value
 ///   --list           print the registry algorithms this bench can target
 ///                    (after --algo filtering) and exit
 struct BenchOptions {
@@ -52,6 +57,7 @@ struct BenchOptions {
   ReductionPolicy reduction = ReductionPolicy::Off;
   std::string baseline;
   std::string study_out;
+  std::string trace_out;
   bool list = false;
 
   static BenchOptions parse(int argc, char** argv) {
@@ -61,7 +67,8 @@ struct BenchOptions {
                    "usage: %s [--seed <base>] [--threads <k>] [--out <dir>] "
                    "[--algo <tag-or-name>] [--repeat <n>] "
                    "[--reduction off|sleep-lite|source-dpor] "
-                   "[--baseline <json>] [--study-out <json>] [--list]\n",
+                   "[--baseline <json>] [--study-out <json>] "
+                   "[--trace-out <json>] [--list]\n",
                    argc > 0 ? argv[0] : "bench");
       std::exit(exit_code);
     };
@@ -126,6 +133,8 @@ struct BenchOptions {
         opts.baseline = value(i, "--baseline");
       } else if (matches(arg, "--study-out")) {
         opts.study_out = value(i, "--study-out");
+      } else if (matches(arg, "--trace-out")) {
+        opts.trace_out = value(i, "--trace-out");
       } else if (arg == "--list") {
         opts.list = true;
       } else {
@@ -133,6 +142,19 @@ struct BenchOptions {
         usage(stderr, 2);
       }
     }
+    // Refuse an unusable --out up front: a long bench run that silently
+    // drops its report at the end is worse than not starting.
+    std::error_code ec;
+    std::filesystem::create_directories(opts.out, ec);
+    const std::string probe_path = opts.out + "/.cfc_out_probe";
+    std::FILE* probe = std::fopen(probe_path.c_str(), "w");
+    if (ec || probe == nullptr) {
+      std::fprintf(stderr, "cannot write to --out directory '%s'\n",
+                   opts.out.c_str());
+      std::exit(2);
+    }
+    std::fclose(probe);
+    std::remove(probe_path.c_str());
     return opts;
   }
 
@@ -364,14 +386,17 @@ class JsonReport {
   }
 
   /// Writes BENCH_<name>.json (studies + rows + summary), prints the
-  /// Verifier summary, and returns the process exit code.
+  /// Verifier summary, and returns the process exit code. An unwritable
+  /// report is a hard failure: consumers downstream (baseline compares,
+  /// cfc_report diffs) must never mistake a missing file for a clean run.
   int finish(Verifier& verify) {
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - start_)
             .count();
-    write_file(verify, static_cast<long long>(elapsed));
-    return verify.finish(name_.c_str());
+    const bool written = write_file(verify, static_cast<long long>(elapsed));
+    const int code = verify.finish(name_.c_str());
+    return written ? code : 1;
   }
 
  private:
@@ -427,7 +452,7 @@ class JsonReport {
     out += '}';
   }
 
-  void write_file(const Verifier& verify, long long elapsed_ms) const {
+  bool write_file(const Verifier& verify, long long elapsed_ms) const {
     std::string out = "{\n  \"schema\": \"cfc.bench.v1\",\n  \"bench\": \"";
     append_escaped(out, name_);
     out += "\",\n  \"context\": ";
@@ -451,11 +476,15 @@ class JsonReport {
 
     const std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
     if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
-      std::fwrite(out.data(), 1, out.size(), fp);
-      std::fclose(fp);
-    } else {
-      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      const std::size_t wrote = std::fwrite(out.data(), 1, out.size(), fp);
+      const bool ok = std::fclose(fp) == 0 && wrote == out.size();
+      if (!ok) {
+        std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+      }
+      return ok;
     }
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return false;
   }
 
   std::string name_;

@@ -31,6 +31,7 @@
 #include "bench_util.h"
 #include "core/algorithm_registry.h"
 #include "core/streaming_measures.h"
+#include "obs/trace.h"
 #include "sched/sched.h"
 
 namespace {
@@ -199,6 +200,9 @@ int main(int argc, char** argv) {
       cfc::bench::BenchOptions::parse(argc, argv);
   if (cfc::bench::handle_list(opts, {cfc::StudyKind::Mutex})) {
     return 0;
+  }
+  if (!opts.trace_out.empty()) {
+    cfc::obs::Tracer::start(opts.trace_out);
   }
   const auto runner = opts.make_runner();
   // Wall-clock gates (states/sec band, rewind-vs-fork) assume the pool
@@ -980,5 +984,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!opts.trace_out.empty()) {
+    verify.check(cfc::obs::Tracer::stop(), "--trace-out file written");
+  }
   return json.finish(verify);
 }

@@ -20,14 +20,39 @@
 // (the comparison table and the Table 1 register cross-check); the
 // campaign deduplicates it, so it runs once.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/study.h"
 #include "core/algorithm_registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfc;
+
+  // Observability hooks (both optional, neither changes any certified
+  // value — the study JSON is byte-identical with or without them):
+  //   --trace <file>      Chrome trace-event JSON of the campaign phases
+  //   --progress [file]   heartbeat; JSONL to <file>, else human stderr
+  std::string trace_path;
+  bool want_progress = false;
+  std::string progress_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--progress") {
+      want_progress = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        progress_path = argv[++i];
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace <file>] [--progress [file]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   struct Case {
     std::string name;
@@ -70,7 +95,14 @@ int main() {
   // duplicating a sweep entry — deduplicated by the campaign).
   Campaign campaign;
   for (const Case& c : cases) {
-    campaign.add(exhaustive_spec(c.name, c.n, c.depth));
+    StudySpec ex = exhaustive_spec(c.name, c.n, c.depth);
+    if (!trace_path.empty()) {
+      ex.trace(trace_path);  // campaign-wide; the first spec carries it
+    }
+    if (want_progress) {
+      ex.progress(progress_path, /*interval_ms=*/250);
+    }
+    campaign.add(std::move(ex));
     std::vector<std::uint64_t> seeds;
     for (std::uint64_t s = 1; s <= 32; ++s) {
       seeds.push_back(s);

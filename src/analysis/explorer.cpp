@@ -11,6 +11,8 @@
 #include "analysis/slab_arena.h"
 #include "analysis/visited_table.h"
 #include "core/state_fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "por/dependence.h"
 #include "por/sleep_sets.h"
 #include "por/source_dpor.h"
@@ -65,26 +67,18 @@ ReductionPolicy effective_reduction(const ExploreLimits& l) {
              : l.reduction;
 }
 
+std::span<const ExploreStatsField> explore_stats_fields() {
+#define CFC_STATS_FIELD(field) ExploreStatsField{#field, &ExploreStats::field},
+  static constexpr ExploreStatsField kFields[] = {
+      CFC_EXPLORE_STATS_COUNTERS(CFC_STATS_FIELD)};
+#undef CFC_STATS_FIELD
+  return kFields;
+}
+
 void ExploreStats::merge(const ExploreStats& o) {
-  states_visited += o.states_visited;
-  runs_completed += o.runs_completed;
-  runs_truncated += o.runs_truncated;
-  pruned_visited += o.pruned_visited;
-  pruned_independent += o.pruned_independent;
-  violations += o.violations;
-  races_detected += o.races_detected;
-  backtrack_points += o.backtrack_points;
-  sleep_blocked += o.sleep_blocked;
-  static_refined_pairs += o.static_refined_pairs;
-  restores += o.restores;
-  replayed_steps += o.replayed_steps;
-  value_replayed_steps += o.value_replayed_steps;
-  restore_marks += o.restore_marks;
-  work_items += o.work_items;
-  steals += o.steals;
-  sims_built += o.sims_built;
-  visited_bytes += o.visited_bytes;
-  visited_live_bytes += o.visited_live_bytes;
+  for (const ExploreStatsField& f : explore_stats_fields()) {
+    this->*f.member += o.*f.member;
+  }
   truncated = truncated || o.truncated;
   state_budget_hit = state_budget_hit || o.state_budget_hit;
   frontier_clamped = frontier_clamped || o.frontier_clamped;
@@ -168,9 +162,11 @@ class CellExplorer {
   /// goes through plan()/run_item() instead).
   void run(const std::vector<Pid>& prefix, CellResult& out) {
     out_ = &out;
+    begin_metrics();
     run_cell(prefix);
     out.stats.visited_bytes += visited_.bytes();
     out.stats.visited_live_bytes += visited_.live_bytes();
+    flush_metrics();
   }
 
   /// Parallel source-DPOR, phase 1: walks the top `horizon` levels of the
@@ -191,6 +187,7 @@ class CellExplorer {
   void plan(int horizon, SlabArena& arena, std::vector<WorkItem>& items,
             CellResult& out) {
     out_ = &out;
+    begin_metrics();
     reset_sim();
     plan_dfs(0, /*last=*/-1, /*sleep=*/0, horizon, arena, items);
     // The planner's sleep cache lives for the whole walk (it is what makes
@@ -202,6 +199,7 @@ class CellExplorer {
     // thread-count invariant.
     out.stats.visited_bytes += scache_.bytes();
     out.stats.visited_live_bytes += scache_.live_bytes();
+    flush_metrics();
   }
 
   /// Parallel source-DPOR, phase 2: executes one work item. The first item
@@ -213,6 +211,7 @@ class CellExplorer {
   /// backtrack, so it counts into neither restores nor replayed_steps.
   void run_item(const WorkItem& item, CellResult& out) {
     out_ = &out;
+    begin_metrics();
     if (!sim_ || cfg_.limits.restore_by_fork) {
       reset_sim();
     } else {
@@ -247,6 +246,7 @@ class CellExplorer {
     out.stats.races_detected += dpor_->stats().races_detected;
     out.stats.backtrack_points += dpor_->stats().backtrack_points;
     out.stats.static_refined_pairs += dpor_->stats().static_refined_pairs;
+    flush_metrics();
   }
 
  private:
@@ -360,6 +360,11 @@ class CellExplorer {
   /// freshly built simulation; both re-execute the whole prefix.
   void restore(int depth, std::size_t sched_len, std::uint64_t mem_fp,
                Seq seq) {
+    // Rewinds are far too frequent to record individually; sample 1/256
+    // so traces show representative restore costs without drowning.
+    ++rewind_tick_;
+    const obs::TraceSpan rewind_span(
+        (rewind_tick_ & 0xffu) == 0u ? "explorer.rewind" : nullptr);
     ++out_->stats.restores;
     const auto d = static_cast<std::size_t>(depth);
     if (cfg_.limits.restore_by_fork) {
@@ -523,6 +528,9 @@ class CellExplorer {
   [[nodiscard]] NodeEntry classify_node(int depth) {
     ++nodes_;
     ++out_->stats.states_visited;
+    if ((nodes_ & 0x1fffu) == 0u) {
+      flush_metrics();  // periodic export; one relaxed load when disabled
+    }
     if (!sim_->any_runnable()) {
       leaf_completed();
       return NodeEntry::Leaf;
@@ -892,6 +900,38 @@ class CellExplorer {
     branch_buf_.resize(base);
   }
 
+  /// Starts a fresh metric epoch for the engine run about to begin (the
+  /// flush cursor tracks out_->stats, which each run/plan/run_item starts
+  /// from zero).
+  void begin_metrics() { flushed_ = ExploreStats{}; }
+
+  /// Exports the counter growth since the last flush into the global
+  /// registry. Deltas rather than totals so per-worker shard sums equal
+  /// the true totals regardless of which worker ran what; a no-op (one
+  /// relaxed load) while the registry is disabled. Reads out_->stats only
+  /// — the registry never feeds back into the search, so enabling it
+  /// cannot change any result.
+  void flush_metrics() {
+    obs::MetricRegistry& m = obs::MetricRegistry::global();
+    if (!m.enabled()) {
+      return;
+    }
+    const ExploreStats& s = out_->stats;
+    const auto bump = [&](obs::Metric id, std::uint64_t ExploreStats::*f) {
+      m.add(id, s.*f - flushed_.*f);
+      flushed_.*f = s.*f;
+    };
+    bump(obs::Metric::states_visited, &ExploreStats::states_visited);
+    bump(obs::Metric::cache_hits, &ExploreStats::pruned_visited);
+    bump(obs::Metric::sleep_blocked, &ExploreStats::sleep_blocked);
+    bump(obs::Metric::restores, &ExploreStats::restores);
+    bump(obs::Metric::races_detected, &ExploreStats::races_detected);
+    bump(obs::Metric::backtrack_points, &ExploreStats::backtrack_points);
+    bump(obs::Metric::restore_marks, &ExploreStats::restore_marks);
+    m.set_max(obs::Metric::visited_live_bytes,
+              use_scache_ ? scache_.live_bytes() : visited_.live_bytes());
+  }
+
   const Explorer::Config& cfg_;
   CellResult* out_ = nullptr;
   std::unique_ptr<Sim> sim_;
@@ -910,6 +950,8 @@ class CellExplorer {
   std::vector<Sim::RewindMark> mark_pool_;    ///< per-depth rewind marks
   std::vector<MemorySnapshot> mem_pool_;  ///< per-depth debug snapshots
   std::uint64_t nodes_ = 0;
+  std::uint64_t rewind_tick_ = 0;  ///< restore() sampling counter
+  ExploreStats flushed_;  ///< metric-flush cursor (see flush_metrics)
   bool stop_ = false;
   ReductionPolicy policy_ = ReductionPolicy::Off;
   bool use_marks_ = false;
@@ -1053,6 +1095,7 @@ Explorer::Result Explorer::run(ExperimentRunner* runner) const {
           x % static_cast<std::size_t>(n));
       x /= static_cast<std::size_t>(n);
     }
+    const obs::TraceSpan cell_span("explorer.cell");
     CellExplorer cell(cfg_);
     cell.run(prefix, slots[c]);
   });
@@ -1079,8 +1122,16 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
   std::vector<WorkItem> items;
   CellResult planner_slot;
   {
+    const obs::TraceSpan plan_span("explorer.plan");
     CellExplorer planner(cfg_);
     planner.plan(f, arena, items, planner_slot);
+  }
+  {
+    obs::MetricRegistry& m = obs::MetricRegistry::global();
+    if (m.enabled()) {
+      m.add(obs::Metric::work_items, items.size());
+      m.set_max(obs::Metric::slab_bytes, arena.bytes_reserved());
+    }
   }
 
   // Phase 2 — work-stealing execution: items are dealt in contiguous
@@ -1150,7 +1201,10 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
         }
         local.stats = ExploreStats{};
         local.best.clear();
-        cell.run_item(items[idx], local);
+        {
+          const obs::TraceSpan item_span("explorer.item");
+          cell.run_item(items[idx], local);
+        }
         slots[idx].stats = local.stats;
         slots[idx].best.swap(local.best);
       }
@@ -1161,13 +1215,22 @@ Explorer::Result Explorer::run_source_dpor(ExperimentRunner* runner) const {
   Result res;
   res.reduction_used = ReductionPolicy::SourceDpor;
   res.stats.frontier_clamped = clamped;
-  res.stats.merge(planner_slot.stats);
-  merge_best(res.best, planner_slot.best);
-  for (const CellResult& slot : slots) {  // item index order: deterministic
-    res.stats.merge(slot.stats);
-    merge_best(res.best, slot.best);
+  {
+    const obs::TraceSpan merge_span("explorer.merge");
+    res.stats.merge(planner_slot.stats);
+    merge_best(res.best, planner_slot.best);
+    for (const CellResult& slot : slots) {  // item index order: deterministic
+      res.stats.merge(slot.stats);
+      merge_best(res.best, slot.best);
+    }
   }
   res.stats.steals += steals.load(std::memory_order_relaxed);
+  {
+    obs::MetricRegistry& m = obs::MetricRegistry::global();
+    if (m.enabled()) {
+      m.add(obs::Metric::steals, res.stats.steals);
+    }
+  }
   return res;
 }
 

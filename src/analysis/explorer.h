@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -157,6 +158,34 @@ struct ExploreLimits {
   bool static_refine = false;
 };
 
+/// Every u64 counter of ExploreStats, one row each — the single
+/// enumeration behind the table-driven ExploreStats::merge and the
+/// name/member table the observability layer reads
+/// (explore_stats_fields()). A counter added here merges and exports
+/// without further edits; whether it joins the study JSON stays a
+/// separate, deliberate decision (CFC_STUDY_REDUCTION_COUNTERS in
+/// study.h).
+#define CFC_EXPLORE_STATS_COUNTERS(X) \
+  X(states_visited)                   \
+  X(runs_completed)                   \
+  X(runs_truncated)                   \
+  X(pruned_visited)                   \
+  X(pruned_independent)               \
+  X(violations)                       \
+  X(races_detected)                   \
+  X(backtrack_points)                 \
+  X(sleep_blocked)                    \
+  X(static_refined_pairs)             \
+  X(restores)                         \
+  X(replayed_steps)                   \
+  X(value_replayed_steps)             \
+  X(restore_marks)                    \
+  X(work_items)                       \
+  X(steals)                           \
+  X(sims_built)                       \
+  X(visited_bytes)                    \
+  X(visited_live_bytes)
+
 struct ExploreStats {
   std::uint64_t states_visited = 0;  ///< DFS nodes entered (all cells)
   std::uint64_t runs_completed = 0;  ///< leaves with no runnable process
@@ -222,6 +251,17 @@ struct ExploreStats {
 
   void merge(const ExploreStats& o);
 };
+
+/// Name + member-pointer row for one u64 counter of ExploreStats.
+struct ExploreStatsField {
+  const char* name;
+  std::uint64_t ExploreStats::*member;
+};
+
+/// The counter table generated from CFC_EXPLORE_STATS_COUNTERS, in
+/// declaration order. Backs merge() and lets tooling iterate the counters
+/// by name without hand-maintained lists.
+[[nodiscard]] std::span<const ExploreStatsField> explore_stats_fields();
 
 /// The measurement fields an exploration maximizes.
 struct ExploreObjective {

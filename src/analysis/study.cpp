@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -15,8 +13,12 @@
 
 #include "core/adversary.h"
 #include "core/algorithm_registry.h"
+#include "core/json.h"
 #include "core/streaming_measures.h"
 #include "naming/checkers.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "sched/sched.h"
 
 namespace cfc {
@@ -126,6 +128,18 @@ StudySpec& StudySpec::budget(std::uint64_t per_run) {
   return *this;
 }
 
+StudySpec& StudySpec::trace(std::string path) {
+  trace_path = std::move(path);
+  return *this;
+}
+
+StudySpec& StudySpec::progress(std::string path, int interval_ms) {
+  want_progress = true;
+  progress_path = std::move(path);
+  progress_interval_ms = interval_ms;
+  return *this;
+}
+
 StudySpec& StudySpec::limits(const ExploreLimits& l) {
   // Replacing the budget struct must not silently revert the reduction
   // policy a prior worst_case(Exhaustive) defaulted (the builder stays
@@ -208,13 +222,10 @@ void fill_search_stats(StudyResult& out, const Explorer::Result& r,
   out.wc_reduction = options.strategy == SearchStrategy::Random
                          ? ReductionPolicy::Off
                          : r.reduction_used;
-  out.races_detected = r.stats.races_detected;
-  out.backtrack_points = r.stats.backtrack_points;
-  out.sleep_blocked = r.stats.sleep_blocked;
-  out.cache_hits = r.stats.pruned_visited;
-  out.work_items = r.stats.work_items;
-  out.restore_marks = r.stats.restore_marks;
-  out.static_refined_pairs = r.stats.static_refined_pairs;
+#define CFC_COPY_COUNTER(field, json_key, stats_member, required) \
+  out.field = r.stats.stats_member;
+  CFC_STUDY_REDUCTION_COUNTERS(CFC_COPY_COUNTER)
+#undef CFC_COPY_COUNTER
   out.frontier_clamped = r.stats.frontier_clamped;
   out.schedules_tried = r.stats.runs_completed + r.stats.runs_truncated;
   out.states_visited = r.stats.states_visited;
@@ -743,6 +754,42 @@ std::vector<StudyResult> Campaign::run(ExperimentRunner* runner,
     MeasureTask* wc = nullptr;
   };
 
+  // Observability (src/obs/): honor the first spec asking for a trace /
+  // progress heartbeat, started before planning so the plan phase is
+  // covered. An already-running outer tracer (a bench's --trace-out) wins.
+  // Observational only — neither changes any study value. The guard stops
+  // (and writes) an owned tracer on every exit path; it is declared before
+  // the reporter so the reporter's final heartbeat lands inside the trace.
+  struct TracerGuard {
+    bool own = false;
+    ~TracerGuard() {
+      if (own) {
+        obs::Tracer::stop();
+      }
+    }
+  } tracer_guard;
+  for (const StudySpec& spec : specs_) {
+    if (!spec.trace_path.empty()) {
+      if (obs::Tracer::active() == nullptr) {
+        obs::Tracer::start(spec.trace_path);
+        tracer_guard.own = true;
+      }
+      break;
+    }
+  }
+  std::unique_ptr<obs::ProgressReporter> progress;
+  for (const StudySpec& spec : specs_) {
+    if (spec.want_progress) {
+      progress = std::make_unique<obs::ProgressReporter>(
+          obs::ProgressReporter::Options{spec.progress_path,
+                                         spec.progress_interval_ms});
+      break;
+    }
+  }
+
+  const auto plan_t0 = std::chrono::steady_clock::now();
+  std::optional<obs::TraceSpan> plan_span;
+  plan_span.emplace("campaign.plan");
   std::vector<std::unique_ptr<MeasureTask>> tasks;
   std::map<std::string, MeasureTask*> interned;
   std::vector<Binding> bindings(specs_.size());
@@ -857,17 +904,35 @@ std::vector<StudyResult> Campaign::run(ExperimentRunner* runner,
       }
     }
   }
+  plan_span.reset();
+  const double plan_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - plan_t0)
+          .count();
 
+  obs::MetricRegistry& metrics = obs::MetricRegistry::global();
+  if (metrics.enabled()) {
+    metrics.set(obs::Metric::cells_total, flat.size());
+  }
+  std::vector<double> cell_ms(flat.size(), 0.0);
   ExperimentRunner& engine = runner_or_shared(runner);
   engine.parallel_for(flat.size(), [&](std::size_t i) {
+    const obs::TraceSpan cell_span("campaign.cell");
     const auto t0 = std::chrono::steady_clock::now();
     flat[i].first->run_cell(flat[i].second, engine);
-    flat[i].first->add_ns(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    flat[i].first->add_ns(ns);
+    cell_ms[i] = static_cast<double>(ns) * 1e-6;
+    if (metrics.enabled()) {
+      metrics.add(obs::Metric::cells_done, 1);
+    }
   });
 
+  const auto merge_t0 = std::chrono::steady_clock::now();
+  std::optional<obs::TraceSpan> merge_span;
+  merge_span.emplace("campaign.merge");
   for (const auto& task : tasks) {
     task->reduce();
   }
@@ -888,6 +953,7 @@ std::vector<StudyResult> Campaign::run(ExperimentRunner* runner,
       bindings[i].wc->apply(res);
       res.wall_ms += bindings[i].wc->wall_ms();
     }
+    res.execute_ms = res.wall_ms;
     // A naming battery measures cf as a side effect; mask it when the spec
     // did not ask for it so the result mirrors the request.
     if (!spec.want_cf) {
@@ -899,11 +965,24 @@ std::vector<StudyResult> Campaign::run(ExperimentRunner* runner,
     }
   }
 
+  merge_span.reset();
+  const double merge_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - merge_t0)
+          .count();
+  for (StudyResult& res : out) {
+    res.plan_ms = plan_ms;
+    res.merge_ms = merge_ms;
+  }
+
   if (stats != nullptr) {
     stats->specs = specs_.size();
     stats->tasks_planned = tasks.size();
     stats->tasks_deduplicated = deduplicated;
     stats->cells = flat.size();
+    stats->cell_wall_ms = std::move(cell_ms);
+    stats->plan_ms = plan_ms;
+    stats->merge_ms = merge_ms;
   }
   return out;
 }
@@ -984,14 +1063,14 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
     out += name(r.wc_reduction);
     out += "\", \"requested\": \"";
     out += name(r.wc_reduction_requested);
-    out += "\", \"races_detected\": " + std::to_string(r.races_detected) +
-           ", \"backtrack_points\": " + std::to_string(r.backtrack_points) +
-           ", \"sleep_blocked\": " + std::to_string(r.sleep_blocked) +
-           ", \"cache_hits\": " + std::to_string(r.cache_hits) +
-           ", \"work_items\": " + std::to_string(r.work_items) +
-           ", \"restore_marks\": " + std::to_string(r.restore_marks) +
-           ", \"static_refined_pairs\": " +
-           std::to_string(r.static_refined_pairs) + "}";
+    out += "\"";
+    // The counter list (and its emission order) comes from the one table
+    // in study.h, so serializer/parser/engine can never disagree.
+#define CFC_EMIT_COUNTER(field, json_key, stats_member, required) \
+  out += ", \"" json_key "\": " + std::to_string(r.field);
+    CFC_STUDY_REDUCTION_COUNTERS(CFC_EMIT_COUNTER)
+#undef CFC_EMIT_COUNTER
+    out += "}";
     out += ",\n    \"total\": ";
     append_report(out, r.wc);
     out += ",\n    \"entry\": ";
@@ -1011,9 +1090,11 @@ std::string to_json(const StudyResult& r, const StudyJsonOptions& opts) {
     out += "  \"wc\": null";
   }
   if (opts.include_timing) {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.3f", r.wall_ms);
-    out += ",\n  \"wall_ms\": ";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"timing\": {\"plan_ms\": %.3f, \"execute_ms\": "
+                  "%.3f, \"merge_ms\": %.3f},\n  \"wall_ms\": %.3f",
+                  r.plan_ms, r.execute_ms, r.merge_ms, r.wall_ms);
     out += buf;
   }
   out += "\n}";
@@ -1035,298 +1116,19 @@ std::string to_json(const std::vector<StudyResult>& results,
 
 namespace {
 
-/// Minimal recursive-descent JSON reader, sufficient for (a superset of)
-/// the canonical study schema. Numbers keep their raw text so 64-bit
-/// counters round-trip exactly.
-struct JsonNode {
-  enum class Type { Object, Array, String, Number, Bool, Null };
-  Type type = Type::Null;
-  std::map<std::string, JsonNode> object;
-  std::vector<JsonNode> array;
-  std::string text;  ///< String value / Number raw text
-  bool boolean = false;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& src) : src_(src) {}
-
-  JsonNode parse() {
-    JsonNode node = value();
-    skip_ws();
-    if (pos_ != src_.size()) {
-      fail("trailing content");
-    }
-    return node;
-  }
-
- private:
-  [[noreturn]] void fail(const char* why) const {
-    throw std::invalid_argument(std::string("study JSON parse error at ") +
-                                std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < src_.size() &&
-           (src_[pos_] == ' ' || src_[pos_] == '\n' || src_[pos_] == '\t' ||
-            src_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= src_.size()) {
-      fail("unexpected end of input");
-    }
-    return src_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail("unexpected character");
-    }
-    ++pos_;
-  }
-
-  JsonNode value() {
-    const char c = peek();
-    switch (c) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return string_node();
-      case 't':
-      case 'f':
-        return boolean();
-      case 'n':
-        return null();
-      default:
-        return number();
-    }
-  }
-
-  JsonNode object() {
-    JsonNode node;
-    node.type = JsonNode::Type::Object;
-    expect('{');
-    if (peek() == '}') {
-      ++pos_;
-      return node;
-    }
-    while (true) {
-      JsonNode key = string_node();
-      expect(':');
-      node.object.emplace(key.text, value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') {
-        return node;
-      }
-      if (c != ',') {
-        fail("expected ',' or '}' in object");
-      }
-    }
-  }
-
-  JsonNode array() {
-    JsonNode node;
-    node.type = JsonNode::Type::Array;
-    expect('[');
-    if (peek() == ']') {
-      ++pos_;
-      return node;
-    }
-    while (true) {
-      node.array.push_back(value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') {
-        return node;
-      }
-      if (c != ',') {
-        fail("expected ',' or ']' in array");
-      }
-    }
-  }
-
-  JsonNode string_node() {
-    JsonNode node;
-    node.type = JsonNode::Type::String;
-    expect('"');
-    while (true) {
-      if (pos_ >= src_.size()) {
-        fail("unterminated string");
-      }
-      const char c = src_[pos_++];
-      if (c == '"') {
-        return node;
-      }
-      if (c != '\\') {
-        node.text += c;
-        continue;
-      }
-      if (pos_ >= src_.size()) {
-        fail("unterminated escape");
-      }
-      const char esc = src_[pos_++];
-      switch (esc) {
-        case '"':
-          node.text += '"';
-          break;
-        case '\\':
-          node.text += '\\';
-          break;
-        case '/':
-          node.text += '/';
-          break;
-        case 'n':
-          node.text += '\n';
-          break;
-        case 't':
-          node.text += '\t';
-          break;
-        case 'r':
-          node.text += '\r';
-          break;
-        case 'u': {
-          if (pos_ + 4 > src_.size()) {
-            fail("truncated \\u escape");
-          }
-          unsigned long code = 0;
-          for (int d = 0; d < 4; ++d) {
-            const char h = src_[pos_ + static_cast<std::size_t>(d)];
-            if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
-              fail("non-hex digit in \\u escape");
-            }
-            code = code * 16 +
-                   static_cast<unsigned long>(
-                       h <= '9' ? h - '0'
-                                : (h | 0x20) - 'a' + 10);
-          }
-          pos_ += 4;
-          // The canonical serializer only emits \u00xx control codes;
-          // higher code points would be silently corrupted by the
-          // single-byte decode below, so reject them loudly.
-          if (code > 0xff) {
-            fail("\\u escape beyond \\u00ff unsupported");
-          }
-          node.text += static_cast<char>(code);
-          break;
-        }
-        default:
-          fail("unsupported escape");
-      }
-    }
-  }
-
-  JsonNode boolean() {
-    JsonNode node;
-    node.type = JsonNode::Type::Bool;
-    if (src_.compare(pos_, 4, "true") == 0) {
-      node.boolean = true;
-      pos_ += 4;
-    } else if (src_.compare(pos_, 5, "false") == 0) {
-      node.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("bad literal");
-    }
-    return node;
-  }
-
-  JsonNode null() {
-    if (src_.compare(pos_, 4, "null") != 0) {
-      fail("bad literal");
-    }
-    pos_ += 4;
-    return JsonNode{};
-  }
-
-  JsonNode number() {
-    JsonNode node;
-    node.type = JsonNode::Type::Number;
-    const std::size_t start = pos_;
-    if (pos_ < src_.size() && src_[pos_] == '-') {
-      ++pos_;
-    }
-    while (pos_ < src_.size() &&
-           (std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0 ||
-            src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
-            src_[pos_] == '+' || src_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      fail("expected a number");
-    }
-    node.text = src_.substr(start, pos_ - start);
-    return node;
-  }
-
-  const std::string& src_;
-  std::size_t pos_ = 0;
-};
-
-const JsonNode& member(const JsonNode& obj, const char* key) {
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) {
-    throw std::invalid_argument(std::string("study JSON: missing field '") +
-                                key + "'");
-  }
-  return it->second;
-}
-
-/// Typed accessors: a mistyped field (a string where a number belongs, a
-/// number where a bool belongs) is malformed input and must throw the
-/// documented std::invalid_argument, never silently parse to 0/false.
-[[noreturn]] void fail_type(const char* expected) {
-  throw std::invalid_argument(std::string("study JSON: expected ") +
-                              expected);
-}
-
-int to_int(const JsonNode& n) {
-  if (n.type != JsonNode::Type::Number) {
-    fail_type("a number");
-  }
-  return static_cast<int>(std::strtol(n.text.c_str(), nullptr, 10));
-}
-
-std::uint64_t to_u64(const JsonNode& n) {
-  if (n.type != JsonNode::Type::Number) {
-    fail_type("a number");
-  }
-  return std::strtoull(n.text.c_str(), nullptr, 10);
-}
-
-bool to_bool(const JsonNode& n) {
-  if (n.type != JsonNode::Type::Bool) {
-    fail_type("a boolean");
-  }
-  return n.boolean;
-}
-
-const std::string& to_string_field(const JsonNode& n) {
-  if (n.type != JsonNode::Type::String) {
-    fail_type("a string");
-  }
-  return n.text;
-}
-
-ComplexityReport report_from(const JsonNode& obj) {
-  if (obj.type != JsonNode::Type::Object) {
-    fail_type("a report object");
+ComplexityReport report_from(const json::Node& obj) {
+  if (!obj.is_object()) {
+    throw std::invalid_argument("study JSON: expected a report object");
   }
   ComplexityReport r;
-  r.steps = to_int(member(obj, "steps"));
-  r.registers = to_int(member(obj, "registers"));
-  r.read_steps = to_int(member(obj, "read_steps"));
-  r.write_steps = to_int(member(obj, "write_steps"));
-  r.read_registers = to_int(member(obj, "read_registers"));
-  r.write_registers = to_int(member(obj, "write_registers"));
-  r.atomicity = to_int(member(obj, "atomicity"));
-  r.truncated = to_bool(member(obj, "truncated"));
+  r.steps = json::to_int(json::member(obj, "steps"));
+  r.registers = json::to_int(json::member(obj, "registers"));
+  r.read_steps = json::to_int(json::member(obj, "read_steps"));
+  r.write_steps = json::to_int(json::member(obj, "write_steps"));
+  r.read_registers = json::to_int(json::member(obj, "read_registers"));
+  r.write_registers = json::to_int(json::member(obj, "write_registers"));
+  r.atomicity = json::to_int(json::member(obj, "atomicity"));
+  r.truncated = json::to_bool(json::member(obj, "truncated"));
   return r;
 }
 
@@ -1367,88 +1169,89 @@ ReductionPolicy reduction_from(const std::string& s) {
 
 }  // namespace
 
-StudyResult study_from_json(const std::string& json) {
-  const JsonNode root = JsonParser(json).parse();
-  if (root.type != JsonNode::Type::Object) {
+StudyResult study_from_json(const std::string& payload) {
+  const json::Node root = json::parse(payload);
+  if (!root.is_object()) {
     throw std::invalid_argument("study JSON: expected an object");
   }
-  if (to_string_field(member(root, "schema")) != "cfc.study.v1") {
+  if (json::to_string_field(json::member(root, "schema")) !=
+      "cfc.study.v1") {
     throw std::invalid_argument("study JSON: unsupported schema '" +
-                                member(root, "schema").text + "'");
+                                json::member(root, "schema").text + "'");
   }
   StudyResult r;
-  r.subject = to_string_field(member(root, "subject"));
-  r.kind = kind_from(to_string_field(member(root, "kind")));
-  r.n = to_int(member(root, "n"));
-  r.sessions = to_int(member(root, "sessions"));
+  r.subject = json::to_string_field(json::member(root, "subject"));
+  r.kind = kind_from(json::to_string_field(json::member(root, "kind")));
+  r.n = json::to_int(json::member(root, "n"));
+  r.sessions = json::to_int(json::member(root, "sessions"));
 
-  const JsonNode& cf = member(root, "cf");
-  if (cf.type == JsonNode::Type::Object) {
+  const json::Node& cf = json::member(root, "cf");
+  if (cf.is_object()) {
     r.has_cf = true;
-    r.cf = report_from(member(cf, "session"));
-    r.cf_entry = report_from(member(cf, "entry"));
-    r.cf_exit = report_from(member(cf, "exit"));
-    r.measured_atomicity = to_int(member(cf, "atomicity"));
+    r.cf = report_from(json::member(cf, "session"));
+    r.cf_entry = report_from(json::member(cf, "entry"));
+    r.cf_exit = report_from(json::member(cf, "exit"));
+    r.measured_atomicity = json::to_int(json::member(cf, "atomicity"));
   }
 
-  const JsonNode& wc = member(root, "wc");
-  if (wc.type == JsonNode::Type::Object) {
+  const json::Node& wc = json::member(root, "wc");
+  if (wc.is_object()) {
     r.has_wc = true;
-    r.wc_strategy = strategy_from(to_string_field(member(wc, "strategy")));
+    r.wc_strategy =
+        strategy_from(json::to_string_field(json::member(wc, "strategy")));
     // "reduction" is optional so pre-POR cfc.study.v1 payloads still
     // parse (they carry policy off / zero counters implicitly).
-    const auto reduction = wc.object.find("reduction");
-    if (reduction != wc.object.end()) {
-      const JsonNode& red = reduction->second;
-      if (red.type != JsonNode::Type::Object) {
-        fail_type("a reduction object");
+    if (const json::Node* red = wc.find("reduction")) {
+      if (!red->is_object()) {
+        throw std::invalid_argument("study JSON: expected a reduction "
+                                    "object");
       }
       r.wc_reduction =
-          reduction_from(to_string_field(member(red, "policy")));
-      r.races_detected = to_u64(member(red, "races_detected"));
-      r.backtrack_points = to_u64(member(red, "backtrack_points"));
-      r.sleep_blocked = to_u64(member(red, "sleep_blocked"));
-      // Added by the parallel-DPOR work: optional, so payloads written by
-      // earlier versions keep parsing (they default to zero).
-      const auto wi = red.object.find("work_items");
-      r.work_items = wi == red.object.end() ? 0 : to_u64(wi->second);
-      const auto rm = red.object.find("restore_marks");
-      r.restore_marks = rm == red.object.end() ? 0 : to_u64(rm->second);
-      // Added by stateful/hybrid DPOR: optional for the same reason.
+          reduction_from(json::to_string_field(json::member(*red, "policy")));
+      // The counters come from the one table in study.h. Required keys
+      // date back to the first POR payloads; the rest were added later
+      // and stay optional so older payloads keep parsing as zero.
+#define CFC_PARSE_COUNTER(field, json_key, stats_member, required)       if (required) {                                                          r.field = json::to_u64(json::member(*red, json_key));                } else if (const json::Node* node = red->find(json_key)) {               r.field = json::to_u64(*node);                                       }
+      CFC_STUDY_REDUCTION_COUNTERS(CFC_PARSE_COUNTER)
+#undef CFC_PARSE_COUNTER
       // "requested" defaults to the used policy (pre-hybrid payloads
       // never had the two diverge).
-      const auto req = red.object.find("requested");
+      const json::Node* req = red->find("requested");
       r.wc_reduction_requested =
-          req == red.object.end()
-              ? r.wc_reduction
-              : reduction_from(to_string_field(req->second));
-      const auto ch = red.object.find("cache_hits");
-      r.cache_hits = ch == red.object.end() ? 0 : to_u64(ch->second);
-      // Added by the static model analysis (src/sa/): optional, so
-      // pre-SA payloads keep parsing (they default to zero).
-      const auto sr = red.object.find("static_refined_pairs");
-      r.static_refined_pairs =
-          sr == red.object.end() ? 0 : to_u64(sr->second);
+          req == nullptr ? r.wc_reduction
+                         : reduction_from(json::to_string_field(*req));
     }
-    r.wc = report_from(member(wc, "total"));
-    r.wc_entry = report_from(member(wc, "entry"));
-    r.wc_exit = report_from(member(wc, "exit"));
-    r.schedules_tried = to_u64(member(wc, "schedules_tried"));
-    r.states_visited = to_u64(member(wc, "states_visited"));
-    r.violations = to_u64(member(wc, "violations"));
-    r.truncated = to_bool(member(wc, "truncated"));
-    r.certified = to_bool(member(wc, "certified"));
+    r.wc = report_from(json::member(wc, "total"));
+    r.wc_entry = report_from(json::member(wc, "entry"));
+    r.wc_exit = report_from(json::member(wc, "exit"));
+    r.schedules_tried = json::to_u64(json::member(wc, "schedules_tried"));
+    r.states_visited = json::to_u64(json::member(wc, "states_visited"));
+    r.violations = json::to_u64(json::member(wc, "violations"));
+    r.truncated = json::to_bool(json::member(wc, "truncated"));
+    r.certified = json::to_bool(json::member(wc, "certified"));
     // Optional (added with the frontier-clamp surfacing).
-    const auto fc = wc.object.find("frontier_clamped");
-    r.frontier_clamped = fc != wc.object.end() && to_bool(fc->second);
+    const json::Node* fc = wc.find("frontier_clamped");
+    r.frontier_clamped = fc != nullptr && json::to_bool(*fc);
   }
 
-  const auto wall = root.object.find("wall_ms");
-  if (wall != root.object.end()) {
-    if (wall->second.type != JsonNode::Type::Number) {
-      fail_type("a number");
+  // Optional (added with the phase-timing breakdown); members optional
+  // too, mirroring the reduction-object pattern.
+  if (const json::Node* timing = root.find("timing")) {
+    if (!timing->is_object()) {
+      throw std::invalid_argument("study JSON: expected a timing object");
     }
-    r.wall_ms = std::strtod(wall->second.text.c_str(), nullptr);
+    if (const json::Node* v = timing->find("plan_ms")) {
+      r.plan_ms = json::to_double(*v);
+    }
+    if (const json::Node* v = timing->find("execute_ms")) {
+      r.execute_ms = json::to_double(*v);
+    }
+    if (const json::Node* v = timing->find("merge_ms")) {
+      r.merge_ms = json::to_double(*v);
+    }
+  }
+  if (const json::Node* wall = root.find("wall_ms")) {
+    r.wall_ms = json::to_double(*wall);
   }
   return r;
 }

@@ -99,6 +99,13 @@ struct StudySpec {
   MutexFactory adhoc_mutex;
   NamingFactory adhoc_naming;
   DetectorFactory adhoc_detector;
+  /// Observability wiring (trace() / progress()). Not part of the
+  /// measurement identity: excluded from the campaign dedup key, and the
+  /// engine guarantees identical results with it on or off.
+  std::string trace_path;
+  bool want_progress = false;
+  std::string progress_path;  ///< empty = human heartbeat to stderr
+  int progress_interval_ms = 500;
 
   [[nodiscard]] static StudySpec of(std::string subject);
 
@@ -128,6 +135,16 @@ struct StudySpec {
   /// see WorstCaseSearchOptions::crash_after).
   StudySpec& crash(std::vector<std::uint64_t> after);
   StudySpec& budget(std::uint64_t per_run);
+  /// Observability (src/obs/): record a Chrome trace-event / Perfetto
+  /// trace of the campaign run to `path`. Purely observational — never
+  /// part of the dedup key, never changes any study value; the campaign
+  /// honors the first non-empty path among its specs (an already-running
+  /// outer tracer wins).
+  StudySpec& trace(std::string path);
+  /// Observability (src/obs/): emit periodic progress heartbeats while
+  /// the campaign runs — JSONL to `path`, or the human format to stderr
+  /// when `path` is empty. Observational only, like trace().
+  StudySpec& progress(std::string path = {}, int interval_ms = 500);
   /// Replaces the DFS budgets. A struct that names no reduction policy
   /// keeps the one already selected (e.g. worst_case(Exhaustive)'s
   /// source-dpor default), so the fluent order does not matter; use
@@ -138,6 +155,23 @@ struct StudySpec {
   StudySpec& factory(NamingFactory f);
   StudySpec& factory(DetectorFactory f);
 };
+
+/// The reduction counters of a worst-case search, as one table: X(field,
+/// "json_key", stats_member, required). The StudyResult fields, the
+/// canonical JSON emission order inside the "reduction" object (after
+/// policy/requested), the parser (non-required keys are optional, so
+/// payloads written before a counter existed keep parsing as zero), and
+/// the ExploreStats copy in the study engine are all generated from this
+/// list — adding a counter is one line here plus its ExploreStats source.
+#define CFC_STUDY_REDUCTION_COUNTERS(X)                                   \
+  X(races_detected, "races_detected", races_detected, true)               \
+  X(backtrack_points, "backtrack_points", backtrack_points, true)         \
+  X(sleep_blocked, "sleep_blocked", sleep_blocked, true)                  \
+  X(cache_hits, "cache_hits", pruned_visited, false)                      \
+  X(work_items, "work_items", work_items, false)                          \
+  X(restore_marks, "restore_marks", restore_marks, false)                 \
+  X(static_refined_pairs, "static_refined_pairs", static_refined_pairs,   \
+    false)
 
 /// The uniform result of one study. Absent measurements are flagged off and
 /// zero-valued. Semantics per kind:
@@ -217,6 +251,15 @@ struct StudyResult {
   /// fully for every spec that uses it). Nondeterministic — excluded from
   /// the canonical JSON when StudyJsonOptions::include_timing is false.
   double wall_ms = 0.0;
+  /// Phase breakdown of the campaign run this study rode in (the optional
+  /// "timing" object of cfc.study.v1): planning (subject resolution,
+  /// dedup, grid build), cell execution (== wall_ms, the per-spec summed
+  /// cell durations), and the merge (reductions + result assembly).
+  /// plan_ms/merge_ms are campaign-wide phases, attributed fully to every
+  /// study of the run. Nondeterministic, gated like wall_ms.
+  double plan_ms = 0.0;
+  double execute_ms = 0.0;
+  double merge_ms = 0.0;
 };
 
 /// Aggregate counters of one Campaign::run, for observability and tests.
@@ -226,6 +269,13 @@ struct CampaignStats {
   std::size_t tasks_deduplicated = 0;  ///< spec requests served by an
                                        ///< identical earlier task
   std::size_t cells = 0;               ///< schedulable cells fanned out
+  /// Wall-clock duration of each cell of the flat grid, in grid (round-
+  /// robin interleave) order — cell_wall_ms.size() == cells. The
+  /// per-cell timing truth behind the progress heartbeat and the
+  /// checkpoint/resume planning in ROADMAP's campaign-service item.
+  std::vector<double> cell_wall_ms;
+  double plan_ms = 0.0;   ///< resolve/dedup/grid-build phase
+  double merge_ms = 0.0;  ///< reduce + result-assembly phase
 };
 
 /// A batch of studies executed as one flat cell grid: every spec's
@@ -263,8 +313,9 @@ class Campaign {
 /// --- The canonical JSON serialization (schema "cfc.study.v1"). ---
 
 struct StudyJsonOptions {
-  /// Emit the nondeterministic wall_ms field. Switch off to compare
-  /// serialized results byte-for-byte across thread counts or hosts.
+  /// Emit the nondeterministic timing fields (the "timing" phase object
+  /// and wall_ms). Switch off to compare serialized results byte-for-byte
+  /// across thread counts or hosts.
   bool include_timing = true;
 };
 

@@ -1,0 +1,129 @@
+#ifndef CFC_OBS_TRACE_H
+#define CFC_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cfc::obs {
+
+/// Scoped-span flight recorder writing the Chrome trace-event JSON format
+/// ({"traceEvents": [...]} with ph:"X" complete events, microsecond
+/// ts/dur) — loadable directly in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing. One process-wide recorder, started/stopped explicitly
+/// (Tracer::start / Tracer::stop); spans are recorded into per-thread
+/// buffers with steady-clock timestamps, so recording never takes a lock
+/// on the hot path.
+///
+/// Cost when off: Tracer::active() is one relaxed atomic load, and
+/// TraceSpan construction against a null tracer stores two pointers.
+/// Determinism: spans observe, never steer — no counter, schedule pick, or
+/// JSON value reads the tracer, so traced and untraced runs produce
+/// byte-identical study output.
+class Tracer {
+ public:
+  struct Event {
+    const char* name;  ///< static-lifetime span name (span taxonomy)
+    const char* cat;   ///< static-lifetime category
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+  };
+
+  /// The running tracer, or nullptr when tracing is off.
+  [[nodiscard]] static Tracer* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Starts recording into a fresh tracer whose write() targets `path`.
+  /// A tracer already running is stopped (discarding its events) first.
+  static void start(std::string path);
+
+  /// Stops recording, writes the trace file, and destroys the tracer.
+  /// Returns false when no tracer was running or the file could not be
+  /// written (a warning is printed either way on write failure).
+  static bool stop();
+
+  /// Records one complete span (called by ~TraceSpan).
+  void record(const char* name, const char* cat,
+              std::chrono::steady_clock::time_point begin,
+              std::chrono::steady_clock::time_point end);
+
+  /// Microseconds since this tracer started.
+  [[nodiscard]] std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  Tracer();
+
+  struct ThreadBuffer {
+    std::vector<Event> events;
+  };
+
+  [[nodiscard]] ThreadBuffer& buffer_for_this_thread();
+  [[nodiscard]] bool write(const std::string& path);
+
+  /// Distinct for every tracer ever constructed. The per-thread buffer
+  /// cache keys on this instead of the tracer address: a new tracer can
+  /// reuse a deleted one's allocation, and a pointer-keyed cache would
+  /// then hand back a dangling buffer.
+  std::uint64_t generation_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;  ///< guards buffers_ registration and the final write
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  static std::atomic<Tracer*> active_;
+  static std::mutex lifecycle_mu_;
+  static std::string path_;
+};
+
+/// RAII span: records [construction, destruction) into the active tracer.
+/// With tracing off the constructor is a relaxed load and the destructor a
+/// null check. Pass nullptr as `name` to skip recording even while tracing
+/// (the sampling hook for high-frequency spans like rewinds).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "cfc")
+      : tracer_(name != nullptr ? Tracer::active() : nullptr),
+        name_(name),
+        cat_(cat) {
+    if (tracer_ != nullptr) {
+      begin_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, cat_, begin_,
+                      std::chrono::steady_clock::now());
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+/// Validates a Chrome trace-event JSON payload: the shape cfc writes
+/// (top-level traceEvents array of ph:"X" events with name/ts/dur/tid),
+/// plus balanced nesting — within each tid, spans sorted by start time
+/// must strictly nest (no partial overlap). Returns true on success;
+/// appends human-readable problems to `errors` otherwise. Shared by
+/// `cfc_report --check-trace` and the obs tests.
+[[nodiscard]] bool check_trace_json(const std::string& payload,
+                                    std::vector<std::string>* errors);
+
+}  // namespace cfc::obs
+
+#endif  // CFC_OBS_TRACE_H

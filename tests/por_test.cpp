@@ -8,13 +8,17 @@
 // default to the reduced tree.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "analysis/experiment.h"
 #include "analysis/explorer.h"
 #include "analysis/study.h"
 #include "core/algorithm_registry.h"
+#include "obs/trace.h"
 #include "por/dependence.h"
 #include "por/sleep_sets.h"
 #include "por/source_dpor.h"
@@ -508,6 +512,50 @@ TEST(PorPolicy, ReduceIndependentAliasSelectsSleepLite) {
   expect_reports_equal(a.exit, b.exit, "exit");
   EXPECT_EQ(a.states_visited, b.states_visited);
   EXPECT_EQ(a.schedules_tried, b.schedules_tried);
+}
+
+// --- Observability is inert: tracing + progress heartbeats running over
+// a study must leave the canonical JSON byte-identical, at the sequential
+// reference engine and on a thread pool. ---
+
+TEST(PorStudyJson, ByteIdenticalWithObservabilityOn) {
+  const auto spec = [] {
+    return StudySpec::of("peterson-2p")
+        .kind(StudyKind::Mutex)
+        .n(2)
+        .worst_case(SearchStrategy::Exhaustive)
+        .depth(12);
+  };
+  for (const int threads : {1, 4}) {
+    const std::string reference = study_json_at(spec(), threads);
+    const std::string dir = ::testing::TempDir();
+    const std::string trace_path =
+        dir + "por_obs_trace_t" + std::to_string(threads) + ".json";
+    const std::string progress_path =
+        dir + "por_obs_progress_t" + std::to_string(threads) + ".jsonl";
+
+    StudySpec observed = spec();
+    observed.trace(trace_path).progress(progress_path, /*interval_ms=*/1);
+    const std::string with_obs = study_json_at(observed, threads);
+    EXPECT_EQ(with_obs, reference) << "threads=" << threads;
+
+    // The side channels really ran: the trace file validates as balanced
+    // Chrome trace JSON and the heartbeat wrote at least the final line.
+    std::ifstream trace_in(trace_path, std::ios::binary);
+    ASSERT_TRUE(trace_in.good()) << trace_path;
+    std::ostringstream trace_buf;
+    trace_buf << trace_in.rdbuf();
+    std::vector<std::string> errors;
+    EXPECT_TRUE(obs::check_trace_json(trace_buf.str(), &errors));
+    for (const std::string& e : errors) {
+      ADD_FAILURE() << e;
+    }
+    std::ifstream progress_in(progress_path);
+    ASSERT_TRUE(progress_in.good()) << progress_path;
+    std::string line;
+    ASSERT_TRUE(std::getline(progress_in, line));
+    EXPECT_NE(line.find("\"states\""), std::string::npos);
+  }
 }
 
 TEST(PorPolicy, RequiresExhaustiveStrategy) {

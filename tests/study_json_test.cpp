@@ -65,6 +65,9 @@ StudyResult golden_fixture() {
   r.truncated = true;
   r.certified = true;
   r.frontier_clamped = true;
+  r.plan_ms = 0.2;
+  r.execute_ms = 1.1;
+  r.merge_ms = 0.2;
   r.wall_ms = 1.5;
   return r;
 }
@@ -135,6 +138,9 @@ TEST(StudyJson, RoundTripsByteIdentically) {
   EXPECT_EQ(parsed.truncated, original.truncated);
   EXPECT_EQ(parsed.certified, original.certified);
   EXPECT_EQ(parsed.frontier_clamped, original.frontier_clamped);
+  EXPECT_DOUBLE_EQ(parsed.plan_ms, original.plan_ms);
+  EXPECT_DOUBLE_EQ(parsed.execute_ms, original.execute_ms);
+  EXPECT_DOUBLE_EQ(parsed.merge_ms, original.merge_ms);
   EXPECT_DOUBLE_EQ(parsed.wall_ms, original.wall_ms);
 }
 
@@ -159,8 +165,25 @@ TEST(StudyJson, TimingIsOptionalAndExcludable) {
   const std::string without =
       to_json(r, StudyJsonOptions{.include_timing = false});
   EXPECT_EQ(without.find("wall_ms"), std::string::npos);
-  // Parsing the timing-free form succeeds and defaults wall_ms to 0.
-  EXPECT_DOUBLE_EQ(study_from_json(without).wall_ms, 0.0);
+  EXPECT_EQ(without.find("\"timing\""), std::string::npos);
+  // Parsing the timing-free form succeeds and defaults the phases to 0.
+  const StudyResult parsed = study_from_json(without);
+  EXPECT_DOUBLE_EQ(parsed.wall_ms, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.plan_ms, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.execute_ms, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.merge_ms, 0.0);
+
+  // Pre-timing payloads carry wall_ms but no timing object; they parse.
+  std::string no_phases = to_json(r);
+  const std::string timing_line =
+      "  \"timing\": {\"plan_ms\": 0.200, \"execute_ms\": 1.100, "
+      "\"merge_ms\": 0.200},\n";
+  const std::size_t at = no_phases.find(timing_line);
+  ASSERT_NE(at, std::string::npos);
+  no_phases.erase(at, timing_line.size());
+  const StudyResult legacy = study_from_json(no_phases);
+  EXPECT_DOUBLE_EQ(legacy.wall_ms, 1.5);
+  EXPECT_DOUBLE_EQ(legacy.plan_ms, 0.0);
 }
 
 TEST(StudyJson, BigCountersSurviveExactly) {
